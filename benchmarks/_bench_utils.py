@@ -1,0 +1,40 @@
+"""Helpers shared by the benchmark modules.
+
+Kept separate from ``conftest.py`` so benchmark files can import them
+explicitly (``from _bench_utils import print_report``) without relying on
+how pytest names conftest modules.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.common import Scale
+
+#: Seed shared by every benchmark so printed tables are reproducible.
+BENCH_SEED = 2020
+
+
+def bench_scale() -> Scale:
+    """The experiment scale selected via ``REPRO_BENCH_SCALE``.
+
+    ``quick`` (default) keeps the whole harness in the minutes range;
+    ``paper`` regenerates the figures at a fidelity comparable to the
+    paper's 7300-window dataset.
+    """
+    value = os.environ.get("REPRO_BENCH_SCALE", "quick").strip().lower()
+    if value not in ("quick", "paper"):
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be 'quick' or 'paper', got {value!r}"
+        )
+    return value  # type: ignore[return-value]
+
+
+def print_report(title: str, body: str) -> None:
+    """Print a paper-artefact report with a visible header.
+
+    pytest captures stdout by default; run with ``-s`` to stream the
+    tables, or rely on the captured-output section of a failing test.
+    """
+    rule = "=" * 72
+    print(f"\n{rule}\n{title}\n{rule}\n{body}\n")

@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper artefact (Table I, Fig. 2, Fig. 5, Fig. 6a/b, Fig. 7, the
+Section V-D comparisons) has one benchmark module.  Each module runs the
+corresponding experiment driver exactly once inside ``benchmark.pedantic``
+— the interesting output is the printed table mirroring the paper, the
+timing is a bonus — and asserts the qualitative *shape* the paper reports.
+
+Scale
+-----
+The benchmarks default to the ``quick`` experiment scale so that
+``pytest benchmarks/ --benchmark-only`` finishes in a few minutes.  Set
+the environment variable ``REPRO_BENCH_SCALE=paper`` to regenerate the
+figures at a fidelity comparable to the paper's 7300-window dataset
+(expect tens of minutes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import BENCH_SEED, bench_scale
+from repro.experiments.common import get_trained_systems
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The active benchmark scale (``quick`` or ``paper``)."""
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def systems(scale):
+    """The shared trained systems (AdaSense, static baseline, IbA)."""
+    return get_trained_systems(scale=scale, seed=BENCH_SEED)

@@ -1,0 +1,40 @@
+"""Benchmark: ablation of the shared classifier's capacity.
+
+Varies the hidden-layer width of the shared MLP and reports accuracy
+against the classifier's parameter count and storage footprint — the
+trade-off a wearable deployment actually tunes (the device only has a few
+KB of memory for weights, Section V-D).
+"""
+
+from __future__ import annotations
+
+from _bench_utils import BENCH_SEED, print_report
+
+from repro.experiments.ablations import run_classifier_ablation
+
+
+def test_classifier_capacity_ablation(benchmark, scale):
+    windows = 30 if scale == "quick" else 100
+    result = benchmark.pedantic(
+        run_classifier_ablation,
+        kwargs={"windows_per_activity_per_config": windows, "seed": BENCH_SEED},
+        rounds=1,
+        iterations=1,
+    )
+    print_report("Ablation — hidden-layer width of the shared classifier", result.format_table())
+
+    # Memory grows monotonically with the hidden width.
+    widths = [row.hidden_units for row in result.rows]
+    memories = [row.memory_bytes for row in result.rows]
+    assert all(a < b for a, b in zip(memories, memories[1:]))
+    assert widths == sorted(widths)
+
+    # Even the largest variant stays within a wearable-friendly budget and
+    # every variant clears a usable accuracy bar.
+    assert max(memories) < 32 * 1024
+    assert all(row.accuracy > 0.7 for row in result.rows)
+
+    # Capacity beyond the paper-sized classifier buys little accuracy.
+    accuracy_32 = next(row.accuracy for row in result.rows if row.hidden_units == 32)
+    best = max(row.accuracy for row in result.rows)
+    assert accuracy_32 >= best - 0.05

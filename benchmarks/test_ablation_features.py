@@ -1,0 +1,37 @@
+"""Benchmark: ablation of the unified feature vector.
+
+Varies the number of Fourier features per axis (the paper keeps three,
+covering the band up to 3 Hz) and the spelling of those features (band
+energies versus raw FFT bins), and reports the recognition accuracy of
+the shared classifier for each variant.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import BENCH_SEED, print_report
+
+from repro.experiments.ablations import run_feature_ablation
+
+
+def test_fourier_feature_ablation(benchmark, scale):
+    windows = 30 if scale == "quick" else 100
+    result = benchmark.pedantic(
+        run_feature_ablation,
+        kwargs={"windows_per_activity_per_config": windows, "seed": BENCH_SEED},
+        rounds=1,
+        iterations=1,
+    )
+    print_report("Ablation — Fourier features per axis", result.format_table())
+
+    # Every variant must be usable (well above chance for six classes).
+    for row in result.rows:
+        assert row.accuracy > 0.5
+
+    # The paper's choice (three features) performs within a small margin of
+    # the best variant explored — i.e. adding more coefficients buys little.
+    best = result.best_row()
+    paper_choice = max(
+        (row for row in result.rows if row.n_fourier_features == 3 and row.fourier_mode == "bands"),
+        key=lambda row: row.accuracy,
+    )
+    assert paper_choice.accuracy >= best.accuracy - 0.06

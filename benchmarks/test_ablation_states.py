@@ -1,0 +1,46 @@
+"""Benchmark: ablation of the number of SPOT states.
+
+Truncates the SPOT chain to its first N states (N = 1 is the static
+baseline, N = 2 resembles the high/low switching of prior work, N = 4 is
+the full AdaSense chain) and reports the closed-loop accuracy and power of
+each variant on the same schedules.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import BENCH_SEED, print_report
+
+from repro.experiments.ablations import run_state_count_ablation
+
+
+def test_spot_state_count_ablation(benchmark, systems, scale):
+    result = benchmark.pedantic(
+        run_state_count_ablation,
+        kwargs={
+            "system": systems.adasense,
+            "seed": BENCH_SEED,
+            "duration_s": 300.0 if scale == "quick" else 600.0,
+            "repeats": 2 if scale == "quick" else 5,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print_report("Ablation — number of SPOT states", result.format_table())
+
+    by_count = {row.num_states: row for row in result.rows}
+
+    # One state is the static baseline: full power, best accuracy.
+    assert by_count[1].average_current_ua == max(
+        row.average_current_ua for row in result.rows
+    )
+
+    # Adding states monotonically unlocks deeper power savings (within a
+    # small tolerance for simulation noise) ...
+    currents = [by_count[count].average_current_ua for count in sorted(by_count)]
+    for earlier, later in zip(currents, currents[1:]):
+        assert later <= earlier * 1.05
+
+    # ... and the full four-state chain is meaningfully cheaper than the
+    # two-state variant of prior work, at a modest accuracy cost.
+    assert by_count[4].average_current_ua < by_count[2].average_current_ua
+    assert by_count[1].accuracy - by_count[4].accuracy < 0.06

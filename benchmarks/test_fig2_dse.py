@@ -1,0 +1,45 @@
+"""Benchmark: Fig. 2 — accuracy/current trade-off and Pareto front.
+
+Regenerates the design-space exploration over all 16 Table I
+configurations and prints each operating point plus the emergent Pareto
+front.  The assertions target the figure's shape: the full-power
+configuration delivers the best accuracy, more current broadly buys more
+accuracy, and the extreme points of the trade-off are Pareto-optimal.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import BENCH_SEED, print_report
+
+from repro.core.config import HIGH_POWER_CONFIG
+from repro.experiments.fig2_dse import run_fig2
+
+
+def test_fig2_design_space_exploration(benchmark, scale):
+    windows = 60 if scale == "quick" else 120
+    result = benchmark.pedantic(
+        run_fig2,
+        kwargs={"windows_per_activity": windows, "seed": BENCH_SEED},
+        rounds=1,
+        iterations=1,
+    )
+    print_report(
+        "Fig. 2 — sensor-configuration accuracy/current trade-off", result.format_table()
+    )
+
+    assert len(result.evaluations) == 16
+
+    # Shape property 1: the full-power configuration is (one of) the most
+    # accurate operating points.
+    best_accuracy = max(item.accuracy for item in result.evaluations)
+    full_power = result.dse.evaluation_for(HIGH_POWER_CONFIG)
+    assert full_power.accuracy >= best_accuracy - 0.02
+
+    # Shape property 2: accuracy broadly increases with current.
+    assert result.accuracy_current_correlation > 0.25
+
+    # Shape property 3: the cheapest configuration is on the front and at
+    # least half of the paper's chosen states are Pareto-optimal here.
+    cheapest = min(result.evaluations, key=lambda item: item.current_ua)
+    assert cheapest.name in result.front_names
+    assert result.paper_front_recall() >= 0.5

@@ -1,0 +1,39 @@
+"""Benchmark: Fig. 5 — behavioural analysis of a sit-then-walk trace.
+
+Regenerates the 120-second behavioural trace (sit 60 s, walk 60 s) and
+prints the descent/snap-back summary.  The paper's trace reaches the
+lowest-power state roughly 28 seconds after the start, returns to full
+power when the activity changes at t = 60 s, and descends again.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import print_report
+
+from repro.experiments.fig5_behavior import run_fig5
+
+
+def test_fig5_behavioural_analysis(benchmark, systems):
+    result = benchmark.pedantic(
+        run_fig5, kwargs={"system": systems.adasense}, rounds=1, iterations=1
+    )
+    print_report("Fig. 5 — AdaSense behavioural analysis", result.format_table())
+
+    # Starts at the full-power configuration.
+    assert result.trace.records[0].config_name == "F100_A128"
+
+    # Descends to the lowest-power state roughly 28 s after the start
+    # (three SPOT transitions at the 9 s threshold plus buffering).
+    descent = result.time_to_lowest_state(0.0)
+    assert descent is not None and 25.0 <= descent <= 40.0
+
+    # Snaps back to full power when the user starts walking, then descends
+    # again within a comparable time.
+    assert result.snapped_back_after_change
+    second_descent = result.descent_time_after_change()
+    assert second_descent is not None and second_descent <= 45.0
+
+    # The adaptive trace is far cheaper than pinning the sensor at 180 uA
+    # while keeping recognition accuracy high.
+    assert result.trace.average_current_ua < 0.6 * 180.0
+    assert result.trace.accuracy > 0.9

@@ -1,0 +1,35 @@
+"""Benchmark: the headline claim of the abstract.
+
+"The introduced approach achieves 69 % reduction in the power consumption
+of the sensor with less than 1.5 % decrease in the activity recognition
+accuracy."  Both numbers come out of the Fig. 6 sweep; this benchmark
+reduces the sweep to exactly those two quantities for SPOT and for SPOT
+with confidence.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import print_report
+
+from repro.experiments.headline import run_headline
+from test_fig6_accuracy import compute_fig6
+
+
+def test_headline_power_reduction_and_accuracy_loss(benchmark, systems, scale):
+    fig6 = compute_fig6(systems, scale)
+    result = benchmark.pedantic(
+        run_headline, kwargs={"fig6": fig6}, rounds=1, iterations=1
+    )
+    print_report("Headline — power reduction vs accuracy loss", result.format_table())
+
+    # Large average power reduction for both controllers, with the
+    # confidence-gated controller at least matching plain SPOT (the paper
+    # reports 60 % and 69 %).
+    assert result.spot_power_saving > 0.35
+    assert result.spot_confidence_power_saving > 0.45
+    assert result.spot_confidence_power_saving >= result.spot_power_saving - 0.02
+
+    # Negligible accuracy loss once the stability threshold is >= 20 s
+    # (paper: under 1.5 percentage points).
+    assert result.spot_accuracy_drop < 0.03
+    assert result.spot_confidence_accuracy_drop < 0.03

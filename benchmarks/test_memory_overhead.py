@@ -1,0 +1,41 @@
+"""Benchmark: Section V-D — memory requirements and processing overhead.
+
+Regenerates the two comparisons of Section V-D: classifier storage
+(AdaSense's single shared network versus one classifier per configuration)
+and the per-step processing cost (IbA additionally differentiates the raw
+batch to estimate intensity).
+"""
+
+from __future__ import annotations
+
+from _bench_utils import print_report
+
+from repro.experiments.memory_overhead import run_memory_overhead
+
+
+def test_memory_and_processing_overhead(benchmark, systems):
+    result = benchmark.pedantic(
+        run_memory_overhead,
+        kwargs={
+            "adasense": systems.adasense,
+            "intensity_based": systems.intensity_based,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print_report(
+        "Section V-D — memory requirements and data-processing overhead",
+        result.format_table(),
+    )
+
+    # The paper reports 2x less classifier memory than NK et al. (two
+    # configurations) and by extension 4x less than one-classifier-per-state.
+    assert result.memory_saving_vs_iba >= 1.9
+    assert result.memory_saving_vs_per_state >= 3.9
+
+    # A single shared classifier fits comfortably in a few KB of storage.
+    assert result.adasense_memory_bytes < 16 * 1024
+
+    # IbA pays a measurable per-step processing overhead for the derivative.
+    assert result.iba_cycles_per_step > result.adasense_cycles_per_step
+    assert result.processing_overhead_of_iba > 0.05

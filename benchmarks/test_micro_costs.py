@@ -1,0 +1,85 @@
+"""Microbenchmarks of the per-step costs of the HAR pipeline.
+
+Unlike the figure benchmarks (which run an experiment once and print the
+paper-style table), these use pytest-benchmark in its natural role: they
+time the operations a wearable would execute every second — acquiring a
+batch from the sensor model, extracting the unified feature vector,
+running one classifier inference and one full classification step — so
+regressions in the hot path are visible in the benchmark report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _bench_utils import BENCH_SEED
+
+from repro.core.activities import Activity
+from repro.core.config import HIGH_POWER_CONFIG, LOW_POWER_CONFIG
+from repro.core.features import default_feature_extractor
+from repro.datasets.synthetic import SyntheticSignalGenerator
+from repro.datasets.windows import WindowDatasetBuilder
+from repro.sensors.imu import SimulatedAccelerometer
+
+
+def _raw_window(config, activity=Activity.WALK):
+    builder = WindowDatasetBuilder(seed=BENCH_SEED)
+    return builder.acquire_raw_window(activity, config)
+
+
+def test_micro_feature_extraction_full_power(benchmark):
+    extractor = default_feature_extractor()
+    window = _raw_window(HIGH_POWER_CONFIG)
+    features = benchmark(extractor.extract, window, HIGH_POWER_CONFIG.sampling_hz)
+    assert features.shape == (extractor.num_features,)
+
+
+def test_micro_feature_extraction_low_power(benchmark):
+    extractor = default_feature_extractor()
+    window = _raw_window(LOW_POWER_CONFIG)
+    features = benchmark(extractor.extract, window, LOW_POWER_CONFIG.sampling_hz)
+    assert features.shape == (extractor.num_features,)
+
+
+def test_micro_classifier_inference(benchmark, systems):
+    pipeline = systems.adasense.pipeline
+    window = _raw_window(HIGH_POWER_CONFIG)
+    features = pipeline.extractor.extract(window, HIGH_POWER_CONFIG.sampling_hz)
+    result = benchmark(pipeline.classify_features, features)
+    assert 0.0 <= result.confidence <= 1.0
+
+
+def test_micro_full_classification_step(benchmark, systems):
+    pipeline = systems.adasense.pipeline
+    window = _raw_window(HIGH_POWER_CONFIG)
+    result = benchmark(
+        pipeline.classify_samples, window, HIGH_POWER_CONFIG.sampling_hz
+    )
+    assert result.probabilities.shape == (6,)
+
+
+def test_micro_sensor_acquisition(benchmark):
+    generator = SyntheticSignalGenerator(seed=BENCH_SEED)
+    realization = generator.realize(Activity.WALK, rng=BENCH_SEED)
+    sensor = SimulatedAccelerometer(signal=realization, seed=BENCH_SEED)
+    window = benchmark(sensor.read_window, 4.0, 2.0, HIGH_POWER_CONFIG)
+    assert window.num_samples == HIGH_POWER_CONFIG.samples_per_window
+
+
+def test_micro_closed_loop_step_rate(benchmark, systems):
+    """Time one simulated closed-loop second (sensor + features + classify)."""
+    from repro.core.controller import SpotController
+    from repro.datasets.scenarios import make_stable_schedule
+    from repro.sim.runtime import ClosedLoopSimulator
+
+    simulator = ClosedLoopSimulator(
+        pipeline=systems.adasense.pipeline,
+        controller=SpotController(stability_threshold=5),
+    )
+    schedule = make_stable_schedule(Activity.WALK, 30.0)
+
+    def run_30_seconds():
+        return simulator.run(schedule, seed=BENCH_SEED)
+
+    trace = benchmark(run_30_seconds)
+    assert len(trace) == 30

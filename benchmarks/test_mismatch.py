@@ -1,0 +1,41 @@
+"""Benchmark: the configuration-mismatch experiment (Section III-C motivation).
+
+Quantifies the claim that motivates AdaSense's shared training: a
+classifier trained only on full-power (F100_A128) data degrades badly on
+the low-power configurations, while the classifier trained on data from
+all four SPOT states holds its accuracy everywhere.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import BENCH_SEED, print_report
+
+from repro.experiments.mismatch import run_mismatch
+
+
+def test_configuration_mismatch_motivates_shared_training(benchmark, scale):
+    windows = 30 if scale == "quick" else 120
+    result = benchmark.pedantic(
+        run_mismatch,
+        kwargs={
+            "windows_per_activity_per_config": windows,
+            "test_windows_per_activity": max(15, windows // 2),
+            "seed": BENCH_SEED,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print_report(
+        "Shared-classifier motivation — configuration mismatch", result.format_table()
+    )
+
+    # The shared classifier holds up on every SPOT state.
+    for row in result.rows:
+        assert row.matched_training_accuracy > 0.85
+
+    # Training only on the full-power configuration costs accuracy on the
+    # low-power configurations ("accuracy can degrade significantly if the
+    # sensor configurations of the test data differ from training").
+    low_power_row = result.row_for("F12.5_A8")
+    assert low_power_row.degradation > 0.05
+    assert result.worst_degradation > 0.1

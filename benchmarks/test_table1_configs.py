@@ -1,0 +1,30 @@
+"""Benchmark: Table I — the 16 explored sensor configurations.
+
+Regenerates Table I annotated with the power model's operation mode,
+duty cycle and current, and checks the structural properties the rest of
+the evaluation relies on.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import print_report
+
+from repro.core.config import DEFAULT_SPOT_STATES, TABLE1_CONFIGS
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_configurations(benchmark):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    print_report("Table I — accelerometer configurations", result.format_table())
+
+    assert len(result.rows) == 16
+    assert {row.name for row in result.rows} == {c.name for c in TABLE1_CONFIGS}
+
+    # The four SPOT states must be strictly ordered by modelled current.
+    currents = [result.row_for(config.name).current_ua for config in DEFAULT_SPOT_STATES]
+    assert all(a > b for a, b in zip(currents, currents[1:]))
+
+    # The full-power configuration saturates its duty cycle (normal mode),
+    # the lowest-power configuration does not.
+    assert result.row_for("F100_A128").mode == "normal"
+    assert result.row_for("F12.5_A8").mode == "low_power"

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Extending AdaSense with a custom adaptive controller.
+
+The library treats the sensing policy as a plug-in: anything that
+implements the small :class:`repro.core.controller.AdaptiveController`
+protocol (``current_config`` / ``reset`` / ``update``) can drive the
+closed loop.  This example implements a *hysteresis* controller — an
+alternative policy that jumps straight to the lowest-power state after a
+stability period and climbs back one state at a time — and benchmarks it
+against the paper's SPOT controllers on the same schedules.
+
+It is intentionally a policy the paper did *not* propose: the point is to
+show how little code a new sensing strategy needs before it can be
+evaluated with the full power/accuracy machinery.
+
+Run it with::
+
+    python examples/custom_controller.py
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro import AdaSense
+from repro.core.activities import Activity
+from repro.core.config import DEFAULT_SPOT_STATES, HIGH_POWER_CONFIG, SensorConfig
+from repro.datasets.scenarios import ActivitySetting, make_setting_schedule
+from repro.datasets.synthetic import ScheduledSignal
+
+
+class HysteresisController:
+    """Jump-to-lowest / climb-gradually sensing policy.
+
+    After ``stability_threshold`` consecutive identical classifications
+    the sensor jumps directly to the lowest-power state (instead of
+    stepping down one state at a time like SPOT).  When the activity
+    changes, the sensor climbs back *one* state per change instead of
+    snapping to full power, trading reaction speed for power.
+    """
+
+    def __init__(
+        self,
+        states: Sequence[SensorConfig] = DEFAULT_SPOT_STATES,
+        stability_threshold: int = 10,
+    ) -> None:
+        if not states:
+            raise ValueError("states must not be empty")
+        self._states = list(states)
+        self._stability_threshold = int(stability_threshold)
+        self._state_index = 0
+        self._counter = 0
+        self._last_activity: Optional[Activity] = None
+
+    @property
+    def current_config(self) -> SensorConfig:
+        """Configuration used for the next acquisition episode."""
+        return self._states[self._state_index]
+
+    def reset(self) -> None:
+        """Return to the highest-power state."""
+        self._state_index = 0
+        self._counter = 0
+        self._last_activity = None
+
+    def update(self, activity: Activity, confidence: float) -> SensorConfig:
+        """Advance the policy with one classification result."""
+        if self._last_activity is None or activity == self._last_activity:
+            self._counter += 1
+            if self._counter >= self._stability_threshold:
+                self._state_index = len(self._states) - 1
+        else:
+            # Climb one state towards full power per detected change.
+            self._state_index = max(self._state_index - 1, 0)
+            self._counter = 0
+        self._last_activity = activity
+        return self.current_config
+
+
+def main() -> None:
+    print("Training the shared classifier (synthetic data)...")
+    base_system = AdaSense.train(windows_per_activity_per_config=40, seed=9)
+    always_on_current = base_system.power_model.current_ua(HIGH_POWER_CONFIG)
+
+    policies = {
+        "SPOT": AdaSense.spot_controller(stability_threshold=10),
+        "SPOT + confidence": AdaSense.spot_with_confidence_controller(
+            stability_threshold=10
+        ),
+        "hysteresis (custom)": HysteresisController(stability_threshold=10),
+    }
+
+    print("\nComparing sensing policies on the Fig. 7 user-activity settings:\n")
+    print(f"{'setting':>8}  {'policy':>20}  {'accuracy':>8}  {'current (uA)':>12}  {'saving':>7}")
+    for setting in (ActivitySetting.HIGH, ActivitySetting.MEDIUM, ActivitySetting.LOW):
+        schedule = make_setting_schedule(setting, total_duration_s=480.0, seed=41)
+        signal = ScheduledSignal(schedule, seed=42)
+        for name, controller in policies.items():
+            system = base_system.with_controller(controller)
+            trace = system.simulate(signal, seed=43)
+            saving = 1.0 - trace.average_current_ua / always_on_current
+            print(
+                f"{setting.value:>8}  {name:>20}  {trace.accuracy:8.3f}  "
+                f"{trace.average_current_ua:12.1f}  {100.0 * saving:6.1f}%"
+            )
+        print()
+
+    print(
+        "The custom policy saves aggressively but reacts slowly to activity\n"
+        "changes, which shows up as lower accuracy under the High setting —\n"
+        "exactly the kind of trade-off the closed-loop simulator is meant to\n"
+        "surface before any firmware is written."
+    )
+
+
+if __name__ == "__main__":
+    main()

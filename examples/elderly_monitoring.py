@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""All-day activity monitoring for an elderly user.
+
+Another workload from the paper's introduction: activity recognition as a
+digital biomarker for elderly care (detecting health decline from changes
+in daily routine, flagging unusually long sedentary periods).  Here the
+behaviour is *very* stable — long stretches of sitting and lying with
+occasional short walks — which is precisely the regime where AdaSense's
+stability-driven controller shines.
+
+The example compares the three controllers shipped with the library
+(always-on, plain SPOT, SPOT with confidence) on the same long schedule,
+prints the power/accuracy of each, and derives two simple care-relevant
+signals from the adaptive trace: total active minutes and the longest
+uninterrupted sedentary stretch.
+
+Run it with::
+
+    python examples/elderly_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro import AdaSense
+from repro.core.activities import Activity
+from repro.core.config import HIGH_POWER_CONFIG
+from repro.datasets.scenarios import ScheduleSpec, generate_random_schedule
+from repro.datasets.synthetic import ScheduledSignal
+from repro.energy.battery import Battery
+from repro.sim.trace import SimulationTrace
+
+
+def longest_sedentary_stretch_min(trace: SimulationTrace) -> float:
+    """Longest run of consecutive sedentary (sit / lie) predictions, in minutes."""
+    longest = 0.0
+    current = 0.0
+    for record in trace:
+        if record.predicted_activity in (Activity.SIT, Activity.LIE):
+            current += record.duration_s
+            longest = max(longest, current)
+        else:
+            current = 0.0
+    return longest / 60.0
+
+
+def active_minutes(trace: SimulationTrace) -> float:
+    """Minutes spent in locomotion activities according to the classifier."""
+    seconds = sum(
+        record.duration_s for record in trace if record.predicted_activity.is_dynamic
+    )
+    return seconds / 60.0
+
+
+def main() -> None:
+    print("Training the shared classifier (synthetic data)...")
+    base_system = AdaSense.train(windows_per_activity_per_config=40, seed=5)
+
+    # An elderly user's afternoon: long sedentary bouts, a couple of short
+    # walks, 40 minutes total.  Weighted towards sitting and lying by
+    # restricting the activity pool of half of the schedule.
+    sedentary_spec = ScheduleSpec(
+        total_duration_s=1500.0,
+        min_bout_s=180.0,
+        max_bout_s=420.0,
+        activities=(Activity.SIT, Activity.LIE, Activity.STAND),
+    )
+    active_spec = ScheduleSpec(
+        total_duration_s=900.0,
+        min_bout_s=60.0,
+        max_bout_s=180.0,
+        activities=(Activity.WALK, Activity.SIT, Activity.UPSTAIRS, Activity.DOWNSTAIRS),
+    )
+    schedule = generate_random_schedule(sedentary_spec, seed=31) + generate_random_schedule(
+        active_spec, seed=32
+    )
+    signal = ScheduledSignal(schedule, seed=33)
+    total_minutes = sum(duration for _, duration in schedule) / 60.0
+    print(f"Simulating {total_minutes:.0f} minutes of monitoring...\n")
+
+    controllers = {
+        "always-on (baseline)": AdaSense.static_controller(),
+        "SPOT (threshold 15 s)": AdaSense.spot_controller(stability_threshold=15),
+        "SPOT + confidence 0.85": AdaSense.spot_with_confidence_controller(
+            stability_threshold=15
+        ),
+    }
+
+    battery = Battery.small_lipo_100mah()
+    always_on_current = base_system.power_model.current_ua(HIGH_POWER_CONFIG)
+    traces = {}
+
+    print(f"{'controller':>24}  {'accuracy':>8}  {'current (uA)':>12}  {'saving':>7}  {'battery days':>12}")
+    for name, controller in controllers.items():
+        system = base_system.with_controller(controller)
+        trace = system.simulate(signal, seed=34)
+        traces[name] = trace
+        saving = 1.0 - trace.average_current_ua / always_on_current
+        print(
+            f"{name:>24}  {trace.accuracy:8.3f}  {trace.average_current_ua:12.1f}  "
+            f"{100.0 * saving:6.1f}%  {battery.lifetime_days(trace.average_current_ua):12.1f}"
+        )
+
+    adaptive_trace = traces["SPOT + confidence 0.85"]
+    print("\nCare-relevant signals derived from the adaptive trace:")
+    print(f"  active (walking/stairs) minutes : {active_minutes(adaptive_trace):.1f}")
+    print(
+        f"  longest sedentary stretch       : "
+        f"{longest_sedentary_stretch_min(adaptive_trace):.1f} min"
+    )
+    print(
+        "\nThe adaptive controllers keep the recognition quality of the always-on"
+        "\nbaseline while cutting the sensing current enough to turn days of"
+        "\nbattery life into weeks — the paper's core argument for AdaSense."
+    )
+
+
+if __name__ == "__main__":
+    main()

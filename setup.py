@@ -1,0 +1,10 @@
+"""Legacy setuptools entry point.
+
+The offline toolchain in this environment lacks the ``wheel`` package, so
+PEP 660 editable installs are unavailable; this shim lets
+``pip install -e .`` fall back to the classic ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,86 @@
+"""AdaSense reproduction: adaptive low-power sensing and activity recognition.
+
+This package reproduces the system described in
+
+    Neseem, Nelson, Reda — "AdaSense: Adaptive Low-Power Sensing and
+    Activity Recognition for Wearable Devices", DAC 2020.
+
+It contains the paper's contribution (unified feature extraction, a
+shared activity classifier, the SPOT adaptive sensing controllers and
+the sensor-configuration design-space exploration) together with every
+substrate the evaluation needs in a laptop-only environment: a synthetic
+activity-signal generator, a behavioural accelerometer simulator, energy
+and memory models, a from-scratch NumPy ML stack, comparison baselines
+and a closed-loop simulator.
+
+Quickstart
+----------
+>>> from repro import AdaSense, make_fig5_schedule
+>>> system = AdaSense.train(windows_per_activity_per_config=20, seed=0)
+>>> trace = system.simulate(make_fig5_schedule(), seed=1)
+>>> round(trace.accuracy, 2) >= 0.5
+True
+
+See ``examples/`` for complete, commented scenarios and ``benchmarks/``
+for the scripts that regenerate every table and figure of the paper.
+"""
+
+from repro.core.activities import Activity
+from repro.core.adasense import AdaSense
+from repro.core.config import (
+    DEFAULT_SPOT_STATES,
+    HIGH_POWER_CONFIG,
+    LOW_POWER_CONFIG,
+    TABLE1_CONFIGS,
+    SensorConfig,
+)
+from repro.core.controller import (
+    SpotController,
+    SpotWithConfidenceController,
+    StaticController,
+)
+from repro.core.dse import DesignSpaceExplorer
+from repro.core.features import FeatureExtractor
+from repro.core.pipeline import HarPipeline
+from repro.baselines.intensity_based import IntensityBasedApproach
+from repro.baselines.static import AlwaysHighPowerBaseline
+from repro.datasets.scenarios import (
+    ActivitySetting,
+    make_fig5_schedule,
+    make_setting_schedule,
+)
+from repro.datasets.windows import WindowDataset, WindowDatasetBuilder
+from repro.energy.accelerometer import AccelerometerPowerModel
+from repro.energy.mcu import McuModel
+from repro.sim.runtime import ClosedLoopSimulator
+from repro.sim.trace import SimulationTrace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Activity",
+    "AdaSense",
+    "SensorConfig",
+    "TABLE1_CONFIGS",
+    "DEFAULT_SPOT_STATES",
+    "HIGH_POWER_CONFIG",
+    "LOW_POWER_CONFIG",
+    "SpotController",
+    "SpotWithConfidenceController",
+    "StaticController",
+    "DesignSpaceExplorer",
+    "FeatureExtractor",
+    "HarPipeline",
+    "IntensityBasedApproach",
+    "AlwaysHighPowerBaseline",
+    "ActivitySetting",
+    "make_fig5_schedule",
+    "make_setting_schedule",
+    "WindowDataset",
+    "WindowDatasetBuilder",
+    "AccelerometerPowerModel",
+    "McuModel",
+    "ClosedLoopSimulator",
+    "SimulationTrace",
+]

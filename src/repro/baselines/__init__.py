@@ -1,0 +1,24 @@
+"""Comparison baselines.
+
+Two baselines frame AdaSense's results:
+
+* :mod:`repro.baselines.static` — the sensor never leaves its
+  highest-power configuration.  This is the accuracy/power reference of
+  Fig. 6 ("prevent the controller from switching").
+* :mod:`repro.baselines.intensity_based` — the sensor/classifier
+  co-optimisation of NK et al. [8]: the activity *intensity*, estimated
+  from the first derivative of the raw accelerometer stream, decides
+  between a high-power and a power-saving configuration, and a separate
+  classifier is kept per configuration.  This is the comparison point of
+  Fig. 7 and of the memory/processing-overhead discussion in
+  Section V-D.
+"""
+
+from repro.baselines.intensity_based import IntensityBasedApproach, activity_intensity
+from repro.baselines.static import AlwaysHighPowerBaseline
+
+__all__ = [
+    "IntensityBasedApproach",
+    "activity_intensity",
+    "AlwaysHighPowerBaseline",
+]

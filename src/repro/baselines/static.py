@@ -1,0 +1,80 @@
+"""The always-high-power baseline.
+
+This is the reference point of Fig. 6: the accelerometer stays in its
+highest-accuracy configuration (F100_A128) permanently, so the
+recognition accuracy is the best the shared classifier can deliver and
+the sensor current is the worst case.  Implemented as a thin wrapper
+around the closed-loop simulator with a :class:`StaticController` so
+that the baseline runs through exactly the same code path as AdaSense.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import HIGH_POWER_CONFIG, SensorConfig
+from repro.core.controller import StaticController
+from repro.core.pipeline import HarPipeline
+from repro.energy.accelerometer import AccelerometerPowerModel
+from repro.sensors.imu import DEFAULT_INTERNAL_RATE_HZ, NoiseModel
+from repro.sim.runtime import ClosedLoopSimulator, ScheduleLike
+from repro.sim.trace import SimulationTrace
+from repro.utils.rng import SeedLike
+
+
+class AlwaysHighPowerBaseline:
+    """HAR with the sensor pinned to one (high-power) configuration.
+
+    Parameters
+    ----------
+    pipeline:
+        The trained HAR pipeline (shared with the AdaSense system under
+        comparison, so accuracy differences come only from the sensing
+        policy).
+    config:
+        The pinned configuration; defaults to F100_A128.
+    power_model, noise, internal_rate_hz:
+        Simulation models, matching the AdaSense defaults.
+    """
+
+    def __init__(
+        self,
+        pipeline: HarPipeline,
+        config: SensorConfig = HIGH_POWER_CONFIG,
+        power_model: Optional[AccelerometerPowerModel] = None,
+        noise: Optional[NoiseModel] = None,
+        internal_rate_hz: float = DEFAULT_INTERNAL_RATE_HZ,
+    ) -> None:
+        self._pipeline = pipeline
+        self._config = config
+        self._power_model = (
+            power_model if power_model is not None else AccelerometerPowerModel.bmi160()
+        )
+        self._noise = noise if noise is not None else NoiseModel()
+        self._internal_rate_hz = float(internal_rate_hz)
+
+    @property
+    def config(self) -> SensorConfig:
+        """The pinned sensor configuration."""
+        return self._config
+
+    @property
+    def pipeline(self) -> HarPipeline:
+        """The HAR pipeline used for classification."""
+        return self._pipeline
+
+    @property
+    def average_current_ua(self) -> float:
+        """Sensor current of the pinned configuration (constant over time)."""
+        return self._power_model.current_ua(self._config)
+
+    def simulate(self, schedule: ScheduleLike, seed: SeedLike = None) -> SimulationTrace:
+        """Run the baseline over an activity schedule."""
+        simulator = ClosedLoopSimulator(
+            pipeline=self._pipeline,
+            controller=StaticController(self._config),
+            power_model=self._power_model,
+            noise=self._noise,
+            internal_rate_hz=self._internal_rate_hz,
+        )
+        return simulator.run(schedule, seed=seed)

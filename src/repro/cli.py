@@ -1,0 +1,259 @@
+"""Command-line interface for the AdaSense reproduction.
+
+The CLI wraps the most common workflows so they can be run without writing
+Python:
+
+``adasense-repro experiments`` (or ``python -m repro.cli experiments``)
+    List the available paper artefacts.
+``adasense-repro run <experiment>``
+    Run one experiment driver (Table I, Fig. 2, Fig. 5, Fig. 6, Fig. 7,
+    memory, headline, mismatch) and print the paper-style table.
+``adasense-repro train``
+    Train the shared classifier and save it (plus its scaler) to a JSON
+    file that ``simulate`` can reuse.
+``adasense-repro simulate``
+    Run the closed loop on a user-activity setting with a chosen
+    controller and print the power/accuracy summary.
+
+Every command accepts ``--seed`` so results are reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.core.adasense import AdaSense
+from repro.core.controller import (
+    AdaptiveController,
+    SpotController,
+    SpotWithConfidenceController,
+    StaticController,
+)
+from repro.core.pipeline import HarPipeline
+from repro.datasets.scenarios import ActivitySetting, make_setting_schedule
+from repro.ml.persistence import load_model, save_model
+
+#: Experiment name -> callable returning an object with ``format_table()``.
+ExperimentRunner = Callable[[str, int], object]
+
+
+def _run_table1(scale: str, seed: int):
+    from repro.experiments.table1 import run_table1
+
+    return run_table1()
+
+
+def _run_fig2(scale: str, seed: int):
+    from repro.experiments.fig2_dse import run_fig2
+
+    windows = 60 if scale == "quick" else 120
+    return run_fig2(windows_per_activity=windows, seed=seed)
+
+
+def _run_fig5(scale: str, seed: int):
+    from repro.experiments.fig5_behavior import run_fig5
+
+    return run_fig5(scale=scale)
+
+
+def _run_fig6(scale: str, seed: int):
+    from repro.experiments.fig6_power_accuracy import run_fig6
+
+    return run_fig6(scale=scale, seed=seed)
+
+
+def _run_fig7(scale: str, seed: int):
+    from repro.experiments.fig7_comparison import run_fig7
+
+    return run_fig7(scale=scale, seed=seed)
+
+
+def _run_memory(scale: str, seed: int):
+    from repro.experiments.memory_overhead import run_memory_overhead
+
+    return run_memory_overhead(scale=scale, seed=seed)
+
+
+def _run_headline(scale: str, seed: int):
+    from repro.experiments.headline import run_headline
+
+    return run_headline(scale=scale, seed=seed)
+
+
+def _run_mismatch(scale: str, seed: int):
+    from repro.experiments.mismatch import run_mismatch
+
+    windows = 30 if scale == "quick" else 120
+    return run_mismatch(windows_per_activity_per_config=windows, seed=seed)
+
+
+EXPERIMENTS: Dict[str, tuple[str, ExperimentRunner]] = {
+    "table1": ("Table I — explored sensor configurations", _run_table1),
+    "fig2": ("Fig. 2 — accuracy/current trade-off and Pareto front", _run_fig2),
+    "fig5": ("Fig. 5 — behavioural analysis (sit then walk)", _run_fig5),
+    "fig6": ("Fig. 6 — accuracy and power vs stability threshold", _run_fig6),
+    "fig7": ("Fig. 7 — AdaSense vs the intensity-based approach", _run_fig7),
+    "memory": ("Section V-D — memory and processing overhead", _run_memory),
+    "headline": ("Headline — power reduction vs accuracy loss", _run_headline),
+    "mismatch": ("Motivation — configuration-mismatch experiment", _run_mismatch),
+}
+
+_CONTROLLERS = ("static", "spot", "spot_confidence")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="adasense-repro",
+        description="AdaSense (DAC 2020) reproduction command-line interface.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser(
+        "experiments", help="list the reproducible paper artefacts"
+    )
+
+    run_parser = subparsers.add_parser("run", help="run one experiment driver")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser.add_argument(
+        "--scale", choices=("quick", "paper"), default="quick",
+        help="experiment fidelity (default: quick)",
+    )
+    run_parser.add_argument("--seed", type=int, default=2020)
+
+    train_parser = subparsers.add_parser(
+        "train", help="train the shared classifier and save it to JSON"
+    )
+    train_parser.add_argument("--output", required=True, help="destination JSON file")
+    train_parser.add_argument(
+        "--windows", type=int, default=60,
+        help="training windows per activity per configuration (default: 60)",
+    )
+    train_parser.add_argument("--hidden", type=int, default=32, help="hidden units")
+    train_parser.add_argument("--seed", type=int, default=2020)
+
+    simulate_parser = subparsers.add_parser(
+        "simulate", help="run the closed loop on a user-activity setting"
+    )
+    simulate_parser.add_argument(
+        "--setting", choices=[setting.value for setting in ActivitySetting],
+        default="low", help="activity-change rate of the simulated user",
+    )
+    simulate_parser.add_argument("--duration", type=float, default=600.0,
+                                 help="simulated seconds (default: 600)")
+    simulate_parser.add_argument("--controller", choices=_CONTROLLERS,
+                                 default="spot_confidence")
+    simulate_parser.add_argument("--threshold", type=int, default=20,
+                                 help="SPOT stability threshold in seconds")
+    simulate_parser.add_argument("--confidence", type=float, default=0.85,
+                                 help="confidence gate for spot_confidence")
+    simulate_parser.add_argument("--model", default=None,
+                                 help="JSON model saved by 'train' (otherwise trains a fresh one)")
+    simulate_parser.add_argument("--windows", type=int, default=40,
+                                 help="training windows per activity per configuration "
+                                      "when no saved model is given")
+    simulate_parser.add_argument("--seed", type=int, default=2020)
+    return parser
+
+
+def _make_controller(name: str, threshold: int, confidence: float) -> AdaptiveController:
+    if name == "static":
+        return StaticController()
+    if name == "spot":
+        return SpotController(stability_threshold=threshold)
+    if name == "spot_confidence":
+        return SpotWithConfidenceController(
+            stability_threshold=threshold, confidence_threshold=confidence
+        )
+    raise ValueError(f"unknown controller {name!r}")
+
+
+def _command_experiments(args: argparse.Namespace, out) -> int:
+    out.write("Reproducible paper artefacts:\n")
+    for name, (description, _) in sorted(EXPERIMENTS.items()):
+        out.write(f"  {name:<10} {description}\n")
+    return 0
+
+
+def _command_run(args: argparse.Namespace, out) -> int:
+    description, runner = EXPERIMENTS[args.experiment]
+    out.write(f"{description}\n{'=' * len(description)}\n")
+    result = runner(args.scale, args.seed)
+    out.write(result.format_table() + "\n")
+    return 0
+
+
+def _command_train(args: argparse.Namespace, out) -> int:
+    system = AdaSense.train(
+        windows_per_activity_per_config=args.windows,
+        hidden_units=(args.hidden,),
+        seed=args.seed,
+    )
+    pipeline = system.pipeline
+    path = save_model(
+        args.output,
+        pipeline.classifier,
+        scaler=pipeline.scaler,
+        metadata={
+            "windows_per_activity_per_config": args.windows,
+            "hidden_units": args.hidden,
+            "seed": args.seed,
+        },
+    )
+    out.write(
+        f"trained shared classifier ({pipeline.num_parameters} parameters, "
+        f"{pipeline.memory_bytes()} bytes) -> {path}\n"
+    )
+    return 0
+
+
+def _load_or_train_system(args: argparse.Namespace) -> AdaSense:
+    if args.model is not None:
+        classifier, scaler, _ = load_model(args.model)
+        return AdaSense(pipeline=HarPipeline(classifier=classifier, scaler=scaler))
+    return AdaSense.train(
+        windows_per_activity_per_config=args.windows, seed=args.seed
+    )
+
+
+def _command_simulate(args: argparse.Namespace, out) -> int:
+    system = _load_or_train_system(args)
+    controller = _make_controller(args.controller, args.threshold, args.confidence)
+    adaptive = system.with_controller(controller)
+    schedule = make_setting_schedule(
+        ActivitySetting(args.setting), total_duration_s=args.duration, seed=args.seed
+    )
+    trace = adaptive.simulate(schedule, seed=args.seed + 1)
+
+    always_on = system.power_model.current_ua(StaticController().current_config)
+    saving = 1.0 - trace.average_current_ua / always_on
+    out.write(f"setting            : {args.setting}\n")
+    out.write(f"controller         : {args.controller} (threshold {args.threshold}s)\n")
+    out.write(f"simulated duration : {trace.duration_s:.0f} s\n")
+    out.write(f"accuracy           : {trace.accuracy:.3f}\n")
+    out.write(f"average current    : {trace.average_current_ua:.1f} uA\n")
+    out.write(f"power saving       : {100.0 * saving:.1f} % vs always-on\n")
+    out.write("state residency    :\n")
+    for name, share in sorted(trace.state_residency().items()):
+        out.write(f"  {name:>12}: {100.0 * share:5.1f} %\n")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Entry point for ``adasense-repro`` / ``python -m repro.cli``."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    commands = {
+        "experiments": _command_experiments,
+        "run": _command_run,
+        "train": _command_train,
+        "simulate": _command_simulate,
+    }
+    return commands[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,77 @@
+"""AdaSense core: the paper's primary contribution.
+
+The core subpackage contains everything that is specific to AdaSense
+rather than to the simulated substrate:
+
+* :mod:`repro.core.activities` — the six recognised activities;
+* :mod:`repro.core.config` — sensor configurations, the Table I design
+  space and Pareto-front utilities;
+* :mod:`repro.core.features` — the unified, size-invariant feature
+  extraction;
+* :mod:`repro.core.pipeline` — the feature/scale/classify HAR pipeline;
+* :mod:`repro.core.controller` — the SPOT and SPOT-with-confidence
+  adaptive controllers plus the static baseline controller;
+* :mod:`repro.core.dse` — the sensor-configuration design-space
+  exploration behind Fig. 2;
+* :mod:`repro.core.adasense` — the :class:`AdaSense` facade most users
+  interact with.
+"""
+
+from repro.core.activities import (
+    ALL_ACTIVITIES,
+    DYNAMIC_ACTIVITIES,
+    NUM_ACTIVITIES,
+    STATIC_ACTIVITIES,
+    Activity,
+)
+from repro.core.adasense import AdaSense
+from repro.core.config import (
+    DEFAULT_SPOT_STATES,
+    HIGH_POWER_CONFIG,
+    LOW_POWER_CONFIG,
+    TABLE1_BY_NAME,
+    TABLE1_CONFIGS,
+    ConfigEvaluation,
+    OperationMode,
+    SensorConfig,
+    get_config,
+    pareto_front,
+)
+from repro.core.controller import (
+    AdaptiveController,
+    SpotController,
+    SpotWithConfidenceController,
+    StaticController,
+)
+from repro.core.dse import DesignSpaceExplorer, DseResult
+from repro.core.features import FeatureExtractor, default_feature_extractor
+from repro.core.pipeline import ClassificationResult, HarPipeline
+
+__all__ = [
+    "Activity",
+    "ALL_ACTIVITIES",
+    "STATIC_ACTIVITIES",
+    "DYNAMIC_ACTIVITIES",
+    "NUM_ACTIVITIES",
+    "AdaSense",
+    "SensorConfig",
+    "OperationMode",
+    "ConfigEvaluation",
+    "TABLE1_CONFIGS",
+    "TABLE1_BY_NAME",
+    "DEFAULT_SPOT_STATES",
+    "HIGH_POWER_CONFIG",
+    "LOW_POWER_CONFIG",
+    "get_config",
+    "pareto_front",
+    "AdaptiveController",
+    "SpotController",
+    "SpotWithConfidenceController",
+    "StaticController",
+    "DesignSpaceExplorer",
+    "DseResult",
+    "FeatureExtractor",
+    "default_feature_extractor",
+    "ClassificationResult",
+    "HarPipeline",
+]

@@ -1,0 +1,108 @@
+"""The six daily activities recognised by the AdaSense HAR framework.
+
+The paper's classifier distinguishes *sit*, *stand*, *walk*, *go
+upstairs*, *go downstairs* and *lie down*.  This module defines the
+canonical enumeration used throughout the library together with the
+static/dynamic split that the intensity-based baseline (NK et al. [8])
+relies on.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import List, Sequence, Tuple
+
+
+class Activity(IntEnum):
+    """Enumeration of the six recognised daily activities.
+
+    The integer values double as class indices for the classifier's
+    softmax output layer, so they must stay contiguous and start at 0.
+    """
+
+    SIT = 0
+    STAND = 1
+    WALK = 2
+    UPSTAIRS = 3
+    DOWNSTAIRS = 4
+    LIE = 5
+
+    @property
+    def label(self) -> str:
+        """Human readable label matching the wording used in the paper."""
+        return _LABELS[self]
+
+    @property
+    def is_static(self) -> bool:
+        """Whether the activity is a low-intensity (postural) activity.
+
+        The intensity-based baseline treats ``sit``, ``stand`` and ``lie
+        down`` as low-intensity activities that allow the sensor to drop
+        into its power-saving configuration.
+        """
+        return self in STATIC_ACTIVITIES
+
+    @property
+    def is_dynamic(self) -> bool:
+        """Whether the activity involves locomotion (walking variants)."""
+        return self in DYNAMIC_ACTIVITIES
+
+    @classmethod
+    def from_any(cls, value: "Activity | int | str") -> "Activity":
+        """Coerce an int index, a name or a label into an :class:`Activity`.
+
+        Accepts the enum itself, the integer class index, the enum member
+        name (``"WALK"``, case-insensitive) or the paper-style label
+        (``"go upstairs"``).
+        """
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, (int,)) and not isinstance(value, bool):
+            return cls(value)
+        if isinstance(value, str):
+            name = value.strip()
+            upper = name.upper().replace(" ", "_")
+            if upper in cls.__members__:
+                return cls[upper]
+            lowered = name.lower()
+            for activity, label in _LABELS.items():
+                if label == lowered:
+                    return activity
+            raise ValueError(f"unknown activity name {value!r}")
+        raise TypeError(f"cannot interpret {value!r} as an Activity")
+
+
+_LABELS = {
+    Activity.SIT: "sit",
+    Activity.STAND: "stand",
+    Activity.WALK: "walk",
+    Activity.UPSTAIRS: "go upstairs",
+    Activity.DOWNSTAIRS: "go downstairs",
+    Activity.LIE: "lie down",
+}
+
+#: Low intensity, postural activities (no locomotion).
+STATIC_ACTIVITIES: Tuple[Activity, ...] = (Activity.SIT, Activity.STAND, Activity.LIE)
+
+#: High intensity, locomotion activities.
+DYNAMIC_ACTIVITIES: Tuple[Activity, ...] = (
+    Activity.WALK,
+    Activity.UPSTAIRS,
+    Activity.DOWNSTAIRS,
+)
+
+#: All activities ordered by class index.
+ALL_ACTIVITIES: Tuple[Activity, ...] = tuple(Activity)
+
+#: Number of output classes for the activity classifier.
+NUM_ACTIVITIES: int = len(ALL_ACTIVITIES)
+
+
+def activity_names() -> List[str]:
+    """Return the paper-style labels ordered by class index."""
+    return [activity.label for activity in ALL_ACTIVITIES]
+
+
+def encode_activities(activities: Sequence["Activity | int | str"]) -> List[int]:
+    """Convert a sequence of activity-like values into class indices."""
+    return [int(Activity.from_any(value)) for value in activities]

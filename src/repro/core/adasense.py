@@ -1,0 +1,241 @@
+"""The AdaSense facade: one object wiring sensing, pipeline and control.
+
+Most downstream users only need three things: train the shared
+classifier, pick an adaptive controller, and run the closed loop on an
+activity schedule.  :class:`AdaSense` packages those steps behind a
+small API so the examples and benchmarks stay short, while every piece
+remains individually replaceable for experiments (swap the controller,
+the noise model, the power model, the feature extractor, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import DEFAULT_SPOT_STATES, SensorConfig
+from repro.core.controller import (
+    AdaptiveController,
+    SpotController,
+    SpotWithConfidenceController,
+    StaticController,
+)
+from repro.core.features import FeatureExtractor
+from repro.core.pipeline import ClassificationResult, HarPipeline
+from repro.datasets.windows import WindowDataset, WindowDatasetBuilder
+from repro.energy.accelerometer import AccelerometerPowerModel
+from repro.sensors.imu import DEFAULT_INTERNAL_RATE_HZ, NoiseModel
+from repro.sim.runtime import ClosedLoopSimulator, ScheduleLike
+from repro.sim.trace import SimulationTrace
+from repro.utils.rng import SeedLike, as_rng
+
+
+class AdaSense:
+    """High-level entry point for the AdaSense reproduction.
+
+    Parameters
+    ----------
+    pipeline:
+        A trained :class:`HarPipeline` (build one with
+        :meth:`AdaSense.train` unless you have special requirements).
+    controller:
+        The adaptive controller; defaults to SPOT-with-confidence with
+        the paper's settings (four Pareto states, confidence 0.85,
+        stability threshold 20 s).
+    power_model:
+        Accelerometer current model; defaults to the BMI160-flavoured
+        model.
+    noise:
+        Sensor noise model used by simulations.
+    internal_rate_hz:
+        Internal conversion rate of the simulated accelerometer.
+    """
+
+    def __init__(
+        self,
+        pipeline: HarPipeline,
+        controller: Optional[AdaptiveController] = None,
+        power_model: Optional[AccelerometerPowerModel] = None,
+        noise: Optional[NoiseModel] = None,
+        internal_rate_hz: float = DEFAULT_INTERNAL_RATE_HZ,
+    ) -> None:
+        self._pipeline = pipeline
+        self._controller = (
+            controller
+            if controller is not None
+            else SpotWithConfidenceController(stability_threshold=20)
+        )
+        self._power_model = (
+            power_model if power_model is not None else AccelerometerPowerModel.bmi160()
+        )
+        self._noise = noise if noise is not None else NoiseModel()
+        self._internal_rate_hz = float(internal_rate_hz)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def train(
+        cls,
+        configs: Sequence[SensorConfig] = DEFAULT_SPOT_STATES,
+        windows_per_activity_per_config: int = 60,
+        hidden_units: Sequence[int] = (32,),
+        controller: Optional[AdaptiveController] = None,
+        extractor: Optional[FeatureExtractor] = None,
+        noise: Optional[NoiseModel] = None,
+        power_model: Optional[AccelerometerPowerModel] = None,
+        seed: SeedLike = None,
+    ) -> "AdaSense":
+        """Train the shared classifier and assemble a ready-to-run system.
+
+        This follows the paper's training recipe: windows are generated
+        under every configuration the controller may select, a single
+        classifier is trained on the union, and the resulting pipeline is
+        paired with the requested adaptive controller.
+
+        Parameters
+        ----------
+        configs:
+            Sensor configurations represented in the training data
+            (default: the four Pareto-optimal SPOT states).
+        windows_per_activity_per_config:
+            Training windows per (activity, configuration) pair.
+        hidden_units:
+            Hidden layer sizes of the shared MLP.
+        controller:
+            Adaptive controller for the assembled system (default:
+            SPOT-with-confidence, threshold 20 s, confidence 0.85).
+        extractor:
+            Feature extractor to use end to end.
+        noise:
+            Sensor noise model used both for training-data generation
+            and later simulations.
+        power_model:
+            Accelerometer current model for the assembled system.
+        seed:
+            Master seed for data generation and training.
+
+        Returns
+        -------
+        AdaSense
+        """
+        rng = as_rng(seed)
+        noise = noise if noise is not None else NoiseModel()
+        builder = WindowDatasetBuilder(extractor=extractor, noise=noise, seed=rng)
+        dataset = builder.build(
+            configs=configs,
+            windows_per_activity_per_config=windows_per_activity_per_config,
+        )
+        pipeline = HarPipeline.train(
+            dataset, hidden_units=hidden_units, extractor=extractor, seed=rng
+        )
+        return cls(
+            pipeline=pipeline,
+            controller=controller,
+            power_model=power_model,
+            noise=noise,
+        )
+
+    @classmethod
+    def from_dataset(
+        cls,
+        dataset: WindowDataset,
+        hidden_units: Sequence[int] = (32,),
+        controller: Optional[AdaptiveController] = None,
+        seed: SeedLike = None,
+        **kwargs,
+    ) -> "AdaSense":
+        """Assemble a system from an existing (possibly real) window dataset."""
+        pipeline = HarPipeline.train(dataset, hidden_units=hidden_units, seed=seed)
+        return cls(pipeline=pipeline, controller=controller, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pipeline(self) -> HarPipeline:
+        """The shared HAR pipeline."""
+        return self._pipeline
+
+    @property
+    def controller(self) -> AdaptiveController:
+        """The adaptive controller."""
+        return self._controller
+
+    @property
+    def power_model(self) -> AccelerometerPowerModel:
+        """The accelerometer current model."""
+        return self._power_model
+
+    @property
+    def noise_model(self) -> NoiseModel:
+        """The sensor noise model used in simulations."""
+        return self._noise
+
+    # ------------------------------------------------------------------
+    # Behaviour
+    # ------------------------------------------------------------------
+    def classify(self, samples: np.ndarray, sampling_hz: float) -> ClassificationResult:
+        """Classify a raw sample batch (delegates to the pipeline)."""
+        return self._pipeline.classify_samples(samples, sampling_hz)
+
+    def with_controller(self, controller: AdaptiveController) -> "AdaSense":
+        """A copy of this system using a different adaptive controller.
+
+        The pipeline, power model and noise model are shared, which makes
+        apples-to-apples controller comparisons (static versus SPOT versus
+        SPOT-with-confidence) cheap.
+        """
+        return AdaSense(
+            pipeline=self._pipeline,
+            controller=controller,
+            power_model=self._power_model,
+            noise=self._noise,
+            internal_rate_hz=self._internal_rate_hz,
+        )
+
+    def simulator(self) -> ClosedLoopSimulator:
+        """Build the closed-loop simulator for this system."""
+        return ClosedLoopSimulator(
+            pipeline=self._pipeline,
+            controller=self._controller,
+            power_model=self._power_model,
+            noise=self._noise,
+            internal_rate_hz=self._internal_rate_hz,
+        )
+
+    def simulate(self, schedule: ScheduleLike, seed: SeedLike = None) -> SimulationTrace:
+        """Run the closed loop over an activity schedule."""
+        return self.simulator().run(schedule, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Convenience controller factories
+    # ------------------------------------------------------------------
+    @staticmethod
+    def spot_controller(
+        stability_threshold: int = 20,
+        states: Sequence[SensorConfig] = DEFAULT_SPOT_STATES,
+    ) -> SpotController:
+        """Build a plain SPOT controller with the paper's default states."""
+        return SpotController(states=states, stability_threshold=stability_threshold)
+
+    @staticmethod
+    def spot_with_confidence_controller(
+        stability_threshold: int = 20,
+        confidence_threshold: float = 0.85,
+        states: Sequence[SensorConfig] = DEFAULT_SPOT_STATES,
+    ) -> SpotWithConfidenceController:
+        """Build a SPOT-with-confidence controller (paper default 0.85)."""
+        return SpotWithConfidenceController(
+            states=states,
+            stability_threshold=stability_threshold,
+            confidence_threshold=confidence_threshold,
+        )
+
+    @staticmethod
+    def static_controller(config: Optional[SensorConfig] = None) -> StaticController:
+        """Build the always-one-configuration baseline controller."""
+        if config is None:
+            return StaticController()
+        return StaticController(config)

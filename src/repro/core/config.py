@@ -1,0 +1,238 @@
+"""Sensor configurations and the Table I design space.
+
+A *sensor configuration* in AdaSense is a pair of
+
+* an output **sampling frequency** (how many averaged samples per second
+  the accelerometer delivers to the HAR pipeline), and
+* an **averaging window** (how many internal sub-samples the IMU averages
+  to produce one output sample).
+
+The paper explores the 16 combinations of Table I and selects the four
+Pareto-optimal ones ``{F100_A128, F50_A16, F12.5_A16, F12.5_A8}`` as the
+states of the SPOT controller.  This module defines the configuration
+dataclass, the canonical Table I registry, name parsing and generic
+Pareto-front utilities used by the design-space exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.utils.validation import check_positive, check_positive_int
+
+
+class OperationMode(Enum):
+    """Accelerometer operation modes described in Section IV-A.
+
+    In *normal* mode the sensing element is always powered, so the
+    averaging window has no effect on current draw.  In *low-power* mode
+    the sensor duty-cycles between suspend and active states: it wakes
+    up long enough to capture and average the configured number of
+    sub-samples for every output sample, so both the sampling frequency
+    and the averaging window determine the on-time.
+    """
+
+    NORMAL = "normal"
+    LOW_POWER = "low_power"
+
+
+@dataclass(frozen=True, order=False)
+class SensorConfig:
+    """One accelerometer configuration (sampling frequency, averaging window).
+
+    Parameters
+    ----------
+    sampling_hz:
+        Output data rate of the accelerometer in hertz.
+    averaging_window:
+        Number of internal sub-samples averaged per output sample.
+    """
+
+    sampling_hz: float
+    averaging_window: int
+
+    def __post_init__(self) -> None:
+        check_positive(self.sampling_hz, "sampling_hz")
+        check_positive_int(self.averaging_window, "averaging_window")
+
+    @property
+    def name(self) -> str:
+        """Paper-style name, e.g. ``"F12.5_A16"``."""
+        freq = self.sampling_hz
+        freq_text = f"{freq:g}"
+        return f"F{freq_text}_A{self.averaging_window}"
+
+    @property
+    def samples_per_window(self) -> int:
+        """Number of output samples produced during one classification window.
+
+        The HAR framework classifies 2-second windows, so this is simply
+        ``2 * sampling_hz`` rounded to the nearest integer.
+        """
+        from repro.core.features import WINDOW_DURATION_S
+
+        return int(round(self.sampling_hz * WINDOW_DURATION_S))
+
+    def samples_in(self, duration_s: float) -> int:
+        """Number of output samples produced in ``duration_s`` seconds."""
+        check_positive(duration_s, "duration_s")
+        return int(round(self.sampling_hz * duration_s))
+
+    @classmethod
+    def from_name(cls, name: str) -> "SensorConfig":
+        """Parse a paper-style configuration name such as ``"F50_A16"``.
+
+        Raises
+        ------
+        ValueError
+            If the name does not follow the ``F<freq>_A<window>`` pattern.
+        """
+        text = name.strip()
+        if not text.upper().startswith("F") or "_A" not in text.upper():
+            raise ValueError(f"malformed configuration name {name!r}")
+        freq_part, _, window_part = text[1:].partition("_")
+        window_part = window_part.lstrip("Aa")
+        try:
+            freq = float(freq_part)
+            window = int(window_part)
+        except ValueError as exc:
+            raise ValueError(f"malformed configuration name {name!r}") from exc
+        return cls(sampling_hz=freq, averaging_window=window)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+def _build_table1() -> Tuple[SensorConfig, ...]:
+    """Construct the 16 Table I combinations in the paper's order."""
+    combos = [
+        (100.0, 128),
+        (50.0, 128),
+        (25.0, 128),
+        (12.5, 128),
+        (6.25, 128),
+        (25.0, 32),
+        (12.5, 32),
+        (6.25, 32),
+        (50.0, 16),
+        (25.0, 16),
+        (12.5, 16),
+        (6.25, 16),
+        (50.0, 8),
+        (25.0, 8),
+        (12.5, 8),
+        (6.25, 8),
+    ]
+    return tuple(SensorConfig(freq, window) for freq, window in combos)
+
+
+#: The 16 sampling-frequency / averaging-window combinations of Table I.
+TABLE1_CONFIGS: Tuple[SensorConfig, ...] = _build_table1()
+
+#: Lookup of Table I configurations by paper-style name.
+TABLE1_BY_NAME: Dict[str, SensorConfig] = {cfg.name: cfg for cfg in TABLE1_CONFIGS}
+
+#: The four Pareto-optimal configurations the paper selects as SPOT states,
+#: ordered from highest to lowest power (the FSM traverses them in order).
+DEFAULT_SPOT_STATES: Tuple[SensorConfig, ...] = (
+    TABLE1_BY_NAME["F100_A128"],
+    TABLE1_BY_NAME["F50_A16"],
+    TABLE1_BY_NAME["F12.5_A16"],
+    TABLE1_BY_NAME["F12.5_A8"],
+)
+
+#: The highest-accuracy, highest-power configuration (the paper's baseline).
+HIGH_POWER_CONFIG: SensorConfig = TABLE1_BY_NAME["F100_A128"]
+
+#: The lowest-power SPOT state.
+LOW_POWER_CONFIG: SensorConfig = TABLE1_BY_NAME["F12.5_A8"]
+
+
+def get_config(name_or_config: "SensorConfig | str") -> SensorConfig:
+    """Return a :class:`SensorConfig` from a config instance or its name."""
+    if isinstance(name_or_config, SensorConfig):
+        return name_or_config
+    if isinstance(name_or_config, str):
+        if name_or_config in TABLE1_BY_NAME:
+            return TABLE1_BY_NAME[name_or_config]
+        return SensorConfig.from_name(name_or_config)
+    raise TypeError(
+        f"expected SensorConfig or name string, got {type(name_or_config).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class ConfigEvaluation:
+    """Accuracy / current operating point of one sensor configuration.
+
+    Produced by the design-space exploration (Fig. 2): each configuration
+    is characterised by a recognition accuracy and a current draw per
+    unit time.
+    """
+
+    config: SensorConfig
+    accuracy: float
+    current_ua: float
+    mode: OperationMode = OperationMode.LOW_POWER
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        """Paper-style name of the evaluated configuration."""
+        return self.config.name
+
+
+def pareto_front(points: Iterable[ConfigEvaluation]) -> List[ConfigEvaluation]:
+    """Extract the accuracy/current Pareto front from evaluated points.
+
+    A point dominates another when it has *higher or equal* accuracy and
+    *lower or equal* current, with at least one of the two strict.  The
+    returned front is sorted by decreasing current (so the first element
+    is the highest-power configuration, mirroring the SPOT state order).
+
+    Parameters
+    ----------
+    points:
+        Evaluated configurations, typically from
+        :class:`repro.core.dse.DesignSpaceExplorer`.
+    """
+    candidates = list(points)
+    front: List[ConfigEvaluation] = []
+    for point in candidates:
+        dominated = False
+        for other in candidates:
+            if other is point:
+                continue
+            better_or_equal = (
+                other.accuracy >= point.accuracy and other.current_ua <= point.current_ua
+            )
+            strictly_better = (
+                other.accuracy > point.accuracy or other.current_ua < point.current_ua
+            )
+            if better_or_equal and strictly_better:
+                dominated = True
+                break
+        if not dominated:
+            front.append(point)
+    front.sort(key=lambda item: (-item.current_ua, -item.accuracy))
+    return front
+
+
+def sort_by_power(
+    configs: Sequence[SensorConfig], currents_ua: Sequence[float]
+) -> List[SensorConfig]:
+    """Sort ``configs`` by decreasing current consumption.
+
+    Helper used when deriving SPOT states from a freshly computed Pareto
+    front: the FSM expects its states ordered from highest to lowest
+    power.
+    """
+    if len(configs) != len(currents_ua):
+        raise ValueError(
+            "configs and currents_ua must have the same length, got "
+            f"{len(configs)} and {len(currents_ua)}"
+        )
+    order = sorted(range(len(configs)), key=lambda idx: -float(currents_ua[idx]))
+    return [configs[idx] for idx in order]

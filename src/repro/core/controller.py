@@ -1,0 +1,275 @@
+"""Adaptive sensor-configuration controllers (Sections IV-C to IV-E).
+
+The controller closes the loop of Fig. 3: every second it receives the
+classifier's output (activity plus softmax confidence) and decides which
+sensor configuration the accelerometer should use for the next episode.
+
+Three controllers are provided:
+
+* :class:`StaticController` — never switches; used as the paper's
+  "always high power" baseline.
+* :class:`SpotController` — the State Prediction Optimization Technique
+  (SPOT) finite-state machine: step down one state after the activity
+  has been stable for ``stability_threshold`` consecutive
+  classifications, snap back to the highest-power state whenever the
+  activity changes.
+* :class:`SpotWithConfidenceController` — SPOT plus the confidence
+  refinement of Section IV-E: the snap-back to the high-power state only
+  happens when the classifier reports the change with a confidence above
+  ``confidence_threshold``, which filters out spurious switches caused
+  by noisy windows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+from repro.core.activities import Activity
+from repro.core.config import DEFAULT_SPOT_STATES, HIGH_POWER_CONFIG, SensorConfig
+from repro.utils.validation import check_non_negative, check_probability
+
+
+@runtime_checkable
+class AdaptiveController(Protocol):
+    """Protocol every sensor-configuration controller implements."""
+
+    @property
+    def current_config(self) -> SensorConfig:
+        """Configuration the sensor should use for the next acquisition."""
+        ...  # pragma: no cover - protocol definition
+
+    def reset(self) -> None:
+        """Return the controller to its initial state."""
+        ...  # pragma: no cover - protocol definition
+
+    def update(self, activity: Activity, confidence: float) -> SensorConfig:
+        """Consume one classification result and return the next configuration."""
+        ...  # pragma: no cover - protocol definition
+
+
+class StaticController:
+    """A controller that keeps the sensor in one fixed configuration.
+
+    Parameters
+    ----------
+    config:
+        The configuration to hold; defaults to the highest-accuracy
+        F100_A128 state, which is the paper's accuracy/power baseline.
+    """
+
+    def __init__(self, config: SensorConfig = HIGH_POWER_CONFIG) -> None:
+        self._config = config
+
+    @property
+    def current_config(self) -> SensorConfig:
+        """The fixed configuration."""
+        return self._config
+
+    def reset(self) -> None:
+        """No internal state to reset."""
+
+    def update(self, activity: Activity, confidence: float) -> SensorConfig:
+        """Ignore the classification result and keep the fixed configuration."""
+        check_probability(confidence, "confidence")
+        return self._config
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"StaticController(config={self._config.name})"
+
+
+class SpotController:
+    """The State Prediction Optimization Technique finite-state machine.
+
+    The controller maintains an ordered list of sensor configurations
+    (highest power first).  Starting at the first state it counts
+    consecutive classifications that agree with the previous one; when
+    the counter reaches ``stability_threshold`` it advances to the next,
+    lower-power state and restarts the count.  Any detected activity
+    change resets the counter and returns the FSM to the first state.
+
+    Parameters
+    ----------
+    states:
+        Sensor configurations ordered from highest to lowest power;
+        defaults to the four Pareto-optimal configurations of the paper.
+    stability_threshold:
+        Number of consecutive matching classifications required before
+        stepping down one state.  The pipeline classifies once per
+        second, so this value is also the threshold in seconds used on
+        the x-axis of Fig. 6.
+    """
+
+    def __init__(
+        self,
+        states: Sequence[SensorConfig] = DEFAULT_SPOT_STATES,
+        stability_threshold: int = 20,
+    ) -> None:
+        states = list(states)
+        if not states:
+            raise ValueError("states must contain at least one configuration")
+        check_non_negative(stability_threshold, "stability_threshold")
+        self._states: List[SensorConfig] = states
+        self._stability_threshold = int(stability_threshold)
+        self._state_index = 0
+        self._counter = 0
+        self._last_activity: Optional[Activity] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def states(self) -> Tuple[SensorConfig, ...]:
+        """The FSM states ordered from highest to lowest power."""
+        return tuple(self._states)
+
+    @property
+    def stability_threshold(self) -> int:
+        """Number of matching classifications needed to step down."""
+        return self._stability_threshold
+
+    @property
+    def state_index(self) -> int:
+        """Index of the currently active state (0 = highest power)."""
+        return self._state_index
+
+    @property
+    def counter(self) -> int:
+        """Current count of consecutive matching classifications."""
+        return self._counter
+
+    @property
+    def last_activity(self) -> Optional[Activity]:
+        """The activity reported by the previous classification."""
+        return self._last_activity
+
+    @property
+    def current_config(self) -> SensorConfig:
+        """Configuration of the active FSM state."""
+        return self._states[self._state_index]
+
+    @property
+    def at_lowest_state(self) -> bool:
+        """Whether the FSM has reached its last (lowest-power) state."""
+        return self._state_index == len(self._states) - 1
+
+    # ------------------------------------------------------------------
+    # FSM behaviour
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Return to the first (highest-power) state and clear the history."""
+        self._state_index = 0
+        self._counter = 0
+        self._last_activity = None
+
+    def update(self, activity: Activity, confidence: float) -> SensorConfig:
+        """Advance the FSM with one classification result.
+
+        Parameters
+        ----------
+        activity:
+            The activity reported by the classifier for the last window.
+        confidence:
+            The classifier's softmax probability for that activity.
+            Plain SPOT ignores it; it is part of the signature so that
+            SPOT and SPOT-with-confidence are interchangeable.
+
+        Returns
+        -------
+        SensorConfig
+            The configuration to use for the next acquisition episode.
+        """
+        activity = Activity.from_any(activity)
+        check_probability(confidence, "confidence")
+
+        if self._last_activity is None or activity == self._last_activity:
+            self._handle_stable()
+        elif self._should_escalate(activity, confidence):
+            # Condition C3: the activity changed -> snap back to the
+            # high-accuracy state and restart the stability count.
+            self._state_index = 0
+            self._counter = 0
+        else:
+            # A change was reported but is not trusted (only possible in
+            # the confidence-aware subclass): hold the current state.
+            pass
+
+        self._last_activity = activity
+        return self.current_config
+
+    def _handle_stable(self) -> None:
+        """Apply conditions C1/C2/C4 for a classification matching the last one."""
+        if self.at_lowest_state:
+            # Condition C4: already at the lowest-power state, stay there.
+            return
+        self._counter += 1
+        if self._counter >= self._stability_threshold:
+            # Condition C2: stable long enough -> move to the next state.
+            self._state_index += 1
+            self._counter = 0
+        # Otherwise condition C1: stay and keep counting.
+
+    def _should_escalate(self, activity: Activity, confidence: float) -> bool:
+        """Whether a reported activity change should trigger the snap-back."""
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"{type(self).__name__}(state={self.current_config.name}, "
+            f"counter={self._counter}, threshold={self._stability_threshold})"
+        )
+
+
+class SpotWithConfidenceController(SpotController):
+    """SPOT with the confidence refinement of Section IV-E.
+
+    The decision to move back to the high-power state is only taken when
+    the classifier reports the activity change with a confidence above
+    ``confidence_threshold`` (0.85 in the paper's evaluation).  Changes
+    reported with low confidence — typically caused by a noisy window at
+    a low-power configuration — leave the FSM where it is, avoiding the
+    power cost of a spurious escalation.
+
+    Parameters
+    ----------
+    states, stability_threshold:
+        As for :class:`SpotController`.
+    confidence_threshold:
+        Minimum confidence required for an activity change to trigger
+        the return to the high-power state.
+    """
+
+    def __init__(
+        self,
+        states: Sequence[SensorConfig] = DEFAULT_SPOT_STATES,
+        stability_threshold: int = 20,
+        confidence_threshold: float = 0.85,
+    ) -> None:
+        super().__init__(states=states, stability_threshold=stability_threshold)
+        check_probability(confidence_threshold, "confidence_threshold")
+        self._confidence_threshold = float(confidence_threshold)
+
+    @property
+    def confidence_threshold(self) -> float:
+        """Minimum confidence required to trust a reported activity change."""
+        return self._confidence_threshold
+
+    def _should_escalate(self, activity: Activity, confidence: float) -> bool:
+        return confidence >= self._confidence_threshold
+
+    def update(self, activity: Activity, confidence: float) -> SensorConfig:
+        """Advance the FSM, ignoring low-confidence activity changes.
+
+        Low-confidence changes neither escalate nor count towards
+        stability, and they do not overwrite the remembered activity —
+        the controller waits for a trustworthy classification before
+        updating its view of what the user is doing.
+        """
+        activity = Activity.from_any(activity)
+        check_probability(confidence, "confidence")
+        if (
+            self._last_activity is not None
+            and activity != self._last_activity
+            and confidence < self._confidence_threshold
+        ):
+            return self.current_config
+        return super().update(activity, confidence)

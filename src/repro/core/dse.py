@@ -1,0 +1,197 @@
+"""Sensor-configuration design-space exploration (Section IV-B, Fig. 2).
+
+The exploration answers one question per configuration of Table I: *if
+the accelerometer ran permanently in this configuration, what
+recognition accuracy would the HAR pipeline reach and how much current
+would the sensor draw?*  Plotting the answers yields the accuracy/power
+trade-off of Fig. 2, and the non-dominated points form the Pareto front
+from which the SPOT controller's states are chosen.
+
+Accuracy per configuration is measured the way the paper's exploration
+implies: a classifier is trained and tested on windows acquired under
+that configuration alone, so the number reflects how informative the
+configuration's data is rather than how well a mismatched classifier
+copes with it (classifier/configuration mismatch is a separate
+experiment, see :mod:`repro.experiments.mismatch`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.activities import NUM_ACTIVITIES
+from repro.core.config import (
+    ConfigEvaluation,
+    SensorConfig,
+    TABLE1_CONFIGS,
+    pareto_front,
+)
+from repro.datasets.windows import WindowDatasetBuilder
+from repro.energy.accelerometer import AccelerometerPowerModel
+from repro.ml.mlp import MLPClassifier
+from repro.ml.preprocessing import StandardScaler, train_test_split
+from repro.utils.rng import SeedLike, as_rng, stable_seed_from
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class DseResult:
+    """Outcome of a design-space exploration run.
+
+    Attributes
+    ----------
+    evaluations:
+        One :class:`ConfigEvaluation` per explored configuration, in the
+        order they were explored.
+    """
+
+    evaluations: List[ConfigEvaluation]
+
+    @property
+    def front(self) -> List[ConfigEvaluation]:
+        """The accuracy/current Pareto front, highest power first."""
+        return pareto_front(self.evaluations)
+
+    @property
+    def front_names(self) -> List[str]:
+        """Names of the Pareto-optimal configurations."""
+        return [evaluation.name for evaluation in self.front]
+
+    def evaluation_for(self, config: "SensorConfig | str") -> ConfigEvaluation:
+        """Look up the evaluation of one configuration by object or name."""
+        name = config.name if isinstance(config, SensorConfig) else str(config)
+        for evaluation in self.evaluations:
+            if evaluation.name == name:
+                return evaluation
+        raise KeyError(f"configuration {name!r} was not part of this exploration")
+
+    def format_table(self) -> str:
+        """Human-readable table mirroring the data behind Fig. 2."""
+        front_names = set(self.front_names)
+        lines = [
+            f"{'configuration':>14}  {'mode':>10}  {'current (uA)':>12}  "
+            f"{'accuracy':>8}  {'pareto':>6}"
+        ]
+        for evaluation in sorted(self.evaluations, key=lambda e: -e.current_ua):
+            marker = "*" if evaluation.name in front_names else ""
+            lines.append(
+                f"{evaluation.name:>14}  {evaluation.mode.value:>10}  "
+                f"{evaluation.current_ua:12.1f}  {evaluation.accuracy:8.3f}  "
+                f"{marker:>6}"
+            )
+        return "\n".join(lines)
+
+
+class DesignSpaceExplorer:
+    """Evaluates accuracy and current for a set of sensor configurations.
+
+    Parameters
+    ----------
+    builder:
+        Window dataset builder providing the synthetic acquisition path.
+    power_model:
+        Accelerometer current model used for the power half of each
+        operating point.
+    hidden_units:
+        Hidden-layer sizes of the per-configuration classifiers trained
+        during the exploration.
+    seed:
+        Master seed; per-configuration datasets and classifiers derive
+        deterministic child seeds from it, so two explorations with the
+        same seed are identical.
+    """
+
+    def __init__(
+        self,
+        builder: Optional[WindowDatasetBuilder] = None,
+        power_model: Optional[AccelerometerPowerModel] = None,
+        hidden_units: Sequence[int] = (24,),
+        seed: SeedLike = None,
+    ) -> None:
+        self._seed_rng = as_rng(seed)
+        self._base_seed = int(self._seed_rng.integers(0, 2**31 - 1))
+        self._builder = builder
+        self._power_model = (
+            power_model if power_model is not None else AccelerometerPowerModel.bmi160()
+        )
+        self._hidden_units = tuple(hidden_units)
+
+    @property
+    def power_model(self) -> AccelerometerPowerModel:
+        """The accelerometer power model used by the exploration."""
+        return self._power_model
+
+    def explore(
+        self,
+        configs: Sequence[SensorConfig] = TABLE1_CONFIGS,
+        windows_per_activity: int = 40,
+        test_fraction: float = 0.3,
+    ) -> DseResult:
+        """Evaluate every configuration in ``configs``.
+
+        Parameters
+        ----------
+        configs:
+            Configurations to evaluate (default: the full Table I).
+        windows_per_activity:
+            Windows generated per activity for each configuration.
+        test_fraction:
+            Fraction of each configuration's windows held out to measure
+            accuracy.
+
+        Returns
+        -------
+        DseResult
+        """
+        check_positive_int(windows_per_activity, "windows_per_activity")
+        if not configs:
+            raise ValueError("configs must not be empty")
+
+        evaluations: List[ConfigEvaluation] = []
+        for config in configs:
+            accuracy = self._accuracy_for(config, windows_per_activity, test_fraction)
+            evaluations.append(
+                ConfigEvaluation(
+                    config=config,
+                    accuracy=accuracy,
+                    current_ua=self._power_model.current_ua(config),
+                    mode=self._power_model.mode_for(config),
+                )
+            )
+        return DseResult(evaluations=evaluations)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _builder_for(self, config: SensorConfig) -> WindowDatasetBuilder:
+        if self._builder is not None:
+            return self._builder
+        seed = stable_seed_from(self._base_seed, config.name, "dataset")
+        return WindowDatasetBuilder(seed=seed)
+
+    def _accuracy_for(
+        self, config: SensorConfig, windows_per_activity: int, test_fraction: float
+    ) -> float:
+        builder = self._builder_for(config)
+        dataset = builder.build_for_config(
+            config, windows_per_activity=windows_per_activity
+        )
+        train_features, test_features, train_labels, test_labels = train_test_split(
+            dataset.features,
+            dataset.labels,
+            test_fraction=test_fraction,
+            seed=stable_seed_from(self._base_seed, config.name, "split"),
+        )
+        scaler = StandardScaler()
+        train_features = scaler.fit_transform(train_features)
+        test_features = scaler.transform(test_features)
+        classifier = MLPClassifier(
+            input_dim=dataset.num_features,
+            num_classes=NUM_ACTIVITIES,
+            hidden_units=self._hidden_units,
+            seed=stable_seed_from(self._base_seed, config.name, "model"),
+            max_epochs=120,
+        )
+        classifier.fit(train_features, train_labels)
+        return classifier.score(test_features, test_labels)

@@ -1,0 +1,59 @@
+"""Synthetic data generation and dataset handling.
+
+* :mod:`repro.datasets.synthetic` — closed-form activity signal models;
+* :mod:`repro.datasets.scenarios` — activity schedules (Fig. 5 script,
+  Fig. 7 user-activity settings, random and routine schedules);
+* :mod:`repro.datasets.windows` — labelled window datasets and the
+  builder that acquires them through the simulated sensor;
+* :mod:`repro.datasets.har_format` — a UCI-HAR-style on-disk format so a
+  real recorded dataset can be dropped in later.
+"""
+
+from repro.datasets.har_format import load_dataset, save_dataset, validate_dataset
+from repro.datasets.scenarios import (
+    ActivitySetting,
+    Schedule,
+    ScheduleSpec,
+    generate_random_schedule,
+    make_daily_routine_schedule,
+    make_fig5_schedule,
+    make_setting_schedule,
+    make_stable_schedule,
+    schedule_change_count,
+    schedule_duration,
+)
+from repro.datasets.synthetic import (
+    ActivityProfile,
+    ActivityRealization,
+    HarmonicSpec,
+    ScheduledSignal,
+    SignalSegment,
+    SyntheticSignalGenerator,
+    default_activity_profiles,
+)
+from repro.datasets.windows import WindowDataset, WindowDatasetBuilder
+
+__all__ = [
+    "ActivityProfile",
+    "ActivityRealization",
+    "HarmonicSpec",
+    "ScheduledSignal",
+    "SignalSegment",
+    "SyntheticSignalGenerator",
+    "default_activity_profiles",
+    "ActivitySetting",
+    "Schedule",
+    "ScheduleSpec",
+    "generate_random_schedule",
+    "make_daily_routine_schedule",
+    "make_fig5_schedule",
+    "make_setting_schedule",
+    "make_stable_schedule",
+    "schedule_change_count",
+    "schedule_duration",
+    "WindowDataset",
+    "WindowDatasetBuilder",
+    "load_dataset",
+    "save_dataset",
+    "validate_dataset",
+]

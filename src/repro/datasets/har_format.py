@@ -1,0 +1,130 @@
+"""On-disk dataset format compatible with UCI-HAR-style layouts.
+
+The authors' recorded dataset is not public and this environment has no
+network access, so the reproduction generates its data synthetically.
+To keep the door open for swapping a *real* recorded dataset in later,
+this module defines a small plain-text directory layout closely modelled
+on the widely used UCI "Human Activity Recognition Using Smartphones"
+release:
+
+``<root>/``
+    ``X.txt``              whitespace-separated feature matrix, one window per row
+    ``y.txt``              one integer activity label per row (0-based)
+    ``config.txt``         sensor-configuration name per row
+    ``features.txt``       one feature name per line
+    ``activity_labels.txt``  ``<index> <label>`` pairs for readability
+
+Both the writer and the reader operate on
+:class:`repro.datasets.windows.WindowDataset`, so an externally recorded
+dataset only needs to be converted into this layout once to flow through
+the entire pipeline, benchmarks included.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.activities import ALL_ACTIVITIES, Activity
+from repro.datasets.windows import WindowDataset
+
+_FEATURES_FILE = "X.txt"
+_LABELS_FILE = "y.txt"
+_CONFIGS_FILE = "config.txt"
+_FEATURE_NAMES_FILE = "features.txt"
+_ACTIVITY_LABELS_FILE = "activity_labels.txt"
+
+
+def save_dataset(root: Union[str, Path], dataset: WindowDataset) -> Path:
+    """Write ``dataset`` to ``root`` in the UCI-HAR-style text layout.
+
+    Parameters
+    ----------
+    root:
+        Destination directory; created if it does not exist.
+    dataset:
+        The window dataset to serialise.
+
+    Returns
+    -------
+    pathlib.Path
+        The root directory written.
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+
+    np.savetxt(root / _FEATURES_FILE, dataset.features, fmt="%.8e")
+    np.savetxt(root / _LABELS_FILE, dataset.labels, fmt="%d")
+    (root / _CONFIGS_FILE).write_text(
+        "\n".join(str(name) for name in dataset.config_names) + "\n"
+    )
+    feature_names = dataset.feature_names or [
+        f"feature_{index}" for index in range(dataset.num_features)
+    ]
+    (root / _FEATURE_NAMES_FILE).write_text("\n".join(feature_names) + "\n")
+    (root / _ACTIVITY_LABELS_FILE).write_text(
+        "\n".join(f"{int(activity)} {activity.label}" for activity in ALL_ACTIVITIES)
+        + "\n"
+    )
+    return root
+
+
+def load_dataset(root: Union[str, Path]) -> WindowDataset:
+    """Load a dataset previously written with :func:`save_dataset`.
+
+    Raises
+    ------
+    FileNotFoundError
+        If any of the required files is missing.
+    ValueError
+        If the files disagree on the number of windows.
+    """
+    root = Path(root)
+    for required in (_FEATURES_FILE, _LABELS_FILE, _CONFIGS_FILE):
+        if not (root / required).exists():
+            raise FileNotFoundError(f"missing dataset file: {root / required}")
+
+    features = np.atleast_2d(np.loadtxt(root / _FEATURES_FILE, dtype=float))
+    labels = np.atleast_1d(np.loadtxt(root / _LABELS_FILE, dtype=int))
+    config_names = np.array(
+        [line for line in (root / _CONFIGS_FILE).read_text().splitlines() if line],
+        dtype=object,
+    )
+    if features.shape[0] != labels.shape[0] or features.shape[0] != config_names.shape[0]:
+        raise ValueError(
+            "dataset files disagree on the number of windows: "
+            f"{features.shape[0]} feature rows, {labels.shape[0]} labels, "
+            f"{config_names.shape[0]} configuration names"
+        )
+
+    feature_names_path = root / _FEATURE_NAMES_FILE
+    if feature_names_path.exists():
+        feature_names = [
+            line for line in feature_names_path.read_text().splitlines() if line
+        ]
+    else:
+        feature_names = [f"feature_{index}" for index in range(features.shape[1])]
+
+    return WindowDataset(
+        features=features,
+        labels=labels,
+        config_names=config_names,
+        feature_names=feature_names,
+    )
+
+
+def validate_dataset(dataset: WindowDataset) -> None:
+    """Sanity-check a dataset loaded from disk.
+
+    Ensures labels map to known activities and that the feature matrix is
+    finite.  Raises ``ValueError`` on the first problem found.
+    """
+    if not np.isfinite(dataset.features).all():
+        raise ValueError("dataset features contain non-finite values")
+    for label in np.unique(dataset.labels):
+        try:
+            Activity(int(label))
+        except ValueError as exc:
+            raise ValueError(f"unknown activity label {label} in dataset") from exc

@@ -1,0 +1,224 @@
+"""Activity schedules and user-behaviour scenarios.
+
+The AdaSense evaluation exercises the adaptive controller on *schedules*
+of activities rather than on isolated windows:
+
+* Fig. 5 uses a scripted 120-second trace (sit for 60 s, then walk for
+  60 s).
+* Fig. 6 sweeps the stability threshold on traces in which the user
+  changes activity at a "typical" rate.
+* Fig. 7 defines three *user activity settings* — High, Medium and Low —
+  that differ in how quickly the activity changes (every ~10 s for High
+  versus a minute or more for Low).
+
+This module generates those schedules.  A schedule is simply a list of
+``(Activity, duration_s)`` pairs consumable by
+:class:`repro.datasets.synthetic.ScheduledSignal` and by the closed-loop
+simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.activities import ALL_ACTIVITIES, Activity
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_positive
+
+#: A schedule is an ordered list of (activity, duration in seconds) bouts.
+Schedule = List[Tuple[Activity, float]]
+
+
+def schedule_duration(schedule: Sequence[Tuple[Activity, float]]) -> float:
+    """Total duration of a schedule in seconds."""
+    return float(sum(duration for _, duration in schedule))
+
+
+def schedule_change_count(schedule: Sequence[Tuple[Activity, float]]) -> int:
+    """Number of activity changes (consecutive bouts with different labels)."""
+    changes = 0
+    for (previous, _), (current, _) in zip(schedule, schedule[1:]):
+        if previous != current:
+            changes += 1
+    return changes
+
+
+def make_fig5_schedule(
+    sit_duration_s: float = 60.0, walk_duration_s: float = 60.0
+) -> Schedule:
+    """The scripted behavioural-analysis trace of Fig. 5.
+
+    The user sits for the first ``sit_duration_s`` seconds and then walks
+    for ``walk_duration_s`` seconds.
+    """
+    check_positive(sit_duration_s, "sit_duration_s")
+    check_positive(walk_duration_s, "walk_duration_s")
+    return [(Activity.SIT, float(sit_duration_s)), (Activity.WALK, float(walk_duration_s))]
+
+
+class ActivitySetting(Enum):
+    """User activity settings of Fig. 7, defined by the activity change rate.
+
+    ``HIGH`` means the activity is unstable (changes roughly every 10
+    seconds), ``MEDIUM`` sits in between, and ``LOW`` means the user
+    keeps the same activity for at least a minute.
+    """
+
+    HIGH = "high"
+    MEDIUM = "medium"
+    LOW = "low"
+
+    @property
+    def mean_bout_duration_s(self) -> float:
+        """Mean duration of one activity bout for this setting."""
+        return _SETTING_MEAN_BOUT_S[self]
+
+    @property
+    def bout_duration_range_s(self) -> Tuple[float, float]:
+        """Minimum and maximum bout duration drawn for this setting."""
+        return _SETTING_BOUT_RANGE_S[self]
+
+
+_SETTING_MEAN_BOUT_S = {
+    ActivitySetting.HIGH: 10.0,
+    ActivitySetting.MEDIUM: 30.0,
+    ActivitySetting.LOW: 75.0,
+}
+
+_SETTING_BOUT_RANGE_S = {
+    ActivitySetting.HIGH: (6.0, 14.0),
+    ActivitySetting.MEDIUM: (20.0, 40.0),
+    ActivitySetting.LOW: (60.0, 90.0),
+}
+
+
+@dataclass(frozen=True)
+class ScheduleSpec:
+    """Specification for random schedule generation.
+
+    Parameters
+    ----------
+    total_duration_s:
+        Target total duration; the last bout is truncated to match it
+        exactly.
+    min_bout_s, max_bout_s:
+        Uniform range from which bout durations are drawn.
+    activities:
+        Pool of activities to draw from (defaults to all six).
+    allow_repeat:
+        Whether consecutive bouts may carry the same activity.  The
+        default is ``False`` so that every bout boundary is a genuine
+        activity change, matching how the paper describes its settings.
+    """
+
+    total_duration_s: float
+    min_bout_s: float
+    max_bout_s: float
+    activities: Tuple[Activity, ...] = ALL_ACTIVITIES
+    allow_repeat: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive(self.total_duration_s, "total_duration_s")
+        check_positive(self.min_bout_s, "min_bout_s")
+        check_positive(self.max_bout_s, "max_bout_s")
+        if self.max_bout_s < self.min_bout_s:
+            raise ValueError(
+                "max_bout_s must be greater than or equal to min_bout_s, got "
+                f"{self.max_bout_s} < {self.min_bout_s}"
+            )
+        if not self.activities:
+            raise ValueError("activities pool must not be empty")
+        if not self.allow_repeat and len(self.activities) < 2:
+            raise ValueError(
+                "at least two activities are required when allow_repeat is False"
+            )
+
+
+def generate_random_schedule(spec: ScheduleSpec, seed: SeedLike = None) -> Schedule:
+    """Generate a random schedule according to ``spec``.
+
+    Bout durations are drawn uniformly from ``[min_bout_s, max_bout_s]``
+    and activities uniformly from the pool, optionally avoiding
+    immediate repeats.  The final bout is truncated so the schedule's
+    total duration equals ``spec.total_duration_s``.
+    """
+    rng = as_rng(seed)
+    schedule: Schedule = []
+    elapsed = 0.0
+    previous: Optional[Activity] = None
+    while elapsed < spec.total_duration_s:
+        duration = float(rng.uniform(spec.min_bout_s, spec.max_bout_s))
+        remaining = spec.total_duration_s - elapsed
+        duration = min(duration, remaining)
+        choices = list(spec.activities)
+        if not spec.allow_repeat and previous is not None and len(choices) > 1:
+            choices = [activity for activity in choices if activity != previous]
+        activity = choices[int(rng.integers(len(choices)))]
+        schedule.append((activity, duration))
+        previous = activity
+        elapsed += duration
+    return schedule
+
+
+def make_setting_schedule(
+    setting: ActivitySetting,
+    total_duration_s: float = 600.0,
+    seed: SeedLike = None,
+    activities: Tuple[Activity, ...] = ALL_ACTIVITIES,
+) -> Schedule:
+    """Generate a schedule for one of the Fig. 7 user activity settings."""
+    check_positive(total_duration_s, "total_duration_s")
+    min_bout, max_bout = setting.bout_duration_range_s
+    spec = ScheduleSpec(
+        total_duration_s=total_duration_s,
+        min_bout_s=min_bout,
+        max_bout_s=max_bout,
+        activities=activities,
+        allow_repeat=False,
+    )
+    return generate_random_schedule(spec, seed=seed)
+
+
+def make_stable_schedule(
+    activity: Activity, total_duration_s: float = 600.0
+) -> Schedule:
+    """A degenerate schedule in which the user never changes activity.
+
+    Useful for measuring the best-case power savings of the adaptive
+    controller (the sensor can stay at the lowest-power state almost all
+    the time).
+    """
+    check_positive(total_duration_s, "total_duration_s")
+    return [(Activity.from_any(activity), float(total_duration_s))]
+
+
+def make_daily_routine_schedule(seed: SeedLike = None) -> Schedule:
+    """A longer, loosely realistic "day in the life" schedule.
+
+    The routine strings together postural and locomotion bouts the way a
+    morning at home plus a commute might: lying, sitting, standing,
+    walking and stair use, with bout lengths between half a minute and a
+    few minutes.  It is used by the example applications and by
+    integration tests as a richer workload than the synthetic settings.
+    """
+    rng = as_rng(seed)
+    template: List[Tuple[Activity, float, float]] = [
+        (Activity.LIE, 120.0, 240.0),
+        (Activity.SIT, 60.0, 120.0),
+        (Activity.STAND, 20.0, 60.0),
+        (Activity.WALK, 60.0, 180.0),
+        (Activity.UPSTAIRS, 15.0, 40.0),
+        (Activity.WALK, 30.0, 90.0),
+        (Activity.SIT, 120.0, 300.0),
+        (Activity.STAND, 15.0, 45.0),
+        (Activity.DOWNSTAIRS, 15.0, 40.0),
+        (Activity.WALK, 60.0, 180.0),
+        (Activity.SIT, 60.0, 180.0),
+    ]
+    return [
+        (activity, float(rng.uniform(low, high))) for activity, low, high in template
+    ]

@@ -1,0 +1,601 @@
+"""Synthetic 3-axis accelerometer signal models for the six activities.
+
+The AdaSense authors evaluated their framework on accelerometer streams
+recorded with a wrist-worn BMI160 IMU.  That dataset is not public, so
+this module provides the substitute substrate: a parametric,
+closed-form signal model per activity that captures the properties the
+AdaSense pipeline actually exploits:
+
+* the **orientation of gravity** in the sensor frame separates the
+  postural activities (sit / stand / lie down),
+* **periodic gait harmonics** with activity-specific fundamental
+  frequency and per-axis amplitudes separate the locomotion activities
+  (walk / upstairs / downstairs),
+* slow **postural sway** gives the static activities non-zero variance.
+
+Each activity realisation is a finite sum of a constant offset and
+sinusoidal components, which has two important consequences:
+
+1. The *windowed average* the accelerometer produces in low-power mode
+   (mean over the averaging window preceding each output sample) has a
+   closed form — a ``sinc`` attenuation of each sinusoid — so simulating
+   large averaging windows costs the same as simulating small ones.
+2. Signals are exactly reproducible from a seed, which keeps the design
+   space exploration and the benchmark harness deterministic.
+
+Sensor imperfections (noise that grows when the averaging window
+shrinks, quantisation) are *not* part of the signal model; they are
+applied by :class:`repro.sensors.imu.SimulatedAccelerometer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.activities import Activity
+from repro.utils.constants import GRAVITY_MS2
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_non_negative, check_positive
+
+#: Number of accelerometer axes (x, y, z).
+NUM_AXES: int = 3
+
+
+@dataclass(frozen=True)
+class HarmonicSpec:
+    """Specification of one sinusoidal component of an activity signal.
+
+    Parameters
+    ----------
+    axis:
+        Index of the accelerometer axis the component acts on (0 = x,
+        1 = y, 2 = z).
+    amplitude:
+        Peak amplitude in m/s^2 before per-realisation jitter.
+    frequency_scale:
+        Frequency of the component expressed as a multiple of the
+        activity's fundamental frequency (e.g. 2.0 for the second gait
+        harmonic).
+    """
+
+    axis: int
+    amplitude: float
+    frequency_scale: float
+
+    def __post_init__(self) -> None:
+        if self.axis not in (0, 1, 2):
+            raise ValueError(f"axis must be 0, 1 or 2, got {self.axis}")
+        check_non_negative(self.amplitude, "amplitude")
+        check_positive(self.frequency_scale, "frequency_scale")
+
+
+@dataclass(frozen=True)
+class ActivityProfile:
+    """Parametric description of the accelerometer signature of one activity.
+
+    A profile is a *distribution* over concrete signals; calling
+    :meth:`realize` draws fundamental frequency, amplitudes and phases to
+    produce an :class:`ActivityRealization` that can be evaluated at any
+    point in time.
+
+    Parameters
+    ----------
+    activity:
+        The activity this profile describes.
+    gravity_direction:
+        Unit-norm direction of gravity in the sensor frame while the
+        activity is performed.  This is the dominant cue separating the
+        postural activities.
+    base_frequency_hz:
+        Fundamental frequency of the periodic component (step frequency
+        for locomotion, sway frequency for postural activities).
+    frequency_jitter:
+        Relative half-width of the uniform jitter applied to the
+        fundamental frequency per realisation (0.1 = +/-10 %).
+    harmonics:
+        Sinusoidal components expressed relative to the fundamental.
+    amplitude_jitter:
+        Relative half-width of the uniform per-realisation scaling of
+        all harmonic amplitudes.
+    orientation_jitter_deg:
+        Standard deviation, in degrees, of the random tilt applied to
+        the gravity direction per realisation (models loose strap /
+        subject variability).
+    """
+
+    activity: Activity
+    gravity_direction: Tuple[float, float, float]
+    base_frequency_hz: float
+    frequency_jitter: float
+    harmonics: Tuple[HarmonicSpec, ...]
+    amplitude_jitter: float = 0.15
+    orientation_jitter_deg: float = 5.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.base_frequency_hz, "base_frequency_hz")
+        check_non_negative(self.frequency_jitter, "frequency_jitter")
+        check_non_negative(self.amplitude_jitter, "amplitude_jitter")
+        check_non_negative(self.orientation_jitter_deg, "orientation_jitter_deg")
+        direction = np.asarray(self.gravity_direction, dtype=float)
+        if direction.shape != (NUM_AXES,):
+            raise ValueError("gravity_direction must have exactly three components")
+        if not np.isfinite(direction).all() or np.linalg.norm(direction) == 0:
+            raise ValueError("gravity_direction must be a finite, non-zero vector")
+
+    def realize(self, rng: SeedLike = None) -> "ActivityRealization":
+        """Draw one concrete signal realisation from this profile.
+
+        Parameters
+        ----------
+        rng:
+            Seed or generator controlling the per-realisation draws.
+
+        Returns
+        -------
+        ActivityRealization
+            A closed-form, deterministic signal.
+        """
+        generator = as_rng(rng)
+        frequency = self.base_frequency_hz * (
+            1.0 + generator.uniform(-self.frequency_jitter, self.frequency_jitter)
+        )
+        amplitude_scale = 1.0 + generator.uniform(
+            -self.amplitude_jitter, self.amplitude_jitter
+        )
+        gravity = _jitter_direction(
+            np.asarray(self.gravity_direction, dtype=float),
+            self.orientation_jitter_deg,
+            generator,
+        )
+        offset = gravity * GRAVITY_MS2
+
+        n_components = len(self.harmonics)
+        axes = np.array([h.axis for h in self.harmonics], dtype=int)
+        amplitudes = (
+            np.array([h.amplitude for h in self.harmonics], dtype=float)
+            * amplitude_scale
+        )
+        frequencies = (
+            np.array([h.frequency_scale for h in self.harmonics], dtype=float)
+            * frequency
+        )
+        phases = generator.uniform(0.0, 2.0 * np.pi, size=n_components)
+        return ActivityRealization(
+            activity=self.activity,
+            offset=offset,
+            axes=axes,
+            amplitudes=amplitudes,
+            frequencies_hz=frequencies,
+            phases=phases,
+            fundamental_hz=frequency,
+        )
+
+
+def _jitter_direction(
+    direction: np.ndarray, jitter_deg: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Apply a small random rotation to a direction vector.
+
+    The rotation is implemented as an additive perturbation followed by
+    re-normalisation, which is accurate for the few-degree jitters used
+    by the default profiles.
+    """
+    unit = direction / np.linalg.norm(direction)
+    if jitter_deg <= 0:
+        return unit
+    sigma = np.deg2rad(jitter_deg)
+    perturbed = unit + rng.normal(0.0, sigma, size=NUM_AXES)
+    norm = np.linalg.norm(perturbed)
+    if norm == 0:  # pragma: no cover - essentially impossible
+        return unit
+    return perturbed / norm
+
+
+@dataclass(frozen=True)
+class ActivityRealization:
+    """A concrete, closed-form accelerometer signal for one activity bout.
+
+    The signal on axis ``a`` is::
+
+        s_a(t) = offset[a] + sum_i [axes[i] == a] amplitudes[i]
+                 * sin(2*pi*frequencies_hz[i]*t + phases[i])
+
+    Attributes
+    ----------
+    activity:
+        Ground-truth activity of the bout.
+    offset:
+        Constant acceleration offset (gravity) per axis, m/s^2.
+    axes, amplitudes, frequencies_hz, phases:
+        Parallel arrays describing the sinusoidal components.
+    fundamental_hz:
+        The realised fundamental frequency (useful for tests and
+        diagnostics).
+    """
+
+    activity: Activity
+    offset: np.ndarray
+    axes: np.ndarray
+    amplitudes: np.ndarray
+    frequencies_hz: np.ndarray
+    phases: np.ndarray
+    fundamental_hz: float
+
+    def evaluate(self, times_s: np.ndarray) -> np.ndarray:
+        """Instantaneous acceleration at the given times.
+
+        Parameters
+        ----------
+        times_s:
+            1-D array of time stamps in seconds.
+
+        Returns
+        -------
+        numpy.ndarray
+            Array of shape ``(len(times_s), 3)`` in m/s^2.
+        """
+        return self._evaluate_impl(np.asarray(times_s, dtype=float), window_s=None)
+
+    def evaluate_windowed(self, times_s: np.ndarray, window_s: float) -> np.ndarray:
+        """Average acceleration over the window preceding each time stamp.
+
+        This models the IMU's internal averaging filter: the value
+        reported at time ``t`` is the mean of the signal over
+        ``[t - window_s, t]``.  For the sinusoidal components the mean
+        has the closed form ``amplitude * sinc(f * window) *
+        sin(2*pi*f*(t - window/2) + phase)``.
+
+        Parameters
+        ----------
+        times_s:
+            1-D array of output-sample time stamps in seconds.
+        window_s:
+            Length of the averaging window in seconds.  A value of 0 is
+            interpreted as instantaneous sampling.
+
+        Returns
+        -------
+        numpy.ndarray
+            Array of shape ``(len(times_s), 3)`` in m/s^2.
+        """
+        check_non_negative(window_s, "window_s")
+        times = np.asarray(times_s, dtype=float)
+        if window_s == 0.0:
+            return self._evaluate_impl(times, window_s=None)
+        return self._evaluate_impl(times, window_s=float(window_s))
+
+    def _evaluate_impl(
+        self, times_s: np.ndarray, window_s: Optional[float]
+    ) -> np.ndarray:
+        if times_s.ndim != 1:
+            raise ValueError(
+                f"times_s must be a 1-D array, got shape {times_s.shape}"
+            )
+        output = np.tile(self.offset, (times_s.shape[0], 1))
+        if self.amplitudes.size == 0:
+            return output
+
+        if window_s is None:
+            effective_amplitudes = self.amplitudes
+            effective_times = times_s[:, None]
+        else:
+            # Mean over [t - L, t] of A*sin(2*pi*f*t + phi) equals
+            # A*sinc(f*L)*sin(2*pi*f*(t - L/2) + phi)   (numpy sinc convention).
+            effective_amplitudes = self.amplitudes * np.sinc(
+                self.frequencies_hz * window_s
+            )
+            effective_times = times_s[:, None] - window_s / 2.0
+
+        angles = (
+            2.0 * np.pi * self.frequencies_hz[None, :] * effective_times
+            + self.phases[None, :]
+        )
+        contributions = effective_amplitudes[None, :] * np.sin(angles)
+        for axis in range(NUM_AXES):
+            mask = self.axes == axis
+            if mask.any():
+                output[:, axis] += contributions[:, mask].sum(axis=1)
+        return output
+
+    @property
+    def peak_amplitude(self) -> float:
+        """Upper bound of the dynamic part of the signal in m/s^2."""
+        return float(np.abs(self.amplitudes).sum()) if self.amplitudes.size else 0.0
+
+
+def _profile(
+    activity: Activity,
+    gravity: Tuple[float, float, float],
+    base_hz: float,
+    harmonics: Sequence[Tuple[int, float, float]],
+    frequency_jitter: float = 0.08,
+    amplitude_jitter: float = 0.15,
+    orientation_jitter_deg: float = 5.0,
+) -> ActivityProfile:
+    """Shorthand constructor used to build the default profile set."""
+    specs = tuple(
+        HarmonicSpec(axis=axis, amplitude=amp, frequency_scale=scale)
+        for axis, amp, scale in harmonics
+    )
+    return ActivityProfile(
+        activity=activity,
+        gravity_direction=gravity,
+        base_frequency_hz=base_hz,
+        frequency_jitter=frequency_jitter,
+        harmonics=specs,
+        amplitude_jitter=amplitude_jitter,
+        orientation_jitter_deg=orientation_jitter_deg,
+    )
+
+
+def default_activity_profiles() -> Dict[Activity, ActivityProfile]:
+    """Return the default signal profiles for the six activities.
+
+    The numbers are not fitted to a particular dataset; they encode the
+    qualitative structure reported across the wearable HAR literature:
+
+    * postural activities differ in gravity orientation and have only
+      sub-hertz, sub-0.3 m/s^2 sway;
+    * walking has a step frequency near 1.9 Hz with strong vertical and
+      forward harmonics;
+    * stair ascent is slower (~1.4 Hz) with a larger forward component;
+    * stair descent is faster (~2.3 Hz) with pronounced impact
+      harmonics.
+    """
+    profiles = {
+        Activity.SIT: _profile(
+            Activity.SIT,
+            gravity=(0.42, 0.12, 0.90),
+            base_hz=0.25,
+            harmonics=[
+                (0, 0.10, 1.0),
+                (1, 0.06, 1.3),
+                (2, 0.08, 0.7),
+            ],
+            frequency_jitter=0.3,
+            orientation_jitter_deg=6.0,
+        ),
+        Activity.STAND: _profile(
+            Activity.STAND,
+            gravity=(0.04, 0.03, 1.00),
+            base_hz=0.45,
+            harmonics=[
+                (0, 0.16, 1.0),
+                (1, 0.12, 0.8),
+                (2, 0.10, 1.4),
+            ],
+            frequency_jitter=0.3,
+            orientation_jitter_deg=5.0,
+        ),
+        Activity.LIE: _profile(
+            Activity.LIE,
+            gravity=(0.95, 0.25, 0.15),
+            base_hz=0.18,
+            harmonics=[
+                (0, 0.04, 1.0),
+                (1, 0.05, 0.6),
+                (2, 0.04, 1.2),
+            ],
+            frequency_jitter=0.4,
+            orientation_jitter_deg=8.0,
+        ),
+        Activity.WALK: _profile(
+            Activity.WALK,
+            gravity=(0.08, 0.05, 0.99),
+            base_hz=1.85,
+            harmonics=[
+                (2, 2.4, 1.0),
+                (2, 1.0, 2.0),
+                (2, 0.4, 3.0),
+                (0, 1.3, 1.0),
+                (0, 0.5, 2.0),
+                (1, 0.7, 0.5),
+                (1, 0.35, 1.0),
+            ],
+            frequency_jitter=0.12,
+            amplitude_jitter=0.35,
+        ),
+        Activity.UPSTAIRS: _profile(
+            Activity.UPSTAIRS,
+            gravity=(0.26, 0.06, 0.96),
+            base_hz=1.6,
+            harmonics=[
+                (2, 1.7, 1.0),
+                (2, 0.7, 2.0),
+                (2, 0.3, 3.0),
+                (0, 1.6, 1.0),
+                (0, 0.7, 2.0),
+                (1, 0.6, 0.5),
+                (1, 0.3, 1.0),
+            ],
+            frequency_jitter=0.12,
+            amplitude_jitter=0.35,
+        ),
+        Activity.DOWNSTAIRS: _profile(
+            Activity.DOWNSTAIRS,
+            gravity=(0.12, 0.04, 0.99),
+            base_hz=2.2,
+            harmonics=[
+                (2, 3.0, 1.0),
+                (2, 1.5, 2.0),
+                (2, 0.9, 3.0),
+                (0, 1.1, 1.0),
+                (0, 0.5, 2.0),
+                (1, 0.8, 0.5),
+                (1, 0.4, 1.0),
+            ],
+            frequency_jitter=0.13,
+            amplitude_jitter=0.3,
+        ),
+    }
+    return profiles
+
+
+class SyntheticSignalGenerator:
+    """Factory for activity signal realisations.
+
+    Parameters
+    ----------
+    profiles:
+        Mapping from :class:`Activity` to :class:`ActivityProfile`.  The
+        default profiles (see :func:`default_activity_profiles`) cover
+        all six activities.
+    seed:
+        Seed for the internal generator used when ``realize`` is called
+        without an explicit generator.
+    """
+
+    def __init__(
+        self,
+        profiles: Optional[Dict[Activity, ActivityProfile]] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        self._profiles = dict(profiles) if profiles is not None else default_activity_profiles()
+        missing = [a for a in Activity if a not in self._profiles]
+        if missing:
+            raise ValueError(f"profiles missing for activities: {missing}")
+        self._rng = as_rng(seed)
+
+    @property
+    def profiles(self) -> Dict[Activity, ActivityProfile]:
+        """The profile mapping used by this generator (a shallow copy)."""
+        return dict(self._profiles)
+
+    def realize(self, activity: Activity, rng: SeedLike = None) -> ActivityRealization:
+        """Draw a realisation of ``activity``.
+
+        Parameters
+        ----------
+        activity:
+            Activity (or anything :meth:`Activity.from_any` accepts).
+        rng:
+            Optional seed or generator; defaults to the generator owned
+            by this factory.
+        """
+        activity = Activity.from_any(activity)
+        generator = self._rng if rng is None else as_rng(rng)
+        return self._profiles[activity].realize(generator)
+
+
+@dataclass(frozen=True)
+class SignalSegment:
+    """One bout of a scheduled signal: an activity over a time interval."""
+
+    start_s: float
+    end_s: float
+    realization: ActivityRealization
+
+    @property
+    def activity(self) -> Activity:
+        """Ground-truth activity of the segment."""
+        return self.realization.activity
+
+    @property
+    def duration_s(self) -> float:
+        """Length of the segment in seconds."""
+        return self.end_s - self.start_s
+
+    def contains(self, time_s: float) -> bool:
+        """Whether ``time_s`` falls inside this segment (half-open)."""
+        return self.start_s <= time_s < self.end_s
+
+
+class ScheduledSignal:
+    """A piecewise activity signal following a schedule of bouts.
+
+    The schedule is a sequence of ``(activity, duration_s)`` pairs.  Each
+    bout receives its own :class:`ActivityRealization`, so repeating an
+    activity later in the schedule produces a fresh (but statistically
+    identical) signal.
+
+    Parameters
+    ----------
+    schedule:
+        Sequence of ``(activity, duration_s)`` pairs.
+    generator:
+        Signal generator used to realise each bout.
+    seed:
+        Seed controlling all per-bout draws.
+    """
+
+    def __init__(
+        self,
+        schedule: Sequence[Tuple[Activity, float]],
+        generator: Optional[SyntheticSignalGenerator] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        if not schedule:
+            raise ValueError("schedule must contain at least one (activity, duration) pair")
+        self._generator = generator if generator is not None else SyntheticSignalGenerator(seed=seed)
+        rng = as_rng(seed)
+        segments: List[SignalSegment] = []
+        cursor = 0.0
+        for activity, duration in schedule:
+            duration = check_positive(duration, "duration")
+            realization = self._generator.realize(Activity.from_any(activity), rng)
+            segments.append(
+                SignalSegment(start_s=cursor, end_s=cursor + duration, realization=realization)
+            )
+            cursor += duration
+        self._segments = segments
+        self._boundaries = np.array([segment.end_s for segment in segments])
+
+    @property
+    def segments(self) -> List[SignalSegment]:
+        """The realised bouts in chronological order (copy of the list)."""
+        return list(self._segments)
+
+    @property
+    def duration_s(self) -> float:
+        """Total duration covered by the schedule in seconds."""
+        return float(self._boundaries[-1])
+
+    def activity_at(self, time_s: float) -> Activity:
+        """Ground-truth activity at ``time_s``.
+
+        Times at or beyond the end of the schedule return the last
+        bout's activity so that simulations may run up to and including
+        the final boundary.
+        """
+        if time_s < 0:
+            raise ValueError(f"time_s must be non-negative, got {time_s}")
+        index = int(np.searchsorted(self._boundaries, time_s, side="right"))
+        index = min(index, len(self._segments) - 1)
+        return self._segments[index].activity
+
+    def segment_at(self, time_s: float) -> SignalSegment:
+        """Return the bout covering ``time_s`` (clamped to the last bout)."""
+        if time_s < 0:
+            raise ValueError(f"time_s must be non-negative, got {time_s}")
+        index = int(np.searchsorted(self._boundaries, time_s, side="right"))
+        index = min(index, len(self._segments) - 1)
+        return self._segments[index]
+
+    def evaluate(self, times_s: np.ndarray) -> np.ndarray:
+        """Instantaneous acceleration at the given times."""
+        return self._evaluate(np.asarray(times_s, dtype=float), window_s=0.0)
+
+    def evaluate_windowed(self, times_s: np.ndarray, window_s: float) -> np.ndarray:
+        """Averaging-window-filtered acceleration at the given times."""
+        check_non_negative(window_s, "window_s")
+        return self._evaluate(np.asarray(times_s, dtype=float), window_s=float(window_s))
+
+    def _evaluate(self, times_s: np.ndarray, window_s: float) -> np.ndarray:
+        if times_s.ndim != 1:
+            raise ValueError(f"times_s must be 1-D, got shape {times_s.shape}")
+        if times_s.size and times_s.min() < 0:
+            raise ValueError("times_s must be non-negative")
+        output = np.empty((times_s.shape[0], NUM_AXES), dtype=float)
+        indices = np.searchsorted(self._boundaries, times_s, side="right")
+        indices = np.minimum(indices, len(self._segments) - 1)
+        for segment_index in np.unique(indices):
+            mask = indices == segment_index
+            segment = self._segments[segment_index]
+            if window_s > 0.0:
+                output[mask] = segment.realization.evaluate_windowed(times_s[mask], window_s)
+            else:
+                output[mask] = segment.realization.evaluate(times_s[mask])
+        return output

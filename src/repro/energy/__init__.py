@@ -1,0 +1,35 @@
+"""Energy and memory cost models.
+
+The paper's power numbers come from a Bosch BMI160 IMU driven by a TI
+CC2640R2F microcontroller.  This subpackage provides the analytic
+substitutes used by the reproduction:
+
+* :mod:`repro.energy.accelerometer` — current consumption of the
+  accelerometer as a function of sensor configuration (normal versus
+  duty-cycled low-power operation);
+* :mod:`repro.energy.mcu` — processing-cost and memory models for the
+  feature extraction and classification running on the MCU;
+* :mod:`repro.energy.accounting` — helpers that integrate current over
+  simulation traces and express savings relative to a baseline.
+"""
+
+from repro.energy.accelerometer import AccelerometerPowerModel
+from repro.energy.accounting import (
+    average_current_ua,
+    energy_uc,
+    relative_saving,
+    state_residency,
+)
+from repro.energy.battery import Battery, charge_uc_to_mah
+from repro.energy.mcu import McuModel
+
+__all__ = [
+    "AccelerometerPowerModel",
+    "McuModel",
+    "Battery",
+    "charge_uc_to_mah",
+    "average_current_ua",
+    "energy_uc",
+    "relative_saving",
+    "state_residency",
+]

@@ -1,0 +1,85 @@
+"""Battery-lifetime estimation from average current draw.
+
+The paper reports sensor current in microamperes; what a product team
+ultimately cares about is how many days a coin cell or small LiPo pack
+lasts.  This module provides the straightforward conversion used by the
+example applications: lifetime = capacity / average current, with an
+optional derating factor for cell ageing and cutoff voltage.
+
+The estimate deliberately covers only the component whose current is
+passed in.  To estimate whole-device lifetime, add the MCU and radio
+budgets to the average current before calling these helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.constants import SECONDS_PER_HOUR
+from repro.utils.validation import check_fraction, check_positive
+
+
+@dataclass(frozen=True)
+class Battery:
+    """A simple battery model.
+
+    Parameters
+    ----------
+    capacity_mah:
+        Nominal capacity in milliampere-hours.
+    usable_fraction:
+        Fraction of the nominal capacity actually available before the
+        device browns out (covers ageing, temperature and cutoff
+        voltage).  Must lie strictly between 0 and 1.
+    """
+
+    capacity_mah: float
+    usable_fraction: float = 0.85
+
+    def __post_init__(self) -> None:
+        check_positive(self.capacity_mah, "capacity_mah")
+        check_fraction(self.usable_fraction, "usable_fraction")
+
+    @classmethod
+    def coin_cell_cr2032(cls) -> "Battery":
+        """A CR2032 coin cell (~225 mAh), a common wearable power source."""
+        return cls(capacity_mah=225.0)
+
+    @classmethod
+    def small_lipo_100mah(cls) -> "Battery":
+        """A small 100 mAh LiPo pouch cell (wristband form factor)."""
+        return cls(capacity_mah=100.0)
+
+    @property
+    def usable_capacity_mah(self) -> float:
+        """Capacity available after derating, in mAh."""
+        return self.capacity_mah * self.usable_fraction
+
+    def lifetime_hours(self, average_current_ua: float) -> float:
+        """Hours of operation sustained at ``average_current_ua``."""
+        check_positive(average_current_ua, "average_current_ua")
+        average_current_ma = average_current_ua / 1000.0
+        return self.usable_capacity_mah / average_current_ma
+
+    def lifetime_days(self, average_current_ua: float) -> float:
+        """Days of operation sustained at ``average_current_ua``."""
+        return self.lifetime_hours(average_current_ua) / 24.0
+
+    def lifetime_extension(
+        self, baseline_current_ua: float, improved_current_ua: float
+    ) -> float:
+        """How many times longer the battery lasts after an optimisation.
+
+        A value of 3.0 means the improved system runs three times longer
+        on the same cell than the baseline.
+        """
+        baseline = self.lifetime_hours(baseline_current_ua)
+        improved = self.lifetime_hours(improved_current_ua)
+        return improved / baseline
+
+
+def charge_uc_to_mah(charge_uc: float) -> float:
+    """Convert a charge in microcoulombs (µA·s) into milliampere-hours."""
+    if charge_uc < 0:
+        raise ValueError(f"charge_uc must be non-negative, got {charge_uc}")
+    return charge_uc / 1000.0 / SECONDS_PER_HOUR

@@ -1,0 +1,146 @@
+"""Processing-cost and memory models for the wearable's microcontroller.
+
+The paper's platform is a TI CC2640R2F (ARM Cortex-M3 at 48 MHz).  Two
+of its comparisons rely on MCU-side costs rather than sensor current:
+
+* **Memory requirements** (Section V-D): storing one shared classifier
+  versus one classifier per sensor configuration.
+* **Data-processing overhead** (Section V-D): AdaSense's controller only
+  compares classifier outputs, whereas the intensity-based baseline must
+  additionally compute the derivative of the raw accelerometer stream
+  every second.
+
+The cycle counts below are simple analytic estimates (multiply-accumulate
+counts with a small constant overhead), not measurements; they are used
+for *relative* comparisons only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.utils.validation import check_non_negative, check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class McuModel:
+    """Analytic cycle/energy/memory model of the host microcontroller.
+
+    Parameters
+    ----------
+    clock_hz:
+        CPU clock frequency.
+    active_current_ma:
+        Current drawn while the CPU is running, in milliamperes.
+    supply_voltage_v:
+        Supply voltage used to convert charge into energy.
+    cycles_per_mac:
+        Cycles charged per multiply-accumulate (covers the arithmetic
+        plus loop overhead on a Cortex-M3 class core).
+    bytes_per_weight:
+        Storage cost of one classifier parameter.
+    """
+
+    clock_hz: float = 48e6
+    active_current_ma: float = 1.45
+    supply_voltage_v: float = 3.0
+    cycles_per_mac: int = 2
+    bytes_per_weight: int = 4
+
+    def __post_init__(self) -> None:
+        check_positive(self.clock_hz, "clock_hz")
+        check_positive(self.active_current_ma, "active_current_ma")
+        check_positive(self.supply_voltage_v, "supply_voltage_v")
+        check_positive_int(self.cycles_per_mac, "cycles_per_mac")
+        check_positive_int(self.bytes_per_weight, "bytes_per_weight")
+
+    @classmethod
+    def cc2640r2f(cls) -> "McuModel":
+        """The default CC2640R2F-flavoured parameterisation."""
+        return cls()
+
+    # ------------------------------------------------------------------
+    # Cycle models
+    # ------------------------------------------------------------------
+    def feature_extraction_cycles(
+        self, num_samples: int, num_fourier_features: int = 3
+    ) -> int:
+        """Cycles to extract the unified feature vector from one batch.
+
+        Statistical features need one pass for the mean and one for the
+        standard deviation (two MACs per sample per axis); each Fourier
+        feature is computed with a Goertzel-style recurrence costing two
+        MACs per sample per axis per coefficient.
+        """
+        check_non_negative(num_samples, "num_samples")
+        check_non_negative(num_fourier_features, "num_fourier_features")
+        stats_macs = 2 * num_samples * 3
+        fourier_macs = 2 * num_samples * 3 * num_fourier_features
+        return int(self.cycles_per_mac * (stats_macs + fourier_macs))
+
+    def derivative_cycles(self, num_samples: int) -> int:
+        """Cycles to compute the first derivative of a raw sample batch.
+
+        This is the extra per-batch work the intensity-based baseline
+        performs to estimate activity intensity (one subtract plus one
+        absolute-value accumulate per sample per axis).
+        """
+        check_non_negative(num_samples, "num_samples")
+        return int(self.cycles_per_mac * 2 * num_samples * 3)
+
+    def inference_cycles(self, num_parameters: int) -> int:
+        """Cycles for one forward pass of a dense classifier."""
+        check_non_negative(num_parameters, "num_parameters")
+        return int(self.cycles_per_mac * num_parameters)
+
+    # ------------------------------------------------------------------
+    # Energy / memory
+    # ------------------------------------------------------------------
+    def cycles_to_energy_uj(self, cycles: int) -> float:
+        """Convert a cycle count into microjoules of CPU energy."""
+        check_non_negative(cycles, "cycles")
+        seconds = cycles / self.clock_hz
+        current_a = self.active_current_ma * 1e-3
+        return current_a * self.supply_voltage_v * seconds * 1e6
+
+    def classifier_memory_bytes(self, num_parameters: int) -> int:
+        """Bytes of storage needed for a classifier's parameters."""
+        check_non_negative(num_parameters, "num_parameters")
+        return int(num_parameters * self.bytes_per_weight)
+
+    def processing_summary(
+        self,
+        num_samples: int,
+        num_parameters: int,
+        include_derivative: bool = False,
+        num_fourier_features: int = 3,
+    ) -> Mapping[str, float]:
+        """Cycle and energy breakdown for one classification step.
+
+        Parameters
+        ----------
+        num_samples:
+            Samples in the classification batch.
+        num_parameters:
+            Parameters of the classifier evaluated on the batch.
+        include_derivative:
+            Whether the per-batch derivative of the raw data is also
+            computed (the intensity-based baseline does; AdaSense does
+            not).
+        num_fourier_features:
+            Number of Fourier features extracted per axis.
+        """
+        feature_cycles = self.feature_extraction_cycles(
+            num_samples, num_fourier_features
+        )
+        inference = self.inference_cycles(num_parameters)
+        derivative = self.derivative_cycles(num_samples) if include_derivative else 0
+        total = feature_cycles + inference + derivative
+        return {
+            "feature_cycles": float(feature_cycles),
+            "inference_cycles": float(inference),
+            "derivative_cycles": float(derivative),
+            "total_cycles": float(total),
+            "energy_uj": self.cycles_to_energy_uj(total),
+        }

@@ -1,0 +1,55 @@
+"""Experiment drivers reproducing every table and figure of the paper.
+
+Each module corresponds to one artefact of the paper's evaluation
+(Section V) and produces a small result dataclass with a
+``format_table()`` method that prints the same rows/series the paper
+reports.  The benchmark harness under ``benchmarks/`` simply calls these
+drivers, so an experiment can equally be run from a notebook or script:
+
+======================  ==============================================
+Module                   Paper artefact
+======================  ==============================================
+``table1``               Table I — the 16 sensor configurations
+``fig2_dse``             Fig. 2 — accuracy/current trade-off + Pareto front
+``fig5_behavior``        Fig. 5 — 120 s behavioural trace (sit then walk)
+``fig6_power_accuracy``  Fig. 6a/6b — accuracy and power vs stability threshold
+``fig7_comparison``      Fig. 7 — AdaSense vs the intensity-based approach
+``memory_overhead``      Section V-D — memory and processing overhead
+``headline``             Abstract — 69 % power reduction, <1.5 % accuracy loss
+``mismatch``             Motivation — single shared classifier vs per-config
+``ablations``            Design-choice ablations called out in DESIGN.md
+======================  ==============================================
+"""
+
+from repro.experiments.common import TrainedSystems, get_trained_systems
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.fig2_dse import Fig2Result, run_fig2
+from repro.experiments.fig5_behavior import Fig5Result, run_fig5
+from repro.experiments.fig6_power_accuracy import Fig6Result, Fig6Row, run_fig6
+from repro.experiments.fig7_comparison import Fig7Result, Fig7Row, run_fig7
+from repro.experiments.headline import HeadlineResult, run_headline
+from repro.experiments.memory_overhead import MemoryOverheadResult, run_memory_overhead
+from repro.experiments.mismatch import MismatchResult, run_mismatch
+
+__all__ = [
+    "TrainedSystems",
+    "get_trained_systems",
+    "Table1Result",
+    "run_table1",
+    "Fig2Result",
+    "run_fig2",
+    "Fig5Result",
+    "run_fig5",
+    "Fig6Result",
+    "Fig6Row",
+    "run_fig6",
+    "Fig7Result",
+    "Fig7Row",
+    "run_fig7",
+    "HeadlineResult",
+    "run_headline",
+    "MemoryOverheadResult",
+    "run_memory_overhead",
+    "MismatchResult",
+    "run_mismatch",
+]

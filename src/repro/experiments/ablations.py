@@ -1,0 +1,263 @@
+"""Ablations of the design choices called out in DESIGN.md.
+
+Three knobs of the AdaSense design are varied independently:
+
+* **Fourier features** — how many spectral features per axis the unified
+  feature vector keeps, and whether they are band energies or raw FFT
+  bins (the paper keeps three coefficients covering up to 3 Hz);
+* **Classifier capacity** — the width of the shared MLP's hidden layer,
+  which trades recognition accuracy against classifier memory;
+* **SPOT state count** — how many Pareto configurations the FSM steps
+  through, which trades the depth of the power savings against how often
+  a misclassification can strand the sensor at an inaccurate state.
+
+Each ablation returns a small result object with ``format_table()`` so
+the benchmarks can print it alongside the main figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.adasense import AdaSense
+from repro.core.config import DEFAULT_SPOT_STATES, SensorConfig
+from repro.core.controller import SpotWithConfidenceController
+from repro.core.features import FeatureExtractor
+from repro.core.pipeline import HarPipeline
+from repro.datasets.scenarios import ScheduleSpec, generate_random_schedule
+from repro.datasets.synthetic import ScheduledSignal
+from repro.datasets.windows import WindowDatasetBuilder
+from repro.experiments.common import Scale, get_trained_systems
+from repro.utils.rng import SeedLike, stable_seed_from
+
+
+# ----------------------------------------------------------------------
+# Feature ablation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FeatureAblationRow:
+    """Accuracy obtained with one feature-extraction configuration."""
+
+    n_fourier_features: int
+    fourier_mode: str
+    num_features: int
+    accuracy: float
+
+
+@dataclass
+class FeatureAblationResult:
+    """Accuracy as a function of the Fourier-feature configuration."""
+
+    rows: List[FeatureAblationRow]
+
+    def best_row(self) -> FeatureAblationRow:
+        """The configuration with the highest held-out accuracy."""
+        return max(self.rows, key=lambda row: row.accuracy)
+
+    def format_table(self) -> str:
+        """Readable ablation table."""
+        lines = [
+            f"{'fourier features':>16}  {'mode':>6}  {'vector size':>11}  {'accuracy':>8}"
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.n_fourier_features:16d}  {row.fourier_mode:>6}  "
+                f"{row.num_features:11d}  {row.accuracy:8.3f}"
+            )
+        return "\n".join(lines)
+
+
+def run_feature_ablation(
+    fourier_counts: Sequence[int] = (1, 2, 3, 5),
+    modes: Sequence[str] = ("bands", "bins"),
+    configs: Sequence[SensorConfig] = DEFAULT_SPOT_STATES,
+    windows_per_activity_per_config: int = 30,
+    seed: SeedLike = 2020,
+) -> FeatureAblationResult:
+    """Vary the Fourier-feature configuration of the unified feature vector."""
+    rows: List[FeatureAblationRow] = []
+    for mode in modes:
+        for count in fourier_counts:
+            extractor = FeatureExtractor(n_fourier_features=count, fourier_mode=mode)
+            builder = WindowDatasetBuilder(
+                extractor=extractor,
+                seed=stable_seed_from(seed, "feature-ablation", mode, count),
+            )
+            dataset = builder.build(
+                configs=configs,
+                windows_per_activity_per_config=windows_per_activity_per_config,
+            )
+            train, test = dataset.split(
+                test_fraction=0.3, seed=stable_seed_from(seed, "split", mode, count)
+            )
+            pipeline = HarPipeline.train(
+                train,
+                extractor=extractor,
+                seed=stable_seed_from(seed, "model", mode, count),
+            )
+            rows.append(
+                FeatureAblationRow(
+                    n_fourier_features=count,
+                    fourier_mode=mode,
+                    num_features=extractor.num_features,
+                    accuracy=pipeline.evaluate(test),
+                )
+            )
+    return FeatureAblationResult(rows=rows)
+
+
+# ----------------------------------------------------------------------
+# Classifier-capacity ablation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClassifierAblationRow:
+    """Accuracy and memory cost of one hidden-layer width."""
+
+    hidden_units: int
+    num_parameters: int
+    memory_bytes: int
+    accuracy: float
+
+
+@dataclass
+class ClassifierAblationResult:
+    """Accuracy / memory trade-off of the shared classifier."""
+
+    rows: List[ClassifierAblationRow]
+
+    def format_table(self) -> str:
+        """Readable ablation table."""
+        lines = [
+            f"{'hidden units':>12}  {'parameters':>10}  {'memory (B)':>10}  {'accuracy':>8}"
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.hidden_units:12d}  {row.num_parameters:10d}  "
+                f"{row.memory_bytes:10d}  {row.accuracy:8.3f}"
+            )
+        return "\n".join(lines)
+
+
+def run_classifier_ablation(
+    hidden_sizes: Sequence[int] = (8, 16, 32, 64),
+    configs: Sequence[SensorConfig] = DEFAULT_SPOT_STATES,
+    windows_per_activity_per_config: int = 30,
+    seed: SeedLike = 2020,
+) -> ClassifierAblationResult:
+    """Vary the hidden-layer width of the shared classifier."""
+    builder = WindowDatasetBuilder(seed=stable_seed_from(seed, "classifier-ablation"))
+    dataset = builder.build(
+        configs=configs,
+        windows_per_activity_per_config=windows_per_activity_per_config,
+    )
+    train, test = dataset.split(test_fraction=0.3, seed=stable_seed_from(seed, "split"))
+
+    rows: List[ClassifierAblationRow] = []
+    for hidden in hidden_sizes:
+        pipeline = HarPipeline.train(
+            train,
+            hidden_units=(hidden,),
+            seed=stable_seed_from(seed, "model", hidden),
+        )
+        rows.append(
+            ClassifierAblationRow(
+                hidden_units=hidden,
+                num_parameters=pipeline.num_parameters,
+                memory_bytes=pipeline.memory_bytes(),
+                accuracy=pipeline.evaluate(test),
+            )
+        )
+    return ClassifierAblationResult(rows=rows)
+
+
+# ----------------------------------------------------------------------
+# SPOT state-count ablation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StateCountAblationRow:
+    """Closed-loop accuracy and power with a truncated SPOT state chain."""
+
+    num_states: int
+    state_names: Tuple[str, ...]
+    accuracy: float
+    average_current_ua: float
+
+
+@dataclass
+class StateCountAblationResult:
+    """Effect of the number of SPOT states on the closed-loop trade-off."""
+
+    rows: List[StateCountAblationRow]
+
+    def format_table(self) -> str:
+        """Readable ablation table."""
+        lines = [
+            f"{'states':>6}  {'accuracy':>8}  {'current (uA)':>12}  chain"
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.num_states:6d}  {row.accuracy:8.3f}  "
+                f"{row.average_current_ua:12.1f}  {' -> '.join(row.state_names)}"
+            )
+        return "\n".join(lines)
+
+
+def run_state_count_ablation(
+    state_counts: Sequence[int] = (1, 2, 3, 4),
+    stability_threshold: int = 10,
+    scale: Scale = "quick",
+    seed: int = 2020,
+    duration_s: float = 300.0,
+    repeats: int = 2,
+    system: Optional[AdaSense] = None,
+) -> StateCountAblationResult:
+    """Vary how many of the Pareto states the SPOT FSM may descend through.
+
+    A single state is the static baseline; two states resemble the
+    high/low switching of prior work; four states are the full AdaSense
+    chain.
+    """
+    if system is None:
+        system = get_trained_systems(scale=scale, seed=seed).adasense
+
+    spec = ScheduleSpec(total_duration_s=duration_s, min_bout_s=45.0, max_bout_s=90.0)
+    signals = []
+    for repeat in range(repeats):
+        schedule = generate_random_schedule(
+            spec, seed=stable_seed_from(seed, "state-ablation", repeat)
+        )
+        signals.append(
+            ScheduledSignal(schedule, seed=stable_seed_from(seed, "signal", repeat))
+        )
+
+    rows: List[StateCountAblationRow] = []
+    for count in state_counts:
+        if count < 1 or count > len(DEFAULT_SPOT_STATES):
+            raise ValueError(
+                f"state_counts entries must lie in [1, {len(DEFAULT_SPOT_STATES)}], got {count}"
+            )
+        states = DEFAULT_SPOT_STATES[:count]
+        controller = SpotWithConfidenceController(
+            states=states, stability_threshold=stability_threshold
+        )
+        adaptive = system.with_controller(controller)
+        accuracies = []
+        currents = []
+        for index, signal in enumerate(signals):
+            trace = adaptive.simulate(
+                signal, seed=stable_seed_from(seed, "run", count, index)
+            )
+            accuracies.append(trace.accuracy)
+            currents.append(trace.average_current_ua)
+        rows.append(
+            StateCountAblationRow(
+                num_states=count,
+                state_names=tuple(config.name for config in states),
+                accuracy=float(np.mean(accuracies)),
+                average_current_ua=float(np.mean(currents)),
+            )
+        )
+    return StateCountAblationResult(rows=rows)

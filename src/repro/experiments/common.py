@@ -1,0 +1,156 @@
+"""Shared setup for the experiment drivers.
+
+Several figures need the same expensive artefacts: an AdaSense system
+with its shared classifier trained on the four SPOT states, and the
+intensity-based baseline with its two per-configuration classifiers.
+Training them takes a few seconds, so this module builds them once per
+process (memoised on the experiment *scale* and seed) and hands the same
+instances to every driver and benchmark.
+
+Two scales are provided:
+
+* ``"quick"`` — small training sets and short simulations; used by the
+  test suite and by benchmark smoke runs.
+* ``"paper"`` — training-set size comparable to the paper's 7300 windows
+  and longer simulations; used when regenerating the figures properly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Literal
+
+from repro.baselines.intensity_based import IntensityBasedApproach
+from repro.baselines.static import AlwaysHighPowerBaseline
+from repro.core.adasense import AdaSense
+from repro.core.config import DEFAULT_SPOT_STATES
+from repro.core.controller import StaticController
+
+Scale = Literal["quick", "paper"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs that trade experiment fidelity against runtime.
+
+    Attributes
+    ----------
+    windows_per_activity_per_config:
+        Training windows per (activity, configuration) pair for the
+        shared classifier.
+    baseline_windows_per_activity:
+        Training windows per activity for each of the baseline's
+        per-configuration classifiers.
+    dse_windows_per_activity:
+        Windows per activity used when evaluating each Table I
+        configuration in the design-space exploration.
+    simulation_duration_s:
+        Length of each simulated schedule.
+    simulation_repeats:
+        Number of schedules averaged per measurement point.
+    """
+
+    windows_per_activity_per_config: int
+    baseline_windows_per_activity: int
+    dse_windows_per_activity: int
+    simulation_duration_s: float
+    simulation_repeats: int
+
+
+#: Parameters for the two supported scales.
+SCALES: Dict[str, ExperimentScale] = {
+    "quick": ExperimentScale(
+        windows_per_activity_per_config=25,
+        baseline_windows_per_activity=40,
+        dse_windows_per_activity=30,
+        simulation_duration_s=300.0,
+        simulation_repeats=2,
+    ),
+    "paper": ExperimentScale(
+        windows_per_activity_per_config=300,
+        baseline_windows_per_activity=300,
+        dse_windows_per_activity=120,
+        simulation_duration_s=600.0,
+        simulation_repeats=5,
+    ),
+}
+
+
+def get_scale(scale: Scale) -> ExperimentScale:
+    """Look up the parameters of a named experiment scale."""
+    if scale not in SCALES:
+        raise ValueError(f"scale must be one of {sorted(SCALES)}, got {scale!r}")
+    return SCALES[scale]
+
+
+@dataclass(frozen=True)
+class TrainedSystems:
+    """The trained artefacts shared by the experiment drivers.
+
+    Attributes
+    ----------
+    adasense:
+        AdaSense with the shared classifier trained on all four SPOT
+        states (the controller attached to it is irrelevant; drivers
+        swap controllers via :meth:`AdaSense.with_controller`).
+    baseline:
+        The always-high-power baseline sharing AdaSense's pipeline.
+    intensity_based:
+        The NK et al. intensity-based approach with its per-configuration
+        classifiers.
+    scale:
+        The scale the artefacts were built at.
+    seed:
+        The master seed used for training.
+    """
+
+    adasense: AdaSense
+    baseline: AlwaysHighPowerBaseline
+    intensity_based: IntensityBasedApproach
+    scale: ExperimentScale
+    seed: int
+
+
+@lru_cache(maxsize=4)
+def get_trained_systems(scale: Scale = "quick", seed: int = 2020) -> TrainedSystems:
+    """Train (or fetch the memoised) systems for the requested scale.
+
+    Parameters
+    ----------
+    scale:
+        ``"quick"`` for test/benchmark smoke runs, ``"paper"`` for
+        full-fidelity figure regeneration.
+    seed:
+        Master seed controlling training-data generation and weight
+        initialisation.
+    """
+    parameters = get_scale(scale)
+    adasense = AdaSense.train(
+        configs=DEFAULT_SPOT_STATES,
+        windows_per_activity_per_config=parameters.windows_per_activity_per_config,
+        seed=seed,
+    )
+    baseline = AlwaysHighPowerBaseline(
+        pipeline=adasense.pipeline,
+        power_model=adasense.power_model,
+        noise=adasense.noise_model,
+    )
+    intensity_based = IntensityBasedApproach.train(
+        windows_per_activity=parameters.baseline_windows_per_activity,
+        noise=adasense.noise_model,
+        power_model=adasense.power_model,
+        seed=seed + 1,
+    )
+    return TrainedSystems(
+        adasense=adasense,
+        baseline=baseline,
+        intensity_based=intensity_based,
+        scale=parameters,
+        seed=seed,
+    )
+
+
+def fresh_static_controller() -> StaticController:
+    """Convenience helper returning a new always-F100_A128 controller."""
+    return StaticController()

@@ -1,0 +1,269 @@
+"""Fig. 6 — accuracy and sensor power versus the stability threshold.
+
+The paper sweeps SPOT's stability threshold from 0 to 60 seconds and
+reports, for three scenarios:
+
+* **baseline** — the controller never switches (sensor pinned to
+  F100_A128);
+* **SPOT** — the plain finite-state machine;
+* **SPOT with confidence** — the confidence-gated variant (threshold
+  0.85);
+
+(a) the recognition accuracy, which rises steeply until roughly 20
+seconds and then saturates within ~1.5 % of the baseline, and (b) the
+total sensor power, which grows with the threshold and meets the
+baseline at 60 seconds.  Averaged over the sweep the paper reports 60 %
+(SPOT) and 69 % (SPOT with confidence) power reduction.
+
+The driver reproduces both panels: each (threshold, scenario) point is
+the average over a set of randomised activity schedules simulated in the
+closed loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.adasense import AdaSense
+from repro.core.controller import (
+    SpotController,
+    SpotWithConfidenceController,
+    StaticController,
+)
+from repro.datasets.scenarios import ScheduleSpec, generate_random_schedule
+from repro.datasets.synthetic import ScheduledSignal
+from repro.energy.accounting import relative_saving
+from repro.experiments.common import Scale, get_scale, get_trained_systems
+from repro.utils.rng import SeedLike, as_rng, stable_seed_from
+
+#: Scenario identifiers used in result rows.
+BASELINE = "baseline"
+SPOT = "spot"
+SPOT_CONFIDENCE = "spot_confidence"
+
+#: Default stability-threshold sweep, in seconds (matching Fig. 6's x-axis).
+DEFAULT_THRESHOLDS: Tuple[int, ...] = (0, 5, 10, 15, 20, 30, 40, 50, 60)
+
+#: Bout-duration range of the randomised evaluation schedules.  Bouts of a
+#: few minutes represent the "typical user" whose activity is stable for a
+#: while but does change, which is the regime Fig. 6 explores.
+EVALUATION_BOUT_RANGE_S: Tuple[float, float] = (75.0, 200.0)
+
+
+@dataclass(frozen=True)
+class Fig6Row:
+    """One (stability threshold, scenario) measurement point."""
+
+    stability_threshold: int
+    scenario: str
+    accuracy: float
+    average_current_ua: float
+
+
+@dataclass
+class Fig6Result:
+    """All measurement points of the Fig. 6 sweep."""
+
+    rows: List[Fig6Row]
+    thresholds: Tuple[int, ...]
+    confidence_threshold: float
+
+    # ------------------------------------------------------------------
+    # Series access
+    # ------------------------------------------------------------------
+    def series(self, scenario: str) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(thresholds, accuracies, currents)`` for one scenario."""
+        rows = sorted(
+            (row for row in self.rows if row.scenario == scenario),
+            key=lambda row: row.stability_threshold,
+        )
+        if not rows:
+            raise KeyError(f"no rows for scenario {scenario!r}")
+        return (
+            np.array([row.stability_threshold for row in rows]),
+            np.array([row.accuracy for row in rows]),
+            np.array([row.average_current_ua for row in rows]),
+        )
+
+    def baseline_current_ua(self) -> float:
+        """Average sensor current of the never-switching baseline."""
+        _, _, currents = self.series(BASELINE)
+        return float(np.mean(currents))
+
+    def baseline_accuracy(self) -> float:
+        """Recognition accuracy of the never-switching baseline."""
+        _, accuracies, _ = self.series(BASELINE)
+        return float(np.mean(accuracies))
+
+    # ------------------------------------------------------------------
+    # Headline quantities
+    # ------------------------------------------------------------------
+    def average_power_saving(self, scenario: str) -> float:
+        """Power reduction vs baseline averaged over the threshold sweep."""
+        baseline = self.baseline_current_ua()
+        _, _, currents = self.series(scenario)
+        return float(np.mean([relative_saving(baseline, value) for value in currents]))
+
+    def accuracy_drop_after(self, scenario: str, min_threshold: int = 20) -> float:
+        """Accuracy loss vs baseline once the threshold is at least ``min_threshold``."""
+        baseline = self.baseline_accuracy()
+        thresholds, accuracies, _ = self.series(scenario)
+        mask = thresholds >= min_threshold
+        if not mask.any():
+            raise ValueError(
+                f"no thresholds >= {min_threshold} in the sweep {tuple(thresholds)}"
+            )
+        return float(baseline - np.mean(accuracies[mask]))
+
+    def accuracy_trend_is_increasing(self, scenario: str) -> bool:
+        """Whether accuracy at the top of the sweep exceeds accuracy at zero."""
+        _, accuracies, _ = self.series(scenario)
+        return bool(accuracies[-1] >= accuracies[0])
+
+    def power_trend_is_increasing(self, scenario: str) -> bool:
+        """Whether power at the top of the sweep exceeds power at zero."""
+        _, _, currents = self.series(scenario)
+        return bool(currents[-1] >= currents[0])
+
+    def format_table(self) -> str:
+        """Both panels of Fig. 6 as one table plus the headline summary."""
+        lines = [
+            f"{'threshold (s)':>13}  {'scenario':>16}  {'accuracy':>8}  "
+            f"{'current (uA)':>12}"
+        ]
+        for row in sorted(self.rows, key=lambda r: (r.stability_threshold, r.scenario)):
+            lines.append(
+                f"{row.stability_threshold:13d}  {row.scenario:>16}  "
+                f"{row.accuracy:8.3f}  {row.average_current_ua:12.1f}"
+            )
+        lines.append("")
+        for scenario in (SPOT, SPOT_CONFIDENCE):
+            lines.append(
+                f"average power saving ({scenario}): "
+                f"{100.0 * self.average_power_saving(scenario):.1f} %"
+            )
+            lines.append(
+                f"accuracy drop at threshold >= 20 s ({scenario}): "
+                f"{100.0 * self.accuracy_drop_after(scenario):.2f} pp"
+            )
+        return "\n".join(lines)
+
+
+def _evaluation_signals(
+    count: int, duration_s: float, seed: SeedLike
+) -> List[ScheduledSignal]:
+    """Realise the shared evaluation schedules used by every scenario."""
+    rng = as_rng(seed)
+    spec = ScheduleSpec(
+        total_duration_s=duration_s,
+        min_bout_s=EVALUATION_BOUT_RANGE_S[0],
+        max_bout_s=EVALUATION_BOUT_RANGE_S[1],
+    )
+    signals = []
+    for index in range(count):
+        schedule = generate_random_schedule(spec, seed=rng)
+        signals.append(
+            ScheduledSignal(schedule, seed=stable_seed_from(int(rng.integers(2**31)), index))
+        )
+    return signals
+
+
+def _average_over_signals(
+    system: AdaSense, signals: Sequence[ScheduledSignal], seed: int
+) -> Tuple[float, float]:
+    """Mean (accuracy, average current) of ``system`` over the signals."""
+    accuracies = []
+    currents = []
+    for index, signal in enumerate(signals):
+        trace = system.simulate(signal, seed=stable_seed_from(seed, index))
+        accuracies.append(trace.accuracy)
+        currents.append(trace.average_current_ua)
+    return float(np.mean(accuracies)), float(np.mean(currents))
+
+
+def run_fig6(
+    thresholds: Sequence[int] = DEFAULT_THRESHOLDS,
+    confidence_threshold: float = 0.85,
+    scale: Scale = "quick",
+    seed: int = 2020,
+    repeats: Optional[int] = None,
+    duration_s: Optional[float] = None,
+    system: Optional[AdaSense] = None,
+) -> Fig6Result:
+    """Reproduce the Fig. 6 stability-threshold sweep.
+
+    Parameters
+    ----------
+    thresholds:
+        Stability thresholds (seconds) to sweep.
+    confidence_threshold:
+        Confidence gate of the SPOT-with-confidence scenario.
+    scale:
+        Experiment scale used for the shared trained system and the
+        default number/length of evaluation schedules.
+    seed:
+        Master seed: evaluation schedules and sensor noise derive from it.
+    repeats:
+        Number of schedules averaged per point (defaults to the scale's
+        value).
+    duration_s:
+        Length of each schedule (defaults to the scale's value).
+    system:
+        Optionally a pre-trained AdaSense system to reuse.
+    """
+    parameters = get_scale(scale)
+    if system is None:
+        system = get_trained_systems(scale=scale, seed=seed).adasense
+    repeats = repeats if repeats is not None else parameters.simulation_repeats
+    duration_s = (
+        duration_s if duration_s is not None else parameters.simulation_duration_s
+    )
+
+    signals = _evaluation_signals(repeats, duration_s, seed=stable_seed_from(seed, "fig6"))
+    rows: List[Fig6Row] = []
+
+    # Baseline: threshold-independent, measured once and replicated so the
+    # table carries a baseline row per threshold (as the figure does).
+    baseline_system = system.with_controller(StaticController())
+    baseline_accuracy, baseline_current = _average_over_signals(
+        baseline_system, signals, seed=stable_seed_from(seed, "baseline")
+    )
+    for threshold in thresholds:
+        rows.append(
+            Fig6Row(
+                stability_threshold=int(threshold),
+                scenario=BASELINE,
+                accuracy=baseline_accuracy,
+                average_current_ua=baseline_current,
+            )
+        )
+
+    scenario_controllers = {
+        SPOT: lambda value: SpotController(stability_threshold=value),
+        SPOT_CONFIDENCE: lambda value: SpotWithConfidenceController(
+            stability_threshold=value, confidence_threshold=confidence_threshold
+        ),
+    }
+    for scenario, make_controller in scenario_controllers.items():
+        for threshold in thresholds:
+            adaptive = system.with_controller(make_controller(int(threshold)))
+            accuracy, current = _average_over_signals(
+                adaptive, signals, seed=stable_seed_from(seed, scenario, int(threshold))
+            )
+            rows.append(
+                Fig6Row(
+                    stability_threshold=int(threshold),
+                    scenario=scenario,
+                    accuracy=accuracy,
+                    average_current_ua=current,
+                )
+            )
+
+    return Fig6Result(
+        rows=rows,
+        thresholds=tuple(int(value) for value in thresholds),
+        confidence_threshold=confidence_threshold,
+    )

@@ -1,0 +1,128 @@
+"""Section V-D — memory requirements and data-processing overhead.
+
+Two short comparisons round off the paper's evaluation:
+
+* **Memory.** NK et al. keep a separate classifier per sensor
+  configuration, so their storage cost scales with the number of
+  configurations; AdaSense stores one shared classifier.  With the two
+  configurations of the intensity-based baseline the paper reports a 2x
+  saving; against one-classifier-per-SPOT-state the saving would be 4x.
+* **Processing.** The intensity-based approach must additionally compute
+  the first derivative of the raw sample batch every second to estimate
+  activity intensity; AdaSense's controller only compares classifier
+  outputs, so it adds no per-batch arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.baselines.intensity_based import IntensityBasedApproach
+from repro.core.adasense import AdaSense
+from repro.core.config import DEFAULT_SPOT_STATES, HIGH_POWER_CONFIG
+from repro.energy.mcu import McuModel
+from repro.experiments.common import Scale, get_trained_systems
+
+
+@dataclass
+class MemoryOverheadResult:
+    """Memory and processing comparison between AdaSense and the baseline."""
+
+    adasense_memory_bytes: int
+    iba_memory_bytes: int
+    per_state_memory_bytes: int
+    adasense_cycles_per_step: int
+    iba_cycles_per_step: int
+
+    @property
+    def memory_saving_vs_iba(self) -> float:
+        """How many times smaller AdaSense's classifier storage is vs IbA."""
+        return self.iba_memory_bytes / self.adasense_memory_bytes
+
+    @property
+    def memory_saving_vs_per_state(self) -> float:
+        """Saving versus retraining one classifier per SPOT state."""
+        return self.per_state_memory_bytes / self.adasense_memory_bytes
+
+    @property
+    def processing_overhead_of_iba(self) -> float:
+        """Relative extra cycles IbA spends per classification step."""
+        return (
+            self.iba_cycles_per_step - self.adasense_cycles_per_step
+        ) / self.adasense_cycles_per_step
+
+    def format_table(self) -> str:
+        """Readable summary of both comparisons."""
+        lines = [
+            f"AdaSense classifier memory        : {self.adasense_memory_bytes:8d} bytes",
+            f"IbA classifiers memory            : {self.iba_memory_bytes:8d} bytes",
+            f"per-SPOT-state classifiers memory : {self.per_state_memory_bytes:8d} bytes",
+            f"memory saving vs IbA              : {self.memory_saving_vs_iba:8.2f} x",
+            f"memory saving vs per-state        : {self.memory_saving_vs_per_state:8.2f} x",
+            f"AdaSense cycles per step          : {self.adasense_cycles_per_step:8d}",
+            f"IbA cycles per step               : {self.iba_cycles_per_step:8d}",
+            f"IbA processing overhead           : "
+            f"{100.0 * self.processing_overhead_of_iba:7.1f} %",
+        ]
+        return "\n".join(lines)
+
+
+def run_memory_overhead(
+    scale: Scale = "quick",
+    seed: int = 2020,
+    mcu: Optional[McuModel] = None,
+    adasense: Optional[AdaSense] = None,
+    intensity_based: Optional[IntensityBasedApproach] = None,
+) -> MemoryOverheadResult:
+    """Reproduce the Section V-D memory / processing comparison.
+
+    Parameters
+    ----------
+    scale, seed:
+        Which shared trained systems to use.
+    mcu:
+        MCU cost model (defaults to the CC2640R2F-flavoured model).
+    adasense, intensity_based:
+        Optionally pre-trained systems to reuse.
+    """
+    if adasense is None or intensity_based is None:
+        trained = get_trained_systems(scale=scale, seed=seed)
+        adasense = adasense if adasense is not None else trained.adasense
+        intensity_based = (
+            intensity_based if intensity_based is not None else trained.intensity_based
+        )
+    mcu = mcu if mcu is not None else McuModel.cc2640r2f()
+
+    adasense_memory = adasense.pipeline.memory_bytes()
+    iba_memory = intensity_based.memory_bytes()
+    per_state_memory = adasense_memory * len(DEFAULT_SPOT_STATES)
+
+    # Processing cost of one classification step at the full-power
+    # configuration (the worst case batch size): AdaSense extracts
+    # features and runs inference; IbA additionally differentiates the
+    # raw batch to estimate intensity.
+    batch_samples = HIGH_POWER_CONFIG.samples_per_window
+    adasense_cycles = int(
+        mcu.processing_summary(
+            num_samples=batch_samples,
+            num_parameters=adasense.pipeline.num_parameters,
+            include_derivative=False,
+        )["total_cycles"]
+    )
+    iba_pipeline = intensity_based.pipeline_for(intensity_based.high_config)
+    iba_cycles = int(
+        mcu.processing_summary(
+            num_samples=batch_samples,
+            num_parameters=iba_pipeline.num_parameters,
+            include_derivative=True,
+        )["total_cycles"]
+    )
+
+    return MemoryOverheadResult(
+        adasense_memory_bytes=adasense_memory,
+        iba_memory_bytes=iba_memory,
+        per_state_memory_bytes=per_state_memory,
+        adasense_cycles_per_step=adasense_cycles,
+        iba_cycles_per_step=iba_cycles,
+    )

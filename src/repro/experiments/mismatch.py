@@ -1,0 +1,142 @@
+"""Configuration-mismatch experiment (the motivation for shared training).
+
+Section III-C argues that "classification accuracy can degrade
+significantly if the sensor configurations of the test data are
+different from the configurations of the training data", which is why
+AdaSense either needs one classifier per configuration (memory overhead)
+or — its choice — a single classifier trained on data from *all* the
+configurations the controller may select.
+
+This experiment quantifies that argument on the simulated substrate: it
+trains one classifier only on full-power (F100_A128) windows and one on
+the union of the four SPOT states, then evaluates both on held-out
+windows of every state.  The mismatched classifier should lose accuracy
+on the low-power configurations while the shared classifier holds up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import DEFAULT_SPOT_STATES, HIGH_POWER_CONFIG, SensorConfig
+from repro.core.pipeline import HarPipeline
+from repro.datasets.windows import WindowDataset, WindowDatasetBuilder
+from repro.utils.rng import SeedLike, stable_seed_from
+
+
+@dataclass(frozen=True)
+class MismatchRow:
+    """Accuracy of both training regimes on one evaluation configuration."""
+
+    config_name: str
+    matched_training_accuracy: float
+    mismatched_training_accuracy: float
+
+    @property
+    def degradation(self) -> float:
+        """Accuracy lost by training only on the full-power configuration."""
+        return self.matched_training_accuracy - self.mismatched_training_accuracy
+
+
+@dataclass
+class MismatchResult:
+    """Per-configuration accuracies for shared versus mismatched training."""
+
+    rows: List[MismatchRow]
+
+    def row_for(self, config: "SensorConfig | str") -> MismatchRow:
+        """Look up the row of one evaluation configuration."""
+        name = config.name if isinstance(config, SensorConfig) else str(config)
+        for row in self.rows:
+            if row.config_name == name:
+                return row
+        raise KeyError(f"no mismatch row for configuration {name!r}")
+
+    @property
+    def worst_degradation(self) -> float:
+        """Largest accuracy loss caused by mismatched training."""
+        return max(row.degradation for row in self.rows)
+
+    @property
+    def mean_degradation(self) -> float:
+        """Average accuracy loss over the evaluated configurations."""
+        return float(np.mean([row.degradation for row in self.rows]))
+
+    def format_table(self) -> str:
+        """Readable comparison table."""
+        lines = [
+            f"{'configuration':>14}  {'shared training':>15}  "
+            f"{'F100-only training':>18}  {'degradation':>11}"
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.config_name:>14}  {row.matched_training_accuracy:15.3f}  "
+                f"{row.mismatched_training_accuracy:18.3f}  {row.degradation:11.3f}"
+            )
+        lines.append("")
+        lines.append(f"mean degradation : {self.mean_degradation:.3f}")
+        lines.append(f"worst degradation: {self.worst_degradation:.3f}")
+        return "\n".join(lines)
+
+
+def run_mismatch(
+    configs: Sequence[SensorConfig] = DEFAULT_SPOT_STATES,
+    windows_per_activity_per_config: int = 40,
+    test_windows_per_activity: int = 25,
+    hidden_units: Tuple[int, ...] = (32,),
+    seed: SeedLike = 2020,
+) -> MismatchResult:
+    """Quantify the cost of training on a single sensor configuration.
+
+    Parameters
+    ----------
+    configs:
+        Configurations to evaluate on (default: the four SPOT states).
+    windows_per_activity_per_config:
+        Training windows per (activity, configuration) pair for the
+        shared classifier; the mismatched classifier receives the same
+        *total* number of windows, all from the full-power configuration,
+        so the comparison is not confounded by training-set size.
+    test_windows_per_activity:
+        Held-out windows per activity per configuration.
+    hidden_units:
+        Classifier architecture (same for both regimes).
+    seed:
+        Master seed.
+    """
+    builder = WindowDatasetBuilder(seed=stable_seed_from(seed, "mismatch-train"))
+    shared_dataset = builder.build(
+        configs=configs,
+        windows_per_activity_per_config=windows_per_activity_per_config,
+    )
+    mismatched_dataset = builder.build(
+        configs=[HIGH_POWER_CONFIG],
+        windows_per_activity_per_config=windows_per_activity_per_config * len(configs),
+    )
+
+    shared_pipeline = HarPipeline.train(
+        shared_dataset, hidden_units=hidden_units, seed=stable_seed_from(seed, "shared")
+    )
+    mismatched_pipeline = HarPipeline.train(
+        mismatched_dataset,
+        hidden_units=hidden_units,
+        seed=stable_seed_from(seed, "mismatched"),
+    )
+
+    eval_builder = WindowDatasetBuilder(seed=stable_seed_from(seed, "mismatch-eval"))
+    rows: List[MismatchRow] = []
+    for config in configs:
+        test_dataset = eval_builder.build_for_config(
+            config, windows_per_activity=test_windows_per_activity
+        )
+        rows.append(
+            MismatchRow(
+                config_name=config.name,
+                matched_training_accuracy=shared_pipeline.evaluate(test_dataset),
+                mismatched_training_accuracy=mismatched_pipeline.evaluate(test_dataset),
+            )
+        )
+    return MismatchResult(rows=rows)

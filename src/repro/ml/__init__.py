@@ -1,0 +1,44 @@
+"""From-scratch machine-learning substrate.
+
+The paper's classifier is a small neural network: one hidden layer with
+ReLU activations and a six-way softmax output.  Because this
+reproduction runs in an offline environment without scikit-learn or a
+deep-learning framework, the subpackage implements everything the HAR
+pipeline needs on top of NumPy:
+
+* :mod:`repro.ml.mlp` — the multi-layer perceptron (dense layers, ReLU,
+  softmax cross-entropy, Adam, mini-batch training, early stopping);
+* :mod:`repro.ml.linear` — multinomial logistic regression, used as a
+  lighter-weight alternative classifier and in ablations;
+* :mod:`repro.ml.neighbors` — a k-nearest-neighbour classifier used as a
+  sanity-check baseline in tests;
+* :mod:`repro.ml.preprocessing` — feature scaling, train/test splitting
+  and label utilities;
+* :mod:`repro.ml.metrics` — accuracy, confusion matrices and per-class
+  precision/recall/F1;
+* :mod:`repro.ml.persistence` — saving/loading trained models and
+  computing their memory footprint.
+"""
+
+from repro.ml.linear import LogisticRegressionClassifier
+from repro.ml.metrics import accuracy_score, classification_report, confusion_matrix
+from repro.ml.mlp import MLPClassifier, TrainingHistory
+from repro.ml.neighbors import KNeighborsClassifier
+from repro.ml.preprocessing import StandardScaler, one_hot, train_test_split
+from repro.ml.persistence import load_model, model_memory_bytes, save_model
+
+__all__ = [
+    "MLPClassifier",
+    "TrainingHistory",
+    "LogisticRegressionClassifier",
+    "KNeighborsClassifier",
+    "StandardScaler",
+    "one_hot",
+    "train_test_split",
+    "accuracy_score",
+    "confusion_matrix",
+    "classification_report",
+    "save_model",
+    "load_model",
+    "model_memory_bytes",
+]

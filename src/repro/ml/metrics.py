@@ -1,0 +1,129 @@
+"""Classification metrics used throughout the evaluation.
+
+The paper reports recognition accuracy; the reproduction additionally
+exposes confusion matrices and per-class precision/recall/F1 because
+they are useful when diagnosing why a particular sensor configuration
+loses accuracy (e.g. stair ascent and descent collapsing into walking at
+very low sampling rates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+
+def _validate_label_arrays(
+    true_labels: np.ndarray, predicted_labels: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    true_labels = np.asarray(true_labels, dtype=int)
+    predicted_labels = np.asarray(predicted_labels, dtype=int)
+    if true_labels.ndim != 1 or predicted_labels.ndim != 1:
+        raise ValueError("labels must be 1-D arrays")
+    if true_labels.shape != predicted_labels.shape:
+        raise ValueError(
+            f"label arrays must have the same length, got {true_labels.shape} "
+            f"and {predicted_labels.shape}"
+        )
+    if true_labels.size == 0:
+        raise ValueError("label arrays must not be empty")
+    return true_labels, predicted_labels
+
+
+def accuracy_score(true_labels: np.ndarray, predicted_labels: np.ndarray) -> float:
+    """Fraction of predictions matching the ground truth."""
+    true_labels, predicted_labels = _validate_label_arrays(true_labels, predicted_labels)
+    return float(np.mean(true_labels == predicted_labels))
+
+
+def confusion_matrix(
+    true_labels: np.ndarray,
+    predicted_labels: np.ndarray,
+    num_classes: Optional[int] = None,
+) -> np.ndarray:
+    """Confusion matrix with true classes on rows and predictions on columns."""
+    true_labels, predicted_labels = _validate_label_arrays(true_labels, predicted_labels)
+    if num_classes is None:
+        num_classes = int(max(true_labels.max(), predicted_labels.max())) + 1
+    check_positive_int(num_classes, "num_classes")
+    matrix = np.zeros((num_classes, num_classes), dtype=int)
+    for true, predicted in zip(true_labels, predicted_labels):
+        if true >= num_classes or predicted >= num_classes:
+            raise ValueError(
+                f"label {max(true, predicted)} out of range for {num_classes} classes"
+            )
+        matrix[true, predicted] += 1
+    return matrix
+
+
+@dataclass(frozen=True)
+class ClassReport:
+    """Precision, recall, F1 and support for one class."""
+
+    precision: float
+    recall: float
+    f1: float
+    support: int
+
+
+def per_class_report(
+    true_labels: np.ndarray,
+    predicted_labels: np.ndarray,
+    num_classes: Optional[int] = None,
+) -> Dict[int, ClassReport]:
+    """Per-class precision/recall/F1 derived from the confusion matrix."""
+    matrix = confusion_matrix(true_labels, predicted_labels, num_classes)
+    reports: Dict[int, ClassReport] = {}
+    for index in range(matrix.shape[0]):
+        true_positive = float(matrix[index, index])
+        predicted_positive = float(matrix[:, index].sum())
+        actual_positive = float(matrix[index, :].sum())
+        precision = true_positive / predicted_positive if predicted_positive else 0.0
+        recall = true_positive / actual_positive if actual_positive else 0.0
+        denominator = precision + recall
+        f1 = 2.0 * precision * recall / denominator if denominator else 0.0
+        reports[index] = ClassReport(
+            precision=precision,
+            recall=recall,
+            f1=f1,
+            support=int(actual_positive),
+        )
+    return reports
+
+
+def macro_f1(
+    true_labels: np.ndarray,
+    predicted_labels: np.ndarray,
+    num_classes: Optional[int] = None,
+) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    reports = per_class_report(true_labels, predicted_labels, num_classes)
+    return float(np.mean([report.f1 for report in reports.values()]))
+
+
+def classification_report(
+    true_labels: np.ndarray,
+    predicted_labels: np.ndarray,
+    class_names: Optional[Sequence[str]] = None,
+    num_classes: Optional[int] = None,
+) -> str:
+    """Human-readable table of per-class metrics plus overall accuracy."""
+    reports = per_class_report(true_labels, predicted_labels, num_classes)
+    accuracy = accuracy_score(true_labels, predicted_labels)
+    lines = [f"{'class':>16}  {'precision':>9}  {'recall':>9}  {'f1':>9}  {'support':>7}"]
+    for index, report in sorted(reports.items()):
+        if class_names is not None and index < len(class_names):
+            name = class_names[index]
+        else:
+            name = str(index)
+        lines.append(
+            f"{name:>16}  {report.precision:9.3f}  {report.recall:9.3f}  "
+            f"{report.f1:9.3f}  {report.support:7d}"
+        )
+    lines.append("")
+    lines.append(f"overall accuracy: {accuracy:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,429 @@
+"""A small multi-layer perceptron classifier implemented with NumPy.
+
+This is the reproduction of the paper's activity classifier: "one hidden
+layer with RELU activation function and an output layer with 6 neurons
+and a softmax" (Section III-C), trained on feature vectors from all the
+sensor configurations the adaptive controller may select.
+
+The implementation is intentionally compact but complete: dense layers
+with He initialisation, softmax cross-entropy loss with L2
+regularisation, Adam optimisation over mini-batches, an optional
+validation split with early stopping, and serialisation hooks used by
+:mod:`repro.ml.persistence`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch statistics recorded during :meth:`MLPClassifier.fit`."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    val_loss: List[float] = field(default_factory=list)
+    val_accuracy: List[float] = field(default_factory=list)
+
+    @property
+    def num_epochs(self) -> int:
+        """Number of completed training epochs."""
+        return len(self.train_loss)
+
+    @property
+    def best_val_accuracy(self) -> float:
+        """Best validation accuracy seen (NaN when no validation split)."""
+        return max(self.val_accuracy) if self.val_accuracy else float("nan")
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exponentials = np.exp(shifted)
+    return exponentials / exponentials.sum(axis=1, keepdims=True)
+
+
+def _relu(values: np.ndarray) -> np.ndarray:
+    return np.maximum(values, 0.0)
+
+
+class MLPClassifier:
+    """Dense neural network with ReLU hidden layers and a softmax output.
+
+    Parameters
+    ----------
+    input_dim:
+        Number of input features.
+    num_classes:
+        Number of output classes (6 for the AdaSense activity set).
+    hidden_units:
+        Sizes of the hidden layers; the paper uses a single hidden
+        layer, so the default is one layer of 32 units.
+    learning_rate:
+        Adam step size.
+    batch_size:
+        Mini-batch size used during training.
+    max_epochs:
+        Upper bound on training epochs.
+    l2_penalty:
+        L2 regularisation strength applied to the weight matrices.
+    label_smoothing:
+        Amount of probability mass moved from the true class to the
+        others during training.  A small value keeps the softmax output
+        calibrated instead of saturating at 1.0, which matters because
+        SPOT-with-confidence thresholds that probability.
+    validation_fraction:
+        Fraction of the training data held out for early stopping; set
+        to 0 to disable the validation split.
+    early_stopping_patience:
+        Number of epochs without validation-loss improvement tolerated
+        before training stops (ignored when there is no validation
+        split).
+    seed:
+        Seed controlling weight initialisation, the validation split and
+        mini-batch shuffling.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        num_classes: int,
+        hidden_units: Sequence[int] = (32,),
+        learning_rate: float = 5e-3,
+        batch_size: int = 64,
+        max_epochs: int = 200,
+        l2_penalty: float = 1e-4,
+        label_smoothing: float = 0.1,
+        validation_fraction: float = 0.15,
+        early_stopping_patience: int = 25,
+        seed: SeedLike = None,
+    ) -> None:
+        check_positive_int(input_dim, "input_dim")
+        check_positive_int(num_classes, "num_classes")
+        if not hidden_units:
+            raise ValueError("hidden_units must contain at least one layer size")
+        for size in hidden_units:
+            check_positive_int(size, "hidden layer size")
+        check_positive(learning_rate, "learning_rate")
+        check_positive_int(batch_size, "batch_size")
+        check_positive_int(max_epochs, "max_epochs")
+        check_non_negative(l2_penalty, "l2_penalty")
+        check_probability(label_smoothing, "label_smoothing")
+        if label_smoothing >= 1.0:
+            raise ValueError("label_smoothing must be strictly below 1.0")
+        if validation_fraction != 0.0:
+            check_fraction(validation_fraction, "validation_fraction")
+        check_positive_int(early_stopping_patience, "early_stopping_patience")
+
+        self.input_dim = int(input_dim)
+        self.num_classes = int(num_classes)
+        self.hidden_units = tuple(int(size) for size in hidden_units)
+        self.learning_rate = float(learning_rate)
+        self.batch_size = int(batch_size)
+        self.max_epochs = int(max_epochs)
+        self.l2_penalty = float(l2_penalty)
+        self.label_smoothing = float(label_smoothing)
+        self.validation_fraction = float(validation_fraction)
+        self.early_stopping_patience = int(early_stopping_patience)
+
+        self._rng = as_rng(seed)
+        self._weights: List[np.ndarray] = []
+        self._biases: List[np.ndarray] = []
+        self._initialize_parameters()
+        self.history: Optional[TrainingHistory] = None
+        self._is_fitted = False
+
+    # ------------------------------------------------------------------
+    # Parameter handling
+    # ------------------------------------------------------------------
+    def _initialize_parameters(self) -> None:
+        layer_sizes = (self.input_dim, *self.hidden_units, self.num_classes)
+        self._weights = []
+        self._biases = []
+        for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self._weights.append(self._rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed at least once."""
+        return self._is_fitted
+
+    @property
+    def num_parameters(self) -> int:
+        """Total number of trainable parameters (weights plus biases)."""
+        return int(
+            sum(weight.size for weight in self._weights)
+            + sum(bias.size for bias in self._biases)
+        )
+
+    def get_parameters(self) -> Dict[str, np.ndarray]:
+        """Copy of all parameters keyed ``W0, b0, W1, b1, ...``."""
+        parameters: Dict[str, np.ndarray] = {}
+        for index, (weight, bias) in enumerate(zip(self._weights, self._biases)):
+            parameters[f"W{index}"] = weight.copy()
+            parameters[f"b{index}"] = bias.copy()
+        return parameters
+
+    def set_parameters(self, parameters: Dict[str, np.ndarray]) -> None:
+        """Load parameters produced by :meth:`get_parameters`."""
+        num_layers = len(self._weights)
+        for index in range(num_layers):
+            weight = np.asarray(parameters[f"W{index}"], dtype=float)
+            bias = np.asarray(parameters[f"b{index}"], dtype=float)
+            if weight.shape != self._weights[index].shape:
+                raise ValueError(
+                    f"W{index} has shape {weight.shape}, expected "
+                    f"{self._weights[index].shape}"
+                )
+            if bias.shape != self._biases[index].shape:
+                raise ValueError(
+                    f"b{index} has shape {bias.shape}, expected "
+                    f"{self._biases[index].shape}"
+                )
+            self._weights[index] = weight
+            self._biases[index] = bias
+        self._is_fitted = True
+
+    # ------------------------------------------------------------------
+    # Forward / backward passes
+    # ------------------------------------------------------------------
+    def _forward(self, features: np.ndarray) -> Tuple[List[np.ndarray], np.ndarray]:
+        """Return hidden activations (post-ReLU) and output probabilities."""
+        activations: List[np.ndarray] = [features]
+        current = features
+        for index in range(len(self._weights) - 1):
+            current = _relu(current @ self._weights[index] + self._biases[index])
+            activations.append(current)
+        logits = current @ self._weights[-1] + self._biases[-1]
+        return activations, _softmax(logits)
+
+    def _loss(self, probabilities: np.ndarray, one_hot_labels: np.ndarray) -> float:
+        eps = 1e-12
+        data_loss = -np.mean(
+            np.sum(one_hot_labels * np.log(probabilities + eps), axis=1)
+        )
+        reg_loss = 0.5 * self.l2_penalty * sum(
+            float(np.sum(weight**2)) for weight in self._weights
+        )
+        return float(data_loss + reg_loss)
+
+    def _backward(
+        self,
+        activations: List[np.ndarray],
+        probabilities: np.ndarray,
+        one_hot_labels: np.ndarray,
+    ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        batch_size = probabilities.shape[0]
+        weight_grads: List[np.ndarray] = [np.empty(0)] * len(self._weights)
+        bias_grads: List[np.ndarray] = [np.empty(0)] * len(self._biases)
+
+        delta = (probabilities - one_hot_labels) / batch_size
+        for index in range(len(self._weights) - 1, -1, -1):
+            weight_grads[index] = (
+                activations[index].T @ delta + self.l2_penalty * self._weights[index]
+            )
+            bias_grads[index] = delta.sum(axis=0)
+            if index > 0:
+                delta = delta @ self._weights[index].T
+                delta = delta * (activations[index] > 0.0)
+        return weight_grads, bias_grads
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> TrainingHistory:
+        """Train the network with Adam and optional early stopping.
+
+        Parameters
+        ----------
+        features:
+            Array of shape ``(n_samples, input_dim)``.
+        labels:
+            Integer class labels in ``[0, num_classes)``.
+
+        Returns
+        -------
+        TrainingHistory
+            Loss/accuracy per epoch; also stored on :attr:`history`.
+        """
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=int)
+        if features.ndim != 2 or features.shape[1] != self.input_dim:
+            raise ValueError(
+                f"features must have shape (n, {self.input_dim}), got {features.shape}"
+            )
+        if labels.shape != (features.shape[0],):
+            raise ValueError("labels must be 1-D and match features in length")
+        if labels.size and (labels.min() < 0 or labels.max() >= self.num_classes):
+            raise ValueError(
+                f"labels must lie in [0, {self.num_classes}), got range "
+                f"[{labels.min()}, {labels.max()}]"
+            )
+
+        # Optional validation split for early stopping.
+        if self.validation_fraction > 0.0 and features.shape[0] >= 10:
+            order = self._rng.permutation(features.shape[0])
+            n_val = max(1, int(round(self.validation_fraction * features.shape[0])))
+            val_idx, train_idx = order[:n_val], order[n_val:]
+            train_x, train_y = features[train_idx], labels[train_idx]
+            val_x, val_y = features[val_idx], labels[val_idx]
+        else:
+            train_x, train_y = features, labels
+            val_x = val_y = None
+
+        train_one_hot = np.zeros((train_y.shape[0], self.num_classes))
+        train_one_hot[np.arange(train_y.shape[0]), train_y] = 1.0
+        if self.label_smoothing > 0.0:
+            train_one_hot = (
+                (1.0 - self.label_smoothing) * train_one_hot
+                + self.label_smoothing / self.num_classes
+            )
+
+        history = TrainingHistory()
+        adam_m = [np.zeros_like(w) for w in self._weights] + [
+            np.zeros_like(b) for b in self._biases
+        ]
+        adam_v = [np.zeros_like(w) for w in self._weights] + [
+            np.zeros_like(b) for b in self._biases
+        ]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        best_val_loss = np.inf
+        best_parameters = self.get_parameters()
+        epochs_without_improvement = 0
+
+        for _ in range(self.max_epochs):
+            order = self._rng.permutation(train_x.shape[0])
+            for start in range(0, train_x.shape[0], self.batch_size):
+                batch_idx = order[start : start + self.batch_size]
+                activations, probabilities = self._forward(train_x[batch_idx])
+                weight_grads, bias_grads = self._backward(
+                    activations, probabilities, train_one_hot[batch_idx]
+                )
+                gradients = weight_grads + bias_grads
+                parameters = self._weights + self._biases
+                step += 1
+                for param, grad, m, v in zip(parameters, gradients, adam_m, adam_v):
+                    m *= beta1
+                    m += (1.0 - beta1) * grad
+                    v *= beta2
+                    v += (1.0 - beta2) * grad**2
+                    m_hat = m / (1.0 - beta1**step)
+                    v_hat = v / (1.0 - beta2**step)
+                    param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+
+            _, train_probabilities = self._forward(train_x)
+            history.train_loss.append(self._loss(train_probabilities, train_one_hot))
+            history.train_accuracy.append(
+                float(np.mean(train_probabilities.argmax(axis=1) == train_y))
+            )
+
+            if val_x is not None:
+                _, val_probabilities = self._forward(val_x)
+                val_one_hot = np.zeros((val_y.shape[0], self.num_classes))
+                val_one_hot[np.arange(val_y.shape[0]), val_y] = 1.0
+                val_loss = self._loss(val_probabilities, val_one_hot)
+                history.val_loss.append(val_loss)
+                history.val_accuracy.append(
+                    float(np.mean(val_probabilities.argmax(axis=1) == val_y))
+                )
+                if val_loss < best_val_loss - 1e-6:
+                    best_val_loss = val_loss
+                    best_parameters = self.get_parameters()
+                    epochs_without_improvement = 0
+                else:
+                    epochs_without_improvement += 1
+                    if epochs_without_improvement >= self.early_stopping_patience:
+                        break
+
+        if val_x is not None:
+            self.set_parameters(best_parameters)
+        self.history = history
+        self._is_fitted = True
+        return history
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Class probabilities for each row of ``features``."""
+        features = np.asarray(features, dtype=float)
+        single = features.ndim == 1
+        if single:
+            features = features[None, :]
+        if features.shape[1] != self.input_dim:
+            raise ValueError(
+                f"features must have {self.input_dim} columns, got {features.shape[1]}"
+            )
+        _, probabilities = self._forward(features)
+        return probabilities[0] if single else probabilities
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Most likely class index for each row of ``features``."""
+        probabilities = self.predict_proba(features)
+        if probabilities.ndim == 1:
+            return int(np.argmax(probabilities))
+        return probabilities.argmax(axis=1)
+
+    def predict_with_confidence(self, features: np.ndarray) -> Tuple[int, float]:
+        """Predict a single sample, returning ``(class_index, confidence)``.
+
+        The confidence is the softmax probability of the chosen class,
+        which is exactly the quantity SPOT-with-confidence thresholds.
+        """
+        probabilities = np.atleast_2d(self.predict_proba(features))
+        if probabilities.shape[0] != 1:
+            raise ValueError("predict_with_confidence expects a single sample")
+        index = int(np.argmax(probabilities[0]))
+        return index, float(probabilities[0, index])
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Accuracy of the classifier on ``(features, labels)``."""
+        labels = np.asarray(labels, dtype=int)
+        predictions = np.atleast_1d(self.predict(features))
+        return float(np.mean(predictions == labels))
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Serialisable description of the architecture and parameters."""
+        return {
+            "kind": "mlp",
+            "input_dim": self.input_dim,
+            "num_classes": self.num_classes,
+            "hidden_units": list(self.hidden_units),
+            "parameters": {
+                key: value.tolist() for key, value in self.get_parameters().items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "MLPClassifier":
+        """Rebuild a classifier from :meth:`to_dict` output."""
+        model = cls(
+            input_dim=state["input_dim"],
+            num_classes=state["num_classes"],
+            hidden_units=tuple(state["hidden_units"]),
+        )
+        parameters = {
+            key: np.asarray(value, dtype=float)
+            for key, value in state["parameters"].items()
+        }
+        model.set_parameters(parameters)
+        return model

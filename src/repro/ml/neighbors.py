@@ -1,0 +1,108 @@
+"""k-nearest-neighbour classifier.
+
+Not part of the AdaSense system itself; it serves as an independent
+sanity check in tests (a non-parametric method should also separate the
+synthetic activities on the unified feature set) and as an extra point
+of comparison in the classifier ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+
+class KNeighborsClassifier:
+    """Majority-vote k-NN with Euclidean distances.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Number of neighbours consulted per query.
+    num_classes:
+        Number of classes; needed so that probability vectors have a
+        fixed width even when a class is absent from the neighbourhood.
+    """
+
+    def __init__(self, n_neighbors: int = 5, num_classes: int = 6) -> None:
+        check_positive_int(n_neighbors, "n_neighbors")
+        check_positive_int(num_classes, "num_classes")
+        self.n_neighbors = int(n_neighbors)
+        self.num_classes = int(num_classes)
+        self._train_features: np.ndarray | None = None
+        self._train_labels: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether training data has been stored."""
+        return self._train_features is not None
+
+    @property
+    def num_parameters(self) -> int:
+        """Stored values (k-NN "parameters" are the training set itself)."""
+        if self._train_features is None:
+            return 0
+        return int(self._train_features.size + self._train_labels.size)
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "KNeighborsClassifier":
+        """Store the training set."""
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=int)
+        if features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {features.shape}")
+        if labels.shape != (features.shape[0],):
+            raise ValueError("labels must be 1-D and match features in length")
+        if features.shape[0] < self.n_neighbors:
+            raise ValueError(
+                f"need at least n_neighbors={self.n_neighbors} training samples, "
+                f"got {features.shape[0]}"
+            )
+        self._train_features = features
+        self._train_labels = labels
+        return self
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError("KNeighborsClassifier must be fitted before prediction")
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Neighbourhood class frequencies for each query row."""
+        self._require_fitted()
+        features = np.asarray(features, dtype=float)
+        single = features.ndim == 1
+        if single:
+            features = features[None, :]
+        distances = np.linalg.norm(
+            features[:, None, :] - self._train_features[None, :, :], axis=2
+        )
+        neighbor_indices = np.argsort(distances, axis=1)[:, : self.n_neighbors]
+        probabilities = np.zeros((features.shape[0], self.num_classes))
+        for row, indices in enumerate(neighbor_indices):
+            votes = self._train_labels[indices]
+            counts = np.bincount(votes, minlength=self.num_classes)
+            probabilities[row] = counts / counts.sum()
+        return probabilities[0] if single else probabilities
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Majority-vote class index for each query row."""
+        probabilities = self.predict_proba(features)
+        if probabilities.ndim == 1:
+            return int(np.argmax(probabilities))
+        return probabilities.argmax(axis=1)
+
+    def predict_with_confidence(self, features: np.ndarray) -> Tuple[int, float]:
+        """Predict one sample, returning ``(class_index, vote_fraction)``."""
+        probabilities = np.atleast_2d(self.predict_proba(features))
+        if probabilities.shape[0] != 1:
+            raise ValueError("predict_with_confidence expects a single sample")
+        index = int(np.argmax(probabilities[0]))
+        return index, float(probabilities[0, index])
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Accuracy on ``(features, labels)``."""
+        labels = np.asarray(labels, dtype=int)
+        predictions = np.atleast_1d(self.predict(features))
+        return float(np.mean(predictions == labels))

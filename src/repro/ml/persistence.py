@@ -1,0 +1,105 @@
+"""Saving, loading and sizing trained models.
+
+The memory-requirements comparison in Section V-D hinges on how many
+bytes of classifier weights the device must store, so the persistence
+layer exposes :func:`model_memory_bytes` alongside plain JSON-based
+save/load helpers.  JSON (rather than ``numpy.savez``) keeps the stored
+artefacts human-inspectable and avoids pickle entirely.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.ml.linear import LogisticRegressionClassifier
+from repro.ml.mlp import MLPClassifier
+from repro.ml.preprocessing import StandardScaler
+
+#: Classifier types the persistence layer understands.
+SupportedModel = Union[MLPClassifier, LogisticRegressionClassifier]
+
+_MODEL_KINDS = {
+    "mlp": MLPClassifier,
+    "logistic": LogisticRegressionClassifier,
+}
+
+
+def save_model(
+    path: Union[str, Path],
+    model: SupportedModel,
+    scaler: Optional[StandardScaler] = None,
+    metadata: Optional[dict] = None,
+) -> Path:
+    """Serialise a trained model (and optionally its scaler) to JSON.
+
+    Parameters
+    ----------
+    path:
+        Destination file; parent directories are created as needed.
+    model:
+        A fitted :class:`MLPClassifier` or
+        :class:`LogisticRegressionClassifier`.
+    scaler:
+        Optional fitted :class:`StandardScaler` stored alongside the
+        model so inference pipelines can be reconstructed exactly.
+    metadata:
+        Arbitrary JSON-serialisable metadata (training configurations,
+        dataset seeds, accuracy figures, ...).
+
+    Returns
+    -------
+    pathlib.Path
+        The path written.
+    """
+    path = Path(path)
+    payload = {
+        "model": model.to_dict(),
+        "scaler": scaler.to_dict() if scaler is not None else None,
+        "metadata": metadata or {},
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def load_model(
+    path: Union[str, Path],
+) -> tuple[SupportedModel, Optional[StandardScaler], dict]:
+    """Load a model saved with :func:`save_model`.
+
+    Returns
+    -------
+    tuple
+        ``(model, scaler_or_None, metadata)``.
+    """
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    model_state = payload["model"]
+    kind = model_state.get("kind")
+    if kind not in _MODEL_KINDS:
+        raise ValueError(f"unknown model kind {kind!r} in {path}")
+    model = _MODEL_KINDS[kind].from_dict(model_state)
+    scaler = (
+        StandardScaler.from_dict(payload["scaler"])
+        if payload.get("scaler") is not None
+        else None
+    )
+    return model, scaler, payload.get("metadata", {})
+
+
+def model_memory_bytes(model: SupportedModel, bytes_per_weight: int = 4) -> int:
+    """Storage footprint of a classifier's parameters in bytes.
+
+    Parameters
+    ----------
+    model:
+        Any classifier exposing ``num_parameters``.
+    bytes_per_weight:
+        Bytes per stored parameter (4 for float32 weights, 1 for an
+        8-bit quantised deployment).
+    """
+    if bytes_per_weight <= 0:
+        raise ValueError(f"bytes_per_weight must be positive, got {bytes_per_weight}")
+    return int(model.num_parameters * bytes_per_weight)

@@ -1,0 +1,195 @@
+"""Feature scaling, dataset splitting and label utilities.
+
+These are the standard preprocessing pieces the HAR pipeline needs.
+They intentionally mirror the scikit-learn API surface (``fit`` /
+``transform`` / ``fit_transform``) so that readers familiar with that
+library can follow the examples, but the implementations are small,
+NumPy-only and fully deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_fraction, check_positive_int
+
+
+class StandardScaler:
+    """Standardise features to zero mean and unit variance.
+
+    Features with zero variance are left unscaled (divided by one) so
+    that constant features do not produce NaNs.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self.mean_ is not None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        """Learn per-feature mean and standard deviation.
+
+        Parameters
+        ----------
+        features:
+            Array of shape ``(n_samples, n_features)``.
+        """
+        features = _as_feature_matrix(features)
+        self.mean_ = features.mean(axis=0)
+        scale = features.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Apply the learned standardisation."""
+        if not self.is_fitted:
+            raise RuntimeError("StandardScaler must be fitted before transform")
+        features = _as_feature_matrix(features)
+        if features.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"expected {self.mean_.shape[0]} features, got {features.shape[1]}"
+            )
+        return (features - self.mean_) / self.scale_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Fit on ``features`` then return the transformed array."""
+        return self.fit(features).transform(features)
+
+    def inverse_transform(self, features: np.ndarray) -> np.ndarray:
+        """Undo the standardisation."""
+        if not self.is_fitted:
+            raise RuntimeError("StandardScaler must be fitted before inverse_transform")
+        features = _as_feature_matrix(features)
+        return features * self.scale_ + self.mean_
+
+    def to_dict(self) -> dict:
+        """Serialisable state (used by model persistence)."""
+        if not self.is_fitted:
+            raise RuntimeError("cannot serialise an unfitted StandardScaler")
+        return {"mean": self.mean_.tolist(), "scale": self.scale_.tolist()}
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "StandardScaler":
+        """Rebuild a fitted scaler from :meth:`to_dict` output."""
+        scaler = cls()
+        scaler.mean_ = np.asarray(state["mean"], dtype=float)
+        scaler.scale_ = np.asarray(state["scale"], dtype=float)
+        return scaler
+
+
+def _as_feature_matrix(features: np.ndarray) -> np.ndarray:
+    features = np.asarray(features, dtype=float)
+    if features.ndim == 1:
+        features = features[None, :]
+    if features.ndim != 2:
+        raise ValueError(
+            f"features must be a 2-D array of shape (n_samples, n_features), "
+            f"got shape {features.shape}"
+        )
+    return features
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Encode integer class labels as one-hot rows.
+
+    Parameters
+    ----------
+    labels:
+        Integer labels in ``[0, num_classes)``.
+    num_classes:
+        Number of columns of the output.
+    """
+    check_positive_int(num_classes, "num_classes")
+    labels = np.asarray(labels, dtype=int)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels must lie in [0, {num_classes}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=float)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def train_test_split(
+    features: np.ndarray,
+    labels: np.ndarray,
+    test_fraction: float = 0.25,
+    seed: SeedLike = None,
+    stratify: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split a dataset into train and test partitions.
+
+    Parameters
+    ----------
+    features, labels:
+        Dataset arrays with matching first dimension.
+    test_fraction:
+        Fraction of samples assigned to the test partition (strictly
+        between 0 and 1).
+    seed:
+        Seed controlling the shuffle.
+    stratify:
+        When true (the default) the split preserves each class's
+        proportion, which keeps small synthetic datasets balanced.
+
+    Returns
+    -------
+    tuple
+        ``(train_features, test_features, train_labels, test_labels)``.
+    """
+    check_fraction(test_fraction, "test_fraction")
+    features = _as_feature_matrix(features)
+    labels = np.asarray(labels, dtype=int)
+    if labels.shape[0] != features.shape[0]:
+        raise ValueError(
+            f"features and labels disagree on sample count: "
+            f"{features.shape[0]} vs {labels.shape[0]}"
+        )
+    rng = as_rng(seed)
+    n_samples = features.shape[0]
+    test_mask = np.zeros(n_samples, dtype=bool)
+
+    if stratify:
+        for label in np.unique(labels):
+            indices = np.flatnonzero(labels == label)
+            rng.shuffle(indices)
+            n_test = int(round(len(indices) * test_fraction))
+            n_test = min(max(n_test, 1 if len(indices) > 1 else 0), len(indices) - 1)
+            test_mask[indices[:n_test]] = True
+    else:
+        indices = rng.permutation(n_samples)
+        n_test = int(round(n_samples * test_fraction))
+        n_test = min(max(n_test, 1), n_samples - 1)
+        test_mask[indices[:n_test]] = True
+
+    train_mask = ~test_mask
+    return (
+        features[train_mask],
+        features[test_mask],
+        labels[train_mask],
+        labels[test_mask],
+    )
+
+
+def shuffle_in_unison(
+    features: np.ndarray, labels: np.ndarray, seed: SeedLike = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Shuffle features and labels with the same permutation."""
+    features = _as_feature_matrix(features)
+    labels = np.asarray(labels)
+    if labels.shape[0] != features.shape[0]:
+        raise ValueError("features and labels disagree on sample count")
+    rng = as_rng(seed)
+    order = rng.permutation(features.shape[0])
+    return features[order], labels[order]

@@ -1,0 +1,22 @@
+"""Simulated sensing hardware.
+
+This subpackage stands in for the Bosch BMI160 accelerometer used in the
+paper's testbed.  It contains:
+
+* :mod:`repro.sensors.imu` — a behavioural accelerometer simulator that
+  samples a continuous activity signal at a configurable output data
+  rate and averaging window, applying the noise and quantisation
+  behaviour the real part exhibits;
+* :mod:`repro.sensors.buffer` — the two-second, one-second-overlap
+  sample buffer that feeds the HAR pipeline (Fig. 1).
+"""
+
+from repro.sensors.buffer import SampleBuffer
+from repro.sensors.imu import NoiseModel, SensorWindow, SimulatedAccelerometer
+
+__all__ = [
+    "NoiseModel",
+    "SensorWindow",
+    "SimulatedAccelerometer",
+    "SampleBuffer",
+]

@@ -1,0 +1,132 @@
+"""The classification sample buffer of the HAR framework (Fig. 1).
+
+The AdaSense pipeline classifies a *batch* of sensor data rather than
+individual samples: the buffer stores the accelerometer output over the
+last two seconds, and every second the buffered batch is pushed through
+feature extraction and classification, giving a one-second overlap
+between consecutive batches.
+
+Because the adaptive controller can change the sensor configuration
+between batches, the buffer may momentarily hold samples acquired at two
+different sampling rates.  Mixing rates inside one batch would make the
+frequency-domain features meaningless, so the buffer adopts a simple,
+documented policy: **pushing samples acquired under a different
+configuration flushes the buffer first.**  The first classification
+after a configuration switch therefore sees one second of data instead
+of two, exactly as a real implementation that restarts its FIFO would.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import SensorConfig
+from repro.sensors.imu import SensorWindow
+from repro.utils.validation import check_positive
+
+
+class SampleBuffer:
+    """Sliding buffer of accelerometer samples feeding the classifier.
+
+    Parameters
+    ----------
+    window_duration_s:
+        Length of the classification window the buffer maintains; the
+        paper uses two seconds.
+    """
+
+    def __init__(self, window_duration_s: float = 2.0) -> None:
+        check_positive(window_duration_s, "window_duration_s")
+        self._window_duration_s = float(window_duration_s)
+        self._samples: List[np.ndarray] = []
+        self._times: List[np.ndarray] = []
+        self._config: Optional[SensorConfig] = None
+
+    @property
+    def window_duration_s(self) -> float:
+        """Target length of the classification window in seconds."""
+        return self._window_duration_s
+
+    @property
+    def config(self) -> Optional[SensorConfig]:
+        """Configuration of the currently buffered samples (``None`` if empty)."""
+        return self._config
+
+    @property
+    def num_samples(self) -> int:
+        """Number of samples currently buffered."""
+        return int(sum(chunk.shape[0] for chunk in self._samples))
+
+    @property
+    def buffered_duration_s(self) -> float:
+        """Seconds of signal currently represented in the buffer."""
+        if self._config is None or self.num_samples == 0:
+            return 0.0
+        return self.num_samples / self._config.sampling_hz
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the buffer holds no samples."""
+        return self.num_samples == 0
+
+    @property
+    def is_full(self) -> bool:
+        """Whether a full classification window is available."""
+        return self.buffered_duration_s >= self._window_duration_s - 1e-9
+
+    def clear(self) -> None:
+        """Drop all buffered samples."""
+        self._samples = []
+        self._times = []
+        self._config = None
+
+    def push(self, window: SensorWindow) -> None:
+        """Append freshly acquired samples, flushing on configuration change.
+
+        Parameters
+        ----------
+        window:
+            Samples returned by the simulated accelerometer.  If their
+            configuration differs from the buffered one, the buffer is
+            flushed before the new samples are stored.
+        """
+        if self._config is not None and window.config != self._config:
+            self.clear()
+        self._config = window.config
+        self._samples.append(np.asarray(window.samples, dtype=float))
+        self._times.append(np.asarray(window.times_s, dtype=float))
+        self._trim()
+
+    def _trim(self) -> None:
+        """Discard samples older than the classification window."""
+        if self._config is None:
+            return
+        max_samples = int(round(self._window_duration_s * self._config.sampling_hz))
+        total = self.num_samples
+        excess = total - max_samples
+        while excess > 0 and self._samples:
+            first = self._samples[0]
+            if first.shape[0] <= excess:
+                excess -= first.shape[0]
+                self._samples.pop(0)
+                self._times.pop(0)
+            else:
+                self._samples[0] = first[excess:]
+                self._times[0] = self._times[0][excess:]
+                excess = 0
+
+    def window(self) -> SensorWindow:
+        """Return the buffered samples as a single :class:`SensorWindow`.
+
+        Raises
+        ------
+        RuntimeError
+            If the buffer is empty.
+        """
+        if self._config is None or self.is_empty:
+            raise RuntimeError("cannot read a window from an empty buffer")
+        samples = np.concatenate(self._samples, axis=0)
+        times = np.concatenate(self._times, axis=0)
+        return SensorWindow(samples=samples, times_s=times, config=self._config)

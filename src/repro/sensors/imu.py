@@ -1,0 +1,273 @@
+"""Behavioural simulator of a BMI160-class 3-axis accelerometer.
+
+The simulator reproduces the aspects of the real part that matter to
+AdaSense's accuracy/power trade-off:
+
+* **Output data rate.** The sensor reports one 3-axis sample every
+  ``1 / sampling_hz`` seconds.
+* **Averaging window.** Each output sample is the mean of
+  ``averaging_window`` internal sub-samples acquired at the internal
+  conversion rate immediately before the sample instant.  Longer windows
+  low-pass the signal (attenuating gait harmonics slightly) and reduce
+  noise; shorter windows are noisier but cheaper in low-power mode.
+* **Noise.** Per-sub-sample white noise with standard deviation
+  ``base_noise_std_ms2`` which, after averaging, shrinks as
+  ``1 / sqrt(averaging_window)``.
+* **Quantisation and clipping.** Output values are clipped to the
+  configured full-scale range and quantised to the ADC resolution.
+
+The *signal* being measured is any object exposing
+``evaluate_windowed(times_s, window_s) -> (n, 3)`` — in practice a
+:class:`repro.datasets.synthetic.ScheduledSignal` or a single
+:class:`repro.datasets.synthetic.ActivityRealization`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol
+
+import numpy as np
+
+from repro.core.config import SensorConfig
+from repro.utils.constants import GRAVITY_MS2
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_non_negative, check_positive
+
+#: Default internal conversion rate of the simulated IMU, in hertz.  One
+#: internal sub-sample takes ``1 / INTERNAL_RATE_HZ`` seconds, so an
+#: averaging window of ``W`` sub-samples spans ``W / INTERNAL_RATE_HZ``
+#: seconds of signal.
+DEFAULT_INTERNAL_RATE_HZ: float = 1600.0
+
+
+class ContinuousSignal(Protocol):
+    """Protocol for signals the simulated accelerometer can sample."""
+
+    def evaluate_windowed(self, times_s: np.ndarray, window_s: float) -> np.ndarray:
+        """Average of the signal over ``[t - window_s, t]`` for each time."""
+        ...  # pragma: no cover - protocol definition
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Noise, bias and quantisation behaviour of the simulated accelerometer.
+
+    Parameters
+    ----------
+    base_noise_std_ms2:
+        Standard deviation of the white noise on one *internal*
+        sub-sample, in m/s^2.  After averaging ``W`` sub-samples the
+        output-sample noise is ``base_noise_std_ms2 / sqrt(W)``.
+    bias_std_ms2:
+        Standard deviation of the static per-axis offset drawn once per
+        sensor instance (models imperfect calibration).
+    full_scale_g:
+        Symmetric full-scale range in multiples of g (the BMI160 default
+        range of +/-2 g is used by the paper's setup).
+    resolution_bits:
+        ADC resolution; output samples are quantised to
+        ``2 * full_scale / 2**resolution_bits`` steps.
+    """
+
+    base_noise_std_ms2: float = 1.4
+    bias_std_ms2: float = 0.05
+    full_scale_g: float = 2.0
+    resolution_bits: int = 16
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.base_noise_std_ms2, "base_noise_std_ms2")
+        check_non_negative(self.bias_std_ms2, "bias_std_ms2")
+        check_positive(self.full_scale_g, "full_scale_g")
+        if self.resolution_bits < 1 or self.resolution_bits > 32:
+            raise ValueError(
+                f"resolution_bits must be between 1 and 32, got {self.resolution_bits}"
+            )
+
+    @property
+    def full_scale_ms2(self) -> float:
+        """Full-scale range expressed in m/s^2."""
+        return self.full_scale_g * GRAVITY_MS2
+
+    @property
+    def lsb_ms2(self) -> float:
+        """Size of one quantisation step in m/s^2."""
+        return 2.0 * self.full_scale_ms2 / (2.0**self.resolution_bits)
+
+    def output_noise_std(self, averaging_window: int) -> float:
+        """Noise standard deviation of one output sample, in m/s^2."""
+        if averaging_window < 1:
+            raise ValueError(
+                f"averaging_window must be at least 1, got {averaging_window}"
+            )
+        return self.base_noise_std_ms2 / float(np.sqrt(averaging_window))
+
+
+@dataclass(frozen=True)
+class SensorWindow:
+    """A batch of accelerometer samples returned by the simulator.
+
+    Attributes
+    ----------
+    samples:
+        Array of shape ``(n, 3)`` in m/s^2.
+    times_s:
+        Sample time stamps (end of each sample's averaging window).
+    config:
+        The sensor configuration the samples were acquired under.
+    """
+
+    samples: np.ndarray
+    times_s: np.ndarray
+    config: SensorConfig
+
+    def __post_init__(self) -> None:
+        if self.samples.ndim != 2 or self.samples.shape[1] != 3:
+            raise ValueError(
+                f"samples must have shape (n, 3), got {self.samples.shape}"
+            )
+        if self.times_s.shape != (self.samples.shape[0],):
+            raise ValueError(
+                "times_s must have one entry per sample, got "
+                f"{self.times_s.shape} for {self.samples.shape[0]} samples"
+            )
+
+    @property
+    def num_samples(self) -> int:
+        """Number of samples in the window."""
+        return int(self.samples.shape[0])
+
+    @property
+    def duration_s(self) -> float:
+        """Time spanned by the window in seconds."""
+        if self.num_samples == 0:
+            return 0.0
+        return float(self.times_s[-1] - self.times_s[0]) + 1.0 / self.config.sampling_hz
+
+    @property
+    def sampling_hz(self) -> float:
+        """Output data rate the window was captured at."""
+        return self.config.sampling_hz
+
+
+class SimulatedAccelerometer:
+    """Samples a continuous activity signal the way a duty-cycled IMU would.
+
+    Parameters
+    ----------
+    signal:
+        The continuous signal to measure (anything implementing
+        ``evaluate_windowed``).
+    noise:
+        Noise/quantisation model; defaults to a BMI160-flavoured
+        :class:`NoiseModel`.
+    internal_rate_hz:
+        Internal conversion rate determining how much wall-clock time an
+        averaging window of ``W`` sub-samples spans.
+    seed:
+        Seed for the measurement noise stream.
+    """
+
+    def __init__(
+        self,
+        signal: ContinuousSignal,
+        noise: Optional[NoiseModel] = None,
+        internal_rate_hz: float = DEFAULT_INTERNAL_RATE_HZ,
+        seed: SeedLike = None,
+    ) -> None:
+        check_positive(internal_rate_hz, "internal_rate_hz")
+        self._signal = signal
+        self._noise = noise if noise is not None else NoiseModel()
+        self._internal_rate_hz = float(internal_rate_hz)
+        self._rng = as_rng(seed)
+        self._bias = self._rng.normal(0.0, self._noise.bias_std_ms2, size=3)
+
+    @property
+    def signal(self) -> ContinuousSignal:
+        """The signal this sensor is attached to."""
+        return self._signal
+
+    @property
+    def noise_model(self) -> NoiseModel:
+        """The sensor's noise/quantisation model."""
+        return self._noise
+
+    @property
+    def internal_rate_hz(self) -> float:
+        """Internal conversion rate in hertz."""
+        return self._internal_rate_hz
+
+    @property
+    def bias_ms2(self) -> np.ndarray:
+        """The static per-axis bias drawn for this sensor instance."""
+        return self._bias.copy()
+
+    def averaging_window_duration(self, config: SensorConfig) -> float:
+        """Wall-clock span of the averaging window for ``config``, in seconds.
+
+        The window cannot exceed the output sample period: a configuration
+        asking for more sub-samples than fit between two output samples
+        simply averages over the full sample period (this is how the
+        normal-mode, always-on configurations behave).
+        """
+        window = config.averaging_window / self._internal_rate_hz
+        return float(min(window, 1.0 / config.sampling_hz))
+
+    def read_window(
+        self,
+        end_time_s: float,
+        duration_s: float,
+        config: SensorConfig,
+        rng: SeedLike = None,
+    ) -> SensorWindow:
+        """Acquire ``duration_s`` seconds of samples ending at ``end_time_s``.
+
+        Parameters
+        ----------
+        end_time_s:
+            Time stamp of the last sample in the window.
+        duration_s:
+            Length of the acquisition in seconds.
+        config:
+            Sampling frequency / averaging window to acquire under.
+        rng:
+            Optional explicit generator for the noise draw (defaults to
+            the sensor's own stream).
+
+        Returns
+        -------
+        SensorWindow
+            The acquired batch, ``round(duration_s * sampling_hz)``
+            samples long.
+        """
+        check_positive(duration_s, "duration_s")
+        if end_time_s - duration_s < -1e-9:
+            raise ValueError(
+                "window starts before time zero: "
+                f"end_time_s={end_time_s}, duration_s={duration_s}"
+            )
+        generator = self._rng if rng is None else as_rng(rng)
+        num_samples = config.samples_in(duration_s)
+        period = 1.0 / config.sampling_hz
+        start = end_time_s - duration_s
+        times = start + period * np.arange(1, num_samples + 1)
+        times = np.clip(times, 0.0, None)
+
+        window_span = self.averaging_window_duration(config)
+        clean = self._signal.evaluate_windowed(times, window_span)
+
+        noise_std = self._noise.output_noise_std(config.averaging_window)
+        noisy = clean + generator.normal(0.0, noise_std, size=clean.shape)
+        noisy = noisy + self._bias[None, :]
+
+        full_scale = self._noise.full_scale_ms2
+        clipped = np.clip(noisy, -full_scale, full_scale)
+        lsb = self._noise.lsb_ms2
+        quantised = np.round(clipped / lsb) * lsb
+        return SensorWindow(samples=quantised, times_s=times, config=config)
+
+    def read_second(
+        self, end_time_s: float, config: SensorConfig, rng: SeedLike = None
+    ) -> SensorWindow:
+        """Convenience wrapper acquiring exactly one second of samples."""
+        return self.read_window(end_time_s, 1.0, config, rng=rng)

@@ -1,0 +1,177 @@
+"""Online (push-style) interface to the AdaSense loop.
+
+The closed-loop simulator owns the whole world: it generates the signal,
+samples it and advances time.  A firmware integration works the other way
+around — the device pushes each freshly acquired batch of samples and
+wants back the classification plus the sensor configuration to use for
+the *next* acquisition.  :class:`StreamingAdaSense` provides exactly that
+push-style API on top of the same buffer, pipeline and controller pieces,
+so the logic validated in simulation is the logic a port would run.
+
+Typical usage::
+
+    stream = StreamingAdaSense(pipeline=system.pipeline,
+                               controller=SpotWithConfidenceController())
+    config = stream.current_config            # acquire under this config
+    step = stream.push(samples, config)        # push the acquired second
+    next_config = step.next_config             # reconfigure the sensor
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import SensorConfig
+from repro.core.controller import AdaptiveController, SpotWithConfidenceController
+from repro.core.features import WINDOW_DURATION_S
+from repro.core.pipeline import ClassificationResult, HarPipeline
+from repro.sensors.buffer import SampleBuffer
+from repro.sensors.imu import SensorWindow
+
+
+@dataclass(frozen=True)
+class StreamingStep:
+    """Outcome of pushing one batch of samples into the streaming loop.
+
+    Attributes
+    ----------
+    result:
+        Classification of the currently buffered window, or ``None`` when
+        the buffer does not yet hold enough data to classify.
+    next_config:
+        Sensor configuration the caller should use for the next
+        acquisition episode.
+    buffered_duration_s:
+        Seconds of signal currently represented in the buffer.
+    """
+
+    result: Optional[ClassificationResult]
+    next_config: SensorConfig
+    buffered_duration_s: float
+
+
+class StreamingAdaSense:
+    """Push-style AdaSense loop for integration with a real acquisition path.
+
+    Parameters
+    ----------
+    pipeline:
+        The trained HAR pipeline shared across configurations.
+    controller:
+        The adaptive controller; defaults to SPOT-with-confidence with the
+        paper's settings.
+    window_duration_s:
+        Classification-buffer length (two seconds in the paper).
+    min_classify_duration_s:
+        Minimum buffered signal needed before a classification is
+        attempted (one second by default, mirroring the simulator's
+        behaviour right after a configuration switch).
+    """
+
+    def __init__(
+        self,
+        pipeline: HarPipeline,
+        controller: Optional[AdaptiveController] = None,
+        window_duration_s: float = WINDOW_DURATION_S,
+        min_classify_duration_s: float = 1.0,
+    ) -> None:
+        if min_classify_duration_s <= 0 or min_classify_duration_s > window_duration_s:
+            raise ValueError(
+                "min_classify_duration_s must lie in (0, window_duration_s], got "
+                f"{min_classify_duration_s}"
+            )
+        self._pipeline = pipeline
+        self._controller = (
+            controller if controller is not None else SpotWithConfidenceController()
+        )
+        self._buffer = SampleBuffer(window_duration_s=window_duration_s)
+        self._min_classify_duration_s = float(min_classify_duration_s)
+        self._samples_seen = 0
+        self._steps = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pipeline(self) -> HarPipeline:
+        """The HAR pipeline used for every classification."""
+        return self._pipeline
+
+    @property
+    def controller(self) -> AdaptiveController:
+        """The adaptive controller driving the configuration."""
+        return self._controller
+
+    @property
+    def current_config(self) -> SensorConfig:
+        """Configuration the caller should acquire the next batch under."""
+        return self._controller.current_config
+
+    @property
+    def samples_seen(self) -> int:
+        """Total number of samples pushed so far."""
+        return self._samples_seen
+
+    @property
+    def steps(self) -> int:
+        """Number of classification steps performed so far."""
+        return self._steps
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Clear the buffer and return the controller to its initial state."""
+        self._buffer.clear()
+        self._controller.reset()
+        self._samples_seen = 0
+        self._steps = 0
+
+    def push(self, samples: np.ndarray, config: SensorConfig) -> StreamingStep:
+        """Push one acquired batch and advance the loop.
+
+        Parameters
+        ----------
+        samples:
+            Raw accelerometer samples of shape ``(n, 3)`` acquired under
+            ``config`` (normally one second's worth).
+        config:
+            The configuration the batch was acquired under.  Pushing a
+            batch from a different configuration than the buffered one
+            flushes the buffer, exactly like the on-device FIFO restart.
+
+        Returns
+        -------
+        StreamingStep
+        """
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim != 2 or samples.shape[1] != 3:
+            raise ValueError(f"samples must have shape (n, 3), got {samples.shape}")
+        if samples.shape[0] == 0:
+            raise ValueError("samples must contain at least one row")
+
+        period = 1.0 / config.sampling_hz
+        start = self._samples_seen * 0.0  # times are only used for bookkeeping
+        times = start + period * np.arange(1, samples.shape[0] + 1)
+        self._buffer.push(SensorWindow(samples=samples, times_s=times, config=config))
+        self._samples_seen += int(samples.shape[0])
+
+        if self._buffer.buffered_duration_s + 1e-9 < self._min_classify_duration_s:
+            return StreamingStep(
+                result=None,
+                next_config=self._controller.current_config,
+                buffered_duration_s=self._buffer.buffered_duration_s,
+            )
+
+        batch = self._buffer.window()
+        result = self._pipeline.classify_window(batch)
+        next_config = self._controller.update(result.activity, result.confidence)
+        self._steps += 1
+        return StreamingStep(
+            result=result,
+            next_config=next_config,
+            buffered_duration_s=self._buffer.buffered_duration_s,
+        )

@@ -1,0 +1,174 @@
+"""Simulation traces: per-step records and their aggregation.
+
+A trace is the raw material behind most of the paper's figures: Fig. 5
+plots the per-second current of a single trace, while Fig. 6 and Fig. 7
+aggregate many traces into average power and recognition accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.activities import Activity
+from repro.energy.accounting import average_current_ua, energy_uc, state_residency
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Everything recorded about one classification step (one second).
+
+    Attributes
+    ----------
+    time_s:
+        Simulation time at the end of the step.
+    true_activity:
+        Ground-truth activity during the step.
+    predicted_activity:
+        Activity reported by the classifier.
+    confidence:
+        Softmax confidence of the prediction.
+    config_name:
+        Sensor configuration active while the step's data was acquired.
+    current_ua:
+        Sensor current drawn during the step, in microamperes.
+    duration_s:
+        Length of the step (one second unless the simulator was
+        configured otherwise).
+    """
+
+    time_s: float
+    true_activity: Activity
+    predicted_activity: Activity
+    confidence: float
+    config_name: str
+    current_ua: float
+    duration_s: float = 1.0
+
+    @property
+    def correct(self) -> bool:
+        """Whether the prediction matched the ground truth."""
+        return self.true_activity == self.predicted_activity
+
+
+@dataclass
+class SimulationTrace:
+    """An ordered collection of :class:`StepRecord` produced by one run."""
+
+    records: List[StepRecord] = field(default_factory=list)
+
+    def append(self, record: StepRecord) -> None:
+        """Add one step to the trace."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    # ------------------------------------------------------------------
+    # Array views
+    # ------------------------------------------------------------------
+    @property
+    def times_s(self) -> np.ndarray:
+        """Step end times."""
+        return np.array([record.time_s for record in self.records])
+
+    @property
+    def currents_ua(self) -> np.ndarray:
+        """Per-step sensor current."""
+        return np.array([record.current_ua for record in self.records])
+
+    @property
+    def durations_s(self) -> np.ndarray:
+        """Per-step durations."""
+        return np.array([record.duration_s for record in self.records])
+
+    @property
+    def config_names(self) -> List[str]:
+        """Per-step active configuration names."""
+        return [record.config_name for record in self.records]
+
+    @property
+    def true_labels(self) -> np.ndarray:
+        """Ground-truth class indices per step."""
+        return np.array([int(record.true_activity) for record in self.records])
+
+    @property
+    def predicted_labels(self) -> np.ndarray:
+        """Predicted class indices per step."""
+        return np.array([int(record.predicted_activity) for record in self.records])
+
+    @property
+    def confidences(self) -> np.ndarray:
+        """Per-step prediction confidences."""
+        return np.array([record.confidence for record in self.records])
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def _require_non_empty(self) -> None:
+        if not self.records:
+            raise ValueError("trace is empty")
+
+    @property
+    def duration_s(self) -> float:
+        """Total simulated time covered by the trace."""
+        return float(self.durations_s.sum()) if self.records else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of steps whose prediction matched the ground truth."""
+        self._require_non_empty()
+        return float(np.mean([record.correct for record in self.records]))
+
+    @property
+    def average_current_ua(self) -> float:
+        """Time-weighted average sensor current over the trace."""
+        self._require_non_empty()
+        return average_current_ua(self.currents_ua, self.durations_s)
+
+    @property
+    def energy_uc(self) -> float:
+        """Total sensor charge drawn over the trace, in microcoulombs."""
+        self._require_non_empty()
+        return energy_uc(self.currents_ua, self.durations_s)
+
+    def state_residency(self) -> Dict[str, float]:
+        """Fraction of time spent in each sensor configuration."""
+        self._require_non_empty()
+        return state_residency(self.config_names, self.durations_s)
+
+    def activity_change_times(self) -> np.ndarray:
+        """Times at which the ground-truth activity changed."""
+        labels = self.true_labels
+        times = self.times_s
+        changes = [
+            times[index]
+            for index in range(1, len(labels))
+            if labels[index] != labels[index - 1]
+        ]
+        return np.array(changes)
+
+    def summary(self) -> Mapping[str, object]:
+        """Bundle the headline statistics of the trace into one mapping."""
+        self._require_non_empty()
+        return {
+            "steps": len(self.records),
+            "duration_s": self.duration_s,
+            "accuracy": self.accuracy,
+            "average_current_ua": self.average_current_ua,
+            "energy_uc": self.energy_uc,
+            "state_residency": self.state_residency(),
+        }
+
+    @classmethod
+    def concatenate(cls, traces: Sequence["SimulationTrace"]) -> "SimulationTrace":
+        """Merge several traces into one (used when averaging over runs)."""
+        merged = cls()
+        for trace in traces:
+            merged.records.extend(trace.records)
+        return merged

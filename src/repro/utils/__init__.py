@@ -1,0 +1,40 @@
+"""Small shared utilities used across the AdaSense reproduction.
+
+The helpers here are deliberately dependency-light: argument validation,
+seeded random-number-generator handling and a handful of physical
+constants.  Every other subpackage may import from :mod:`repro.utils`,
+but :mod:`repro.utils` never imports from the rest of the library.
+"""
+
+from repro.utils.constants import (
+    GRAVITY_MS2,
+    MICRO,
+    SECONDS_PER_MINUTE,
+    SECONDS_PER_HOUR,
+)
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.validation import (
+    check_fraction,
+    check_in_choices,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+    check_shape,
+)
+
+__all__ = [
+    "GRAVITY_MS2",
+    "MICRO",
+    "SECONDS_PER_MINUTE",
+    "SECONDS_PER_HOUR",
+    "as_rng",
+    "spawn_rngs",
+    "check_fraction",
+    "check_in_choices",
+    "check_non_negative",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "check_shape",
+]

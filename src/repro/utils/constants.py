@@ -1,0 +1,19 @@
+"""Physical and unit constants shared across the library.
+
+Only constants that appear in more than one subpackage live here; values
+specific to a single model (for example the BMI160 current figures) are
+kept next to the model that uses them so that the provenance is obvious.
+"""
+
+#: Standard gravitational acceleration in metres per second squared.
+GRAVITY_MS2: float = 9.80665
+
+#: Multiplier converting a base SI unit into its "micro" prefix
+#: (e.g. amperes -> microamperes).
+MICRO: float = 1e6
+
+#: Number of seconds in a minute.
+SECONDS_PER_MINUTE: float = 60.0
+
+#: Number of seconds in an hour.
+SECONDS_PER_HOUR: float = 3600.0

@@ -1,0 +1,92 @@
+"""Argument-validation helpers.
+
+The library is used both programmatically and from benchmark scripts
+that sweep wide parameter ranges, so early, descriptive failures are
+preferable to silent misbehaviour deep inside a simulation.  Each helper
+raises ``ValueError`` (or ``TypeError`` where appropriate) with a message
+that names the offending argument.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence, Tuple
+
+import numpy as np
+
+
+def check_positive(value: float, name: str) -> float:
+    """Ensure ``value`` is a finite number strictly greater than zero."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a positive finite number, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Ensure ``value`` is a finite number greater than or equal to zero."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a non-negative finite number, got {value!r}")
+    return value
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Ensure ``value`` is an integer strictly greater than zero."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value}")
+    return int(value)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Ensure ``value`` lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0.0 or value > 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Ensure ``value`` lies in the open interval (0, 1)."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0 or value >= 1.0:
+        raise ValueError(f"{name} must lie strictly between 0 and 1, got {value!r}")
+    return value
+
+
+def check_in_choices(value: Any, name: str, choices: Iterable[Any]) -> Any:
+    """Ensure ``value`` is one of ``choices``."""
+    options = tuple(choices)
+    if value not in options:
+        raise ValueError(f"{name} must be one of {options!r}, got {value!r}")
+    return value
+
+
+def check_shape(array: np.ndarray, name: str, shape: Sequence[int | None]) -> np.ndarray:
+    """Ensure ``array`` matches ``shape`` where ``None`` entries are wildcards.
+
+    Parameters
+    ----------
+    array:
+        Array (or array-like) to validate.  The array is converted with
+        :func:`numpy.asarray` and returned.
+    name:
+        Argument name used in error messages.
+    shape:
+        Expected shape; ``None`` in a position means "any size".
+    """
+    array = np.asarray(array)
+    expected: Tuple[int | None, ...] = tuple(shape)
+    if array.ndim != len(expected):
+        raise ValueError(
+            f"{name} must have {len(expected)} dimensions, got {array.ndim} "
+            f"(shape {array.shape})"
+        )
+    for axis, want in enumerate(expected):
+        if want is not None and array.shape[axis] != want:
+            raise ValueError(
+                f"{name} has shape {array.shape}, expected {expected} "
+                f"(mismatch on axis {axis})"
+            )
+    return array

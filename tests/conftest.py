@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite.
+
+The expensive artefacts (trained pipelines, window datasets) are built
+once per session at a deliberately small scale so the whole suite stays
+fast while still exercising the real training and simulation code paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.activities import Activity
+from repro.core.adasense import AdaSense
+from repro.core.config import DEFAULT_SPOT_STATES, HIGH_POWER_CONFIG
+from repro.core.pipeline import HarPipeline
+from repro.datasets.synthetic import SyntheticSignalGenerator
+from repro.datasets.windows import WindowDataset, WindowDatasetBuilder
+from repro.sensors.imu import NoiseModel, SimulatedAccelerometer
+
+
+#: Seed shared by the session fixtures so failures are reproducible.
+SESSION_SEED = 1234
+
+
+@pytest.fixture(scope="session")
+def signal_generator() -> SyntheticSignalGenerator:
+    """A signal generator with the default activity profiles."""
+    return SyntheticSignalGenerator(seed=SESSION_SEED)
+
+
+@pytest.fixture(scope="session")
+def dataset_builder() -> WindowDatasetBuilder:
+    """A window-dataset builder with default noise and features."""
+    return WindowDatasetBuilder(seed=SESSION_SEED)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(dataset_builder: WindowDatasetBuilder) -> WindowDataset:
+    """A small multi-configuration dataset (4 configs x 6 activities x 10)."""
+    return dataset_builder.build(
+        configs=DEFAULT_SPOT_STATES, windows_per_activity_per_config=16
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_pipeline(small_dataset: WindowDataset) -> HarPipeline:
+    """A pipeline trained on the small session dataset."""
+    return HarPipeline.train(small_dataset, hidden_units=(24,), seed=SESSION_SEED)
+
+
+@pytest.fixture(scope="session")
+def trained_system(trained_pipeline: HarPipeline) -> AdaSense:
+    """An AdaSense facade wrapping the session pipeline."""
+    return AdaSense(pipeline=trained_pipeline)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh, seeded random generator for per-test randomness."""
+    return np.random.default_rng(SESSION_SEED)
+
+
+@pytest.fixture()
+def walk_sensor(signal_generator: SyntheticSignalGenerator) -> SimulatedAccelerometer:
+    """An accelerometer attached to a single walking bout."""
+    realization = signal_generator.realize(Activity.WALK, rng=SESSION_SEED)
+    return SimulatedAccelerometer(signal=realization, seed=SESSION_SEED)
+
+
+@pytest.fixture()
+def sit_window(dataset_builder: WindowDatasetBuilder) -> np.ndarray:
+    """A raw 2-second sitting window at the full-power configuration."""
+    return dataset_builder.acquire_raw_window(Activity.SIT, HIGH_POWER_CONFIG)
+
+
+@pytest.fixture()
+def walk_window(dataset_builder: WindowDatasetBuilder) -> np.ndarray:
+    """A raw 2-second walking window at the full-power configuration."""
+    return dataset_builder.acquire_raw_window(Activity.WALK, HIGH_POWER_CONFIG)

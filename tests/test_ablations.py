@@ -1,0 +1,91 @@
+"""Tests for the ablation experiment drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DEFAULT_SPOT_STATES
+from repro.experiments.ablations import (
+    run_classifier_ablation,
+    run_feature_ablation,
+    run_state_count_ablation,
+)
+from repro.experiments.common import get_trained_systems
+
+
+class TestFeatureAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_feature_ablation(
+            fourier_counts=(1, 3),
+            modes=("bands",),
+            windows_per_activity_per_config=10,
+            seed=0,
+        )
+
+    def test_one_row_per_variant(self, result):
+        assert len(result.rows) == 2
+
+    def test_vector_sizes_follow_feature_count(self, result):
+        sizes = {row.n_fourier_features: row.num_features for row in result.rows}
+        assert sizes[1] == 9
+        assert sizes[3] == 15
+
+    def test_accuracies_above_chance(self, result):
+        for row in result.rows:
+            assert row.accuracy > 1.0 / 6.0
+
+    def test_best_row_is_maximum(self, result):
+        assert result.best_row().accuracy == max(row.accuracy for row in result.rows)
+
+    def test_format_table_lists_modes(self, result):
+        assert "bands" in result.format_table()
+
+
+class TestClassifierAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_classifier_ablation(
+            hidden_sizes=(8, 32), windows_per_activity_per_config=10, seed=0
+        )
+
+    def test_memory_grows_with_width(self, result):
+        by_width = {row.hidden_units: row for row in result.rows}
+        assert by_width[32].memory_bytes > by_width[8].memory_bytes
+        assert by_width[32].num_parameters > by_width[8].num_parameters
+
+    def test_accuracies_reasonable(self, result):
+        for row in result.rows:
+            assert 0.5 < row.accuracy <= 1.0
+
+    def test_format_table_mentions_memory(self, result):
+        assert "memory" in result.format_table()
+
+
+class TestStateCountAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        system = get_trained_systems(scale="quick", seed=2020).adasense
+        return run_state_count_ablation(
+            state_counts=(1, 4),
+            system=system,
+            duration_s=150.0,
+            repeats=1,
+            seed=1,
+        )
+
+    def test_single_state_is_full_power(self, result):
+        single = next(row for row in result.rows if row.num_states == 1)
+        assert single.average_current_ua == pytest.approx(180.0)
+        assert single.state_names == (DEFAULT_SPOT_STATES[0].name,)
+
+    def test_full_chain_saves_power(self, result):
+        single = next(row for row in result.rows if row.num_states == 1)
+        full = next(row for row in result.rows if row.num_states == 4)
+        assert full.average_current_ua < single.average_current_ua
+        assert len(full.state_names) == 4
+
+    def test_invalid_state_count_rejected(self):
+        system = get_trained_systems(scale="quick", seed=2020).adasense
+        with pytest.raises(ValueError):
+            run_state_count_ablation(state_counts=(0,), system=system, repeats=1)

@@ -1,0 +1,87 @@
+"""Tests for the activity enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.activities import (
+    ALL_ACTIVITIES,
+    DYNAMIC_ACTIVITIES,
+    NUM_ACTIVITIES,
+    STATIC_ACTIVITIES,
+    Activity,
+    activity_names,
+    encode_activities,
+)
+
+
+class TestActivityEnumeration:
+    def test_six_activities(self):
+        assert NUM_ACTIVITIES == 6
+        assert len(ALL_ACTIVITIES) == 6
+
+    def test_indices_are_contiguous_from_zero(self):
+        assert sorted(int(activity) for activity in ALL_ACTIVITIES) == list(range(6))
+
+    def test_static_dynamic_partition(self):
+        assert set(STATIC_ACTIVITIES) | set(DYNAMIC_ACTIVITIES) == set(ALL_ACTIVITIES)
+        assert set(STATIC_ACTIVITIES) & set(DYNAMIC_ACTIVITIES) == set()
+
+    def test_static_membership(self):
+        assert Activity.SIT.is_static
+        assert Activity.LIE.is_static
+        assert Activity.STAND.is_static
+        assert not Activity.WALK.is_static
+
+    def test_dynamic_membership(self):
+        assert Activity.WALK.is_dynamic
+        assert Activity.UPSTAIRS.is_dynamic
+        assert Activity.DOWNSTAIRS.is_dynamic
+        assert not Activity.SIT.is_dynamic
+
+    def test_labels_match_paper_wording(self):
+        assert Activity.UPSTAIRS.label == "go upstairs"
+        assert Activity.DOWNSTAIRS.label == "go downstairs"
+        assert Activity.LIE.label == "lie down"
+
+    def test_activity_names_ordered_by_index(self):
+        names = activity_names()
+        assert names[int(Activity.WALK)] == "walk"
+        assert len(names) == 6
+
+
+class TestFromAny:
+    def test_from_activity(self):
+        assert Activity.from_any(Activity.SIT) is Activity.SIT
+
+    def test_from_int(self):
+        assert Activity.from_any(2) == Activity.WALK
+
+    def test_from_member_name(self):
+        assert Activity.from_any("WALK") == Activity.WALK
+        assert Activity.from_any("walk") == Activity.WALK
+
+    def test_from_label_with_space(self):
+        assert Activity.from_any("go upstairs") == Activity.UPSTAIRS
+        assert Activity.from_any("lie down") == Activity.LIE
+
+    def test_unknown_string_raises(self):
+        with pytest.raises(ValueError):
+            Activity.from_any("jogging")
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            Activity.from_any(3.5)
+
+    def test_out_of_range_int_raises(self):
+        with pytest.raises(ValueError):
+            Activity.from_any(6)
+
+
+class TestEncodeActivities:
+    def test_mixed_inputs(self):
+        encoded = encode_activities([Activity.SIT, "walk", 5])
+        assert encoded == [0, 2, 5]
+
+    def test_empty(self):
+        assert encode_activities([]) == []

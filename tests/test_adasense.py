@@ -1,0 +1,99 @@
+"""Tests for the AdaSense facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.activities import Activity
+from repro.core.adasense import AdaSense
+from repro.core.config import DEFAULT_SPOT_STATES, HIGH_POWER_CONFIG, LOW_POWER_CONFIG
+from repro.core.controller import (
+    SpotController,
+    SpotWithConfidenceController,
+    StaticController,
+)
+from repro.datasets.scenarios import make_fig5_schedule, make_stable_schedule
+from repro.sim.trace import SimulationTrace
+
+
+class TestConstructionAndDefaults:
+    def test_default_controller_is_spot_with_confidence(self, trained_pipeline):
+        system = AdaSense(pipeline=trained_pipeline)
+        assert isinstance(system.controller, SpotWithConfidenceController)
+
+    def test_properties_exposed(self, trained_system):
+        assert trained_system.pipeline is not None
+        assert trained_system.power_model is not None
+        assert trained_system.noise_model is not None
+
+    def test_with_controller_shares_pipeline(self, trained_system):
+        derived = trained_system.with_controller(StaticController())
+        assert derived.pipeline is trained_system.pipeline
+        assert isinstance(derived.controller, StaticController)
+        assert derived is not trained_system
+
+    def test_controller_factories(self):
+        spot = AdaSense.spot_controller(stability_threshold=5)
+        assert isinstance(spot, SpotController)
+        assert spot.stability_threshold == 5
+        confident = AdaSense.spot_with_confidence_controller(confidence_threshold=0.9)
+        assert confident.confidence_threshold == pytest.approx(0.9)
+        static = AdaSense.static_controller()
+        assert static.current_config == HIGH_POWER_CONFIG
+        pinned = AdaSense.static_controller(LOW_POWER_CONFIG)
+        assert pinned.current_config == LOW_POWER_CONFIG
+
+
+class TestTraining:
+    def test_train_produces_working_system(self):
+        system = AdaSense.train(windows_per_activity_per_config=6, seed=0)
+        trace = system.simulate(make_fig5_schedule(20.0, 20.0), seed=1)
+        assert isinstance(trace, SimulationTrace)
+        assert len(trace) == 40
+
+    def test_from_dataset(self, small_dataset):
+        system = AdaSense.from_dataset(small_dataset, hidden_units=(16,), seed=0)
+        assert system.pipeline.evaluate(small_dataset) > 0.7
+
+
+class TestClassification:
+    def test_classify_delegates_to_pipeline(self, trained_system, walk_window):
+        result = trained_system.classify(walk_window, HIGH_POWER_CONFIG.sampling_hz)
+        assert result.activity in list(Activity)
+
+    def test_simulator_uses_configured_controller(self, trained_system):
+        adaptive = trained_system.with_controller(SpotController(stability_threshold=2))
+        simulator = adaptive.simulator()
+        assert simulator.controller.stability_threshold == 2
+
+
+class TestClosedLoopBehaviour:
+    def test_stable_bout_reaches_low_power(self, trained_system):
+        adaptive = trained_system.with_controller(SpotController(stability_threshold=3))
+        trace = adaptive.simulate(make_stable_schedule(Activity.SIT, 40.0), seed=2)
+        # The descent must reach the lowest-power state at some point and the
+        # bout as a whole must be far cheaper than the always-on baseline.
+        assert LOW_POWER_CONFIG.name in trace.config_names
+        assert trace.average_current_ua < 0.75 * 180.0
+
+    def test_spot_uses_less_power_than_static(self, trained_system):
+        schedule = make_fig5_schedule(40.0, 40.0)
+        static = trained_system.with_controller(StaticController()).simulate(schedule, seed=3)
+        adaptive = trained_system.with_controller(
+            SpotController(stability_threshold=5)
+        ).simulate(schedule, seed=3)
+        assert adaptive.average_current_ua < static.average_current_ua
+
+    def test_all_visited_configs_are_spot_states(self, trained_system):
+        adaptive = trained_system.with_controller(SpotController(stability_threshold=2))
+        trace = adaptive.simulate(make_fig5_schedule(20.0, 20.0), seed=4)
+        state_names = {config.name for config in DEFAULT_SPOT_STATES}
+        assert set(trace.config_names) <= state_names
+
+    def test_simulation_reproducible(self, trained_system):
+        schedule = make_fig5_schedule(15.0, 15.0)
+        adaptive = trained_system.with_controller(SpotController(stability_threshold=2))
+        a = adaptive.simulate(schedule, seed=5)
+        b = adaptive.simulate(schedule, seed=5)
+        np.testing.assert_allclose(a.currents_ua, b.currents_ua)

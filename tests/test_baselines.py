@@ -1,0 +1,132 @@
+"""Tests for the comparison baselines (static and intensity-based)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.intensity_based import (
+    DEFAULT_LOW_INTENSITY_CONFIG,
+    IntensityBasedApproach,
+    IntensityThresholds,
+    activity_intensity,
+)
+from repro.baselines.static import AlwaysHighPowerBaseline
+from repro.core.activities import Activity
+from repro.core.config import HIGH_POWER_CONFIG
+from repro.datasets.scenarios import make_fig5_schedule, make_stable_schedule
+from repro.energy.accelerometer import AccelerometerPowerModel
+
+
+@pytest.fixture(scope="module")
+def trained_iba():
+    """A small intensity-based baseline shared by the tests in this module."""
+    return IntensityBasedApproach.train(
+        windows_per_activity=30, calibration_windows_per_activity=10, seed=0
+    )
+
+
+class TestAlwaysHighPowerBaseline:
+    def test_constant_current(self, trained_pipeline):
+        baseline = AlwaysHighPowerBaseline(pipeline=trained_pipeline)
+        trace = baseline.simulate(make_stable_schedule(Activity.SIT, 20.0), seed=0)
+        model = AccelerometerPowerModel.bmi160()
+        np.testing.assert_allclose(trace.currents_ua, model.current_ua(HIGH_POWER_CONFIG))
+        assert baseline.average_current_ua == pytest.approx(
+            model.current_ua(HIGH_POWER_CONFIG)
+        )
+
+    def test_high_accuracy_on_easy_schedule(self, trained_pipeline):
+        baseline = AlwaysHighPowerBaseline(pipeline=trained_pipeline)
+        trace = baseline.simulate(make_stable_schedule(Activity.LIE, 30.0), seed=1)
+        assert trace.accuracy > 0.9
+
+    def test_exposes_config_and_pipeline(self, trained_pipeline):
+        baseline = AlwaysHighPowerBaseline(pipeline=trained_pipeline)
+        assert baseline.config == HIGH_POWER_CONFIG
+        assert baseline.pipeline is trained_pipeline
+
+
+class TestActivityIntensity:
+    def test_walking_more_intense_than_sitting(self, dataset_builder):
+        sit = dataset_builder.acquire_raw_window(Activity.SIT, HIGH_POWER_CONFIG)
+        walk = dataset_builder.acquire_raw_window(Activity.WALK, HIGH_POWER_CONFIG)
+        assert activity_intensity(walk) > activity_intensity(sit)
+
+    def test_constant_signal_zero_intensity(self):
+        assert activity_intensity(np.ones((50, 3))) == 0.0
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            activity_intensity(np.ones((1, 3)))
+
+    def test_requires_three_axes(self):
+        with pytest.raises(ValueError):
+            activity_intensity(np.ones((10, 2)))
+
+
+class TestIntensityThresholds:
+    def test_lookup(self):
+        thresholds = IntensityThresholds({"F100_A128": 1.5})
+        assert thresholds.for_config(HIGH_POWER_CONFIG) == 1.5
+
+    def test_missing_config_raises(self):
+        thresholds = IntensityThresholds({})
+        with pytest.raises(KeyError):
+            thresholds.for_config(HIGH_POWER_CONFIG)
+
+
+class TestIntensityBasedApproach:
+    def test_training_produces_two_pipelines(self, trained_iba):
+        assert trained_iba.pipeline_for(trained_iba.high_config) is not None
+        assert trained_iba.pipeline_for(trained_iba.low_config) is not None
+        assert trained_iba.low_config == DEFAULT_LOW_INTENSITY_CONFIG
+
+    def test_memory_is_sum_of_both_classifiers(self, trained_iba):
+        high = trained_iba.pipeline_for(trained_iba.high_config)
+        low = trained_iba.pipeline_for(trained_iba.low_config)
+        assert trained_iba.num_parameters == high.num_parameters + low.num_parameters
+        assert trained_iba.memory_bytes() == high.memory_bytes() + low.memory_bytes()
+
+    def test_thresholds_separate_static_from_dynamic(self, trained_iba, dataset_builder):
+        threshold = trained_iba.thresholds.for_config(trained_iba.high_config)
+        sit = dataset_builder.acquire_raw_window(Activity.SIT, trained_iba.high_config)
+        walk = dataset_builder.acquire_raw_window(Activity.WALK, trained_iba.high_config)
+        assert activity_intensity(sit) < threshold < activity_intensity(walk)
+
+    def test_static_bout_drops_to_low_config(self, trained_iba):
+        trace = trained_iba.simulate(make_stable_schedule(Activity.SIT, 30.0), seed=2)
+        assert trained_iba.low_config.name in trace.config_names
+        # After the first second the sensor should essentially stay low.
+        assert trace.config_names[-1] == trained_iba.low_config.name
+
+    def test_dynamic_bout_stays_at_high_config(self, trained_iba):
+        trace = trained_iba.simulate(make_stable_schedule(Activity.WALK, 30.0), seed=3)
+        residency = trace.state_residency()
+        assert residency.get(trained_iba.high_config.name, 0.0) > 0.8
+
+    def test_power_tracks_activity_mix_not_stability(self, trained_iba):
+        """A stable walking hour costs IbA full power (unlike AdaSense)."""
+        walking = trained_iba.simulate(make_stable_schedule(Activity.WALK, 40.0), seed=4)
+        sitting = trained_iba.simulate(make_stable_schedule(Activity.SIT, 40.0), seed=5)
+        assert walking.average_current_ua > sitting.average_current_ua
+
+    def test_mixed_schedule_accuracy_reasonable(self, trained_iba):
+        trace = trained_iba.simulate(make_fig5_schedule(30.0, 30.0), seed=6)
+        # The quick-trained baseline classifiers are small; the full-scale
+        # comparison happens in the Fig. 7 experiment.  Here we only require
+        # clearly-better-than-chance behaviour over a trace with a transition.
+        assert trace.accuracy > 0.5
+
+    def test_simulation_reproducible(self, trained_iba):
+        schedule = make_fig5_schedule(20.0, 20.0)
+        a = trained_iba.simulate(schedule, seed=7)
+        b = trained_iba.simulate(schedule, seed=7)
+        np.testing.assert_allclose(a.currents_ua, b.currents_ua)
+
+    def test_missing_pipeline_rejected(self, trained_iba):
+        with pytest.raises(ValueError):
+            IntensityBasedApproach(
+                pipelines={},
+                thresholds=trained_iba.thresholds,
+            )

@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "table1"])
+        assert args.scale == "quick"
+        assert args.seed == 2020
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.setting == "low"
+        assert args.controller == "spot_confidence"
+
+    def test_train_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train"])
+
+
+class TestExperimentsCommand:
+    def test_lists_every_experiment(self):
+        out = io.StringIO()
+        assert main(["experiments"], out=out) == 0
+        text = out.getvalue()
+        for name in EXPERIMENTS:
+            assert name in text
+
+
+class TestRunCommand:
+    def test_run_table1_prints_configurations(self):
+        out = io.StringIO()
+        assert main(["run", "table1"], out=out) == 0
+        text = out.getvalue()
+        assert "F100_A128" in text
+        assert "F6.25_A8" in text
+
+    def test_run_memory_prints_savings(self):
+        out = io.StringIO()
+        assert main(["run", "memory"], out=out) == 0
+        assert "memory saving vs IbA" in out.getvalue()
+
+
+class TestTrainAndSimulate:
+    def test_train_writes_model_file(self, tmp_path):
+        out = io.StringIO()
+        model_path = tmp_path / "model.json"
+        code = main(
+            ["train", "--output", str(model_path), "--windows", "6", "--seed", "1"],
+            out=out,
+        )
+        assert code == 0
+        assert model_path.exists()
+        assert "trained shared classifier" in out.getvalue()
+
+    def test_simulate_with_saved_model(self, tmp_path):
+        model_path = tmp_path / "model.json"
+        main(["train", "--output", str(model_path), "--windows", "6", "--seed", "1"],
+             out=io.StringIO())
+        out = io.StringIO()
+        code = main(
+            [
+                "simulate",
+                "--model", str(model_path),
+                "--setting", "low",
+                "--duration", "120",
+                "--controller", "spot",
+                "--threshold", "5",
+                "--seed", "3",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "accuracy" in text
+        assert "power saving" in text
+
+    def test_simulate_trains_fresh_model_when_none_given(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "simulate",
+                "--setting", "high",
+                "--duration", "90",
+                "--controller", "static",
+                "--windows", "6",
+                "--seed", "4",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "average current    : 180.0 uA" in out.getvalue()

@@ -1,0 +1,165 @@
+"""Tests for sensor configurations, Table I and Pareto-front utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    DEFAULT_SPOT_STATES,
+    HIGH_POWER_CONFIG,
+    LOW_POWER_CONFIG,
+    TABLE1_BY_NAME,
+    TABLE1_CONFIGS,
+    ConfigEvaluation,
+    SensorConfig,
+    get_config,
+    pareto_front,
+    sort_by_power,
+)
+
+
+class TestSensorConfig:
+    def test_name_formatting_integer_frequency(self):
+        assert SensorConfig(100.0, 128).name == "F100_A128"
+
+    def test_name_formatting_fractional_frequency(self):
+        assert SensorConfig(12.5, 16).name == "F12.5_A16"
+
+    def test_from_name_round_trip(self):
+        for config in TABLE1_CONFIGS:
+            assert SensorConfig.from_name(config.name) == config
+
+    def test_from_name_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            SensorConfig.from_name("100Hz/128")
+
+    def test_from_name_rejects_missing_window(self):
+        with pytest.raises(ValueError):
+            SensorConfig.from_name("F100")
+
+    def test_rejects_non_positive_frequency(self):
+        with pytest.raises(ValueError):
+            SensorConfig(0.0, 16)
+
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(ValueError):
+            SensorConfig(25.0, 0)
+
+    def test_samples_per_window_scales_with_frequency(self):
+        assert SensorConfig(100.0, 128).samples_per_window == 200
+        assert SensorConfig(12.5, 8).samples_per_window == 25
+
+    def test_samples_in_duration(self):
+        assert SensorConfig(50.0, 16).samples_in(1.0) == 50
+
+    def test_equality_and_hash(self):
+        assert SensorConfig(25.0, 32) == SensorConfig(25.0, 32)
+        assert len({SensorConfig(25.0, 32), SensorConfig(25.0, 32)}) == 1
+
+    def test_str_is_name(self):
+        assert str(SensorConfig(50.0, 8)) == "F50_A8"
+
+
+class TestTable1:
+    def test_sixteen_configurations(self):
+        assert len(TABLE1_CONFIGS) == 16
+
+    def test_all_names_unique(self):
+        assert len(TABLE1_BY_NAME) == 16
+
+    def test_paper_combinations_present(self):
+        for name in ("F100_A128", "F50_A16", "F12.5_A16", "F12.5_A8", "F6.25_A8"):
+            assert name in TABLE1_BY_NAME
+
+    def test_frequencies_and_windows_from_paper(self):
+        frequencies = {config.sampling_hz for config in TABLE1_CONFIGS}
+        windows = {config.averaging_window for config in TABLE1_CONFIGS}
+        assert frequencies == {100.0, 50.0, 25.0, 12.5, 6.25}
+        assert windows == {128, 32, 16, 8}
+
+    def test_default_spot_states_order(self):
+        names = [config.name for config in DEFAULT_SPOT_STATES]
+        assert names == ["F100_A128", "F50_A16", "F12.5_A16", "F12.5_A8"]
+
+    def test_high_and_low_power_configs(self):
+        assert HIGH_POWER_CONFIG.name == "F100_A128"
+        assert LOW_POWER_CONFIG.name == "F12.5_A8"
+
+
+class TestGetConfig:
+    def test_from_config_instance(self):
+        assert get_config(HIGH_POWER_CONFIG) is HIGH_POWER_CONFIG
+
+    def test_from_table_name(self):
+        assert get_config("F50_A16") == TABLE1_BY_NAME["F50_A16"]
+
+    def test_from_non_table_name(self):
+        config = get_config("F200_A4")
+        assert config.sampling_hz == 200.0
+        assert config.averaging_window == 4
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            get_config(123)
+
+
+def _evaluation(name: str, accuracy: float, current: float) -> ConfigEvaluation:
+    return ConfigEvaluation(
+        config=SensorConfig.from_name(name), accuracy=accuracy, current_ua=current
+    )
+
+
+class TestParetoFront:
+    def test_single_point_is_front(self):
+        points = [_evaluation("F100_A128", 0.98, 180.0)]
+        assert pareto_front(points) == points
+
+    def test_dominated_point_removed(self):
+        good = _evaluation("F12.5_A16", 0.95, 25.0)
+        bad = _evaluation("F6.25_A128", 0.90, 90.0)
+        front = pareto_front([good, bad])
+        assert front == [good]
+
+    def test_incomparable_points_all_kept(self):
+        cheap = _evaluation("F12.5_A8", 0.90, 14.0)
+        accurate = _evaluation("F100_A128", 0.99, 180.0)
+        front = pareto_front([cheap, accurate])
+        assert set(item.name for item in front) == {"F12.5_A8", "F100_A128"}
+
+    def test_front_sorted_by_decreasing_current(self):
+        points = [
+            _evaluation("F12.5_A8", 0.90, 14.0),
+            _evaluation("F100_A128", 0.99, 180.0),
+            _evaluation("F50_A16", 0.95, 93.0),
+        ]
+        front = pareto_front(points)
+        currents = [item.current_ua for item in front]
+        assert currents == sorted(currents, reverse=True)
+
+    def test_duplicate_operating_points_survive(self):
+        a = _evaluation("F25_A16", 0.95, 48.0)
+        b = _evaluation("F12.5_A32", 0.95, 48.0)
+        front = pareto_front([a, b])
+        assert len(front) == 2
+
+    def test_empty_input(self):
+        assert pareto_front([]) == []
+
+    def test_paper_example_domination(self):
+        # Fig. 2's annotated example: F6.25_A128 is dominated by F12.5_A16
+        # which has higher accuracy and lower current.
+        dominated = _evaluation("F6.25_A128", 0.93, 91.7)
+        dominating = _evaluation("F12.5_A16", 0.95, 25.6)
+        front = pareto_front([dominated, dominating])
+        assert [item.name for item in front] == ["F12.5_A16"]
+
+
+class TestSortByPower:
+    def test_orders_descending(self):
+        configs = [LOW_POWER_CONFIG, HIGH_POWER_CONFIG]
+        ordered = sort_by_power(configs, [14.5, 180.0])
+        assert ordered[0] == HIGH_POWER_CONFIG
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            sort_by_power([HIGH_POWER_CONFIG], [1.0, 2.0])

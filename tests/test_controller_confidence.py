@@ -1,0 +1,114 @@
+"""Tests for SPOT with confidence (Section IV-E)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.activities import Activity
+from repro.core.config import DEFAULT_SPOT_STATES, HIGH_POWER_CONFIG
+from repro.core.controller import SpotController, SpotWithConfidenceController
+
+
+class TestConstruction:
+    def test_default_confidence_is_paper_value(self):
+        controller = SpotWithConfidenceController()
+        assert controller.confidence_threshold == pytest.approx(0.85)
+
+    def test_invalid_confidence_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            SpotWithConfidenceController(confidence_threshold=1.2)
+
+    def test_is_a_spot_controller(self):
+        assert isinstance(SpotWithConfidenceController(), SpotController)
+
+
+class TestConfidenceGating:
+    def _descended(self, controller, steps=6, activity=Activity.SIT):
+        for _ in range(steps):
+            controller.update(activity, 0.95)
+        return controller
+
+    def test_high_confidence_change_escalates(self):
+        controller = self._descended(
+            SpotWithConfidenceController(stability_threshold=2)
+        )
+        assert controller.state_index > 0
+        controller.update(Activity.WALK, 0.95)
+        assert controller.state_index == 0
+
+    def test_low_confidence_change_is_ignored(self):
+        controller = self._descended(
+            SpotWithConfidenceController(stability_threshold=2)
+        )
+        state_before = controller.state_index
+        controller.update(Activity.WALK, 0.5)
+        assert controller.state_index == state_before
+        # The remembered activity is unchanged: the controller waits for a
+        # trustworthy classification.
+        assert controller.last_activity == Activity.SIT
+
+    def test_low_confidence_change_does_not_count_as_stability(self):
+        controller = SpotWithConfidenceController(stability_threshold=2)
+        controller.update(Activity.SIT, 0.95)
+        counter_before = controller.counter
+        controller.update(Activity.WALK, 0.3)
+        assert controller.counter == counter_before
+
+    def test_threshold_is_inclusive(self):
+        controller = self._descended(
+            SpotWithConfidenceController(stability_threshold=2, confidence_threshold=0.85)
+        )
+        controller.update(Activity.WALK, 0.85)
+        assert controller.state_index == 0
+
+    def test_repeated_low_confidence_changes_never_escalate(self):
+        controller = self._descended(
+            SpotWithConfidenceController(stability_threshold=1)
+        )
+        for _ in range(10):
+            controller.update(Activity.WALK, 0.6)
+        assert controller.state_index == len(DEFAULT_SPOT_STATES) - 1
+
+    def test_low_confidence_match_still_counts_towards_stability(self):
+        """Only *changes* are confidence-gated; matching outputs always count."""
+        controller = SpotWithConfidenceController(stability_threshold=3)
+        controller.update(Activity.SIT, 0.95)
+        controller.update(Activity.SIT, 0.40)
+        assert controller.counter == 2
+
+    def test_first_observation_accepted_regardless_of_confidence(self):
+        controller = SpotWithConfidenceController(stability_threshold=2)
+        controller.update(Activity.WALK, 0.2)
+        assert controller.last_activity == Activity.WALK
+        assert controller.current_config == HIGH_POWER_CONFIG
+
+    def test_descends_like_plain_spot_when_stable(self):
+        plain = SpotController(stability_threshold=3)
+        confident = SpotWithConfidenceController(stability_threshold=3)
+        for _ in range(12):
+            plain.update(Activity.LIE, 0.95)
+            confident.update(Activity.LIE, 0.95)
+        assert plain.state_index == confident.state_index
+
+    def test_reset_clears_gating_state(self):
+        controller = self._descended(SpotWithConfidenceController(stability_threshold=1))
+        controller.reset()
+        assert controller.state_index == 0
+        assert controller.last_activity is None
+
+    def test_spends_more_time_low_than_plain_spot_with_noisy_changes(self):
+        """The headline behaviour: confidence gating filters spurious escalations."""
+        plain = SpotController(stability_threshold=1)
+        confident = SpotWithConfidenceController(stability_threshold=1)
+        plain_low_time = 0
+        confident_low_time = 0
+        # Stable sitting interrupted by occasional low-confidence "walk"
+        # mispredictions (as a noisy low-power configuration would produce).
+        pattern = [(Activity.SIT, 0.95)] * 9 + [(Activity.WALK, 0.55)]
+        for _ in range(5):
+            for activity, confidence in pattern:
+                plain.update(activity, confidence)
+                confident.update(activity, confidence)
+                plain_low_time += plain.at_lowest_state
+                confident_low_time += confident.at_lowest_state
+        assert confident_low_time > plain_low_time

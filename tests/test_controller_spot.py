@@ -1,0 +1,191 @@
+"""Tests for the SPOT finite-state machine (Section IV-D)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.activities import Activity
+from repro.core.config import DEFAULT_SPOT_STATES, HIGH_POWER_CONFIG, LOW_POWER_CONFIG
+from repro.core.controller import SpotController, StaticController
+
+
+class TestStaticController:
+    def test_default_is_full_power(self):
+        controller = StaticController()
+        assert controller.current_config == HIGH_POWER_CONFIG
+
+    def test_never_switches(self):
+        controller = StaticController()
+        for activity in (Activity.SIT, Activity.WALK, Activity.SIT, Activity.LIE):
+            assert controller.update(activity, 0.9) == HIGH_POWER_CONFIG
+
+    def test_custom_config_held(self):
+        controller = StaticController(LOW_POWER_CONFIG)
+        controller.update(Activity.WALK, 1.0)
+        assert controller.current_config == LOW_POWER_CONFIG
+
+    def test_reset_is_noop(self):
+        controller = StaticController()
+        controller.reset()
+        assert controller.current_config == HIGH_POWER_CONFIG
+
+    def test_rejects_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            StaticController().update(Activity.SIT, 1.5)
+
+
+class TestSpotInitialState:
+    def test_starts_at_highest_power_state(self):
+        controller = SpotController(stability_threshold=3)
+        assert controller.current_config == DEFAULT_SPOT_STATES[0]
+        assert controller.state_index == 0
+        assert controller.counter == 0
+        assert controller.last_activity is None
+
+    def test_default_states_are_paper_states(self):
+        assert SpotController().states == DEFAULT_SPOT_STATES
+
+    def test_empty_states_rejected(self):
+        with pytest.raises(ValueError):
+            SpotController(states=[])
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            SpotController(stability_threshold=-1)
+
+
+class TestSpotTransitions:
+    def test_c1_stable_below_threshold_stays(self):
+        controller = SpotController(stability_threshold=3)
+        controller.update(Activity.SIT, 0.9)  # first observation
+        controller.update(Activity.SIT, 0.9)  # counter 2 < 3
+        assert controller.state_index == 0
+        assert controller.counter == 2
+
+    def test_c2_stable_at_threshold_steps_down(self):
+        controller = SpotController(stability_threshold=3)
+        for _ in range(3):
+            controller.update(Activity.SIT, 0.9)
+        assert controller.state_index == 1
+        assert controller.counter == 0
+        assert controller.current_config == DEFAULT_SPOT_STATES[1]
+
+    def test_c3_change_snaps_back_to_first_state(self):
+        controller = SpotController(stability_threshold=2)
+        for _ in range(4):
+            controller.update(Activity.SIT, 0.9)
+        assert controller.state_index == 2
+        controller.update(Activity.WALK, 0.9)
+        assert controller.state_index == 0
+        assert controller.counter == 0
+        assert controller.current_config == HIGH_POWER_CONFIG
+
+    def test_c4_stays_at_lowest_state_when_stable(self):
+        controller = SpotController(stability_threshold=1)
+        for _ in range(10):
+            controller.update(Activity.LIE, 0.9)
+        assert controller.at_lowest_state
+        assert controller.current_config == LOW_POWER_CONFIG
+        controller.update(Activity.LIE, 0.9)
+        assert controller.current_config == LOW_POWER_CONFIG
+
+    def test_full_descent_requires_threshold_per_state(self):
+        threshold = 4
+        controller = SpotController(stability_threshold=threshold)
+        steps_to_bottom = 0
+        while not controller.at_lowest_state:
+            controller.update(Activity.SIT, 0.9)
+            steps_to_bottom += 1
+            assert steps_to_bottom < 100
+        assert steps_to_bottom == threshold * (len(DEFAULT_SPOT_STATES) - 1)
+
+    def test_change_at_lowest_state_escalates(self):
+        controller = SpotController(stability_threshold=1)
+        for _ in range(5):
+            controller.update(Activity.SIT, 0.9)
+        assert controller.at_lowest_state
+        controller.update(Activity.WALK, 0.9)
+        assert controller.state_index == 0
+
+    def test_zero_threshold_descends_every_step(self):
+        controller = SpotController(stability_threshold=0)
+        controller.update(Activity.SIT, 0.9)
+        # With a zero threshold the first stable classification already
+        # satisfies C2, so each matching step moves one state down.
+        assert controller.state_index == 1
+        controller.update(Activity.SIT, 0.9)
+        assert controller.state_index == 2
+        controller.update(Activity.SIT, 0.9)
+        assert controller.at_lowest_state
+
+    def test_counter_not_incremented_at_lowest_state(self):
+        controller = SpotController(stability_threshold=1)
+        for _ in range(6):
+            controller.update(Activity.SIT, 0.9)
+        assert controller.counter == 0
+
+    def test_reset_restores_initial_state(self):
+        controller = SpotController(stability_threshold=1)
+        for _ in range(3):
+            controller.update(Activity.SIT, 0.9)
+        controller.reset()
+        assert controller.state_index == 0
+        assert controller.counter == 0
+        assert controller.last_activity is None
+
+    def test_update_returns_next_config(self):
+        controller = SpotController(stability_threshold=1)
+        returned = controller.update(Activity.SIT, 0.9)
+        assert returned == controller.current_config
+
+    def test_accepts_activity_like_values(self):
+        controller = SpotController(stability_threshold=2)
+        controller.update("sit", 0.9)
+        controller.update(Activity.SIT, 0.9)
+        assert controller.state_index == 1
+        assert controller.last_activity == Activity.SIT
+
+    def test_custom_state_chain(self):
+        states = [HIGH_POWER_CONFIG, LOW_POWER_CONFIG]
+        controller = SpotController(states=states, stability_threshold=2)
+        for _ in range(2):
+            controller.update(Activity.SIT, 0.9)
+        assert controller.current_config == LOW_POWER_CONFIG
+        assert controller.at_lowest_state
+
+    def test_single_state_chain_never_moves(self):
+        controller = SpotController(states=[HIGH_POWER_CONFIG], stability_threshold=1)
+        for activity in (Activity.SIT, Activity.SIT, Activity.WALK):
+            assert controller.update(activity, 0.9) == HIGH_POWER_CONFIG
+
+    def test_paper_descent_timing(self):
+        """With a threshold of 9 the FSM reaches the bottom after 27 stable steps.
+
+        This matches the ~28 seconds reported for Fig. 5 (three transitions
+        of 9 one-second classifications plus the initial buffering).
+        """
+        controller = SpotController(stability_threshold=9)
+        steps = 0
+        while not controller.at_lowest_state:
+            controller.update(Activity.SIT, 0.9)
+            steps += 1
+        assert steps == 27
+
+    def test_alternating_activities_pin_high_power(self):
+        controller = SpotController(stability_threshold=2)
+        for index in range(20):
+            activity = Activity.SIT if index % 2 == 0 else Activity.WALK
+            controller.update(activity, 0.9)
+        assert controller.state_index == 0
+
+    def test_confidence_ignored_by_plain_spot(self):
+        controller = SpotController(stability_threshold=2)
+        controller.update(Activity.SIT, 0.9)
+        controller.update(Activity.WALK, 0.05)  # low confidence, still a change
+        assert controller.state_index == 0
+        assert controller.last_activity == Activity.WALK
+
+    def test_invalid_confidence_rejected(self):
+        controller = SpotController()
+        with pytest.raises(ValueError):
+            controller.update(Activity.SIT, -0.2)

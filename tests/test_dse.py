@@ -1,0 +1,86 @@
+"""Tests for the design-space exploration (Fig. 2 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    DEFAULT_SPOT_STATES,
+    HIGH_POWER_CONFIG,
+    LOW_POWER_CONFIG,
+    TABLE1_BY_NAME,
+)
+from repro.core.dse import DesignSpaceExplorer, DseResult
+
+
+@pytest.fixture(scope="module")
+def small_dse_result() -> DseResult:
+    """A small exploration over the four SPOT states plus two dominated points."""
+    explorer = DesignSpaceExplorer(seed=3)
+    configs = list(DEFAULT_SPOT_STATES) + [
+        TABLE1_BY_NAME["F6.25_A128"],
+        TABLE1_BY_NAME["F6.25_A8"],
+    ]
+    return explorer.explore(configs=configs, windows_per_activity=12)
+
+
+class TestDesignSpaceExplorer:
+    def test_one_evaluation_per_config(self, small_dse_result):
+        assert len(small_dse_result.evaluations) == 6
+
+    def test_accuracies_are_probabilities(self, small_dse_result):
+        for evaluation in small_dse_result.evaluations:
+            assert 0.0 <= evaluation.accuracy <= 1.0
+
+    def test_currents_come_from_power_model(self, small_dse_result):
+        explorer = DesignSpaceExplorer(seed=0)
+        evaluation = small_dse_result.evaluation_for(HIGH_POWER_CONFIG)
+        assert evaluation.current_ua == pytest.approx(
+            explorer.power_model.current_ua(HIGH_POWER_CONFIG)
+        )
+
+    def test_high_power_config_is_reasonably_accurate(self, small_dse_result):
+        assert small_dse_result.evaluation_for(HIGH_POWER_CONFIG).accuracy > 0.85
+
+    def test_front_is_non_empty_and_sorted(self, small_dse_result):
+        front = small_dse_result.front
+        assert front
+        currents = [item.current_ua for item in front]
+        assert currents == sorted(currents, reverse=True)
+
+    def test_front_names_subset_of_evaluations(self, small_dse_result):
+        names = {item.name for item in small_dse_result.evaluations}
+        assert set(small_dse_result.front_names) <= names
+
+    def test_lowest_power_config_always_on_front(self, small_dse_result):
+        """The cheapest configuration can never be dominated on current."""
+        cheapest = min(small_dse_result.evaluations, key=lambda item: item.current_ua)
+        assert cheapest.name in small_dse_result.front_names
+
+    def test_evaluation_lookup_by_name(self, small_dse_result):
+        assert small_dse_result.evaluation_for("F12.5_A8").config == LOW_POWER_CONFIG
+
+    def test_unknown_config_lookup_raises(self, small_dse_result):
+        with pytest.raises(KeyError):
+            small_dse_result.evaluation_for("F200_A4")
+
+    def test_format_table_contains_all_configs(self, small_dse_result):
+        table = small_dse_result.format_table()
+        for evaluation in small_dse_result.evaluations:
+            assert evaluation.name in table
+
+    def test_empty_configs_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpaceExplorer(seed=0).explore(configs=[])
+
+    def test_invalid_window_count_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpaceExplorer(seed=0).explore(
+                configs=[HIGH_POWER_CONFIG], windows_per_activity=0
+            )
+
+    def test_deterministic_given_seed(self):
+        configs = [HIGH_POWER_CONFIG, LOW_POWER_CONFIG]
+        a = DesignSpaceExplorer(seed=11).explore(configs=configs, windows_per_activity=8)
+        b = DesignSpaceExplorer(seed=11).explore(configs=configs, windows_per_activity=8)
+        assert [e.accuracy for e in a.evaluations] == [e.accuracy for e in b.evaluations]

@@ -1,0 +1,55 @@
+"""Tests for the battery-lifetime estimator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy.battery import Battery, charge_uc_to_mah
+
+
+class TestBattery:
+    def test_usable_capacity_applies_derating(self):
+        battery = Battery(capacity_mah=200.0, usable_fraction=0.5)
+        assert battery.usable_capacity_mah == pytest.approx(100.0)
+
+    def test_lifetime_hours_known_value(self):
+        battery = Battery(capacity_mah=100.0, usable_fraction=0.9)
+        # 90 mAh at 0.18 mA (180 uA) -> 500 hours.
+        assert battery.lifetime_hours(180.0) == pytest.approx(500.0)
+
+    def test_lifetime_days(self):
+        battery = Battery(capacity_mah=100.0, usable_fraction=0.9)
+        assert battery.lifetime_days(180.0) == pytest.approx(500.0 / 24.0)
+
+    def test_lower_current_lasts_longer(self):
+        battery = Battery.coin_cell_cr2032()
+        assert battery.lifetime_days(55.0) > battery.lifetime_days(180.0)
+
+    def test_lifetime_extension_ratio(self):
+        battery = Battery.coin_cell_cr2032()
+        assert battery.lifetime_extension(180.0, 60.0) == pytest.approx(3.0)
+
+    def test_factories(self):
+        assert Battery.coin_cell_cr2032().capacity_mah == pytest.approx(225.0)
+        assert Battery.small_lipo_100mah().capacity_mah == pytest.approx(100.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Battery(capacity_mah=0.0)
+        with pytest.raises(ValueError):
+            Battery(capacity_mah=100.0, usable_fraction=1.5)
+        with pytest.raises(ValueError):
+            Battery.coin_cell_cr2032().lifetime_hours(0.0)
+
+
+class TestChargeConversion:
+    def test_known_value(self):
+        # 3600 uA*s = 1 uAh = 0.001 mAh
+        assert charge_uc_to_mah(3600.0) == pytest.approx(0.001)
+
+    def test_zero(self):
+        assert charge_uc_to_mah(0.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            charge_uc_to_mah(-1.0)

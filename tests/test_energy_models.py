@@ -1,0 +1,182 @@
+"""Tests for the accelerometer current model, the MCU model and accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    HIGH_POWER_CONFIG,
+    LOW_POWER_CONFIG,
+    TABLE1_BY_NAME,
+    TABLE1_CONFIGS,
+    OperationMode,
+    SensorConfig,
+)
+from repro.energy.accelerometer import AccelerometerPowerModel
+from repro.energy.accounting import (
+    average_current_ua,
+    energy_uc,
+    relative_saving,
+    state_residency,
+    summarize_power,
+)
+from repro.energy.mcu import McuModel
+
+
+class TestAccelerometerPowerModel:
+    def setup_method(self):
+        self.model = AccelerometerPowerModel.bmi160()
+
+    def test_full_power_config_runs_in_normal_mode(self):
+        assert self.model.mode_for(HIGH_POWER_CONFIG) == OperationMode.NORMAL
+        assert self.model.current_ua(HIGH_POWER_CONFIG) == pytest.approx(
+            self.model.active_current_ua
+        )
+
+    def test_lowest_config_runs_in_low_power_mode(self):
+        assert self.model.mode_for(LOW_POWER_CONFIG) == OperationMode.LOW_POWER
+        assert self.model.current_ua(LOW_POWER_CONFIG) < 0.2 * self.model.active_current_ua
+
+    def test_duty_cycle_bounded(self):
+        for config in TABLE1_CONFIGS:
+            assert 0.0 < self.model.duty_cycle(config) <= 1.0
+
+    def test_current_between_suspend_and_active(self):
+        for config in TABLE1_CONFIGS:
+            current = self.model.current_ua(config)
+            assert self.model.suspend_current_ua < current <= self.model.active_current_ua
+
+    def test_current_monotone_in_sampling_frequency(self):
+        low = self.model.current_ua(TABLE1_BY_NAME["F12.5_A16"])
+        high = self.model.current_ua(TABLE1_BY_NAME["F50_A16"])
+        assert high > low
+
+    def test_current_monotone_in_averaging_window(self):
+        small = self.model.current_ua(TABLE1_BY_NAME["F25_A8"])
+        large = self.model.current_ua(TABLE1_BY_NAME["F25_A32"])
+        assert large > small
+
+    def test_averaging_window_irrelevant_in_normal_mode(self):
+        # Both saturate the duty cycle, so they draw the same current.
+        assert self.model.current_ua(TABLE1_BY_NAME["F100_A128"]) == pytest.approx(
+            self.model.current_ua(TABLE1_BY_NAME["F50_A128"])
+        )
+
+    def test_spot_states_strictly_ordered_by_power(self):
+        from repro.core.config import DEFAULT_SPOT_STATES
+
+        currents = [self.model.current_ua(config) for config in DEFAULT_SPOT_STATES]
+        assert all(a > b for a, b in zip(currents, currents[1:]))
+
+    def test_energy_scales_with_duration(self):
+        one = self.model.energy_uc(LOW_POWER_CONFIG, 1.0)
+        ten = self.model.energy_uc(LOW_POWER_CONFIG, 10.0)
+        assert ten == pytest.approx(10.0 * one)
+
+    def test_current_table_covers_all_inputs(self):
+        table = self.model.current_table(TABLE1_CONFIGS)
+        assert len(table) == 16
+
+    def test_describe_contains_expected_keys(self):
+        summary = self.model.describe(LOW_POWER_CONFIG)
+        assert set(summary) == {"config", "mode", "duty_cycle", "current_ua"}
+
+    def test_invalid_parameterisation_rejected(self):
+        with pytest.raises(ValueError):
+            AccelerometerPowerModel(active_current_ua=10.0, suspend_current_ua=20.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            self.model.energy_uc(LOW_POWER_CONFIG, -1.0)
+
+
+class TestMcuModel:
+    def setup_method(self):
+        self.mcu = McuModel.cc2640r2f()
+
+    def test_feature_cycles_grow_with_samples(self):
+        assert self.mcu.feature_extraction_cycles(200) > self.mcu.feature_extraction_cycles(25)
+
+    def test_feature_cycles_grow_with_fourier_features(self):
+        assert self.mcu.feature_extraction_cycles(
+            100, num_fourier_features=5
+        ) > self.mcu.feature_extraction_cycles(100, num_fourier_features=3)
+
+    def test_inference_cycles_proportional_to_parameters(self):
+        assert self.mcu.inference_cycles(1000) == 2 * self.mcu.inference_cycles(500)
+
+    def test_derivative_cycles_positive(self):
+        assert self.mcu.derivative_cycles(100) > 0
+
+    def test_energy_conversion_positive_and_monotone(self):
+        assert self.mcu.cycles_to_energy_uj(0) == 0.0
+        assert self.mcu.cycles_to_energy_uj(20_000) > self.mcu.cycles_to_energy_uj(10_000)
+
+    def test_classifier_memory(self):
+        assert self.mcu.classifier_memory_bytes(710) == 2840
+
+    def test_processing_summary_derivative_flag(self):
+        without = self.mcu.processing_summary(200, 710, include_derivative=False)
+        with_derivative = self.mcu.processing_summary(200, 710, include_derivative=True)
+        assert with_derivative["total_cycles"] > without["total_cycles"]
+        assert without["derivative_cycles"] == 0.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            self.mcu.feature_extraction_cycles(-1)
+        with pytest.raises(ValueError):
+            self.mcu.inference_cycles(-5)
+
+
+class TestEnergyAccounting:
+    def test_energy_with_scalar_duration(self):
+        assert energy_uc([10.0, 20.0], 1.0) == pytest.approx(30.0)
+
+    def test_energy_with_per_interval_durations(self):
+        assert energy_uc([10.0, 20.0], [2.0, 0.5]) == pytest.approx(30.0)
+
+    def test_energy_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            energy_uc([10.0, 20.0], [1.0])
+
+    def test_energy_rejects_negative_durations(self):
+        with pytest.raises(ValueError):
+            energy_uc([10.0], [-1.0])
+
+    def test_average_current_unweighted(self):
+        assert average_current_ua([100.0, 50.0]) == pytest.approx(75.0)
+
+    def test_average_current_time_weighted(self):
+        assert average_current_ua([100.0, 50.0], [3.0, 1.0]) == pytest.approx(87.5)
+
+    def test_average_current_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_current_ua([])
+
+    def test_relative_saving(self):
+        assert relative_saving(100.0, 31.0) == pytest.approx(0.69)
+
+    def test_relative_saving_negative_when_worse(self):
+        assert relative_saving(100.0, 120.0) < 0
+
+    def test_relative_saving_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            relative_saving(0.0, 10.0)
+
+    def test_state_residency_sums_to_one(self):
+        residency = state_residency(["a", "b", "a", "a"])
+        assert sum(residency.values()) == pytest.approx(1.0)
+        assert residency["a"] == pytest.approx(0.75)
+
+    def test_state_residency_time_weighted(self):
+        residency = state_residency(["a", "b"], [3.0, 1.0])
+        assert residency["a"] == pytest.approx(0.75)
+
+    def test_state_residency_empty_rejected(self):
+        with pytest.raises(ValueError):
+            state_residency([])
+
+    def test_summarize_power_keys(self):
+        summary = summarize_power([10.0, 20.0], ["a", "b"])
+        assert set(summary) == {"average_current_ua", "energy_uc", "state_residency"}

@@ -1,0 +1,243 @@
+"""Tests for the experiment drivers (Table I, Fig. 2, Fig. 5-7, Section V-D).
+
+These tests run the drivers at a deliberately tiny scale: the goal is to
+verify the experiment plumbing and the *qualitative* shapes the paper
+reports, not to regenerate the full figures (the benchmark harness does
+that).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import TABLE1_CONFIGS
+from repro.datasets.scenarios import ActivitySetting
+from repro.experiments import (
+    get_trained_systems,
+    run_fig2,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_headline,
+    run_memory_overhead,
+    run_mismatch,
+    run_table1,
+)
+from repro.experiments.common import get_scale
+from repro.experiments.fig6_power_accuracy import BASELINE, SPOT, SPOT_CONFIDENCE
+from repro.experiments.fig7_comparison import ADASENSE, INTENSITY_BASED
+
+
+@pytest.fixture(scope="module")
+def systems():
+    """The shared quick-scale trained systems (memoised across the module)."""
+    return get_trained_systems(scale="quick", seed=2020)
+
+
+class TestCommon:
+    def test_scales_defined(self):
+        assert get_scale("quick").windows_per_activity_per_config < get_scale(
+            "paper"
+        ).windows_per_activity_per_config
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            get_scale("huge")
+
+    def test_trained_systems_memoised(self, systems):
+        assert get_trained_systems(scale="quick", seed=2020) is systems
+
+    def test_trained_systems_components(self, systems):
+        assert systems.adasense.pipeline is systems.baseline.pipeline
+        assert systems.intensity_based.memory_bytes() > 0
+
+
+class TestTable1:
+    def test_sixteen_rows(self):
+        result = run_table1()
+        assert len(result.rows) == 16
+
+    def test_rows_match_configs(self):
+        result = run_table1()
+        assert {row.name for row in result.rows} == {c.name for c in TABLE1_CONFIGS}
+
+    def test_row_lookup_and_format(self):
+        result = run_table1()
+        row = result.row_for("F100_A128")
+        assert row.sampling_hz == 100.0
+        assert row.averaging_window == 128
+        assert "F12.5_A8" in result.format_table()
+
+    def test_unknown_row_rejected(self):
+        with pytest.raises(KeyError):
+            run_table1().row_for("F1_A1")
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def fig2(self):
+        return run_fig2(windows_per_activity=12, seed=5)
+
+    def test_evaluates_whole_table(self, fig2):
+        assert len(fig2.evaluations) == 16
+
+    def test_accuracy_correlates_with_current(self, fig2):
+        """Fig. 2's qualitative message: more current buys more accuracy."""
+        assert fig2.accuracy_current_correlation > 0.2
+
+    def test_front_contains_extreme_points(self, fig2):
+        assert "F6.25_A8" in fig2.front_names or "F12.5_A8" in fig2.front_names
+
+    def test_paper_front_recall_bounded(self, fig2):
+        assert 0.0 <= fig2.paper_front_recall() <= 1.0
+
+    def test_format_table_mentions_front(self, fig2):
+        assert "Pareto front" in fig2.format_table()
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def fig5(self, systems):
+        return run_fig5(system=systems.adasense)
+
+    def test_trace_covers_120_seconds(self, fig5):
+        assert len(fig5.trace) == 120
+
+    def test_descends_to_lowest_state(self, fig5):
+        descent = fig5.time_to_lowest_state(0.0)
+        assert descent is not None
+        # Three transitions at a 9 s threshold plus buffering: 27-35 s.
+        assert 25.0 <= descent <= 40.0
+
+    def test_snaps_back_after_activity_change(self, fig5):
+        assert fig5.snapped_back_after_change
+
+    def test_current_series_spans_high_and_low(self, fig5):
+        currents = fig5.current_series
+        assert currents.max() == pytest.approx(180.0)
+        assert currents.min() < 30.0
+
+    def test_accelerometer_series_shape(self, fig5):
+        assert fig5.accelerometer_samples.shape == (
+            fig5.accelerometer_times_s.shape[0],
+            3,
+        )
+
+    def test_format_table_mentions_threshold(self, fig5):
+        assert "stability threshold" in fig5.format_table()
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def fig6(self, systems):
+        return run_fig6(
+            thresholds=(0, 10, 30, 60),
+            system=systems.adasense,
+            repeats=1,
+            duration_s=240.0,
+        )
+
+    def test_rows_cover_all_scenarios(self, fig6):
+        scenarios = {row.scenario for row in fig6.rows}
+        assert scenarios == {BASELINE, SPOT, SPOT_CONFIDENCE}
+
+    def test_baseline_current_is_full_power(self, fig6):
+        assert fig6.baseline_current_ua() == pytest.approx(180.0)
+
+    def test_spot_saves_power_on_average(self, fig6):
+        assert fig6.average_power_saving(SPOT) > 0.15
+
+    def test_power_grows_with_stability_threshold(self, fig6):
+        assert fig6.power_trend_is_increasing(SPOT)
+
+    def test_accuracy_grows_with_stability_threshold(self, fig6):
+        assert fig6.accuracy_trend_is_increasing(SPOT)
+
+    def test_adaptive_power_never_exceeds_baseline(self, fig6):
+        baseline = fig6.baseline_current_ua()
+        for scenario in (SPOT, SPOT_CONFIDENCE):
+            _, _, currents = fig6.series(scenario)
+            assert (currents <= baseline + 1e-6).all()
+
+    def test_accuracy_drop_is_small_at_high_thresholds(self, fig6):
+        assert fig6.accuracy_drop_after(SPOT, min_threshold=30) < 0.05
+
+    def test_series_unknown_scenario_raises(self, fig6):
+        with pytest.raises(KeyError):
+            fig6.series("oracle")
+
+    def test_format_table_contains_summary(self, fig6):
+        assert "average power saving" in fig6.format_table()
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def fig7(self, systems):
+        return run_fig7(
+            adasense=systems.adasense,
+            intensity_based=systems.intensity_based,
+            repeats=2,
+            duration_s=300.0,
+        )
+
+    def test_rows_cover_settings_and_systems(self, fig7):
+        settings = {row.setting for row in fig7.rows}
+        assert settings == {"high", "medium", "low"}
+        assert {row.system for row in fig7.rows} == {ADASENSE, INTENSITY_BASED}
+
+    def test_adasense_power_decreases_with_stability(self, fig7):
+        high = fig7.row(ActivitySetting.HIGH, ADASENSE).power_ua
+        low = fig7.row(ActivitySetting.LOW, ADASENSE).power_ua
+        assert low < high
+
+    def test_adasense_beats_iba_when_activity_is_stable(self, fig7):
+        assert fig7.adasense_saving_at_low() > 0.1
+
+    def test_iba_power_roughly_flat_across_settings(self, fig7):
+        assert fig7.iba_power_spread() < 0.35
+
+    def test_accuracies_are_probabilities(self, fig7):
+        for row in fig7.rows:
+            assert 0.0 <= row.accuracy <= 1.0
+
+    def test_unknown_row_rejected(self, fig7):
+        with pytest.raises(KeyError):
+            fig7.row("high", "oracle")
+
+    def test_format_table_lists_settings(self, fig7):
+        table = fig7.format_table()
+        for name in ("high", "medium", "low"):
+            assert name in table
+
+
+class TestMemoryOverheadAndHeadline:
+    def test_memory_ratios(self, systems):
+        result = run_memory_overhead(
+            adasense=systems.adasense, intensity_based=systems.intensity_based
+        )
+        assert result.memory_saving_vs_iba == pytest.approx(2.0)
+        assert result.memory_saving_vs_per_state == pytest.approx(4.0)
+        assert result.processing_overhead_of_iba > 0.0
+        assert "memory saving" in result.format_table()
+
+    def test_headline_from_existing_fig6(self, systems):
+        fig6 = run_fig6(
+            thresholds=(0, 30, 60), system=systems.adasense, repeats=1, duration_s=180.0
+        )
+        headline = run_headline(fig6=fig6)
+        assert headline.spot_power_saving > 0.0
+        assert headline.spot_confidence_power_saving > 0.0
+        assert "power saving" in headline.format_table()
+
+
+class TestMismatch:
+    def test_shared_training_beats_mismatched_on_low_power_configs(self):
+        result = run_mismatch(
+            windows_per_activity_per_config=12, test_windows_per_activity=10, seed=4
+        )
+        assert len(result.rows) == 4
+        low_power_row = result.row_for("F12.5_A8")
+        assert low_power_row.matched_training_accuracy >= low_power_row.mismatched_training_accuracy
+        assert result.worst_degradation >= 0.0
+        assert "degradation" in result.format_table()

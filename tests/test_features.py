@@ -1,0 +1,179 @@
+"""Tests for the unified feature extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.activities import Activity
+from repro.core.config import DEFAULT_SPOT_STATES, HIGH_POWER_CONFIG, LOW_POWER_CONFIG
+from repro.core.features import (
+    DEFAULT_MAX_FREQUENCY_HZ,
+    HOP_DURATION_S,
+    WINDOW_DURATION_S,
+    FeatureExtractor,
+    default_feature_extractor,
+    sliding_window_starts,
+    window_sample_count,
+)
+from repro.datasets.synthetic import default_activity_profiles
+
+
+def _clean_window(activity: Activity, sampling_hz: float, seed: int = 0) -> np.ndarray:
+    """Noise-free samples of a 2-second window at the given rate."""
+    realization = default_activity_profiles()[activity].realize(seed)
+    times = np.arange(1, int(round(2 * sampling_hz)) + 1) / sampling_hz
+    return realization.evaluate(times)
+
+
+class TestFeatureVectorShape:
+    def test_default_is_fifteen_features(self):
+        assert default_feature_extractor().num_features == 15
+
+    def test_feature_names_match_length(self):
+        extractor = FeatureExtractor(n_fourier_features=4)
+        assert len(extractor.feature_names()) == extractor.num_features
+
+    def test_feature_names_contain_stats_and_fft(self):
+        names = default_feature_extractor().feature_names()
+        assert "mean_x" in names and "std_z" in names and "fft3_y" in names
+
+    def test_size_invariant_across_configurations(self):
+        """The defining property: the vector size is the same for every config."""
+        extractor = default_feature_extractor()
+        sizes = set()
+        for config in DEFAULT_SPOT_STATES:
+            window = _clean_window(Activity.WALK, config.sampling_hz)
+            sizes.add(extractor.extract(window, config.sampling_hz).shape[0])
+        assert sizes == {extractor.num_features}
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureExtractor(n_fourier_features=0)
+        with pytest.raises(ValueError):
+            FeatureExtractor(max_frequency_hz=0.0)
+        with pytest.raises(ValueError):
+            FeatureExtractor(fourier_mode="wavelet")
+
+    def test_rejects_wrong_sample_shape(self):
+        extractor = default_feature_extractor()
+        with pytest.raises(ValueError):
+            extractor.extract(np.zeros((10, 2)), 50.0)
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(ValueError):
+            default_feature_extractor().extract(np.zeros((1, 3)), 50.0)
+
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ValueError):
+            default_feature_extractor().extract(np.zeros((10, 3)), 0.0)
+
+
+class TestStatisticalFeatures:
+    def test_mean_features_capture_gravity(self):
+        extractor = default_feature_extractor()
+        window = _clean_window(Activity.STAND, 100.0)
+        features = extractor.extract(window, 100.0)
+        means = features[:3]
+        np.testing.assert_allclose(means, window.mean(axis=0))
+
+    def test_std_features_larger_for_walking(self):
+        extractor = default_feature_extractor()
+        sit = extractor.extract(_clean_window(Activity.SIT, 100.0), 100.0)
+        walk = extractor.extract(_clean_window(Activity.WALK, 100.0), 100.0)
+        assert walk[3:6].sum() > sit[3:6].sum()
+
+    def test_constant_signal_zero_std_and_fft(self):
+        extractor = default_feature_extractor()
+        window = np.ones((100, 3)) * 9.81
+        features = extractor.extract(window, 50.0)
+        np.testing.assert_allclose(features[3:], 0.0, atol=1e-12)
+
+
+class TestFourierFeatures:
+    def test_pure_tone_lands_in_correct_band(self):
+        """A 1.5 Hz tone must dominate the second of three 1 Hz-wide bands."""
+        extractor = FeatureExtractor(n_fourier_features=3, max_frequency_hz=3.0)
+        times = np.arange(1, 201) / 100.0
+        window = np.zeros((200, 3))
+        # 1.5 Hz is an exact FFT bin of a 2-second window, so there is no
+        # leakage into the neighbouring bands.
+        window[:, 2] = 2.0 * np.sin(2 * np.pi * 1.5 * times)
+        features = extractor.extract(window, 100.0)
+        z_bands = features[6 + 2 * 3 : 6 + 3 * 3]
+        assert np.argmax(z_bands) == 1
+
+    def test_band_features_similar_across_sampling_rates(self):
+        """The same underlying signal yields comparable band features at 100 and 25 Hz."""
+        extractor = default_feature_extractor()
+        realization = default_activity_profiles()[Activity.WALK].realize(9)
+        features = {}
+        for rate in (100.0, 25.0):
+            times = np.arange(1, int(2 * rate) + 1) / rate
+            features[rate] = extractor.extract(realization.evaluate(times), rate)
+        fft_high = features[100.0][6:]
+        fft_low = features[25.0][6:]
+        # Not identical (different aliasing/leakage) but strongly correlated.
+        correlation = np.corrcoef(fft_high, fft_low)[0, 1]
+        assert correlation > 0.9
+
+    def test_bins_mode_returns_first_bins(self):
+        extractor = FeatureExtractor(n_fourier_features=2, fourier_mode="bins")
+        times = np.arange(1, 101) / 50.0
+        window = np.zeros((100, 3))
+        window[:, 0] = np.sin(2 * np.pi * 0.5 * times)  # exactly bin 1 of a 2 s window
+        features = extractor.extract(window, 50.0)
+        x_bins = features[6:8]
+        assert x_bins[0] > 10 * x_bins[1]
+
+    def test_bins_mode_handles_short_windows(self):
+        extractor = FeatureExtractor(n_fourier_features=5, fourier_mode="bins")
+        window = np.random.default_rng(0).normal(size=(6, 3))
+        features = extractor.extract(window, 3.0)
+        assert features.shape == (6 + 15,)
+        assert np.isfinite(features).all()
+
+    def test_walk_has_more_band_energy_than_sit(self):
+        extractor = default_feature_extractor()
+        walk = extractor.extract(_clean_window(Activity.WALK, 50.0), 50.0)
+        sit = extractor.extract(_clean_window(Activity.SIT, 50.0), 50.0)
+        assert walk[6:].sum() > sit[6:].sum()
+
+
+class TestBatchExtraction:
+    def test_batch_matches_individual(self):
+        extractor = default_feature_extractor()
+        windows = [
+            (_clean_window(Activity.SIT, 100.0), 100.0),
+            (_clean_window(Activity.WALK, 12.5), 12.5),
+        ]
+        batch = extractor.extract_batch(windows)
+        assert batch.shape == (2, 15)
+        np.testing.assert_allclose(batch[0], extractor.extract(*windows[0]))
+
+    def test_empty_batch(self):
+        batch = default_feature_extractor().extract_batch([])
+        assert batch.shape == (0, 15)
+
+
+class TestWindowingHelpers:
+    def test_window_constants_match_paper(self):
+        assert WINDOW_DURATION_S == 2.0
+        assert HOP_DURATION_S == 1.0
+        assert DEFAULT_MAX_FREQUENCY_HZ == 3.0
+
+    def test_window_sample_count(self):
+        assert window_sample_count(100.0) == 200
+        assert window_sample_count(12.5) == 25
+        assert window_sample_count(50.0, duration_s=1.0) == 50
+
+    def test_sliding_window_starts_cover_recording(self):
+        starts = sliding_window_starts(10.0)
+        np.testing.assert_allclose(starts, np.arange(0.0, 9.0))
+
+    def test_sliding_window_too_short_recording(self):
+        assert sliding_window_starts(1.5).size == 0
+
+    def test_sliding_window_custom_hop(self):
+        starts = sliding_window_starts(10.0, window_s=2.0, hop_s=2.0)
+        np.testing.assert_allclose(starts, [0.0, 2.0, 4.0, 6.0, 8.0])

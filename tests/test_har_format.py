@@ -1,0 +1,88 @@
+"""Tests for the UCI-HAR-style on-disk dataset format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.har_format import load_dataset, save_dataset, validate_dataset
+from repro.datasets.windows import WindowDataset
+
+
+def _dataset(n=10, d=15):
+    rng = np.random.default_rng(1)
+    return WindowDataset(
+        features=rng.normal(size=(n, d)),
+        labels=rng.integers(0, 6, size=n),
+        config_names=np.array(["F100_A128"] * n, dtype=object),
+        feature_names=[f"f{i}" for i in range(d)],
+    )
+
+
+class TestSaveLoadRoundTrip:
+    def test_round_trip_preserves_content(self, tmp_path):
+        original = _dataset()
+        root = save_dataset(tmp_path / "har", original)
+        loaded = load_dataset(root)
+        np.testing.assert_allclose(loaded.features, original.features, rtol=1e-6)
+        np.testing.assert_array_equal(loaded.labels, original.labels)
+        assert list(loaded.config_names) == list(original.config_names)
+        assert loaded.feature_names == original.feature_names
+
+    def test_written_files_exist(self, tmp_path):
+        root = save_dataset(tmp_path / "har", _dataset())
+        for name in ("X.txt", "y.txt", "config.txt", "features.txt", "activity_labels.txt"):
+            assert (root / name).exists()
+
+    def test_activity_labels_file_readable(self, tmp_path):
+        root = save_dataset(tmp_path / "har", _dataset())
+        lines = (root / "activity_labels.txt").read_text().splitlines()
+        assert len(lines) == 6
+        assert lines[0].startswith("0 ")
+
+    def test_single_window_dataset(self, tmp_path):
+        original = _dataset(n=1)
+        loaded = load_dataset(save_dataset(tmp_path / "one", original))
+        assert len(loaded) == 1
+        assert loaded.features.shape == original.features.shape
+
+
+class TestLoadErrors:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "missing")
+
+    def test_missing_labels_file(self, tmp_path):
+        root = save_dataset(tmp_path / "har", _dataset())
+        (root / "y.txt").unlink()
+        with pytest.raises(FileNotFoundError):
+            load_dataset(root)
+
+    def test_inconsistent_lengths_rejected(self, tmp_path):
+        root = save_dataset(tmp_path / "har", _dataset(n=5))
+        (root / "y.txt").write_text("0\n1\n")
+        with pytest.raises(ValueError):
+            load_dataset(root)
+
+    def test_missing_feature_names_falls_back(self, tmp_path):
+        root = save_dataset(tmp_path / "har", _dataset())
+        (root / "features.txt").unlink()
+        loaded = load_dataset(root)
+        assert loaded.feature_names[0] == "feature_0"
+
+
+class TestValidateDataset:
+    def test_valid_dataset_passes(self):
+        validate_dataset(_dataset())
+
+    def test_non_finite_features_rejected(self):
+        dataset = _dataset()
+        dataset.features[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            validate_dataset(dataset)
+
+    def test_unknown_label_rejected(self):
+        dataset = _dataset()
+        dataset.labels[0] = 17
+        with pytest.raises(ValueError):
+            validate_dataset(dataset)

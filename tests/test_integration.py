@@ -1,0 +1,138 @@
+"""End-to-end integration tests exercising the full AdaSense loop.
+
+These tests wire every subsystem together the way the examples and the
+benchmark harness do: synthetic signals, the simulated sensor, the shared
+classifier, the adaptive controllers, the power model and the closed-loop
+simulator — and assert the qualitative claims of the paper on small
+workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.intensity_based import IntensityBasedApproach
+from repro.baselines.static import AlwaysHighPowerBaseline
+from repro.core.activities import Activity
+from repro.core.adasense import AdaSense
+from repro.core.config import DEFAULT_SPOT_STATES, HIGH_POWER_CONFIG
+from repro.core.controller import SpotController, SpotWithConfidenceController
+from repro.datasets.har_format import load_dataset, save_dataset
+from repro.datasets.scenarios import (
+    ActivitySetting,
+    make_fig5_schedule,
+    make_setting_schedule,
+    make_stable_schedule,
+)
+from repro.datasets.windows import WindowDatasetBuilder
+from repro.ml.persistence import load_model, save_model
+
+
+class TestEndToEndAdaptiveSensing:
+    def test_full_loop_saves_power_with_small_accuracy_cost(self, trained_system):
+        """The paper's core claim on a miniature workload."""
+        schedule = make_setting_schedule(ActivitySetting.LOW, total_duration_s=240.0, seed=0)
+        baseline = trained_system.with_controller(AdaSense.static_controller())
+        adaptive = trained_system.with_controller(
+            SpotWithConfidenceController(stability_threshold=10)
+        )
+        baseline_trace = baseline.simulate(schedule, seed=1)
+        adaptive_trace = adaptive.simulate(schedule, seed=1)
+
+        saving = 1.0 - adaptive_trace.average_current_ua / baseline_trace.average_current_ua
+        assert saving > 0.2
+        assert baseline_trace.accuracy - adaptive_trace.accuracy < 0.15
+
+    def test_unstable_behaviour_costs_more_power_than_stable(self, trained_system):
+        adaptive = trained_system.with_controller(SpotController(stability_threshold=5))
+        unstable = adaptive.simulate(
+            make_setting_schedule(ActivitySetting.HIGH, 200.0, seed=2), seed=3
+        )
+        stable = adaptive.simulate(
+            make_setting_schedule(ActivitySetting.LOW, 200.0, seed=2), seed=3
+        )
+        assert stable.average_current_ua < unstable.average_current_ua
+
+    def test_single_pipeline_serves_all_spot_states(self, trained_system):
+        adaptive = trained_system.with_controller(SpotController(stability_threshold=2))
+        trace = adaptive.simulate(make_stable_schedule(Activity.LIE, 45.0), seed=4)
+        visited = set(trace.config_names)
+        # Reaching the lowest-power state implies the FSM stepped through
+        # every intermediate state with the same shared pipeline.
+        assert visited == {config.name for config in DEFAULT_SPOT_STATES}
+
+    def test_adasense_vs_intensity_baseline_on_stable_walk(self, trained_system):
+        """IbA cannot exploit a stable *dynamic* activity; AdaSense can."""
+        iba = IntensityBasedApproach.train(
+            windows_per_activity=8, calibration_windows_per_activity=5, seed=5
+        )
+        schedule = make_stable_schedule(Activity.WALK, 90.0)
+        adaptive = trained_system.with_controller(
+            SpotWithConfidenceController(stability_threshold=8)
+        )
+        adasense_trace = adaptive.simulate(schedule, seed=6)
+        iba_trace = iba.simulate(schedule, seed=6)
+        assert adasense_trace.average_current_ua < iba_trace.average_current_ua
+
+
+class TestModelAndDatasetPersistenceRoundTrip:
+    def test_pipeline_survives_save_and_load(self, tmp_path, trained_pipeline, small_dataset):
+        path = save_model(
+            tmp_path / "adasense.json",
+            trained_pipeline.classifier,
+            scaler=trained_pipeline.scaler,
+            metadata={"hidden": 16},
+        )
+        classifier, scaler, metadata = load_model(path)
+        from repro.core.pipeline import HarPipeline
+
+        rebuilt = HarPipeline(classifier=classifier, scaler=scaler)
+        original_accuracy = trained_pipeline.evaluate(small_dataset)
+        rebuilt_accuracy = rebuilt.evaluate(small_dataset)
+        assert rebuilt_accuracy == pytest.approx(original_accuracy)
+        assert metadata["hidden"] == 16
+
+    def test_dataset_round_trip_trains_equivalent_model(self, tmp_path, small_dataset):
+        root = save_dataset(tmp_path / "dataset", small_dataset)
+        loaded = load_dataset(root)
+        system = AdaSense.from_dataset(loaded, hidden_units=(16,), seed=0)
+        assert system.pipeline.evaluate(loaded) > 0.8
+
+
+class TestStreamingClassification:
+    def test_behaviour_over_fig5_schedule(self, trained_system):
+        adaptive = trained_system.with_controller(
+            SpotWithConfidenceController(stability_threshold=6)
+        )
+        trace = adaptive.simulate(make_fig5_schedule(40.0, 40.0), seed=7)
+        currents = trace.currents_ua
+        # Starts at full power, ends cheaper than it started.
+        assert currents[0] == pytest.approx(180.0)
+        assert currents[-1] < 180.0
+        # The activity change forces at least one return to full power after t=40.
+        assert np.isclose(currents[40:], 180.0).any()
+
+    def test_predictions_follow_ground_truth_majority(self, trained_system):
+        adaptive = trained_system.with_controller(SpotController(stability_threshold=8))
+        trace = adaptive.simulate(make_fig5_schedule(30.0, 30.0), seed=8)
+        labels = trace.true_labels
+        predictions = trace.predicted_labels
+        sit_accuracy = np.mean(predictions[labels == int(Activity.SIT)] == int(Activity.SIT))
+        walk_accuracy = np.mean(predictions[labels == int(Activity.WALK)] == int(Activity.WALK))
+        assert sit_accuracy > 0.7
+        assert walk_accuracy > 0.7
+
+
+class TestMemoryClaim:
+    def test_shared_classifier_uses_less_memory_than_per_config(self, trained_pipeline):
+        builder = WindowDatasetBuilder(seed=9)
+        per_config_bytes = 0
+        for config in DEFAULT_SPOT_STATES[:2]:
+            dataset = builder.build_for_config(config, windows_per_activity=6)
+            from repro.core.pipeline import HarPipeline
+
+            per_config_bytes += HarPipeline.train(
+                dataset, hidden_units=(16,), seed=0, max_epochs=30
+            ).memory_bytes()
+        assert trained_pipeline.memory_bytes() < per_config_bytes

@@ -1,0 +1,208 @@
+"""Tests for the MLP, logistic-regression and k-NN classifiers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import LogisticRegressionClassifier
+from repro.ml.mlp import MLPClassifier
+from repro.ml.neighbors import KNeighborsClassifier
+
+
+def _blobs(rng: np.random.Generator, n_per_class: int = 60, num_classes: int = 3):
+    """A trivially separable Gaussian-blob dataset."""
+    centers = np.array([[0.0, 0.0], [4.0, 4.0], [-4.0, 4.0], [4.0, -4.0]])[:num_classes]
+    features = []
+    labels = []
+    for index, center in enumerate(centers):
+        features.append(rng.normal(center, 0.5, size=(n_per_class, 2)))
+        labels.append(np.full(n_per_class, index))
+    return np.vstack(features), np.concatenate(labels)
+
+
+class TestMLPClassifier:
+    def test_learns_separable_blobs(self, rng):
+        features, labels = _blobs(rng)
+        model = MLPClassifier(input_dim=2, num_classes=3, hidden_units=(16,), seed=0,
+                              max_epochs=80)
+        model.fit(features, labels)
+        assert model.score(features, labels) > 0.95
+
+    def test_history_recorded(self, rng):
+        features, labels = _blobs(rng)
+        model = MLPClassifier(input_dim=2, num_classes=3, seed=0, max_epochs=30)
+        history = model.fit(features, labels)
+        assert history.num_epochs > 0
+        assert len(history.train_loss) == len(history.train_accuracy)
+        assert history is model.history
+
+    def test_training_loss_decreases(self, rng):
+        features, labels = _blobs(rng)
+        model = MLPClassifier(input_dim=2, num_classes=3, seed=1, max_epochs=40)
+        history = model.fit(features, labels)
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_predict_proba_rows_sum_to_one(self, rng):
+        features, labels = _blobs(rng)
+        model = MLPClassifier(input_dim=2, num_classes=3, seed=2, max_epochs=20)
+        model.fit(features, labels)
+        probabilities = model.predict_proba(features[:10])
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0, atol=1e-9)
+        assert (probabilities >= 0).all()
+
+    def test_single_sample_prediction(self, rng):
+        features, labels = _blobs(rng)
+        model = MLPClassifier(input_dim=2, num_classes=3, seed=3, max_epochs=20)
+        model.fit(features, labels)
+        assert isinstance(model.predict(features[0]), int)
+        proba = model.predict_proba(features[0])
+        assert proba.shape == (3,)
+
+    def test_predict_with_confidence(self, rng):
+        features, labels = _blobs(rng)
+        model = MLPClassifier(input_dim=2, num_classes=3, seed=4, max_epochs=20)
+        model.fit(features, labels)
+        index, confidence = model.predict_with_confidence(features[0])
+        assert 0 <= index < 3
+        assert 0.0 <= confidence <= 1.0
+        assert confidence == pytest.approx(model.predict_proba(features[0]).max())
+
+    def test_label_smoothing_caps_confidence(self, rng):
+        features, labels = _blobs(rng, n_per_class=80)
+        sharp = MLPClassifier(input_dim=2, num_classes=3, seed=5, max_epochs=60,
+                              label_smoothing=0.0)
+        smooth = MLPClassifier(input_dim=2, num_classes=3, seed=5, max_epochs=60,
+                               label_smoothing=0.2)
+        sharp.fit(features, labels)
+        smooth.fit(features, labels)
+        assert smooth.predict_proba(features).max() < sharp.predict_proba(features).max() + 1e-9
+
+    def test_num_parameters_formula(self):
+        model = MLPClassifier(input_dim=15, num_classes=6, hidden_units=(32,))
+        assert model.num_parameters == 15 * 32 + 32 + 32 * 6 + 6
+
+    def test_two_hidden_layers_supported(self, rng):
+        features, labels = _blobs(rng)
+        model = MLPClassifier(input_dim=2, num_classes=3, hidden_units=(16, 8), seed=6,
+                              max_epochs=40)
+        model.fit(features, labels)
+        assert model.score(features, labels) > 0.9
+
+    def test_deterministic_given_seed(self, rng):
+        features, labels = _blobs(rng)
+        scores = []
+        for _ in range(2):
+            model = MLPClassifier(input_dim=2, num_classes=3, seed=42, max_epochs=15)
+            model.fit(features, labels)
+            scores.append(model.predict_proba(features[:5]))
+        np.testing.assert_allclose(scores[0], scores[1])
+
+    def test_serialisation_round_trip(self, rng):
+        features, labels = _blobs(rng)
+        model = MLPClassifier(input_dim=2, num_classes=3, seed=7, max_epochs=20)
+        model.fit(features, labels)
+        rebuilt = MLPClassifier.from_dict(model.to_dict())
+        np.testing.assert_allclose(
+            rebuilt.predict_proba(features[:20]), model.predict_proba(features[:20])
+        )
+
+    def test_set_parameters_validates_shapes(self):
+        model = MLPClassifier(input_dim=4, num_classes=2, hidden_units=(8,))
+        parameters = model.get_parameters()
+        parameters["W0"] = np.zeros((3, 8))
+        with pytest.raises(ValueError):
+            model.set_parameters(parameters)
+
+    def test_rejects_bad_labels(self, rng):
+        features, labels = _blobs(rng)
+        model = MLPClassifier(input_dim=2, num_classes=2, seed=8, max_epochs=5)
+        with pytest.raises(ValueError):
+            model.fit(features, labels)  # labels include class 2
+
+    def test_rejects_bad_feature_width(self, rng):
+        model = MLPClassifier(input_dim=3, num_classes=2, seed=9)
+        with pytest.raises(ValueError):
+            model.fit(rng.normal(size=(10, 2)), np.zeros(10, dtype=int))
+
+    def test_rejects_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(input_dim=2, num_classes=2, hidden_units=())
+        with pytest.raises(ValueError):
+            MLPClassifier(input_dim=2, num_classes=2, learning_rate=0.0)
+        with pytest.raises(ValueError):
+            MLPClassifier(input_dim=2, num_classes=2, label_smoothing=1.5)
+
+
+class TestLogisticRegression:
+    def test_learns_separable_blobs(self, rng):
+        features, labels = _blobs(rng)
+        model = LogisticRegressionClassifier(input_dim=2, num_classes=3, seed=0)
+        model.fit(features, labels)
+        assert model.score(features, labels) > 0.95
+
+    def test_probabilities_valid(self, rng):
+        features, labels = _blobs(rng)
+        model = LogisticRegressionClassifier(input_dim=2, num_classes=3, seed=1)
+        model.fit(features, labels)
+        probabilities = model.predict_proba(features[:5])
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_predict_with_confidence(self, rng):
+        features, labels = _blobs(rng)
+        model = LogisticRegressionClassifier(input_dim=2, num_classes=3, seed=2)
+        model.fit(features, labels)
+        index, confidence = model.predict_with_confidence(features[0])
+        assert 0 <= index < 3 and 0 < confidence <= 1
+
+    def test_serialisation_round_trip(self, rng):
+        features, labels = _blobs(rng)
+        model = LogisticRegressionClassifier(input_dim=2, num_classes=3, seed=3)
+        model.fit(features, labels)
+        rebuilt = LogisticRegressionClassifier.from_dict(model.to_dict())
+        np.testing.assert_allclose(
+            rebuilt.predict_proba(features[:10]), model.predict_proba(features[:10])
+        )
+
+    def test_num_parameters(self):
+        model = LogisticRegressionClassifier(input_dim=15, num_classes=6)
+        assert model.num_parameters == 15 * 6 + 6
+
+    def test_rejects_mismatched_labels(self, rng):
+        model = LogisticRegressionClassifier(input_dim=2, num_classes=2)
+        with pytest.raises(ValueError):
+            model.fit(rng.normal(size=(10, 2)), np.zeros(9, dtype=int))
+
+
+class TestKNeighbors:
+    def test_learns_separable_blobs(self, rng):
+        features, labels = _blobs(rng)
+        model = KNeighborsClassifier(n_neighbors=3, num_classes=3)
+        model.fit(features, labels)
+        assert model.score(features, labels) > 0.95
+
+    def test_probabilities_are_vote_fractions(self, rng):
+        features, labels = _blobs(rng)
+        model = KNeighborsClassifier(n_neighbors=5, num_classes=3)
+        model.fit(features, labels)
+        probabilities = model.predict_proba(features[0])
+        assert probabilities.shape == (3,)
+        np.testing.assert_allclose(probabilities.sum(), 1.0)
+        assert set(np.round(probabilities * 5)) <= {0, 1, 2, 3, 4, 5}
+
+    def test_requires_fit_before_predict(self):
+        model = KNeighborsClassifier()
+        with pytest.raises(RuntimeError):
+            model.predict(np.zeros((1, 2)))
+
+    def test_requires_enough_training_samples(self, rng):
+        model = KNeighborsClassifier(n_neighbors=10)
+        with pytest.raises(ValueError):
+            model.fit(rng.normal(size=(5, 2)), np.zeros(5, dtype=int))
+
+    def test_predict_with_confidence(self, rng):
+        features, labels = _blobs(rng)
+        model = KNeighborsClassifier(n_neighbors=5, num_classes=3)
+        model.fit(features, labels)
+        index, confidence = model.predict_with_confidence(features[0])
+        assert 0 <= index < 3 and 0 < confidence <= 1

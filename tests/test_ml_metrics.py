@@ -1,0 +1,99 @@
+"""Tests for classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    macro_f1,
+    per_class_report,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([0, 1, 2], [0, 1, 2]) == 1.0
+
+    def test_partial(self):
+        assert accuracy_score([0, 1, 2, 3], [0, 1, 0, 0]) == 0.5
+
+    def test_all_wrong(self):
+        assert accuracy_score([0, 0], [1, 1]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([0, 1], [0])
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect_predictions(self):
+        matrix = confusion_matrix([0, 1, 2, 2], [0, 1, 2, 2], num_classes=3)
+        np.testing.assert_array_equal(matrix, np.diag([1, 1, 2]))
+
+    def test_off_diagonal_counts(self):
+        matrix = confusion_matrix([0, 0, 1], [1, 0, 1], num_classes=2)
+        assert matrix[0, 1] == 1
+        assert matrix[0, 0] == 1
+        assert matrix[1, 1] == 1
+
+    def test_rows_sum_to_class_support(self):
+        true = [0, 0, 1, 2, 2, 2]
+        predicted = [0, 1, 1, 0, 2, 2]
+        matrix = confusion_matrix(true, predicted, num_classes=3)
+        np.testing.assert_array_equal(matrix.sum(axis=1), [2, 1, 3])
+
+    def test_infers_num_classes(self):
+        matrix = confusion_matrix([0, 3], [3, 0])
+        assert matrix.shape == (4, 4)
+
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0, 5], [0, 1], num_classes=3)
+
+
+class TestPerClassReport:
+    def test_perfect_classifier(self):
+        reports = per_class_report([0, 1, 1], [0, 1, 1], num_classes=2)
+        assert reports[0].precision == 1.0
+        assert reports[1].recall == 1.0
+        assert reports[1].f1 == 1.0
+        assert reports[1].support == 2
+
+    def test_absent_class_has_zero_scores(self):
+        reports = per_class_report([0, 0], [0, 0], num_classes=2)
+        assert reports[1].precision == 0.0
+        assert reports[1].recall == 0.0
+        assert reports[1].f1 == 0.0
+        assert reports[1].support == 0
+
+    def test_known_values(self):
+        # Class 0: TP=1, FP=1, FN=1 -> precision=recall=f1=0.5
+        reports = per_class_report([0, 0, 1, 1], [0, 1, 0, 1], num_classes=2)
+        assert reports[0].precision == pytest.approx(0.5)
+        assert reports[0].recall == pytest.approx(0.5)
+        assert reports[0].f1 == pytest.approx(0.5)
+
+    def test_macro_f1_average(self):
+        value = macro_f1([0, 0, 1, 1], [0, 1, 0, 1], num_classes=2)
+        assert value == pytest.approx(0.5)
+
+
+class TestClassificationReport:
+    def test_contains_class_names_and_accuracy(self):
+        report = classification_report(
+            [0, 1, 1], [0, 1, 0], class_names=["sit", "walk"], num_classes=2
+        )
+        assert "sit" in report and "walk" in report
+        assert "overall accuracy" in report
+
+    def test_falls_back_to_indices(self):
+        report = classification_report([0, 1], [0, 1], num_classes=2)
+        assert "overall accuracy: 1.000" in report

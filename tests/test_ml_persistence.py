@@ -1,0 +1,80 @@
+"""Tests for model persistence and memory sizing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import LogisticRegressionClassifier
+from repro.ml.mlp import MLPClassifier
+from repro.ml.persistence import load_model, model_memory_bytes, save_model
+from repro.ml.preprocessing import StandardScaler
+
+
+def _trained_mlp(rng):
+    features = rng.normal(size=(60, 4))
+    labels = rng.integers(0, 3, size=60)
+    model = MLPClassifier(input_dim=4, num_classes=3, hidden_units=(8,), seed=0,
+                          max_epochs=10)
+    model.fit(features, labels)
+    return model, features
+
+
+class TestSaveLoad:
+    def test_mlp_round_trip(self, tmp_path, rng):
+        model, features = _trained_mlp(rng)
+        path = save_model(tmp_path / "model.json", model)
+        rebuilt, scaler, metadata = load_model(path)
+        assert scaler is None
+        assert metadata == {}
+        np.testing.assert_allclose(
+            rebuilt.predict_proba(features[:5]), model.predict_proba(features[:5])
+        )
+
+    def test_round_trip_with_scaler_and_metadata(self, tmp_path, rng):
+        model, features = _trained_mlp(rng)
+        scaler = StandardScaler().fit(features)
+        path = save_model(
+            tmp_path / "nested" / "model.json",
+            model,
+            scaler=scaler,
+            metadata={"accuracy": 0.97, "configs": ["F100_A128"]},
+        )
+        rebuilt, rebuilt_scaler, metadata = load_model(path)
+        assert metadata["accuracy"] == 0.97
+        np.testing.assert_allclose(
+            rebuilt_scaler.transform(features), scaler.transform(features)
+        )
+
+    def test_logistic_round_trip(self, tmp_path, rng):
+        features = rng.normal(size=(40, 3))
+        labels = rng.integers(0, 2, size=40)
+        model = LogisticRegressionClassifier(input_dim=3, num_classes=2, seed=1)
+        model.fit(features, labels)
+        path = save_model(tmp_path / "logistic.json", model)
+        rebuilt, _, _ = load_model(path)
+        assert isinstance(rebuilt, LogisticRegressionClassifier)
+        np.testing.assert_allclose(
+            rebuilt.predict_proba(features), model.predict_proba(features)
+        )
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"model": {"kind": "svm"}, "scaler": null, "metadata": {}}')
+        with pytest.raises(ValueError):
+            load_model(path)
+
+
+class TestModelMemoryBytes:
+    def test_float32_sizing(self, rng):
+        model, _ = _trained_mlp(rng)
+        assert model_memory_bytes(model) == model.num_parameters * 4
+
+    def test_quantised_sizing(self, rng):
+        model, _ = _trained_mlp(rng)
+        assert model_memory_bytes(model, bytes_per_weight=1) == model.num_parameters
+
+    def test_invalid_bytes_per_weight(self, rng):
+        model, _ = _trained_mlp(rng)
+        with pytest.raises(ValueError):
+            model_memory_bytes(model, bytes_per_weight=0)

@@ -1,0 +1,143 @@
+"""Tests for feature scaling, splitting and label utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.preprocessing import (
+    StandardScaler,
+    one_hot,
+    shuffle_in_unison,
+    train_test_split,
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        data = rng.normal(5.0, 3.0, size=(500, 4))
+        transformed = StandardScaler().fit_transform(data)
+        np.testing.assert_allclose(transformed.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(transformed.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_left_unscaled(self):
+        data = np.column_stack([np.ones(10), np.arange(10.0)])
+        transformed = StandardScaler().fit_transform(data)
+        assert np.isfinite(transformed).all()
+        np.testing.assert_allclose(transformed[:, 0], 0.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((3, 2)))
+
+    def test_inverse_round_trip(self, rng):
+        data = rng.normal(size=(50, 3))
+        scaler = StandardScaler().fit(data)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(data)), data, atol=1e-12
+        )
+
+    def test_feature_count_mismatch_rejected(self, rng):
+        scaler = StandardScaler().fit(rng.normal(size=(10, 3)))
+        with pytest.raises(ValueError):
+            scaler.transform(np.zeros((5, 4)))
+
+    def test_single_vector_transform(self, rng):
+        scaler = StandardScaler().fit(rng.normal(size=(20, 3)))
+        assert scaler.transform(np.zeros(3)).shape == (1, 3)
+
+    def test_serialisation_round_trip(self, rng):
+        data = rng.normal(size=(30, 5))
+        scaler = StandardScaler().fit(data)
+        rebuilt = StandardScaler.from_dict(scaler.to_dict())
+        np.testing.assert_allclose(rebuilt.transform(data), scaler.transform(data))
+
+    def test_serialising_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().to_dict()
+
+
+class TestOneHot:
+    def test_basic_encoding(self):
+        encoded = one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(
+            encoded, [[1, 0, 0], [0, 0, 1], [0, 1, 0]]
+        )
+
+    def test_rows_sum_to_one(self):
+        encoded = one_hot(np.array([0, 5, 3]), 6)
+        np.testing.assert_allclose(encoded.sum(axis=1), 1.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([0, 3]), 3)
+
+    def test_negative_label_rejected(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([-1]), 3)
+
+    def test_empty_labels(self):
+        assert one_hot(np.array([], dtype=int), 4).shape == (0, 4)
+
+
+class TestTrainTestSplit:
+    def _dataset(self, rng, n=120):
+        features = rng.normal(size=(n, 4))
+        labels = np.repeat(np.arange(6), n // 6)
+        return features, labels
+
+    def test_sizes_roughly_match_fraction(self, rng):
+        features, labels = self._dataset(rng)
+        train_x, test_x, train_y, test_y = train_test_split(
+            features, labels, test_fraction=0.25, seed=0
+        )
+        assert len(test_y) == pytest.approx(30, abs=3)
+        assert len(train_y) + len(test_y) == 120
+
+    def test_stratified_split_keeps_all_classes(self, rng):
+        features, labels = self._dataset(rng)
+        _, _, train_y, test_y = train_test_split(features, labels, seed=1)
+        assert set(train_y) == set(range(6))
+        assert set(test_y) == set(range(6))
+
+    def test_unstratified_split(self, rng):
+        features, labels = self._dataset(rng)
+        train_x, test_x, train_y, test_y = train_test_split(
+            features, labels, seed=2, stratify=False
+        )
+        assert len(train_y) + len(test_y) == 120
+
+    def test_no_overlap_between_partitions(self, rng):
+        features = np.arange(60.0)[:, None]
+        labels = np.repeat(np.arange(6), 10)
+        train_x, test_x, _, _ = train_test_split(features, labels, seed=3)
+        assert set(train_x.ravel()).isdisjoint(set(test_x.ravel()))
+
+    def test_deterministic_given_seed(self, rng):
+        features, labels = self._dataset(rng)
+        first = train_test_split(features, labels, seed=7)
+        second = train_test_split(features, labels, seed=7)
+        np.testing.assert_array_equal(first[0], second[0])
+
+    def test_invalid_fraction_rejected(self, rng):
+        features, labels = self._dataset(rng)
+        with pytest.raises(ValueError):
+            train_test_split(features, labels, test_fraction=1.5)
+
+    def test_length_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            train_test_split(rng.normal(size=(10, 2)), np.zeros(5, dtype=int))
+
+
+class TestShuffleInUnison:
+    def test_rows_stay_paired(self, rng):
+        features = np.arange(20.0)[:, None]
+        labels = np.arange(20)
+        shuffled_x, shuffled_y = shuffle_in_unison(features, labels, seed=0)
+        np.testing.assert_array_equal(shuffled_x.ravel().astype(int), shuffled_y)
+
+    def test_is_permutation(self, rng):
+        features = rng.normal(size=(15, 2))
+        labels = np.arange(15)
+        _, shuffled_y = shuffle_in_unison(features, labels, seed=1)
+        assert sorted(shuffled_y) == list(range(15))

@@ -1,0 +1,103 @@
+"""Tests for the HAR pipeline (features -> scaler -> classifier)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.activities import NUM_ACTIVITIES, Activity
+from repro.core.config import DEFAULT_SPOT_STATES, HIGH_POWER_CONFIG, LOW_POWER_CONFIG
+from repro.core.pipeline import ClassificationResult, HarPipeline
+from repro.sensors.imu import SensorWindow
+
+
+class TestClassificationResult:
+    def test_probability_vector_length_enforced(self):
+        with pytest.raises(ValueError):
+            ClassificationResult(
+                activity=Activity.SIT, confidence=0.9, probabilities=np.ones(3)
+            )
+
+
+class TestHarPipelineTraining:
+    def test_training_reaches_reasonable_accuracy(self, trained_pipeline, small_dataset):
+        assert trained_pipeline.evaluate(small_dataset) > 0.8
+
+    def test_num_parameters_positive(self, trained_pipeline):
+        assert trained_pipeline.num_parameters > 0
+
+    def test_memory_bytes_scales_with_parameters(self, trained_pipeline):
+        assert trained_pipeline.memory_bytes() == trained_pipeline.num_parameters * 4
+        assert trained_pipeline.memory_bytes(bytes_per_weight=1) == trained_pipeline.num_parameters
+
+    def test_confusion_matrix_shape_and_totals(self, trained_pipeline, small_dataset):
+        matrix = trained_pipeline.confusion(small_dataset)
+        assert matrix.shape == (NUM_ACTIVITIES, NUM_ACTIVITIES)
+        assert matrix.sum() == len(small_dataset)
+
+    def test_predict_dataset_length(self, trained_pipeline, small_dataset):
+        predictions = trained_pipeline.predict_dataset(small_dataset)
+        assert predictions.shape == (len(small_dataset),)
+
+
+class TestHarPipelineInference:
+    def test_classify_samples_returns_result(self, trained_pipeline, walk_window):
+        result = trained_pipeline.classify_samples(walk_window, HIGH_POWER_CONFIG.sampling_hz)
+        assert isinstance(result, ClassificationResult)
+        assert isinstance(result.activity, Activity)
+        assert 0.0 <= result.confidence <= 1.0
+
+    def test_probabilities_sum_to_one(self, trained_pipeline, walk_window):
+        result = trained_pipeline.classify_samples(walk_window, 100.0)
+        assert result.probabilities.shape == (NUM_ACTIVITIES,)
+        assert result.probabilities.sum() == pytest.approx(1.0)
+
+    def test_confidence_is_max_probability(self, trained_pipeline, sit_window):
+        result = trained_pipeline.classify_samples(sit_window, 100.0)
+        assert result.confidence == pytest.approx(result.probabilities.max())
+        assert int(result.activity) == int(np.argmax(result.probabilities))
+
+    def test_classifies_obvious_windows_correctly(
+        self, trained_pipeline, sit_window, walk_window
+    ):
+        sit_result = trained_pipeline.classify_samples(sit_window, 100.0)
+        walk_result = trained_pipeline.classify_samples(walk_window, 100.0)
+        assert sit_result.activity.is_static
+        assert walk_result.activity.is_dynamic
+
+    def test_classify_window_wrapper(self, trained_pipeline, dataset_builder):
+        samples = dataset_builder.acquire_raw_window(Activity.WALK, LOW_POWER_CONFIG)
+        count = samples.shape[0]
+        window = SensorWindow(
+            samples=samples,
+            times_s=np.arange(1, count + 1) / LOW_POWER_CONFIG.sampling_hz,
+            config=LOW_POWER_CONFIG,
+        )
+        result = trained_pipeline.classify_window(window)
+        assert isinstance(result, ClassificationResult)
+
+    def test_handles_every_spot_state_batch_size(self, trained_pipeline, dataset_builder):
+        """One pipeline must classify batches from every configuration."""
+        for config in DEFAULT_SPOT_STATES:
+            samples = dataset_builder.acquire_raw_window(Activity.STAND, config)
+            result = trained_pipeline.classify_samples(samples, config.sampling_hz)
+            assert result.probabilities.shape == (NUM_ACTIVITIES,)
+
+    def test_classify_features_rejects_matrices(self, trained_pipeline, small_dataset):
+        with pytest.raises(ValueError):
+            trained_pipeline.classify_features(small_dataset.features[:2])
+
+    def test_pipeline_without_scaler_works(self, small_dataset):
+        from repro.ml.mlp import MLPClassifier
+
+        classifier = MLPClassifier(
+            input_dim=small_dataset.num_features,
+            num_classes=NUM_ACTIVITIES,
+            hidden_units=(8,),
+            seed=0,
+            max_epochs=10,
+        )
+        classifier.fit(small_dataset.features, small_dataset.labels)
+        pipeline = HarPipeline(classifier=classifier, scaler=None)
+        result = pipeline.classify_features(small_dataset.features[0])
+        assert isinstance(result.activity, Activity)

@@ -1,0 +1,132 @@
+"""Property-based tests for feature extraction and signal models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.activities import Activity
+from repro.core.features import FeatureExtractor
+from repro.datasets.synthetic import default_activity_profiles
+
+#: Reasonable sampling rates, including every Table I rate.
+sampling_rates = st.sampled_from([6.25, 12.5, 25.0, 50.0, 100.0])
+
+#: Window sample counts large enough for feature extraction.
+sample_counts = st.integers(min_value=4, max_value=256)
+
+#: Bounded finite accelerometer values (m/s^2 within +/-4 g).
+acceleration_values = st.floats(
+    min_value=-39.0, max_value=39.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def windows(draw):
+    """Random raw accelerometer windows."""
+    count = draw(sample_counts)
+    flat = draw(
+        st.lists(acceleration_values, min_size=count * 3, max_size=count * 3)
+    )
+    return np.array(flat, dtype=float).reshape(count, 3)
+
+
+class TestFeatureExtractionProperties:
+    @given(window=windows(), rate=sampling_rates)
+    @settings(max_examples=40, deadline=None)
+    def test_vector_size_independent_of_input(self, window, rate):
+        extractor = FeatureExtractor()
+        features = extractor.extract(window, rate)
+        assert features.shape == (extractor.num_features,)
+
+    @given(window=windows(), rate=sampling_rates)
+    @settings(max_examples=40, deadline=None)
+    def test_features_always_finite(self, window, rate):
+        features = FeatureExtractor().extract(window, rate)
+        assert np.isfinite(features).all()
+
+    @given(window=windows(), rate=sampling_rates)
+    @settings(max_examples=40, deadline=None)
+    def test_std_and_band_features_non_negative(self, window, rate):
+        features = FeatureExtractor().extract(window, rate)
+        assert (features[3:] >= -1e-12).all()
+
+    @given(window=windows(), rate=sampling_rates, shift=st.floats(-20.0, 20.0))
+    @settings(max_examples=30, deadline=None)
+    def test_constant_offset_only_moves_means(self, window, rate, shift):
+        """Adding a constant to the signal must not change std or FFT features."""
+        extractor = FeatureExtractor()
+        base = extractor.extract(window, rate)
+        shifted = extractor.extract(window + shift, rate)
+        np.testing.assert_allclose(shifted[:3], base[:3] + shift, atol=1e-8)
+        np.testing.assert_allclose(shifted[3:], base[3:], atol=1e-8)
+
+    @given(window=windows(), rate=sampling_rates, gain=st.floats(0.1, 5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_scaling_scales_non_mean_features_linearly(self, window, rate, gain):
+        """std and spectral magnitudes are homogeneous of degree one."""
+        extractor = FeatureExtractor()
+        centered = window - window.mean(axis=0, keepdims=True)
+        base = extractor.extract(centered, rate)
+        scaled = extractor.extract(centered * gain, rate)
+        np.testing.assert_allclose(scaled[3:], base[3:] * gain, rtol=1e-6, atol=1e-8)
+
+    @given(
+        n_features=st.integers(min_value=1, max_value=8),
+        mode=st.sampled_from(["bands", "bins"]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_declared_size_matches_output(self, n_features, mode):
+        extractor = FeatureExtractor(n_fourier_features=n_features, fourier_mode=mode)
+        window = np.random.default_rng(0).normal(size=(40, 3))
+        features = extractor.extract(window, 25.0)
+        assert features.shape == (extractor.num_features,)
+        assert len(extractor.feature_names()) == extractor.num_features
+
+
+class TestSignalModelProperties:
+    @given(
+        activity=st.sampled_from(list(Activity)),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        window_s=st.floats(min_value=0.001, max_value=0.5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_windowed_average_bounded_by_peak(self, activity, seed, window_s):
+        """Averaging can never exceed the signal's peak amplitude envelope."""
+        realization = default_activity_profiles()[activity].realize(seed)
+        times = np.linspace(1.0, 4.0, 64)
+        windowed = realization.evaluate_windowed(times, window_s)
+        bound = np.abs(realization.offset).max() + realization.peak_amplitude + 1e-9
+        assert np.abs(windowed).max() <= bound
+
+    @given(
+        activity=st.sampled_from(list(Activity)),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_realizations_are_deterministic_in_seed(self, activity, seed):
+        profile = default_activity_profiles()[activity]
+        times = np.linspace(0.0, 2.0, 32)
+        a = profile.realize(seed).evaluate(times)
+        b = profile.realize(seed).evaluate(times)
+        np.testing.assert_allclose(a, b)
+
+    @given(
+        activity=st.sampled_from(list(Activity)),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_longer_window_never_increases_variance(self, activity, seed):
+        """Averaging is a low-pass operation: variance must not grow.
+
+        A small relative slack absorbs the finite sampling grid: the
+        windowed signal is also time-shifted by half the window, so the
+        sampled phases differ slightly between the two evaluations.
+        """
+        realization = default_activity_profiles()[activity].realize(seed)
+        times = np.linspace(2.0, 6.0, 200)
+        short = realization.evaluate_windowed(times, 0.01)
+        long = realization.evaluate_windowed(times, 0.4)
+        assert long.std() <= short.std() * 1.02 + 1e-6

@@ -1,0 +1,157 @@
+"""Property-based tests for the ML substrate and the energy models."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SensorConfig
+from repro.energy.accelerometer import AccelerometerPowerModel
+from repro.energy.accounting import energy_uc, relative_saving, state_residency
+from repro.ml.mlp import MLPClassifier
+from repro.ml.preprocessing import StandardScaler, one_hot, train_test_split
+
+feature_matrices = st.integers(min_value=6, max_value=40).flatmap(
+    lambda n: st.integers(min_value=1, max_value=6).flatmap(
+        lambda d: st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=n * d,
+            max_size=n * d,
+        ).map(lambda flat: np.array(flat).reshape(n, d))
+    )
+)
+
+
+class TestScalerProperties:
+    @given(features=feature_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_identity(self, features):
+        scaler = StandardScaler().fit(features)
+        recovered = scaler.inverse_transform(scaler.transform(features))
+        np.testing.assert_allclose(recovered, features, atol=1e-8)
+
+    @given(features=feature_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_transformed_features_finite(self, features):
+        transformed = StandardScaler().fit_transform(features)
+        assert np.isfinite(transformed).all()
+
+
+class TestLabelProperties:
+    @given(
+        labels=st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=60)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_one_hot_rows_sum_to_one(self, labels):
+        encoded = one_hot(np.array(labels), 6)
+        np.testing.assert_allclose(encoded.sum(axis=1), 1.0)
+        assert encoded.shape == (len(labels), 6)
+
+    @given(
+        labels=st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=60)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_one_hot_argmax_recovers_labels(self, labels):
+        encoded = one_hot(np.array(labels), 6)
+        np.testing.assert_array_equal(encoded.argmax(axis=1), labels)
+
+
+class TestSplitProperties:
+    @given(
+        n_per_class=st.integers(min_value=4, max_value=20),
+        fraction=st.floats(min_value=0.15, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_split_partitions_the_dataset(self, n_per_class, fraction, seed):
+        rng = np.random.default_rng(seed)
+        features = rng.normal(size=(n_per_class * 3, 4))
+        labels = np.repeat(np.arange(3), n_per_class)
+        train_x, test_x, train_y, test_y = train_test_split(
+            features, labels, test_fraction=fraction, seed=seed
+        )
+        assert len(train_y) + len(test_y) == len(labels)
+        assert len(test_y) > 0 and len(train_y) > 0
+        # Class proportions preserved up to rounding.
+        for label in range(3):
+            assert np.sum(test_y == label) >= 1
+
+
+class TestMlpProperties:
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_probabilities_always_valid(self, seed):
+        rng = np.random.default_rng(seed)
+        model = MLPClassifier(
+            input_dim=5, num_classes=4, hidden_units=(8,), seed=seed, max_epochs=3
+        )
+        features = rng.normal(size=(30, 5))
+        labels = rng.integers(0, 4, size=30)
+        model.fit(features, labels)
+        probabilities = model.predict_proba(rng.normal(size=(10, 5)))
+        assert (probabilities >= 0.0).all()
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0, atol=1e-9)
+
+
+class TestPowerModelProperties:
+    @given(
+        sampling_hz=st.sampled_from([6.25, 12.5, 25.0, 50.0, 100.0]),
+        window=st.sampled_from([8, 16, 32, 64, 128]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_current_within_physical_bounds(self, sampling_hz, window):
+        model = AccelerometerPowerModel.bmi160()
+        config = SensorConfig(sampling_hz, window)
+        current = model.current_ua(config)
+        assert model.suspend_current_ua < current <= model.active_current_ua
+
+    @given(
+        sampling_hz=st.sampled_from([6.25, 12.5, 25.0, 50.0]),
+        window_small=st.sampled_from([8, 16]),
+        window_large=st.sampled_from([32, 64, 128]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_larger_window_never_cheaper(self, sampling_hz, window_small, window_large):
+        model = AccelerometerPowerModel.bmi160()
+        small = model.current_ua(SensorConfig(sampling_hz, window_small))
+        large = model.current_ua(SensorConfig(sampling_hz, window_large))
+        assert large >= small
+
+
+class TestAccountingProperties:
+    @given(
+        currents=st.lists(
+            st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_energy_non_negative_and_additive(self, currents):
+        total = energy_uc(currents)
+        assert total >= 0.0
+        half = len(currents) // 2
+        if half:
+            parts = energy_uc(currents[:half]) + energy_uc(currents[half:])
+            assert abs(total - parts) <= 1e-9 * max(1.0, abs(total))
+
+    @given(
+        names=st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=50)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_residency_sums_to_one(self, names):
+        residency = state_residency(names)
+        assert abs(sum(residency.values()) - 1.0) < 1e-9
+        assert set(residency) == set(names)
+
+    @given(
+        baseline=st.floats(min_value=1.0, max_value=1000.0, allow_nan=False),
+        candidate=st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_relative_saving_bounded_above_by_one(self, baseline, candidate):
+        saving = relative_saving(baseline, candidate)
+        assert saving <= 1.0
+        if candidate <= baseline:
+            assert saving >= 0.0

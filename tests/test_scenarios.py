@@ -1,0 +1,161 @@
+"""Tests for activity schedules and user-behaviour scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.activities import Activity, STATIC_ACTIVITIES
+from repro.datasets.scenarios import (
+    ActivitySetting,
+    ScheduleSpec,
+    generate_random_schedule,
+    make_daily_routine_schedule,
+    make_fig5_schedule,
+    make_setting_schedule,
+    make_stable_schedule,
+    schedule_change_count,
+    schedule_duration,
+)
+
+
+class TestScheduleHelpers:
+    def test_duration_sums_bouts(self):
+        schedule = [(Activity.SIT, 10.0), (Activity.WALK, 20.0)]
+        assert schedule_duration(schedule) == pytest.approx(30.0)
+
+    def test_change_count_counts_boundaries(self):
+        schedule = [
+            (Activity.SIT, 10.0),
+            (Activity.WALK, 10.0),
+            (Activity.WALK, 10.0),
+            (Activity.LIE, 10.0),
+        ]
+        assert schedule_change_count(schedule) == 2
+
+    def test_change_count_single_bout(self):
+        assert schedule_change_count([(Activity.SIT, 5.0)]) == 0
+
+
+class TestFig5Schedule:
+    def test_default_is_sit_then_walk(self):
+        schedule = make_fig5_schedule()
+        assert schedule == [(Activity.SIT, 60.0), (Activity.WALK, 60.0)]
+
+    def test_custom_durations(self):
+        schedule = make_fig5_schedule(30.0, 45.0)
+        assert schedule_duration(schedule) == pytest.approx(75.0)
+
+    def test_rejects_non_positive_duration(self):
+        with pytest.raises(ValueError):
+            make_fig5_schedule(0.0, 60.0)
+
+
+class TestActivitySetting:
+    def test_high_changes_faster_than_low(self):
+        assert (
+            ActivitySetting.HIGH.mean_bout_duration_s
+            < ActivitySetting.LOW.mean_bout_duration_s
+        )
+
+    def test_high_bouts_around_ten_seconds(self):
+        low, high = ActivitySetting.HIGH.bout_duration_range_s
+        assert low <= 10.0 <= high
+
+    def test_low_bouts_at_least_a_minute(self):
+        low, _ = ActivitySetting.LOW.bout_duration_range_s
+        assert low >= 60.0
+
+
+class TestScheduleSpec:
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            ScheduleSpec(total_duration_s=100.0, min_bout_s=20.0, max_bout_s=10.0)
+
+    def test_rejects_empty_activity_pool(self):
+        with pytest.raises(ValueError):
+            ScheduleSpec(
+                total_duration_s=100.0, min_bout_s=5.0, max_bout_s=10.0, activities=()
+            )
+
+    def test_rejects_single_activity_without_repeats(self):
+        with pytest.raises(ValueError):
+            ScheduleSpec(
+                total_duration_s=100.0,
+                min_bout_s=5.0,
+                max_bout_s=10.0,
+                activities=(Activity.SIT,),
+                allow_repeat=False,
+            )
+
+
+class TestGenerateRandomSchedule:
+    def _spec(self, **kwargs) -> ScheduleSpec:
+        defaults = dict(total_duration_s=120.0, min_bout_s=10.0, max_bout_s=20.0)
+        defaults.update(kwargs)
+        return ScheduleSpec(**defaults)
+
+    def test_total_duration_exact(self):
+        schedule = generate_random_schedule(self._spec(), seed=0)
+        assert schedule_duration(schedule) == pytest.approx(120.0)
+
+    def test_bout_durations_within_bounds(self):
+        schedule = generate_random_schedule(self._spec(), seed=1)
+        # All bouts except the (possibly truncated) last one respect the bounds.
+        for _, duration in schedule[:-1]:
+            assert 10.0 <= duration <= 20.0
+
+    def test_no_immediate_repeats_by_default(self):
+        schedule = generate_random_schedule(self._spec(), seed=2)
+        for (previous, _), (current, _) in zip(schedule, schedule[1:]):
+            assert previous != current
+
+    def test_repeats_allowed_when_requested(self):
+        spec = self._spec(activities=(Activity.SIT, Activity.WALK), allow_repeat=True)
+        schedule = generate_random_schedule(spec, seed=3)
+        assert schedule_duration(schedule) == pytest.approx(120.0)
+
+    def test_restricted_activity_pool(self):
+        spec = self._spec(activities=STATIC_ACTIVITIES)
+        schedule = generate_random_schedule(spec, seed=4)
+        assert all(activity in STATIC_ACTIVITIES for activity, _ in schedule)
+
+    def test_deterministic_given_seed(self):
+        assert generate_random_schedule(self._spec(), seed=5) == generate_random_schedule(
+            self._spec(), seed=5
+        )
+
+
+class TestSettingSchedules:
+    @pytest.mark.parametrize("setting", list(ActivitySetting))
+    def test_duration_matches_request(self, setting):
+        schedule = make_setting_schedule(setting, total_duration_s=300.0, seed=0)
+        assert schedule_duration(schedule) == pytest.approx(300.0)
+
+    def test_high_has_more_changes_than_low(self):
+        high = make_setting_schedule(ActivitySetting.HIGH, 600.0, seed=1)
+        low = make_setting_schedule(ActivitySetting.LOW, 600.0, seed=1)
+        assert schedule_change_count(high) > schedule_change_count(low)
+
+    def test_high_changes_roughly_every_ten_seconds(self):
+        schedule = make_setting_schedule(ActivitySetting.HIGH, 600.0, seed=2)
+        mean_bout = schedule_duration(schedule) / len(schedule)
+        assert 5.0 <= mean_bout <= 15.0
+
+
+class TestStableAndRoutineSchedules:
+    def test_stable_schedule_single_bout(self):
+        schedule = make_stable_schedule(Activity.WALK, 120.0)
+        assert schedule == [(Activity.WALK, 120.0)]
+
+    def test_stable_schedule_accepts_string(self):
+        schedule = make_stable_schedule("sit", 60.0)
+        assert schedule[0][0] == Activity.SIT
+
+    def test_daily_routine_contains_static_and_dynamic(self):
+        schedule = make_daily_routine_schedule(seed=0)
+        activities = {activity for activity, _ in schedule}
+        assert any(activity.is_static for activity in activities)
+        assert any(activity.is_dynamic for activity in activities)
+
+    def test_daily_routine_reproducible(self):
+        assert make_daily_routine_schedule(seed=3) == make_daily_routine_schedule(seed=3)

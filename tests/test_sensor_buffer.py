@@ -1,0 +1,116 @@
+"""Tests for the classification sample buffer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import HIGH_POWER_CONFIG, SensorConfig
+from repro.sensors.buffer import SampleBuffer
+from repro.sensors.imu import SensorWindow
+
+#: A low-power configuration whose sampling rate divides one second evenly,
+#: so the expected sample counts in these tests are exact.
+LOW_RATE_CONFIG = SensorConfig(25.0, 16)
+
+
+def _window(config: SensorConfig, start_s: float, duration_s: float = 1.0) -> SensorWindow:
+    """Build a deterministic window of the right sample count."""
+    count = config.samples_in(duration_s)
+    period = 1.0 / config.sampling_hz
+    times = start_s + period * np.arange(1, count + 1)
+    samples = np.full((count, 3), start_s)
+    return SensorWindow(samples=samples, times_s=times, config=config)
+
+
+class TestSampleBufferBasics:
+    def test_starts_empty(self):
+        buffer = SampleBuffer()
+        assert buffer.is_empty
+        assert not buffer.is_full
+        assert buffer.num_samples == 0
+        assert buffer.config is None
+        assert buffer.buffered_duration_s == 0.0
+
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(ValueError):
+            SampleBuffer(window_duration_s=0.0)
+
+    def test_window_on_empty_buffer_raises(self):
+        with pytest.raises(RuntimeError):
+            SampleBuffer().window()
+
+    def test_push_one_second_not_full(self):
+        buffer = SampleBuffer(window_duration_s=2.0)
+        buffer.push(_window(HIGH_POWER_CONFIG, 0.0))
+        assert not buffer.is_full
+        assert buffer.buffered_duration_s == pytest.approx(1.0)
+
+    def test_push_two_seconds_full(self):
+        buffer = SampleBuffer(window_duration_s=2.0)
+        buffer.push(_window(HIGH_POWER_CONFIG, 0.0))
+        buffer.push(_window(HIGH_POWER_CONFIG, 1.0))
+        assert buffer.is_full
+        assert buffer.num_samples == 200
+
+    def test_clear_resets_state(self):
+        buffer = SampleBuffer()
+        buffer.push(_window(HIGH_POWER_CONFIG, 0.0))
+        buffer.clear()
+        assert buffer.is_empty
+        assert buffer.config is None
+
+
+class TestSampleBufferSliding:
+    def test_old_samples_trimmed(self):
+        buffer = SampleBuffer(window_duration_s=2.0)
+        for second in range(5):
+            buffer.push(_window(HIGH_POWER_CONFIG, float(second)))
+        assert buffer.num_samples == 200
+        window = buffer.window()
+        # Only the two newest seconds remain (values 3.0 and 4.0).
+        assert set(np.unique(window.samples)) == {3.0, 4.0}
+
+    def test_window_concatenates_chronologically(self):
+        buffer = SampleBuffer(window_duration_s=2.0)
+        buffer.push(_window(HIGH_POWER_CONFIG, 0.0))
+        buffer.push(_window(HIGH_POWER_CONFIG, 1.0))
+        window = buffer.window()
+        assert window.times_s[0] < window.times_s[-1]
+        assert np.all(np.diff(window.times_s) > 0)
+
+    def test_one_second_overlap_between_batches(self):
+        """Consecutive classification windows share one second of data."""
+        buffer = SampleBuffer(window_duration_s=2.0)
+        buffer.push(_window(HIGH_POWER_CONFIG, 0.0))
+        buffer.push(_window(HIGH_POWER_CONFIG, 1.0))
+        first = buffer.window()
+        buffer.push(_window(HIGH_POWER_CONFIG, 2.0))
+        second = buffer.window()
+        overlap = np.intersect1d(first.times_s, second.times_s)
+        assert overlap.size == 100  # one second at 100 Hz
+
+
+class TestSampleBufferConfigChange:
+    def test_config_change_flushes(self):
+        buffer = SampleBuffer(window_duration_s=2.0)
+        buffer.push(_window(HIGH_POWER_CONFIG, 0.0))
+        buffer.push(_window(HIGH_POWER_CONFIG, 1.0))
+        buffer.push(_window(LOW_RATE_CONFIG, 2.0))
+        assert buffer.config == LOW_RATE_CONFIG
+        assert buffer.buffered_duration_s == pytest.approx(1.0)
+        assert buffer.window().config == LOW_RATE_CONFIG
+
+    def test_same_config_does_not_flush(self):
+        buffer = SampleBuffer(window_duration_s=2.0)
+        buffer.push(_window(LOW_RATE_CONFIG, 0.0))
+        buffer.push(_window(LOW_RATE_CONFIG, 1.0))
+        assert buffer.buffered_duration_s == pytest.approx(2.0)
+
+    def test_refills_after_flush(self):
+        buffer = SampleBuffer(window_duration_s=2.0)
+        buffer.push(_window(HIGH_POWER_CONFIG, 0.0))
+        buffer.push(_window(LOW_RATE_CONFIG, 1.0))
+        buffer.push(_window(LOW_RATE_CONFIG, 2.0))
+        assert buffer.is_full
+        assert buffer.num_samples == 2 * LOW_RATE_CONFIG.samples_in(1.0)

@@ -1,0 +1,154 @@
+"""Tests for the simulated accelerometer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.activities import Activity
+from repro.core.config import HIGH_POWER_CONFIG, LOW_POWER_CONFIG, SensorConfig
+from repro.datasets.synthetic import default_activity_profiles
+from repro.sensors.imu import NoiseModel, SensorWindow, SimulatedAccelerometer
+from repro.utils.constants import GRAVITY_MS2
+
+
+class TestNoiseModel:
+    def test_noise_shrinks_with_averaging_window(self):
+        noise = NoiseModel(base_noise_std_ms2=1.6)
+        assert noise.output_noise_std(64) < noise.output_noise_std(8)
+
+    def test_noise_scaling_is_sqrt(self):
+        noise = NoiseModel(base_noise_std_ms2=1.6)
+        assert noise.output_noise_std(16) == pytest.approx(1.6 / 4.0)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel().output_noise_std(0)
+
+    def test_full_scale_in_ms2(self):
+        noise = NoiseModel(full_scale_g=2.0)
+        assert noise.full_scale_ms2 == pytest.approx(2.0 * GRAVITY_MS2)
+
+    def test_lsb_matches_resolution(self):
+        noise = NoiseModel(full_scale_g=2.0, resolution_bits=16)
+        assert noise.lsb_ms2 == pytest.approx(4.0 * GRAVITY_MS2 / 2**16)
+
+    def test_invalid_resolution_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(resolution_bits=0)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(base_noise_std_ms2=-1.0)
+
+
+class TestSensorWindow:
+    def test_requires_three_axes(self):
+        with pytest.raises(ValueError):
+            SensorWindow(
+                samples=np.zeros((10, 2)),
+                times_s=np.arange(10.0),
+                config=HIGH_POWER_CONFIG,
+            )
+
+    def test_requires_matching_times(self):
+        with pytest.raises(ValueError):
+            SensorWindow(
+                samples=np.zeros((10, 3)),
+                times_s=np.arange(9.0),
+                config=HIGH_POWER_CONFIG,
+            )
+
+    def test_duration_property(self):
+        config = SensorConfig(10.0, 8)
+        times = 0.1 * np.arange(1, 21)
+        window = SensorWindow(samples=np.zeros((20, 3)), times_s=times, config=config)
+        assert window.duration_s == pytest.approx(2.0)
+        assert window.num_samples == 20
+        assert window.sampling_hz == 10.0
+
+
+class TestSimulatedAccelerometer:
+    def _sensor(self, activity=Activity.STAND, seed=0, **kwargs):
+        realization = default_activity_profiles()[activity].realize(seed)
+        return SimulatedAccelerometer(signal=realization, seed=seed, **kwargs)
+
+    def test_sample_count_matches_config(self):
+        sensor = self._sensor()
+        for config in (HIGH_POWER_CONFIG, LOW_POWER_CONFIG, SensorConfig(6.25, 8)):
+            window = sensor.read_window(2.0, 2.0, config)
+            assert window.num_samples == config.samples_per_window
+
+    def test_read_second_is_one_second(self):
+        sensor = self._sensor()
+        window = sensor.read_second(5.0, HIGH_POWER_CONFIG)
+        assert window.num_samples == 100
+
+    def test_window_before_time_zero_rejected(self):
+        sensor = self._sensor()
+        with pytest.raises(ValueError):
+            sensor.read_window(1.0, 2.0, HIGH_POWER_CONFIG)
+
+    def test_samples_clipped_to_full_scale(self):
+        sensor = self._sensor(noise=NoiseModel(full_scale_g=0.5))
+        window = sensor.read_window(2.0, 2.0, HIGH_POWER_CONFIG)
+        assert np.max(np.abs(window.samples)) <= 0.5 * GRAVITY_MS2 + 1e-9
+
+    def test_quantisation_grid(self):
+        noise = NoiseModel()
+        sensor = self._sensor(noise=noise)
+        window = sensor.read_window(2.0, 2.0, HIGH_POWER_CONFIG)
+        steps = window.samples / noise.lsb_ms2
+        np.testing.assert_allclose(steps, np.round(steps), atol=1e-6)
+
+    def test_averaging_window_duration_capped_by_sample_period(self):
+        sensor = self._sensor()
+        # 128 sub-samples at 1600 Hz span 80 ms, longer than the 10 ms period
+        # of a 100 Hz output rate, so the window is capped at 10 ms.
+        assert sensor.averaging_window_duration(HIGH_POWER_CONFIG) == pytest.approx(0.01)
+        # At 12.5 Hz the 8-sub-sample window (5 ms) fits comfortably.
+        assert sensor.averaging_window_duration(LOW_POWER_CONFIG) == pytest.approx(
+            8 / 1600.0
+        )
+
+    def test_small_averaging_window_noisier_than_large(self):
+        """Empirical noise must grow when the averaging window shrinks."""
+        realization = default_activity_profiles()[Activity.STAND].realize(3)
+        sensor = SimulatedAccelerometer(signal=realization, seed=3)
+        clean = realization.evaluate_windowed  # noqa: F841  (documenting intent)
+        noisy_large = sensor.read_window(4.0, 4.0, SensorConfig(25.0, 128))
+        noisy_small = sensor.read_window(4.0, 4.0, SensorConfig(25.0, 8))
+        residual_large = noisy_large.samples - realization.evaluate_windowed(
+            noisy_large.times_s, sensor.averaging_window_duration(SensorConfig(25.0, 128))
+        )
+        residual_small = noisy_small.samples - realization.evaluate_windowed(
+            noisy_small.times_s, sensor.averaging_window_duration(SensorConfig(25.0, 8))
+        )
+        assert residual_small.std() > residual_large.std()
+
+    def test_explicit_rng_reproducible(self):
+        realization = default_activity_profiles()[Activity.WALK].realize(5)
+        sensor = SimulatedAccelerometer(signal=realization, seed=5)
+        a = sensor.read_window(2.0, 2.0, HIGH_POWER_CONFIG, rng=123).samples
+        b = sensor.read_window(2.0, 2.0, HIGH_POWER_CONFIG, rng=123).samples
+        np.testing.assert_allclose(a, b)
+
+    def test_internal_stream_advances(self):
+        sensor = self._sensor()
+        a = sensor.read_window(2.0, 2.0, HIGH_POWER_CONFIG).samples
+        b = sensor.read_window(2.0, 2.0, HIGH_POWER_CONFIG).samples
+        assert not np.allclose(a, b)
+
+    def test_bias_is_constant_per_sensor(self):
+        sensor = self._sensor()
+        assert np.allclose(sensor.bias_ms2, sensor.bias_ms2)
+
+    def test_invalid_internal_rate_rejected(self):
+        realization = default_activity_profiles()[Activity.SIT].realize(0)
+        with pytest.raises(ValueError):
+            SimulatedAccelerometer(signal=realization, internal_rate_hz=0.0)
+
+    def test_non_positive_duration_rejected(self):
+        sensor = self._sensor()
+        with pytest.raises(ValueError):
+            sensor.read_window(2.0, 0.0, HIGH_POWER_CONFIG)

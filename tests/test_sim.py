@@ -1,0 +1,188 @@
+"""Tests for simulation traces and the closed-loop simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.activities import Activity
+from repro.core.config import DEFAULT_SPOT_STATES, HIGH_POWER_CONFIG, LOW_POWER_CONFIG
+from repro.core.controller import SpotController, StaticController
+from repro.datasets.scenarios import make_fig5_schedule, make_stable_schedule
+from repro.datasets.synthetic import ScheduledSignal
+from repro.energy.accelerometer import AccelerometerPowerModel
+from repro.sim.runtime import ClosedLoopSimulator
+from repro.sim.trace import SimulationTrace, StepRecord
+
+
+def _record(
+    time_s: float,
+    true_activity=Activity.SIT,
+    predicted=Activity.SIT,
+    config="F100_A128",
+    current=180.0,
+) -> StepRecord:
+    return StepRecord(
+        time_s=time_s,
+        true_activity=true_activity,
+        predicted_activity=predicted,
+        confidence=0.9,
+        config_name=config,
+        current_ua=current,
+    )
+
+
+class TestSimulationTrace:
+    def test_empty_trace_properties(self):
+        trace = SimulationTrace()
+        assert len(trace) == 0
+        assert trace.duration_s == 0.0
+        with pytest.raises(ValueError):
+            _ = trace.accuracy
+
+    def test_accuracy_counts_matches(self):
+        trace = SimulationTrace(
+            records=[
+                _record(1.0, Activity.SIT, Activity.SIT),
+                _record(2.0, Activity.SIT, Activity.WALK),
+            ]
+        )
+        assert trace.accuracy == pytest.approx(0.5)
+
+    def test_average_current_and_energy(self):
+        trace = SimulationTrace(
+            records=[_record(1.0, current=100.0), _record(2.0, current=50.0)]
+        )
+        assert trace.average_current_ua == pytest.approx(75.0)
+        assert trace.energy_uc == pytest.approx(150.0)
+
+    def test_state_residency(self):
+        trace = SimulationTrace(
+            records=[
+                _record(1.0, config="F100_A128"),
+                _record(2.0, config="F12.5_A8"),
+                _record(3.0, config="F12.5_A8"),
+            ]
+        )
+        residency = trace.state_residency()
+        assert residency["F12.5_A8"] == pytest.approx(2 / 3)
+
+    def test_activity_change_times(self):
+        trace = SimulationTrace(
+            records=[
+                _record(1.0, Activity.SIT),
+                _record(2.0, Activity.SIT),
+                _record(3.0, Activity.WALK),
+                _record(4.0, Activity.WALK),
+            ]
+        )
+        np.testing.assert_allclose(trace.activity_change_times(), [3.0])
+
+    def test_summary_keys(self):
+        trace = SimulationTrace(records=[_record(1.0)])
+        summary = trace.summary()
+        assert {"steps", "duration_s", "accuracy", "average_current_ua"} <= set(summary)
+
+    def test_concatenate(self):
+        a = SimulationTrace(records=[_record(1.0)])
+        b = SimulationTrace(records=[_record(2.0), _record(3.0)])
+        merged = SimulationTrace.concatenate([a, b])
+        assert len(merged) == 3
+
+    def test_correct_flag(self):
+        assert _record(1.0, Activity.SIT, Activity.SIT).correct
+        assert not _record(1.0, Activity.SIT, Activity.WALK).correct
+
+
+class TestClosedLoopSimulator:
+    def _simulator(self, trained_pipeline, controller):
+        return ClosedLoopSimulator(pipeline=trained_pipeline, controller=controller)
+
+    def test_one_record_per_second(self, trained_pipeline):
+        simulator = self._simulator(trained_pipeline, StaticController())
+        trace = simulator.run(make_fig5_schedule(30.0, 30.0), seed=0)
+        assert len(trace) == 60
+        np.testing.assert_allclose(trace.times_s, np.arange(1.0, 61.0))
+
+    def test_static_controller_constant_current(self, trained_pipeline):
+        simulator = self._simulator(trained_pipeline, StaticController())
+        trace = simulator.run(make_stable_schedule(Activity.SIT, 20.0), seed=1)
+        model = AccelerometerPowerModel.bmi160()
+        np.testing.assert_allclose(
+            trace.currents_ua, model.current_ua(HIGH_POWER_CONFIG)
+        )
+
+    def test_spot_descends_on_stable_activity(self, trained_pipeline):
+        controller = SpotController(stability_threshold=3)
+        simulator = self._simulator(trained_pipeline, controller)
+        trace = simulator.run(make_stable_schedule(Activity.SIT, 30.0), seed=2)
+        assert LOW_POWER_CONFIG.name in trace.config_names
+        # Power must not increase over a perfectly stable bout.
+        assert trace.currents_ua[-1] <= trace.currents_ua[0]
+
+    def test_adaptive_saves_energy_vs_static(self, trained_pipeline):
+        schedule = make_stable_schedule(Activity.LIE, 60.0)
+        static = self._simulator(trained_pipeline, StaticController()).run(schedule, seed=3)
+        adaptive = self._simulator(
+            trained_pipeline, SpotController(stability_threshold=3)
+        ).run(schedule, seed=3)
+        assert adaptive.energy_uc < static.energy_uc
+
+    def test_ground_truth_follows_schedule(self, trained_pipeline):
+        simulator = self._simulator(trained_pipeline, StaticController())
+        trace = simulator.run(make_fig5_schedule(10.0, 10.0), seed=4)
+        labels = trace.true_labels
+        assert set(labels[:9]) == {int(Activity.SIT)}
+        assert set(labels[-9:]) == {int(Activity.WALK)}
+
+    def test_accepts_pre_realised_signal(self, trained_pipeline):
+        signal = ScheduledSignal(make_fig5_schedule(10.0, 10.0), seed=5)
+        simulator = self._simulator(trained_pipeline, StaticController())
+        trace = simulator.run(signal, seed=6)
+        assert len(trace) == 20
+
+    def test_reproducible_given_seed(self, trained_pipeline):
+        simulator = self._simulator(trained_pipeline, SpotController(stability_threshold=2))
+        a = simulator.run(make_fig5_schedule(15.0, 15.0), seed=7)
+        b = simulator.run(make_fig5_schedule(15.0, 15.0), seed=7)
+        np.testing.assert_allclose(a.currents_ua, b.currents_ua)
+        np.testing.assert_array_equal(a.predicted_labels, b.predicted_labels)
+
+    def test_controller_is_reset_between_runs(self, trained_pipeline):
+        controller = SpotController(stability_threshold=1)
+        simulator = self._simulator(trained_pipeline, controller)
+        simulator.run(make_stable_schedule(Activity.SIT, 20.0), seed=8)
+        assert controller.state_index > 0
+        trace = simulator.run(make_stable_schedule(Activity.SIT, 20.0), seed=9)
+        # The first step of the new run must start from the high-power state.
+        assert trace.config_names[0] == HIGH_POWER_CONFIG.name
+
+    def test_run_many_returns_one_trace_per_schedule(self, trained_pipeline):
+        simulator = self._simulator(trained_pipeline, StaticController())
+        traces = simulator.run_many(
+            [make_stable_schedule(Activity.SIT, 10.0), make_stable_schedule(Activity.WALK, 10.0)],
+            seed=10,
+        )
+        assert len(traces) == 2
+        assert all(len(trace) == 10 for trace in traces)
+
+    def test_invalid_window_configuration_rejected(self, trained_pipeline):
+        with pytest.raises(ValueError):
+            ClosedLoopSimulator(
+                pipeline=trained_pipeline,
+                controller=StaticController(),
+                step_s=2.0,
+                window_duration_s=1.0,
+            )
+
+    def test_recorded_currents_match_power_model(self, trained_pipeline):
+        model = AccelerometerPowerModel.bmi160()
+        controller = SpotController(stability_threshold=2)
+        simulator = ClosedLoopSimulator(
+            pipeline=trained_pipeline, controller=controller, power_model=model
+        )
+        trace = simulator.run(make_stable_schedule(Activity.SIT, 15.0), seed=11)
+        valid_currents = {model.current_ua(config) for config in DEFAULT_SPOT_STATES}
+        assert set(np.round(trace.currents_ua, 6)) <= {
+            round(value, 6) for value in valid_currents
+        }

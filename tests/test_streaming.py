@@ -1,0 +1,100 @@
+"""Tests for the push-style streaming interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.activities import Activity
+from repro.core.config import DEFAULT_SPOT_STATES, HIGH_POWER_CONFIG
+from repro.core.controller import SpotController
+from repro.sim.streaming import StreamingAdaSense
+
+
+def _second_of(dataset_builder, activity, config):
+    """One second of raw samples of ``activity`` acquired under ``config``."""
+    window = dataset_builder.acquire_raw_window(activity, config, window_duration_s=1.0)
+    return window
+
+
+class TestStreamingBasics:
+    def test_starts_at_high_power_config(self, trained_pipeline):
+        stream = StreamingAdaSense(pipeline=trained_pipeline)
+        assert stream.current_config == HIGH_POWER_CONFIG
+        assert stream.steps == 0
+
+    def test_invalid_min_duration_rejected(self, trained_pipeline):
+        with pytest.raises(ValueError):
+            StreamingAdaSense(trained_pipeline, min_classify_duration_s=0.0)
+        with pytest.raises(ValueError):
+            StreamingAdaSense(trained_pipeline, min_classify_duration_s=5.0)
+
+    def test_rejects_malformed_samples(self, trained_pipeline):
+        stream = StreamingAdaSense(pipeline=trained_pipeline)
+        with pytest.raises(ValueError):
+            stream.push(np.zeros((10, 2)), HIGH_POWER_CONFIG)
+        with pytest.raises(ValueError):
+            stream.push(np.zeros((0, 3)), HIGH_POWER_CONFIG)
+
+    def test_short_push_returns_no_result(self, trained_pipeline, dataset_builder):
+        stream = StreamingAdaSense(pipeline=trained_pipeline, min_classify_duration_s=1.0)
+        half_second = _second_of(dataset_builder, Activity.SIT, HIGH_POWER_CONFIG)[:50]
+        step = stream.push(half_second, HIGH_POWER_CONFIG)
+        assert step.result is None
+        assert step.next_config == HIGH_POWER_CONFIG
+        assert stream.steps == 0
+
+    def test_push_second_produces_classification(self, trained_pipeline, dataset_builder):
+        stream = StreamingAdaSense(pipeline=trained_pipeline)
+        second = _second_of(dataset_builder, Activity.WALK, HIGH_POWER_CONFIG)
+        step = stream.push(second, HIGH_POWER_CONFIG)
+        assert step.result is not None
+        assert 0.0 <= step.result.confidence <= 1.0
+        assert stream.steps == 1
+        assert stream.samples_seen == second.shape[0]
+
+
+class TestStreamingControlLoop:
+    def test_stable_stream_descends_to_lower_power(self, trained_pipeline, dataset_builder):
+        stream = StreamingAdaSense(
+            pipeline=trained_pipeline,
+            controller=SpotController(stability_threshold=1),
+            min_classify_duration_s=0.9,
+        )
+        config = stream.current_config
+        visited = {config.name}
+        for _ in range(20):
+            samples = _second_of(dataset_builder, Activity.LIE, config)
+            step = stream.push(samples, config)
+            config = step.next_config
+            visited.add(config.name)
+        assert DEFAULT_SPOT_STATES[-1].name in visited
+
+    def test_config_change_flushes_and_still_classifies(
+        self, trained_pipeline, dataset_builder
+    ):
+        # min_classify_duration_s is slightly below one second because a
+        # "one second" batch at 12.5 Hz rounds down to 12 samples (0.96 s).
+        stream = StreamingAdaSense(pipeline=trained_pipeline, min_classify_duration_s=0.9)
+        first = _second_of(dataset_builder, Activity.SIT, HIGH_POWER_CONFIG)
+        stream.push(first, HIGH_POWER_CONFIG)
+        low = DEFAULT_SPOT_STATES[-1]
+        second = _second_of(dataset_builder, Activity.SIT, low)
+        step = stream.push(second, low)
+        # The buffer was flushed by the configuration change, so it now holds
+        # exactly one second of low-rate data, which is still classifiable.
+        assert step.buffered_duration_s <= 1.01
+        assert step.result is not None
+
+    def test_reset_restores_initial_state(self, trained_pipeline, dataset_builder):
+        controller = SpotController(stability_threshold=1)
+        stream = StreamingAdaSense(pipeline=trained_pipeline, controller=controller)
+        config = stream.current_config
+        for _ in range(4):
+            samples = _second_of(dataset_builder, Activity.SIT, config)
+            config = stream.push(samples, config).next_config
+        assert controller.state_index > 0
+        stream.reset()
+        assert stream.current_config == HIGH_POWER_CONFIG
+        assert stream.steps == 0
+        assert stream.samples_seen == 0

@@ -1,0 +1,221 @@
+"""Tests for the synthetic activity signal models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.activities import ALL_ACTIVITIES, Activity
+from repro.datasets.synthetic import (
+    ActivityProfile,
+    HarmonicSpec,
+    ScheduledSignal,
+    SyntheticSignalGenerator,
+    default_activity_profiles,
+)
+from repro.utils.constants import GRAVITY_MS2
+
+
+class TestHarmonicSpec:
+    def test_valid_spec(self):
+        spec = HarmonicSpec(axis=2, amplitude=1.5, frequency_scale=2.0)
+        assert spec.axis == 2
+
+    def test_invalid_axis(self):
+        with pytest.raises(ValueError):
+            HarmonicSpec(axis=3, amplitude=1.0, frequency_scale=1.0)
+
+    def test_negative_amplitude(self):
+        with pytest.raises(ValueError):
+            HarmonicSpec(axis=0, amplitude=-1.0, frequency_scale=1.0)
+
+    def test_zero_frequency_scale(self):
+        with pytest.raises(ValueError):
+            HarmonicSpec(axis=0, amplitude=1.0, frequency_scale=0.0)
+
+
+class TestDefaultProfiles:
+    def test_covers_all_activities(self):
+        profiles = default_activity_profiles()
+        assert set(profiles) == set(ALL_ACTIVITIES)
+
+    def test_locomotion_faster_than_postural(self):
+        profiles = default_activity_profiles()
+        for dynamic in (Activity.WALK, Activity.UPSTAIRS, Activity.DOWNSTAIRS):
+            for static in (Activity.SIT, Activity.STAND, Activity.LIE):
+                assert (
+                    profiles[dynamic].base_frequency_hz
+                    > profiles[static].base_frequency_hz
+                )
+
+    def test_profile_validation_rejects_bad_gravity(self):
+        with pytest.raises(ValueError):
+            ActivityProfile(
+                activity=Activity.SIT,
+                gravity_direction=(0.0, 0.0, 0.0),
+                base_frequency_hz=1.0,
+                frequency_jitter=0.1,
+                harmonics=(),
+            )
+
+
+class TestActivityRealization:
+    def test_evaluate_shape(self):
+        realization = default_activity_profiles()[Activity.WALK].realize(0)
+        values = realization.evaluate(np.linspace(0, 2, 100))
+        assert values.shape == (100, 3)
+
+    def test_static_activity_close_to_gravity_magnitude(self):
+        realization = default_activity_profiles()[Activity.STAND].realize(1)
+        values = realization.evaluate(np.linspace(0, 5, 500))
+        magnitudes = np.linalg.norm(values, axis=1)
+        assert abs(np.mean(magnitudes) - GRAVITY_MS2) < 1.0
+
+    def test_walk_has_periodic_energy(self):
+        realization = default_activity_profiles()[Activity.WALK].realize(2)
+        values = realization.evaluate(np.linspace(0, 4, 400))
+        assert values[:, 2].std() > 0.5
+
+    def test_windowed_average_matches_numerical_mean(self):
+        """The closed-form sinc attenuation must equal a numeric average."""
+        realization = default_activity_profiles()[Activity.WALK].realize(3)
+        window = 0.08
+        times = np.array([1.0, 1.5, 2.0])
+        closed_form = realization.evaluate_windowed(times, window)
+        numeric = np.empty_like(closed_form)
+        for row, end in enumerate(times):
+            grid = np.linspace(end - window, end, 4001)
+            numeric[row] = realization.evaluate(grid).mean(axis=0)
+        np.testing.assert_allclose(closed_form, numeric, atol=1e-3)
+
+    def test_zero_window_equals_instantaneous(self):
+        realization = default_activity_profiles()[Activity.SIT].realize(4)
+        times = np.linspace(0, 3, 50)
+        np.testing.assert_allclose(
+            realization.evaluate_windowed(times, 0.0), realization.evaluate(times)
+        )
+
+    def test_windowed_average_attenuates_oscillation(self):
+        """Averaging over a long window must shrink the dynamic range."""
+        realization = default_activity_profiles()[Activity.DOWNSTAIRS].realize(5)
+        times = np.linspace(1, 5, 400)
+        raw = realization.evaluate(times)[:, 2]
+        smoothed = realization.evaluate_windowed(times, 0.3)[:, 2]
+        assert smoothed.std() < raw.std()
+
+    def test_negative_window_rejected(self):
+        realization = default_activity_profiles()[Activity.SIT].realize(6)
+        with pytest.raises(ValueError):
+            realization.evaluate_windowed(np.array([1.0]), -0.1)
+
+    def test_requires_1d_times(self):
+        realization = default_activity_profiles()[Activity.SIT].realize(7)
+        with pytest.raises(ValueError):
+            realization.evaluate(np.zeros((3, 2)))
+
+    def test_same_seed_same_signal(self):
+        profile = default_activity_profiles()[Activity.WALK]
+        times = np.linspace(0, 2, 64)
+        np.testing.assert_allclose(
+            profile.realize(42).evaluate(times), profile.realize(42).evaluate(times)
+        )
+
+    def test_different_seeds_differ(self):
+        profile = default_activity_profiles()[Activity.WALK]
+        times = np.linspace(0, 2, 64)
+        assert not np.allclose(
+            profile.realize(1).evaluate(times), profile.realize(2).evaluate(times)
+        )
+
+
+class TestSyntheticSignalGenerator:
+    def test_realize_accepts_strings(self, signal_generator):
+        realization = signal_generator.realize("walk", rng=0)
+        assert realization.activity == Activity.WALK
+
+    def test_missing_profile_rejected(self):
+        profiles = default_activity_profiles()
+        del profiles[Activity.LIE]
+        with pytest.raises(ValueError, match="missing"):
+            SyntheticSignalGenerator(profiles=profiles)
+
+    def test_profiles_property_is_copy(self, signal_generator):
+        profiles = signal_generator.profiles
+        profiles.clear()
+        assert signal_generator.profiles
+
+
+class TestScheduledSignal:
+    def test_duration_is_sum_of_bouts(self):
+        signal = ScheduledSignal([(Activity.SIT, 10.0), (Activity.WALK, 5.0)], seed=0)
+        assert signal.duration_s == pytest.approx(15.0)
+
+    def test_activity_at_respects_boundaries(self):
+        signal = ScheduledSignal([(Activity.SIT, 10.0), (Activity.WALK, 5.0)], seed=0)
+        assert signal.activity_at(0.0) == Activity.SIT
+        assert signal.activity_at(9.99) == Activity.SIT
+        assert signal.activity_at(10.0) == Activity.WALK
+        assert signal.activity_at(14.9) == Activity.WALK
+
+    def test_activity_at_end_clamps_to_last(self):
+        signal = ScheduledSignal([(Activity.SIT, 10.0), (Activity.WALK, 5.0)], seed=0)
+        assert signal.activity_at(15.0) == Activity.WALK
+        assert signal.activity_at(100.0) == Activity.WALK
+
+    def test_negative_time_rejected(self):
+        signal = ScheduledSignal([(Activity.SIT, 10.0)], seed=0)
+        with pytest.raises(ValueError):
+            signal.activity_at(-1.0)
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduledSignal([], seed=0)
+
+    def test_non_positive_duration_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduledSignal([(Activity.SIT, 0.0)], seed=0)
+
+    def test_evaluate_covers_both_segments(self):
+        signal = ScheduledSignal([(Activity.SIT, 5.0), (Activity.WALK, 5.0)], seed=1)
+        times = np.linspace(0, 10, 200)
+        values = signal.evaluate(times)
+        assert values.shape == (200, 3)
+        # Walking half has visibly more vertical-axis variance than sitting.
+        sit_std = values[times < 5.0][:, 2].std()
+        walk_std = values[times >= 5.0][:, 2].std()
+        assert walk_std > sit_std
+
+    def test_evaluate_windowed_shape(self):
+        signal = ScheduledSignal([(Activity.SIT, 5.0), (Activity.WALK, 5.0)], seed=1)
+        values = signal.evaluate_windowed(np.linspace(0, 10, 50), 0.05)
+        assert values.shape == (50, 3)
+
+    def test_segments_chronological(self):
+        signal = ScheduledSignal(
+            [(Activity.SIT, 5.0), (Activity.WALK, 5.0), (Activity.LIE, 3.0)], seed=2
+        )
+        segments = signal.segments
+        assert [segment.activity for segment in segments] == [
+            Activity.SIT,
+            Activity.WALK,
+            Activity.LIE,
+        ]
+        assert segments[0].end_s == segments[1].start_s
+
+    def test_segment_at_lookup(self):
+        signal = ScheduledSignal([(Activity.SIT, 5.0), (Activity.WALK, 5.0)], seed=3)
+        assert signal.segment_at(7.0).activity == Activity.WALK
+
+    def test_same_seed_reproducible(self):
+        schedule = [(Activity.SIT, 5.0), (Activity.WALK, 5.0)]
+        times = np.linspace(0, 10, 100)
+        a = ScheduledSignal(schedule, seed=9).evaluate(times)
+        b = ScheduledSignal(schedule, seed=9).evaluate(times)
+        np.testing.assert_allclose(a, b)
+
+    def test_repeated_activity_gets_fresh_realization(self):
+        signal = ScheduledSignal(
+            [(Activity.WALK, 5.0), (Activity.SIT, 5.0), (Activity.WALK, 5.0)], seed=4
+        )
+        first, last = signal.segments[0].realization, signal.segments[2].realization
+        assert first.fundamental_hz != pytest.approx(last.fundamental_hz)

@@ -1,0 +1,141 @@
+"""Tests for the argument-validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_in_choices,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+    check_shape,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive_float(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    def test_accepts_small_positive(self):
+        assert check_positive(1e-12, "x") == 1e-12
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-1.0, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_positive(float("nan"), "x")
+
+    def test_rejects_infinity(self):
+        with pytest.raises(ValueError):
+            check_positive(float("inf"), "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0.0, "x") == 0.0
+
+    def test_accepts_positive(self):
+        assert check_non_negative(3.0, "x") == 3.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-0.1, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_non_negative(float("nan"), "x")
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int(5, "n") == 5
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(7), "n") == 7
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "n")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(-3, "n")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.0, "n")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "n")
+
+
+class TestCheckProbability:
+    def test_accepts_zero_and_one(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_accepts_interior_value(self):
+        assert check_probability(0.85, "p") == 0.85
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_probability(1.01, "p")
+
+    def test_rejects_below_zero(self):
+        with pytest.raises(ValueError):
+            check_probability(-0.01, "p")
+
+
+class TestCheckFraction:
+    def test_accepts_interior_value(self):
+        assert check_fraction(0.3, "f") == 0.3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_fraction(0.0, "f")
+
+    def test_rejects_one(self):
+        with pytest.raises(ValueError):
+            check_fraction(1.0, "f")
+
+
+class TestCheckInChoices:
+    def test_accepts_member(self):
+        assert check_in_choices("a", "mode", ("a", "b")) == "a"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ValueError, match="mode"):
+            check_in_choices("c", "mode", ("a", "b"))
+
+
+class TestCheckShape:
+    def test_accepts_exact_shape(self):
+        array = check_shape(np.zeros((3, 2)), "arr", (3, 2))
+        assert array.shape == (3, 2)
+
+    def test_accepts_wildcard_dimension(self):
+        array = check_shape(np.zeros((7, 3)), "arr", (None, 3))
+        assert array.shape == (7, 3)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            check_shape(np.zeros(4), "arr", (None, 3))
+
+    def test_rejects_wrong_size(self):
+        with pytest.raises(ValueError, match="axis"):
+            check_shape(np.zeros((4, 2)), "arr", (None, 3))
+
+    def test_converts_lists(self):
+        array = check_shape([[1.0, 2.0]], "arr", (1, 2))
+        assert isinstance(array, np.ndarray)

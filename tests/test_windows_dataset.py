@@ -1,0 +1,158 @@
+"""Tests for window dataset construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.activities import ALL_ACTIVITIES, Activity
+from repro.core.config import DEFAULT_SPOT_STATES, HIGH_POWER_CONFIG, LOW_POWER_CONFIG
+from repro.core.features import FeatureExtractor
+from repro.datasets.windows import WindowDataset, WindowDatasetBuilder
+
+
+class TestWindowDatasetContainer:
+    def _dataset(self, n=12, d=15):
+        rng = np.random.default_rng(0)
+        return WindowDataset(
+            features=rng.normal(size=(n, d)),
+            labels=rng.integers(0, 6, size=n),
+            config_names=np.array(["F100_A128"] * (n // 2) + ["F12.5_A8"] * (n - n // 2),
+                                  dtype=object),
+            feature_names=[f"f{i}" for i in range(d)],
+        )
+
+    def test_len_and_num_features(self):
+        dataset = self._dataset()
+        assert len(dataset) == 12
+        assert dataset.num_features == 15
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            WindowDataset(
+                features=np.zeros((5, 3)),
+                labels=np.zeros(4, dtype=int),
+                config_names=np.array(["a"] * 5, dtype=object),
+            )
+
+    def test_feature_name_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            WindowDataset(
+                features=np.zeros((2, 3)),
+                labels=np.zeros(2, dtype=int),
+                config_names=np.array(["a", "a"], dtype=object),
+                feature_names=["only_one"],
+            )
+
+    def test_subset_by_mask(self):
+        dataset = self._dataset()
+        mask = np.zeros(len(dataset), dtype=bool)
+        mask[:3] = True
+        subset = dataset.subset(mask)
+        assert len(subset) == 3
+        np.testing.assert_allclose(subset.features, dataset.features[:3])
+
+    def test_subset_wrong_mask_length(self):
+        dataset = self._dataset()
+        with pytest.raises(ValueError):
+            dataset.subset(np.ones(3, dtype=bool))
+
+    def test_for_config_filters(self):
+        dataset = self._dataset()
+        subset = dataset.for_config("F12.5_A8")
+        assert set(subset.config_names) == {"F12.5_A8"}
+        assert len(subset) == 6
+
+    def test_for_config_accepts_config_object(self):
+        dataset = self._dataset()
+        assert len(dataset.for_config(HIGH_POWER_CONFIG)) == 6
+
+    def test_config_counts(self):
+        counts = self._dataset().config_counts()
+        assert counts == {"F100_A128": 6, "F12.5_A8": 6}
+
+    def test_merge_concatenates(self):
+        a, b = self._dataset(6), self._dataset(4)
+        merged = WindowDataset.merge([a, b])
+        assert len(merged) == 10
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ValueError):
+            WindowDataset.merge([])
+
+    def test_merge_feature_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            WindowDataset.merge([self._dataset(4, 15), self._dataset(4, 10)])
+
+
+class TestWindowDatasetBuilder:
+    def test_build_counts(self, dataset_builder):
+        dataset = dataset_builder.build(
+            configs=[HIGH_POWER_CONFIG, LOW_POWER_CONFIG],
+            windows_per_activity_per_config=3,
+        )
+        assert len(dataset) == 2 * 6 * 3
+        counts = dataset.class_counts()
+        assert all(value == 6 for value in counts.values())
+
+    def test_build_for_config(self, dataset_builder):
+        dataset = dataset_builder.build_for_config(LOW_POWER_CONFIG, windows_per_activity=4)
+        assert len(dataset) == 24
+        assert set(dataset.config_names) == {LOW_POWER_CONFIG.name}
+
+    def test_feature_dimension_matches_extractor(self, dataset_builder):
+        dataset = dataset_builder.build_for_config(HIGH_POWER_CONFIG, windows_per_activity=2)
+        assert dataset.num_features == dataset_builder.extractor.num_features
+        assert dataset.feature_names == dataset_builder.extractor.feature_names()
+
+    def test_features_are_finite(self, small_dataset):
+        assert np.isfinite(small_dataset.features).all()
+
+    def test_custom_extractor_respected(self):
+        extractor = FeatureExtractor(n_fourier_features=5)
+        builder = WindowDatasetBuilder(extractor=extractor, seed=0)
+        dataset = builder.build_for_config(HIGH_POWER_CONFIG, windows_per_activity=2)
+        assert dataset.num_features == extractor.num_features
+
+    def test_invalid_arguments_rejected(self, dataset_builder):
+        with pytest.raises(ValueError):
+            dataset_builder.build(configs=[], windows_per_activity_per_config=2)
+        with pytest.raises(ValueError):
+            dataset_builder.build(configs=[HIGH_POWER_CONFIG], windows_per_activity_per_config=0)
+        with pytest.raises(ValueError):
+            dataset_builder.build(
+                configs=[HIGH_POWER_CONFIG],
+                windows_per_activity_per_config=2,
+                activities=[],
+            )
+
+    def test_acquire_raw_window_shape(self, dataset_builder):
+        window = dataset_builder.acquire_raw_window(Activity.WALK, HIGH_POWER_CONFIG)
+        assert window.shape == (HIGH_POWER_CONFIG.samples_per_window, 3)
+
+    def test_deterministic_given_seed(self):
+        a = WindowDatasetBuilder(seed=5).build_for_config(
+            HIGH_POWER_CONFIG, windows_per_activity=2
+        )
+        b = WindowDatasetBuilder(seed=5).build_for_config(
+            HIGH_POWER_CONFIG, windows_per_activity=2
+        )
+        np.testing.assert_allclose(a.features, b.features)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_split_is_stratified(self, small_dataset):
+        train, test = small_dataset.split(test_fraction=0.25, seed=0)
+        assert len(train) + len(test) == len(small_dataset)
+        assert set(np.unique(test.labels)) == set(range(6))
+
+    def test_classes_are_separable_in_feature_space(self, small_dataset):
+        """Sanity check: the synthetic classes are not degenerate."""
+        means = np.array(
+            [
+                small_dataset.features[small_dataset.labels == label].mean(axis=0)
+                for label in range(6)
+            ]
+        )
+        pairwise = np.linalg.norm(means[:, None, :] - means[None, :, :], axis=2)
+        off_diagonal = pairwise[~np.eye(6, dtype=bool)]
+        assert off_diagonal.min() > 0.1
