@@ -1,0 +1,84 @@
+"""Throughput benchmark: batched fleet engine vs the sequential loop.
+
+The fleet engine's reason to exist is turning an O(N x per-device-
+Python-loop) workload into a handful of vectorized calls per tick.  This
+module measures both paths on the same population in device-seconds of
+simulated time per wall-clock second, prints the comparison, and guards
+the speedup: at fleet scale (>= 50 devices) batched simulation must be
+at least as fast as the sequential reference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import BENCH_SEED, print_report
+
+from repro.core.adasense import AdaSense
+from repro.fleet import DevicePopulation, FleetSimulator, traces_equal
+
+#: Fleet size for the guard; the issue requires >= 50 devices.
+NUM_DEVICES = 50
+
+#: Simulated seconds per device (kept short: the guard compares
+#: *relative* speed, and 50 x 30 = 1500 device-seconds is plenty).
+DURATION_S = 30.0
+
+
+@pytest.fixture(scope="module")
+def fleet_setup():
+    system = AdaSense.train(windows_per_activity_per_config=16, seed=BENCH_SEED)
+    population = DevicePopulation.generate(
+        NUM_DEVICES, duration_s=DURATION_S, master_seed=BENCH_SEED
+    )
+    return FleetSimulator(system.pipeline), population
+
+
+def test_fleet_throughput_batched_vs_sequential(benchmark, fleet_setup):
+    simulator, population = fleet_setup
+
+    batched = benchmark.pedantic(
+        simulator.run, args=(population,), rounds=1, iterations=1, warmup_rounds=1
+    )
+    sequential = simulator.run_sequential(population)
+
+    speedup = sequential.elapsed_s / batched.elapsed_s
+    print_report(
+        "Fleet throughput — batched vs sequential simulation",
+        "\n".join(
+            [
+                f"devices                : {batched.num_devices}",
+                f"simulated device-time  : {batched.device_seconds:.0f} s",
+                (
+                    f"batched                : {batched.elapsed_s:8.3f} s wall "
+                    f"({batched.throughput_device_seconds_per_s:8.0f} device-s/s)"
+                ),
+                (
+                    f"sequential             : {sequential.elapsed_s:8.3f} s wall "
+                    f"({sequential.throughput_device_seconds_per_s:8.0f} device-s/s)"
+                ),
+                f"speedup                : {speedup:8.2f}x",
+            ]
+        ),
+    )
+
+    # Sanity: both engines simulated the same fleet...
+    assert sequential.num_devices == batched.num_devices == NUM_DEVICES
+    assert batched.device_seconds == sequential.device_seconds
+    # ...and the batched engine must not be slower at fleet scale.
+    assert batched.elapsed_s <= sequential.elapsed_s, (
+        f"batched fleet simulation took {batched.elapsed_s:.3f} s but the "
+        f"sequential loop took {sequential.elapsed_s:.3f} s for "
+        f"{NUM_DEVICES} devices"
+    )
+
+
+def test_fleet_batched_results_match_sequential(fleet_setup):
+    """The speedup must not come at the cost of fidelity: spot-check a
+    few devices for bit-identical traces at benchmark scale."""
+    simulator, population = fleet_setup
+    subset = list(population)[:5]
+    batched = simulator.run(subset)
+    sequential = simulator.run_sequential(subset)
+    for left, right in zip(batched.traces, sequential.traces):
+        assert traces_equal(left, right)

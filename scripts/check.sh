@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Repo check: byte-compile every module, then run the tier-1 test suite.
+#
+# Usage: scripts/check.sh [extra pytest args]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+python -m compileall -q src
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q "$@"

@@ -3,8 +3,27 @@
 The offline toolchain in this environment lacks the ``wheel`` package, so
 PEP 660 editable installs are unavailable; this shim lets
 ``pip install -e .`` fall back to the classic ``setup.py develop`` path.
+All metadata lives here (rather than in pyproject.toml) for the same
+reason.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="adasense-repro",
+    version="1.1.0",
+    description=(
+        "Reproduction of AdaSense (DAC 2020): adaptive low-power sensing "
+        "and activity recognition, with a vectorized fleet simulator"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+            "adasense-repro=repro.cli:main",
+        ]
+    },
+)

@@ -21,8 +21,32 @@ Quickstart
 >>> round(trace.accuracy, 2) >= 0.5
 True
 
-See ``examples/`` for complete, commented scenarios and ``benchmarks/``
-for the scripts that regenerate every table and figure of the paper.
+Fleet simulation
+----------------
+The :mod:`repro.fleet` subsystem scales the closed loop from one device
+to whole populations.  A :class:`~repro.fleet.DevicePopulation` samples
+N heterogeneous devices (behaviour scenarios from the Fig. 7 settings
+plus lifestyle archetypes, mixed controllers, per-device noise, power
+and battery variation) deterministically from a master seed; the
+:class:`~repro.fleet.FleetSimulator` advances every device in lock step,
+classifying the whole fleet with **one batched pipeline call per
+simulated second** — bit-identical to, and much faster than, running the
+per-device loop N times; :class:`~repro.fleet.FleetTelemetry` turns the
+traces into fleet-level distributions with JSON export.
+
+>>> from repro import DevicePopulation, FleetSimulator, FleetTelemetry
+>>> population = DevicePopulation.generate(4, duration_s=30.0, master_seed=1)
+>>> result = FleetSimulator(system.pipeline).run(population)
+>>> FleetTelemetry.from_result(result).num_devices
+4
+
+The same study is available from the command line::
+
+    repro fleet --devices 500 --duration 600 --out fleet.json
+
+See ``examples/`` for complete, commented scenarios (including
+``examples/fleet_report.py``) and ``benchmarks/`` for the scripts that
+regenerate every table and figure of the paper.
 """
 
 from repro.core.activities import Activity
@@ -46,16 +70,26 @@ from repro.baselines.intensity_based import IntensityBasedApproach
 from repro.baselines.static import AlwaysHighPowerBaseline
 from repro.datasets.scenarios import (
     ActivitySetting,
+    ScenarioArchetype,
+    make_archetype_schedule,
     make_fig5_schedule,
     make_setting_schedule,
 )
 from repro.datasets.windows import WindowDataset, WindowDatasetBuilder
 from repro.energy.accelerometer import AccelerometerPowerModel
 from repro.energy.mcu import McuModel
+from repro.fleet import (
+    DevicePopulation,
+    DeviceProfile,
+    FleetResult,
+    FleetSimulator,
+    FleetTelemetry,
+    PopulationSpec,
+)
 from repro.sim.runtime import ClosedLoopSimulator
 from repro.sim.trace import SimulationTrace
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -83,4 +117,12 @@ __all__ = [
     "McuModel",
     "ClosedLoopSimulator",
     "SimulationTrace",
+    "ScenarioArchetype",
+    "make_archetype_schedule",
+    "DevicePopulation",
+    "DeviceProfile",
+    "FleetResult",
+    "FleetSimulator",
+    "FleetTelemetry",
+    "PopulationSpec",
 ]

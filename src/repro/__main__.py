@@ -1,0 +1,6 @@
+"""``python -m repro`` — alias for the command-line interface."""
+
+from repro.cli import main
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -87,6 +87,120 @@ class IntensityThresholds:
         return self.thresholds[config.name]
 
 
+def calibrate_intensity_thresholds(
+    configs: Iterable[SensorConfig],
+    windows_per_activity: int = 20,
+    noise: Optional[NoiseModel] = None,
+    seed: SeedLike = None,
+) -> IntensityThresholds:
+    """Calibrate per-configuration static/dynamic intensity thresholds.
+
+    This is the standalone spelling of the calibration step
+    :meth:`IntensityBasedApproach.train` performs internally; the fleet
+    population generator uses it to equip intensity-switching devices
+    without training the baseline's per-configuration classifiers.
+    """
+    check_positive_int(windows_per_activity, "windows_per_activity")
+    builder = WindowDatasetBuilder(noise=noise, seed=seed)
+    thresholds = {
+        config.name: IntensityBasedApproach._calibrate_threshold(
+            builder, config, windows_per_activity
+        )
+        for config in configs
+    }
+    return IntensityThresholds(thresholds)
+
+
+class IntensityController:
+    """The NK et al. switching rule packaged as an adaptive controller.
+
+    The full :class:`IntensityBasedApproach` trains one classifier per
+    configuration, which cannot share the fleet engine's single batched
+    classifier call.  This controller keeps only the *sensor policy*:
+    every acquisition's first-derivative intensity (delivered through the
+    ``observe_window`` hook both simulators call) decides whether the
+    next episode runs at the full-power or the power-saving
+    configuration, while recognition itself still uses AdaSense's shared
+    classifier.  That makes intensity switching directly comparable to
+    SPOT inside one heterogeneous fleet.
+
+    Parameters
+    ----------
+    thresholds:
+        Calibrated per-configuration intensity thresholds covering both
+        ``high_config`` and ``low_config`` (see
+        :func:`calibrate_intensity_thresholds`).
+    high_config, low_config:
+        The two configurations the policy switches between.
+    """
+
+    def __init__(
+        self,
+        thresholds: IntensityThresholds,
+        high_config: SensorConfig = HIGH_POWER_CONFIG,
+        low_config: SensorConfig = DEFAULT_LOW_INTENSITY_CONFIG,
+    ) -> None:
+        for config in (high_config, low_config):
+            thresholds.for_config(config)  # fail fast on missing calibration
+        self._thresholds = thresholds
+        self._high_config = high_config
+        self._low_config = low_config
+        self._config = high_config
+        self._pending: Optional[SensorConfig] = None
+
+    @property
+    def thresholds(self) -> IntensityThresholds:
+        """The calibrated per-configuration intensity thresholds."""
+        return self._thresholds
+
+    @property
+    def high_config(self) -> SensorConfig:
+        """The full-power configuration."""
+        return self._high_config
+
+    @property
+    def low_config(self) -> SensorConfig:
+        """The power-saving configuration."""
+        return self._low_config
+
+    @property
+    def current_config(self) -> SensorConfig:
+        """Configuration the sensor should use for the next acquisition."""
+        return self._config
+
+    def reset(self) -> None:
+        """Return to the full-power configuration."""
+        self._config = self._high_config
+        self._pending = None
+
+    def observe_window(self, window) -> None:
+        """Consume the newest acquisition and stage the switching decision."""
+        intensity = activity_intensity(window.samples)
+        threshold = self._thresholds.for_config(window.config)
+        self._pending = (
+            self._low_config if intensity < threshold else self._high_config
+        )
+
+    def update(self, activity: Activity, confidence: float) -> SensorConfig:
+        """Apply the decision staged by :meth:`observe_window`.
+
+        The classification result is ignored — intensity switching is
+        purely signal-driven — but the signature matches the
+        :class:`repro.core.controller.AdaptiveController` protocol so the
+        controller is interchangeable with SPOT in both simulators.
+        """
+        if self._pending is not None:
+            self._config = self._pending
+            self._pending = None
+        return self._config
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"IntensityController(config={self._config.name}, "
+            f"high={self._high_config.name}, low={self._low_config.name})"
+        )
+
+
 class IntensityBasedApproach:
     """Reimplementation of the NK et al. sensor/classifier co-optimisation.
 

@@ -14,8 +14,13 @@ Python:
 ``adasense-repro simulate``
     Run the closed loop on a user-activity setting with a chosen
     controller and print the power/accuracy summary.
+``adasense-repro fleet``
+    Simulate a heterogeneous population of devices with the vectorized
+    fleet engine and print (or export as JSON) fleet-level telemetry.
 
-Every command accepts ``--seed`` so results are reproducible.
+Every command accepts ``--seed`` so results are reproducible.  The
+``repro`` console script and ``python -m repro`` invoke the same
+entry point.
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ from repro.core.controller import (
 )
 from repro.core.pipeline import HarPipeline
 from repro.datasets.scenarios import ActivitySetting, make_setting_schedule
+from repro.fleet import DevicePopulation, FleetSimulator, FleetTelemetry
 from repro.ml.persistence import load_model, save_model
 
 #: Experiment name -> callable returning an object with ``format_table()``.
@@ -155,6 +161,30 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="training windows per activity per configuration "
                                       "when no saved model is given")
     simulate_parser.add_argument("--seed", type=int, default=2020)
+
+    fleet_parser = subparsers.add_parser(
+        "fleet",
+        help="simulate a heterogeneous device population with the fleet engine",
+    )
+    fleet_parser.add_argument("--devices", type=int, default=100,
+                              help="number of simulated devices (default: 100)")
+    fleet_parser.add_argument("--duration", type=float, default=600.0,
+                              help="simulated seconds per device (default: 600)")
+    fleet_parser.add_argument("--out", default=None,
+                              help="write the full JSON telemetry report here")
+    fleet_parser.add_argument(
+        "--engine", choices=("batched", "sequential"), default="batched",
+        help="batched lock-step fleet engine (default) or the per-device "
+             "sequential reference loop",
+    )
+    fleet_parser.add_argument("--model", default=None,
+                              help="JSON model saved by 'train' (otherwise trains a fresh one)")
+    fleet_parser.add_argument("--windows", type=int, default=40,
+                              help="training windows per activity per configuration "
+                                   "when no saved model is given")
+    fleet_parser.add_argument("--seed", type=int, default=2020,
+                              help="master seed for the population, the training "
+                                   "data and every device's random stream")
     return parser
 
 
@@ -241,8 +271,34 @@ def _command_simulate(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_fleet(args: argparse.Namespace, out) -> int:
+    system = _load_or_train_system(args)
+    population = DevicePopulation.generate(
+        num_devices=args.devices,
+        duration_s=args.duration,
+        master_seed=args.seed,
+    )
+    simulator = FleetSimulator(system.pipeline)
+    if args.engine == "sequential":
+        result = simulator.run_sequential(population)
+    else:
+        result = simulator.run(population)
+    telemetry = FleetTelemetry.from_result(result)
+
+    out.write(f"engine             : {result.mode}\n")
+    out.write(
+        f"throughput         : {result.throughput_device_seconds_per_s:.0f} "
+        f"device-seconds/s ({result.elapsed_s:.2f} s wall clock)\n"
+    )
+    out.write(telemetry.format_table() + "\n")
+    if args.out is not None:
+        telemetry.to_json(args.out)
+        out.write(f"telemetry          -> {args.out}\n")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
-    """Entry point for ``adasense-repro`` / ``python -m repro.cli``."""
+    """Entry point for ``repro`` / ``adasense-repro`` / ``python -m repro``."""
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -251,6 +307,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "run": _command_run,
         "train": _command_train,
         "simulate": _command_simulate,
+        "fleet": _command_fleet,
     }
     return commands[args.command](args, out)
 

@@ -116,7 +116,6 @@ class FeatureExtractor:
         numpy.ndarray
             Vector of length :attr:`num_features`.
         """
-        check_positive(sampling_hz, "sampling_hz")
         samples = np.asarray(samples, dtype=float)
         if samples.ndim != 2 or samples.shape[1] != _NUM_AXES:
             raise ValueError(f"samples must have shape (n, 3), got {samples.shape}")
@@ -124,49 +123,105 @@ class FeatureExtractor:
             raise ValueError(
                 f"at least two samples are required, got {samples.shape[0]}"
             )
+        return self.extract_stacked(samples[None, :, :], sampling_hz)[0]
 
-        means = samples.mean(axis=0)
-        stds = samples.std(axis=0)
-        fourier = self._fourier_features(samples, sampling_hz)
-        return np.concatenate([means, stds, fourier])
+    def extract_stacked(self, samples: np.ndarray, sampling_hz: float) -> np.ndarray:
+        """Extract features for a stack of equally-shaped windows at once.
+
+        This is the vectorised path the fleet simulator relies on: all
+        per-window NumPy reductions run along the window axis of one 3-D
+        array, so extracting features for hundreds of devices costs a
+        handful of array operations instead of hundreds of Python calls.
+        :meth:`extract` delegates here with a stack of one, so both paths
+        share a single implementation and produce bit-identical results.
+
+        Parameters
+        ----------
+        samples:
+            Array of shape ``(batch, n, 3)`` — ``batch`` windows of ``n``
+            samples each, all acquired at the same ``sampling_hz``.
+        sampling_hz:
+            Output data rate shared by every window in the stack.
+
+        Returns
+        -------
+        numpy.ndarray
+            Matrix of shape ``(batch, num_features)``.
+        """
+        check_positive(sampling_hz, "sampling_hz")
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim != 3 or samples.shape[2] != _NUM_AXES:
+            raise ValueError(
+                f"stacked samples must have shape (batch, n, 3), got {samples.shape}"
+            )
+        if samples.shape[1] < 2:
+            raise ValueError(
+                f"at least two samples per window are required, got {samples.shape[1]}"
+            )
+
+        means = samples.mean(axis=1)
+        stds = samples.std(axis=1)
+        fourier = self._fourier_features_stacked(samples, sampling_hz)
+        return np.concatenate([means, stds, fourier], axis=1)
 
     def extract_batch(
         self, windows: Iterable[Tuple[np.ndarray, float]]
     ) -> np.ndarray:
-        """Extract features for a sequence of ``(samples, sampling_hz)`` pairs."""
-        rows = [self.extract(samples, sampling_hz) for samples, sampling_hz in windows]
-        if not rows:
-            return np.empty((0, self.num_features))
-        return np.vstack(rows)
+        """Extract features for a sequence of ``(samples, sampling_hz)`` pairs.
+
+        Windows sharing a shape and sampling rate are grouped and pushed
+        through :meth:`extract_stacked` together; the returned rows keep
+        the input order.
+        """
+        items = [
+            (np.asarray(samples, dtype=float), float(sampling_hz))
+            for samples, sampling_hz in windows
+        ]
+        output = np.empty((len(items), self.num_features))
+        groups: dict[Tuple[Tuple[int, ...], float], List[int]] = {}
+        for index, (samples, sampling_hz) in enumerate(items):
+            if samples.ndim != 2 or samples.shape[1] != _NUM_AXES:
+                raise ValueError(
+                    f"samples must have shape (n, 3), got {samples.shape}"
+                )
+            groups.setdefault((samples.shape, sampling_hz), []).append(index)
+        for (_, sampling_hz), indices in groups.items():
+            stacked = np.stack([items[index][0] for index in indices])
+            output[indices] = self.extract_stacked(stacked, sampling_hz)
+        return output
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _fourier_features(self, samples: np.ndarray, sampling_hz: float) -> np.ndarray:
-        n_samples = samples.shape[0]
-        centered = samples - samples.mean(axis=0, keepdims=True)
-        spectrum = np.abs(np.fft.rfft(centered, axis=0)) * (2.0 / n_samples)
+    def _fourier_features_stacked(
+        self, samples: np.ndarray, sampling_hz: float
+    ) -> np.ndarray:
+        batch, n_samples = samples.shape[0], samples.shape[1]
+        centered = samples - samples.mean(axis=1, keepdims=True)
+        spectrum = np.abs(np.fft.rfft(centered, axis=1)) * (2.0 / n_samples)
         frequencies = np.fft.rfftfreq(n_samples, d=1.0 / sampling_hz)
 
         if self.fourier_mode == "bins":
-            features = np.zeros((self.n_fourier_features, _NUM_AXES))
-            available = min(self.n_fourier_features, spectrum.shape[0] - 1)
+            features = np.zeros((batch, self.n_fourier_features, _NUM_AXES))
+            available = min(self.n_fourier_features, spectrum.shape[1] - 1)
             if available > 0:
-                features[:available] = spectrum[1 : available + 1]
-            return features.T.ravel()
+                features[:, :available] = spectrum[:, 1 : available + 1]
+            return features.transpose(0, 2, 1).reshape(batch, -1)
 
         # "bands" mode: RMS magnitude in equal-width bands up to max_frequency_hz.
         edges = np.linspace(
             0.0, self.max_frequency_hz, self.n_fourier_features + 1
         )
-        features = np.zeros((self.n_fourier_features, _NUM_AXES))
+        features = np.zeros((batch, self.n_fourier_features, _NUM_AXES))
         for band in range(self.n_fourier_features):
             low, high = edges[band], edges[band + 1]
             mask = (frequencies > low) & (frequencies <= high)
             # Exclude the DC bin explicitly (frequencies > 0 already does).
             if mask.any():
-                features[band] = np.sqrt(np.mean(spectrum[mask] ** 2, axis=0))
-        return features.T.ravel()
+                features[:, band] = np.sqrt(
+                    np.mean(spectrum[:, mask, :] ** 2, axis=1)
+                )
+        return features.transpose(0, 2, 1).reshape(batch, -1)
 
 
 def default_feature_extractor() -> FeatureExtractor:

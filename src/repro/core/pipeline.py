@@ -12,7 +12,7 @@ paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -124,6 +124,30 @@ class HarPipeline:
         """Classify a :class:`SensorWindow` returned by the simulator."""
         return self.classify_samples(window.samples, window.sampling_hz)
 
+    def classify_windows(
+        self, windows: Sequence[SensorWindow]
+    ) -> List[ClassificationResult]:
+        """Classify many sensor windows with one batched classifier call.
+
+        This is the fleet-simulation hot path: windows sharing a shape
+        and sampling rate (devices running the same sensor configuration)
+        are stacked and feature-extracted together, and the whole feature
+        matrix goes through a single :meth:`classify_batch` call.  The
+        results keep the order of ``windows`` and are bit-identical to
+        classifying each window on its own.
+        """
+        if not windows:
+            return []
+        features = np.empty((len(windows), self._extractor.num_features))
+        groups: Dict[Tuple[int, float], List[int]] = {}
+        for index, window in enumerate(windows):
+            key = (window.samples.shape[0], float(window.sampling_hz))
+            groups.setdefault(key, []).append(index)
+        for (_, sampling_hz), indices in groups.items():
+            stacked = np.stack([np.asarray(windows[i].samples, dtype=float) for i in indices])
+            features[indices] = self._extractor.extract_stacked(stacked, sampling_hz)
+        return self.classify_batch(features)
+
     def classify_features(self, features: np.ndarray) -> ClassificationResult:
         """Classify an already-extracted feature vector."""
         features = np.asarray(features, dtype=float)
@@ -132,15 +156,57 @@ class HarPipeline:
                 f"classify_features expects a single feature vector, got shape "
                 f"{features.shape}"
             )
+        return self.classify_batch(features[None, :])[0]
+
+    def classify_batch(self, features: np.ndarray) -> List[ClassificationResult]:
+        """Classify a matrix of feature vectors with one classifier call.
+
+        Every inference path in the library funnels through this method,
+        so single-device and fleet simulations share one code path.  The
+        results are invariant to how requests are batched: a feature
+        vector classified alone yields bit-identical probabilities to the
+        same vector classified inside a larger batch.
+
+        Parameters
+        ----------
+        features:
+            Matrix of shape ``(batch, num_features)``.
+
+        Returns
+        -------
+        list of ClassificationResult
+            One result per input row, in order.
+        """
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2:
+            raise ValueError(
+                f"classify_batch expects a feature matrix, got shape {features.shape}"
+            )
+        if features.shape[0] == 0:
+            return []
         if self._scaler is not None:
-            features = self._scaler.transform(features)[0]
-        probabilities = np.atleast_1d(self._classifier.predict_proba(features))
-        index = int(np.argmax(probabilities))
-        return ClassificationResult(
-            activity=Activity(index),
-            confidence=float(probabilities[index]),
-            probabilities=probabilities,
-        )
+            features = self._scaler.transform(features)
+        # A single-row matrix product may be dispatched to a different
+        # BLAS kernel (gemv) than the same row inside a larger batch
+        # (gemm), which changes the floating-point summation order.
+        # Duplicating the lone row keeps results batch-size invariant.
+        if features.shape[0] == 1:
+            probabilities = np.atleast_2d(
+                self._classifier.predict_proba(np.vstack([features, features]))
+            )[:1]
+        else:
+            probabilities = np.atleast_2d(self._classifier.predict_proba(features))
+        results: List[ClassificationResult] = []
+        for row in probabilities:
+            index = int(np.argmax(row))
+            results.append(
+                ClassificationResult(
+                    activity=Activity(index),
+                    confidence=float(row[index]),
+                    probabilities=row,
+                )
+            )
+        return results
 
     # ------------------------------------------------------------------
     # Training / evaluation on window datasets

@@ -113,6 +113,10 @@ class ScheduleSpec:
         Whether consecutive bouts may carry the same activity.  The
         default is ``False`` so that every bout boundary is a genuine
         activity change, matching how the paper describes its settings.
+    weights:
+        Optional per-activity draw weights parallel to ``activities``.
+        ``None`` keeps the uniform draw (and its exact random stream,
+        preserving seeded schedules generated before weights existed).
     """
 
     total_duration_s: float
@@ -120,6 +124,7 @@ class ScheduleSpec:
     max_bout_s: float
     activities: Tuple[Activity, ...] = ALL_ACTIVITIES
     allow_repeat: bool = False
+    weights: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
         check_positive(self.total_duration_s, "total_duration_s")
@@ -136,15 +141,26 @@ class ScheduleSpec:
             raise ValueError(
                 "at least two activities are required when allow_repeat is False"
             )
+        if self.weights is not None:
+            if len(self.weights) != len(self.activities):
+                raise ValueError(
+                    "weights must parallel activities, got "
+                    f"{len(self.weights)} weights for {len(self.activities)} activities"
+                )
+            if any(weight < 0 for weight in self.weights):
+                raise ValueError("weights must be non-negative")
+            if sum(self.weights) <= 0:
+                raise ValueError("at least one weight must be positive")
 
 
 def generate_random_schedule(spec: ScheduleSpec, seed: SeedLike = None) -> Schedule:
     """Generate a random schedule according to ``spec``.
 
     Bout durations are drawn uniformly from ``[min_bout_s, max_bout_s]``
-    and activities uniformly from the pool, optionally avoiding
-    immediate repeats.  The final bout is truncated so the schedule's
-    total duration equals ``spec.total_duration_s``.
+    and activities from the pool (uniformly, or following
+    ``spec.weights``), optionally avoiding immediate repeats.  The final
+    bout is truncated so the schedule's total duration equals
+    ``spec.total_duration_s``.
     """
     rng = as_rng(seed)
     schedule: Schedule = []
@@ -155,9 +171,23 @@ def generate_random_schedule(spec: ScheduleSpec, seed: SeedLike = None) -> Sched
         remaining = spec.total_duration_s - elapsed
         duration = min(duration, remaining)
         choices = list(spec.activities)
+        weights = list(spec.weights) if spec.weights is not None else None
         if not spec.allow_repeat and previous is not None and len(choices) > 1:
-            choices = [activity for activity in choices if activity != previous]
-        activity = choices[int(rng.integers(len(choices)))]
+            keep = [index for index, activity in enumerate(choices) if activity != previous]
+            choices = [choices[index] for index in keep]
+            if weights is not None:
+                weights = [weights[index] for index in keep]
+        if weights is None:
+            activity = choices[int(rng.integers(len(choices)))]
+        else:
+            total = float(sum(weights))
+            if total <= 0:
+                # Every remaining weight is zero (the only positive-weight
+                # activity was the previous bout): fall back to uniform.
+                activity = choices[int(rng.integers(len(choices)))]
+            else:
+                probabilities = [weight / total for weight in weights]
+                activity = choices[int(rng.choice(len(choices), p=probabilities))]
         schedule.append((activity, duration))
         previous = activity
         elapsed += duration
@@ -194,6 +224,102 @@ def make_stable_schedule(
     """
     check_positive(total_duration_s, "total_duration_s")
     return [(Activity.from_any(activity), float(total_duration_s))]
+
+
+class ScenarioArchetype(Enum):
+    """Lifestyle archetypes used to build heterogeneous device fleets.
+
+    Each archetype biases the activity mix and the bout durations the
+    way a particular user group would: an elderly user changes activity
+    rarely and mostly rests, an athlete strings together short dynamic
+    bouts, an office worker sits for long stretches, and so on.  They
+    complement the change-rate-only :class:`ActivitySetting` definitions
+    of Fig. 7 with populations that differ in *what* the user does, not
+    just how often it changes.
+    """
+
+    ELDERLY = "elderly"
+    POST_OP_REHAB = "post_op_rehab"
+    ATHLETE = "athlete"
+    OFFICE_WORKER = "office_worker"
+    NIGHT_SHIFT = "night_shift"
+
+    @property
+    def activities(self) -> Tuple[Activity, ...]:
+        """Activity pool of this archetype."""
+        return _ARCHETYPE_SPECS[self][0]
+
+    @property
+    def weights(self) -> Tuple[float, ...]:
+        """Draw weights parallel to :attr:`activities`."""
+        return _ARCHETYPE_SPECS[self][1]
+
+    @property
+    def bout_duration_range_s(self) -> Tuple[float, float]:
+        """Minimum and maximum bout duration drawn for this archetype."""
+        return _ARCHETYPE_SPECS[self][2]
+
+
+_ARCHETYPE_SPECS: dict = {
+    # archetype: (activities, weights, (min_bout_s, max_bout_s))
+    ScenarioArchetype.ELDERLY: (
+        (Activity.LIE, Activity.SIT, Activity.STAND, Activity.WALK),
+        (0.30, 0.40, 0.20, 0.10),
+        (45.0, 150.0),
+    ),
+    ScenarioArchetype.POST_OP_REHAB: (
+        (Activity.LIE, Activity.SIT, Activity.STAND, Activity.WALK),
+        (0.35, 0.30, 0.15, 0.20),
+        (20.0, 60.0),
+    ),
+    ScenarioArchetype.ATHLETE: (
+        (
+            Activity.WALK,
+            Activity.UPSTAIRS,
+            Activity.DOWNSTAIRS,
+            Activity.STAND,
+            Activity.SIT,
+        ),
+        (0.40, 0.20, 0.20, 0.10, 0.10),
+        (8.0, 30.0),
+    ),
+    ScenarioArchetype.OFFICE_WORKER: (
+        (
+            Activity.SIT,
+            Activity.STAND,
+            Activity.WALK,
+            Activity.UPSTAIRS,
+            Activity.DOWNSTAIRS,
+        ),
+        (0.60, 0.15, 0.15, 0.05, 0.05),
+        (60.0, 240.0),
+    ),
+    ScenarioArchetype.NIGHT_SHIFT: (
+        (Activity.STAND, Activity.WALK, Activity.SIT, Activity.LIE),
+        (0.35, 0.30, 0.20, 0.15),
+        (25.0, 90.0),
+    ),
+}
+
+
+def make_archetype_schedule(
+    archetype: ScenarioArchetype,
+    total_duration_s: float = 600.0,
+    seed: SeedLike = None,
+) -> Schedule:
+    """Generate a schedule following one of the lifestyle archetypes."""
+    check_positive(total_duration_s, "total_duration_s")
+    archetype = ScenarioArchetype(archetype)
+    min_bout, max_bout = archetype.bout_duration_range_s
+    spec = ScheduleSpec(
+        total_duration_s=total_duration_s,
+        min_bout_s=min_bout,
+        max_bout_s=max_bout,
+        activities=archetype.activities,
+        allow_repeat=False,
+        weights=archetype.weights,
+    )
+    return generate_random_schedule(spec, seed=seed)
 
 
 def make_daily_routine_schedule(seed: SeedLike = None) -> Schedule:

@@ -1,0 +1,52 @@
+"""Fleet simulation: vectorized multi-device AdaSense.
+
+The single-device :class:`repro.sim.runtime.ClosedLoopSimulator` steps
+one virtual wearable at a time.  This subsystem scales that loop to
+*populations*: :mod:`repro.fleet.population` generates N heterogeneous
+devices deterministically from a master seed,
+:mod:`repro.fleet.engine` advances all of them in lock step with one
+batched classifier call per simulated second, and
+:mod:`repro.fleet.telemetry` aggregates the resulting traces into
+fleet-level distributions with JSON export.
+
+>>> from repro import AdaSense
+>>> from repro.fleet import DevicePopulation, FleetSimulator, FleetTelemetry
+>>> system = AdaSense.train(windows_per_activity_per_config=16, seed=0)
+>>> population = DevicePopulation.generate(8, duration_s=60.0, master_seed=1)
+>>> result = FleetSimulator(system.pipeline).run(population)
+>>> telemetry = FleetTelemetry.from_result(result)
+>>> telemetry.num_devices
+8
+"""
+
+from repro.fleet.engine import FleetResult, FleetSimulator, traces_equal
+from repro.fleet.population import (
+    CONTROLLER_KINDS,
+    SCENARIO_NAMES,
+    ControllerSpec,
+    DevicePopulation,
+    DeviceProfile,
+    PopulationSpec,
+    make_scenario_schedule,
+)
+from repro.fleet.telemetry import (
+    DeviceReport,
+    FleetTelemetry,
+    distribution_stats,
+)
+
+__all__ = [
+    "CONTROLLER_KINDS",
+    "SCENARIO_NAMES",
+    "ControllerSpec",
+    "DevicePopulation",
+    "DeviceProfile",
+    "DeviceReport",
+    "FleetResult",
+    "FleetSimulator",
+    "FleetTelemetry",
+    "PopulationSpec",
+    "distribution_stats",
+    "make_scenario_schedule",
+    "traces_equal",
+]

@@ -1,0 +1,337 @@
+"""Vectorized lock-step simulation of a whole fleet of devices.
+
+:class:`FleetSimulator` advances every device in a population through
+the sense → classify → adapt loop *together*, one simulated second at a
+time.  Sensing and control stay per-device (each device owns its signal,
+noise stream, buffer and controller state), but the expensive middle of
+the loop is batched: every tick the freshly buffered windows of all N
+devices are feature-extracted as stacked matrices (one per sensor
+configuration in use) and classified with a **single**
+:meth:`repro.core.pipeline.HarPipeline.classify_batch` call, instead of
+N independent pipeline invocations.
+
+Because the batched classifier path is bit-for-bit invariant to batch
+size (see :meth:`HarPipeline.classify_batch`) and each device's random
+draws replicate :meth:`repro.sim.runtime.ClosedLoopSimulator.run`
+draw-for-draw, a fleet simulation produces *exactly* the traces the
+sequential per-device loop would — :meth:`FleetSimulator.run_sequential`
+is that reference path, used by the equivalence tests and the
+throughput benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.features import WINDOW_DURATION_S
+from repro.core.pipeline import HarPipeline
+from repro.datasets.synthetic import ScheduledSignal
+from repro.fleet.population import DeviceProfile, DevicePopulation
+from repro.sensors.buffer import SampleBuffer
+from repro.sensors.imu import DEFAULT_INTERNAL_RATE_HZ, SimulatedAccelerometer
+from repro.sim.runtime import ClosedLoopSimulator
+from repro.sim.trace import SimulationTrace, StepRecord
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Outcome of one fleet simulation.
+
+    Attributes
+    ----------
+    profiles:
+        The simulated device profiles, in device-id order.
+    traces:
+        One :class:`SimulationTrace` per device, parallel to
+        ``profiles``.
+    elapsed_s:
+        Wall-clock time the simulation took.
+    mode:
+        ``"batched"`` or ``"sequential"``.
+    """
+
+    profiles: Tuple[DeviceProfile, ...]
+    traces: Tuple[SimulationTrace, ...]
+    elapsed_s: float
+    mode: str
+
+    def __post_init__(self) -> None:
+        if len(self.profiles) != len(self.traces):
+            raise ValueError(
+                f"profiles and traces must be parallel, got "
+                f"{len(self.profiles)} profiles and {len(self.traces)} traces"
+            )
+
+    @property
+    def num_devices(self) -> int:
+        """Number of simulated devices."""
+        return len(self.profiles)
+
+    @property
+    def device_seconds(self) -> float:
+        """Total simulated device-time across the fleet, in seconds."""
+        return float(sum(trace.duration_s for trace in self.traces))
+
+    @property
+    def throughput_device_seconds_per_s(self) -> float:
+        """Simulated device-seconds per wall-clock second."""
+        if self.elapsed_s <= 0.0:
+            return float("inf")
+        return self.device_seconds / self.elapsed_s
+
+
+class _DeviceState:
+    """Mutable per-device simulation state inside the lock-step loop.
+
+    Construction replicates the exact random-draw order of
+    :meth:`ClosedLoopSimulator.run`: one stream per device seeds first
+    the signal realisation, then the sensor bias, then every per-step
+    noise draw.
+    """
+
+    __slots__ = (
+        "profile",
+        "rng",
+        "signal",
+        "sensor",
+        "buffer",
+        "controller",
+        "observe",
+        "trace",
+        "active_config",
+    )
+
+    def __init__(
+        self,
+        profile: DeviceProfile,
+        internal_rate_hz: float,
+        window_duration_s: float,
+    ) -> None:
+        self.profile = profile
+        self.rng = as_rng(profile.seed)
+        self.signal = ScheduledSignal(list(profile.schedule), seed=self.rng)
+        self.sensor = SimulatedAccelerometer(
+            signal=self.signal,
+            noise=profile.noise,
+            internal_rate_hz=internal_rate_hz,
+            seed=self.rng,
+        )
+        self.buffer = SampleBuffer(window_duration_s=window_duration_s)
+        self.controller = profile.make_controller()
+        self.controller.reset()
+        self.observe: Optional[Callable] = getattr(
+            self.controller, "observe_window", None
+        )
+        self.trace = SimulationTrace()
+        self.active_config = None
+
+
+class FleetSimulator:
+    """Lock-step, batched simulation of a device population.
+
+    Parameters
+    ----------
+    pipeline:
+        The trained HAR pipeline shared by the whole fleet (the paper's
+        shared-classifier property is what makes one batched inference
+        call per tick possible).
+    internal_rate_hz:
+        Internal conversion rate of every simulated accelerometer.
+    step_s:
+        Classification period (one second in the paper).
+    window_duration_s:
+        Length of the classification buffer (two seconds in the paper).
+    """
+
+    def __init__(
+        self,
+        pipeline: HarPipeline,
+        internal_rate_hz: float = DEFAULT_INTERNAL_RATE_HZ,
+        step_s: float = 1.0,
+        window_duration_s: float = WINDOW_DURATION_S,
+    ) -> None:
+        check_positive(step_s, "step_s")
+        check_positive(window_duration_s, "window_duration_s")
+        if window_duration_s < step_s:
+            raise ValueError(
+                "window_duration_s must be at least step_s, got "
+                f"{window_duration_s} < {step_s}"
+            )
+        self._pipeline = pipeline
+        self._internal_rate_hz = float(internal_rate_hz)
+        self._step_s = float(step_s)
+        self._window_duration_s = float(window_duration_s)
+
+    @property
+    def pipeline(self) -> HarPipeline:
+        """The shared HAR pipeline."""
+        return self._pipeline
+
+    # ------------------------------------------------------------------
+    # Batched simulation
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        population: "DevicePopulation | Sequence[DeviceProfile]",
+        duration_s: Optional[float] = None,
+    ) -> FleetResult:
+        """Simulate every device in lock step with batched classification.
+
+        Parameters
+        ----------
+        population:
+            The devices to simulate.
+        duration_s:
+            Simulated seconds per device; defaults to the shortest
+            schedule in the population so every device has signal for
+            the whole run.
+
+        Returns
+        -------
+        FleetResult
+            Per-device traces bit-identical to
+            :meth:`run_sequential` for the same population.
+        """
+        profiles = tuple(population)
+        if not profiles:
+            raise ValueError("population must contain at least one device")
+        duration = self._resolve_duration(profiles, duration_s)
+
+        start = time.perf_counter()
+        states = [
+            _DeviceState(profile, self._internal_rate_hz, self._window_duration_s)
+            for profile in profiles
+        ]
+        num_steps = int(round(duration / self._step_s))
+        for step_index in range(1, num_steps + 1):
+            step_end = step_index * self._step_s
+
+            # Phase 1 (per device): acquire this second of samples under
+            # the controller's active configuration and refresh buffers.
+            windows = []
+            for state in states:
+                state.active_config = state.controller.current_config
+                acquisition = state.sensor.read_window(
+                    end_time_s=step_end,
+                    duration_s=self._step_s,
+                    config=state.active_config,
+                    rng=state.rng,
+                )
+                state.buffer.push(acquisition)
+                if state.observe is not None:
+                    state.observe(acquisition)
+                windows.append(state.buffer.window())
+
+            # Phase 2 (fleet-wide): one stacked feature extraction per
+            # configuration group and a single batched classifier call.
+            results = self._pipeline.classify_windows(windows)
+
+            # Phase 3 (per device): advance controllers and record.
+            for state, result in zip(states, results):
+                state.controller.update(result.activity, result.confidence)
+                true_activity = state.signal.activity_at(
+                    step_end - 0.5 * self._step_s
+                )
+                state.trace.append(
+                    StepRecord(
+                        time_s=step_end,
+                        true_activity=true_activity,
+                        predicted_activity=result.activity,
+                        confidence=result.confidence,
+                        config_name=state.active_config.name,
+                        current_ua=state.profile.power_model.current_ua(
+                            state.active_config
+                        ),
+                        duration_s=self._step_s,
+                    )
+                )
+        elapsed = time.perf_counter() - start
+        return FleetResult(
+            profiles=profiles,
+            traces=tuple(state.trace for state in states),
+            elapsed_s=elapsed,
+            mode="batched",
+        )
+
+    # ------------------------------------------------------------------
+    # Sequential reference path
+    # ------------------------------------------------------------------
+    def run_sequential(
+        self,
+        population: "DevicePopulation | Sequence[DeviceProfile]",
+        duration_s: Optional[float] = None,
+    ) -> FleetResult:
+        """Simulate each device independently with the single-device loop.
+
+        This is the O(N × per-device-Python-loop) reference the batched
+        engine is validated against and benchmarked over.  Devices whose
+        schedules are longer than ``duration_s`` are truncated so both
+        paths simulate the same number of steps.
+        """
+        profiles = tuple(population)
+        if not profiles:
+            raise ValueError("population must contain at least one device")
+        duration = self._resolve_duration(profiles, duration_s)
+        num_steps = int(round(duration / self._step_s))
+
+        start = time.perf_counter()
+        traces: List[SimulationTrace] = []
+        for profile in profiles:
+            simulator = ClosedLoopSimulator(
+                pipeline=self._pipeline,
+                controller=profile.make_controller(),
+                power_model=profile.power_model,
+                noise=profile.noise,
+                internal_rate_hz=self._internal_rate_hz,
+                step_s=self._step_s,
+                window_duration_s=self._window_duration_s,
+            )
+            trace = simulator.run(list(profile.schedule), seed=profile.seed)
+            trace.records = trace.records[:num_steps]
+            traces.append(trace)
+        elapsed = time.perf_counter() - start
+        return FleetResult(
+            profiles=profiles,
+            traces=tuple(traces),
+            elapsed_s=elapsed,
+            mode="sequential",
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _resolve_duration(
+        self, profiles: Sequence[DeviceProfile], duration_s: Optional[float]
+    ) -> float:
+        shortest = min(profile.duration_s for profile in profiles)
+        if duration_s is None:
+            return shortest
+        check_positive(duration_s, "duration_s")
+        if duration_s - shortest > 1e-9:
+            raise ValueError(
+                f"duration_s={duration_s} exceeds the shortest device schedule "
+                f"({shortest} s); regenerate the population with a longer duration"
+            )
+        return float(duration_s)
+
+
+def traces_equal(left: SimulationTrace, right: SimulationTrace) -> bool:
+    """Whether two traces are bit-for-bit identical, record by record."""
+    if len(left) != len(right):
+        return False
+    for a, b in zip(left.records, right.records):
+        if (
+            a.time_s != b.time_s
+            or a.true_activity != b.true_activity
+            or a.predicted_activity != b.predicted_activity
+            or a.confidence != b.confidence
+            or a.config_name != b.config_name
+            or a.current_ua != b.current_ua
+            or a.duration_s != b.duration_s
+        ):
+            return False
+    return True

@@ -1,0 +1,418 @@
+"""Heterogeneous virtual-device populations for fleet simulation.
+
+A *device profile* freezes everything that makes one simulated wearable
+different from the next: the user's behaviour (a concrete activity
+schedule drawn from a scenario), the adaptive controller and its knobs,
+the sensor's noise level, the accelerometer's current draw, the battery
+it runs from, and the seed of its private random stream.  A *population*
+is an immutable collection of profiles generated deterministically from
+one master seed — regenerating a population with the same arguments
+always yields bit-identical devices, which is what lets the batched
+fleet engine be validated against per-device sequential simulation.
+
+Scenario heterogeneity combines the Fig. 7 user-activity settings
+(``high`` / ``medium`` / ``low`` change rates) with the lifestyle
+archetypes of :class:`repro.datasets.scenarios.ScenarioArchetype`
+(elderly, post-op rehab, athlete, office worker, night shift).
+Controller heterogeneity spans SPOT, SPOT-with-confidence, the static
+always-on baseline and the intensity-based switching policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.baselines.intensity_based import (
+    DEFAULT_LOW_INTENSITY_CONFIG,
+    IntensityController,
+    IntensityThresholds,
+    calibrate_intensity_thresholds,
+)
+from repro.core.activities import Activity
+from repro.core.config import HIGH_POWER_CONFIG, get_config
+from repro.core.controller import (
+    AdaptiveController,
+    SpotController,
+    SpotWithConfidenceController,
+    StaticController,
+)
+from repro.datasets.scenarios import (
+    ActivitySetting,
+    Schedule,
+    ScenarioArchetype,
+    make_archetype_schedule,
+    make_setting_schedule,
+    schedule_duration,
+)
+from repro.energy.accelerometer import AccelerometerPowerModel
+from repro.energy.battery import Battery
+from repro.sensors.imu import NoiseModel
+from repro.utils.rng import SeedLike, as_rng, stable_seed_from
+from repro.utils.validation import check_positive, check_positive_int
+
+#: Controller kinds a fleet device may run.
+CONTROLLER_KINDS: Tuple[str, ...] = ("spot", "spot_confidence", "static", "intensity")
+
+#: Scenario names a fleet device may follow: the three Fig. 7 settings
+#: plus the lifestyle archetypes.
+SCENARIO_NAMES: Tuple[str, ...] = tuple(
+    setting.value for setting in ActivitySetting
+) + tuple(archetype.value for archetype in ScenarioArchetype)
+
+
+def make_scenario_schedule(
+    scenario: str, total_duration_s: float, seed: SeedLike = None
+) -> Schedule:
+    """Generate a schedule for any named scenario (setting or archetype)."""
+    check_positive(total_duration_s, "total_duration_s")
+    if scenario in tuple(setting.value for setting in ActivitySetting):
+        return make_setting_schedule(
+            ActivitySetting(scenario), total_duration_s=total_duration_s, seed=seed
+        )
+    if scenario in tuple(archetype.value for archetype in ScenarioArchetype):
+        return make_archetype_schedule(
+            ScenarioArchetype(scenario), total_duration_s=total_duration_s, seed=seed
+        )
+    raise ValueError(
+        f"unknown scenario {scenario!r}; expected one of {sorted(SCENARIO_NAMES)}"
+    )
+
+
+@dataclass(frozen=True)
+class ControllerSpec:
+    """Declarative description of one device's adaptive controller.
+
+    Storing the *specification* instead of a controller instance keeps
+    profiles immutable and lets both the batched fleet engine and the
+    sequential reference path build their own fresh, stateful controller
+    from identical settings.
+    """
+
+    kind: str
+    stability_threshold: int = 20
+    confidence_threshold: float = 0.85
+    static_config_name: str = HIGH_POWER_CONFIG.name
+    intensity_thresholds: Optional[IntensityThresholds] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in CONTROLLER_KINDS:
+            raise ValueError(
+                f"kind must be one of {CONTROLLER_KINDS}, got {self.kind!r}"
+            )
+        if self.kind == "intensity" and self.intensity_thresholds is None:
+            raise ValueError(
+                "intensity controllers need calibrated intensity_thresholds"
+            )
+
+    @property
+    def label(self) -> str:
+        """Human-readable summary used by telemetry breakdowns."""
+        if self.kind == "spot":
+            return f"spot(t={self.stability_threshold})"
+        if self.kind == "spot_confidence":
+            return (
+                f"spot_confidence(t={self.stability_threshold}, "
+                f"c={self.confidence_threshold:g})"
+            )
+        if self.kind == "static":
+            return f"static({self.static_config_name})"
+        return "intensity"
+
+    def build(self) -> AdaptiveController:
+        """Instantiate a fresh controller from this specification."""
+        if self.kind == "spot":
+            return SpotController(stability_threshold=self.stability_threshold)
+        if self.kind == "spot_confidence":
+            return SpotWithConfidenceController(
+                stability_threshold=self.stability_threshold,
+                confidence_threshold=self.confidence_threshold,
+            )
+        if self.kind == "static":
+            return StaticController(get_config(self.static_config_name))
+        assert self.intensity_thresholds is not None
+        return IntensityController(self.intensity_thresholds)
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Everything that defines one virtual device in a fleet.
+
+    Attributes
+    ----------
+    device_id:
+        Position of the device in its population.
+    scenario:
+        Name of the behaviour scenario the schedule was drawn from.
+    schedule:
+        The concrete activity schedule the device's user follows.
+    controller:
+        Specification of the device's adaptive controller.
+    noise:
+        The device's sensor noise model (per-device noise level).
+    power_model:
+        The device's accelerometer current model (per-device variation).
+    battery:
+        The battery the device runs from (used for lifetime telemetry).
+    seed:
+        Seed of the device's private random stream; signal realisation
+        and sensor noise derive from it exactly as in
+        :meth:`repro.sim.runtime.ClosedLoopSimulator.run`.
+    """
+
+    device_id: int
+    scenario: str
+    schedule: Tuple[Tuple[Activity, float], ...]
+    controller: ControllerSpec
+    noise: NoiseModel
+    power_model: AccelerometerPowerModel
+    battery: Battery
+    seed: int
+
+    @property
+    def duration_s(self) -> float:
+        """Total duration of the device's schedule in seconds."""
+        return schedule_duration(self.schedule)
+
+    def make_controller(self) -> AdaptiveController:
+        """Build a fresh controller instance for one simulation run."""
+        return self.controller.build()
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """Distributional knobs for population generation.
+
+    Parameters
+    ----------
+    scenario_weights:
+        Relative prevalence of each scenario name; defaults to a uniform
+        mix over all settings and archetypes.
+    controller_weights:
+        Relative prevalence of each controller kind.
+    stability_choices:
+        SPOT stability thresholds sampled uniformly per SPOT device.
+    confidence_choices:
+        Confidence gates sampled uniformly per SPOT-with-confidence
+        device.
+    noise_scale_range:
+        Uniform range multiplying the default per-sub-sample noise
+        standard deviation (device-to-device sensor quality spread).
+    power_scale_range:
+        Uniform range multiplying the default active/suspend currents
+        (part-to-part manufacturing variation).
+    battery_mah_range:
+        Uniform range the per-device battery capacity is drawn from.
+    calibration_windows_per_activity:
+        Windows per activity used to calibrate intensity thresholds when
+        the population contains intensity-switching devices.
+    """
+
+    scenario_weights: Mapping[str, float] = field(
+        default_factory=lambda: {name: 1.0 for name in SCENARIO_NAMES}
+    )
+    controller_weights: Mapping[str, float] = field(
+        default_factory=lambda: {
+            "spot_confidence": 0.4,
+            "spot": 0.3,
+            "static": 0.15,
+            "intensity": 0.15,
+        }
+    )
+    stability_choices: Tuple[int, ...] = (10, 20, 30)
+    confidence_choices: Tuple[float, ...] = (0.75, 0.85, 0.9)
+    noise_scale_range: Tuple[float, float] = (0.7, 1.4)
+    power_scale_range: Tuple[float, float] = (0.9, 1.1)
+    battery_mah_range: Tuple[float, float] = (40.0, 250.0)
+    calibration_windows_per_activity: int = 8
+
+    def __post_init__(self) -> None:
+        for name, weights in (
+            ("scenario_weights", self.scenario_weights),
+            ("controller_weights", self.controller_weights),
+        ):
+            if not weights:
+                raise ValueError(f"{name} must not be empty")
+            if any(weight < 0 for weight in weights.values()):
+                raise ValueError(f"{name} must be non-negative")
+            if sum(weights.values()) <= 0:
+                raise ValueError(f"{name} must contain a positive weight")
+        unknown = set(self.scenario_weights) - set(SCENARIO_NAMES)
+        if unknown:
+            raise ValueError(f"unknown scenarios in scenario_weights: {sorted(unknown)}")
+        unknown = set(self.controller_weights) - set(CONTROLLER_KINDS)
+        if unknown:
+            raise ValueError(
+                f"unknown controllers in controller_weights: {sorted(unknown)}"
+            )
+        check_positive_int(
+            self.calibration_windows_per_activity, "calibration_windows_per_activity"
+        )
+
+
+def _weighted_choice(rng, weights: Mapping[str, float]) -> str:
+    """Draw one key with probability proportional to its weight.
+
+    Keys are sorted so the draw depends only on the mapping's contents,
+    not its insertion order.
+    """
+    names = sorted(weights)
+    total = float(sum(weights[name] for name in names))
+    pick = rng.uniform(0.0, total)
+    accumulated = 0.0
+    for name in names:
+        accumulated += float(weights[name])
+        if pick <= accumulated:
+            return name
+    return names[-1]
+
+
+class DevicePopulation:
+    """An immutable, deterministic collection of device profiles.
+
+    Build one with :meth:`generate` (the usual path) or directly from a
+    sequence of hand-crafted profiles (useful in tests).
+    """
+
+    def __init__(self, profiles: Sequence[DeviceProfile]) -> None:
+        self._profiles: Tuple[DeviceProfile, ...] = tuple(profiles)
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        num_devices: int,
+        duration_s: float,
+        master_seed: int = 0,
+        spec: Optional[PopulationSpec] = None,
+    ) -> "DevicePopulation":
+        """Generate ``num_devices`` heterogeneous devices deterministically.
+
+        Every per-device draw happens on a private stream derived from
+        ``(master_seed, device index, purpose)`` via
+        :func:`repro.utils.rng.stable_seed_from`, so adding devices to a
+        population or reordering the generation loop never perturbs the
+        devices that already existed — and the same arguments always
+        reproduce the exact same fleet.
+
+        Parameters
+        ----------
+        num_devices:
+            Number of devices to generate.
+        duration_s:
+            Duration of every device's activity schedule in seconds.
+        master_seed:
+            Master seed the whole population derives from.
+        spec:
+            Distributional knobs; defaults to :class:`PopulationSpec`.
+        """
+        check_positive_int(num_devices, "num_devices")
+        check_positive(duration_s, "duration_s")
+        spec = spec if spec is not None else PopulationSpec()
+
+        intensity_thresholds: Optional[IntensityThresholds] = None
+        if spec.controller_weights.get("intensity", 0.0) > 0.0:
+            intensity_thresholds = calibrate_intensity_thresholds(
+                (HIGH_POWER_CONFIG, DEFAULT_LOW_INTENSITY_CONFIG),
+                windows_per_activity=spec.calibration_windows_per_activity,
+                seed=stable_seed_from(master_seed, "intensity-calibration"),
+            )
+
+        default_noise = NoiseModel()
+        default_power = AccelerometerPowerModel.bmi160()
+        profiles: List[DeviceProfile] = []
+        for device_id in range(num_devices):
+            draw = as_rng(stable_seed_from(master_seed, device_id, "profile"))
+
+            scenario = _weighted_choice(draw, spec.scenario_weights)
+            schedule = make_scenario_schedule(
+                scenario,
+                total_duration_s=duration_s,
+                seed=stable_seed_from(master_seed, device_id, "schedule"),
+            )
+
+            kind = _weighted_choice(draw, spec.controller_weights)
+            controller = ControllerSpec(
+                kind=kind,
+                stability_threshold=int(
+                    spec.stability_choices[
+                        int(draw.integers(len(spec.stability_choices)))
+                    ]
+                ),
+                confidence_threshold=float(
+                    spec.confidence_choices[
+                        int(draw.integers(len(spec.confidence_choices)))
+                    ]
+                ),
+                intensity_thresholds=(
+                    intensity_thresholds if kind == "intensity" else None
+                ),
+            )
+
+            noise_scale = float(draw.uniform(*spec.noise_scale_range))
+            noise = replace(
+                default_noise,
+                base_noise_std_ms2=default_noise.base_noise_std_ms2 * noise_scale,
+            )
+            power_scale = float(draw.uniform(*spec.power_scale_range))
+            power_model = replace(
+                default_power,
+                active_current_ua=default_power.active_current_ua * power_scale,
+                suspend_current_ua=default_power.suspend_current_ua * power_scale,
+            )
+            battery = Battery(
+                capacity_mah=float(draw.uniform(*spec.battery_mah_range))
+            )
+
+            profiles.append(
+                DeviceProfile(
+                    device_id=device_id,
+                    scenario=scenario,
+                    schedule=tuple(
+                        (activity, float(duration)) for activity, duration in schedule
+                    ),
+                    controller=controller,
+                    noise=noise,
+                    power_model=power_model,
+                    battery=battery,
+                    seed=stable_seed_from(master_seed, device_id, "simulation"),
+                )
+            )
+        return cls(profiles)
+
+    # ------------------------------------------------------------------
+    # Collection behaviour
+    # ------------------------------------------------------------------
+    @property
+    def profiles(self) -> Tuple[DeviceProfile, ...]:
+        """The device profiles, in device-id order."""
+        return self._profiles
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __iter__(self) -> Iterator[DeviceProfile]:
+        return iter(self._profiles)
+
+    def __getitem__(self, index: int) -> DeviceProfile:
+        return self._profiles[index]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def scenario_counts(self) -> Dict[str, int]:
+        """Number of devices per scenario name."""
+        counts: Dict[str, int] = {}
+        for profile in self._profiles:
+            counts[profile.scenario] = counts.get(profile.scenario, 0) + 1
+        return counts
+
+    def controller_counts(self) -> Dict[str, int]:
+        """Number of devices per controller kind."""
+        counts: Dict[str, int] = {}
+        for profile in self._profiles:
+            kind = profile.controller.kind
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts

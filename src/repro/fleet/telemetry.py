@@ -1,0 +1,303 @@
+"""Fleet-level telemetry: aggregating device traces into distributions.
+
+A single simulated device yields a :class:`repro.sim.trace.SimulationTrace`;
+a fleet yields hundreds of them.  What a product team asks of a fleet is
+distributional: *what does power draw look like across the population?
+which percentile of users falls below a day of battery life?  how do the
+SPOT devices compare with the static ones?  how long do devices dwell in
+each sensor configuration?*  :class:`FleetTelemetry` answers those
+questions from a :class:`repro.fleet.engine.FleetResult` and exports the
+whole report as JSON for dashboards and downstream tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fleet.engine import FleetResult
+from repro.fleet.population import DeviceProfile
+from repro.sim.trace import SimulationTrace
+
+#: Percentiles reported for every fleet-level distribution.
+DISTRIBUTION_PERCENTILES: Tuple[int, ...] = (5, 25, 50, 75, 95)
+
+
+def distribution_stats(values: Sequence[float]) -> Dict[str, float]:
+    """Summary statistics (mean, spread, percentiles) of a sample.
+
+    Parameters
+    ----------
+    values:
+        Non-empty sequence of per-device measurements.
+    """
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    stats: Dict[str, float] = {
+        "count": float(array.size),
+        "mean": float(array.mean()),
+        "std": float(array.std()),
+        "min": float(array.min()),
+        "max": float(array.max()),
+    }
+    for percentile in DISTRIBUTION_PERCENTILES:
+        stats[f"p{percentile}"] = float(np.percentile(array, percentile))
+    return stats
+
+
+@dataclass(frozen=True)
+class DeviceReport:
+    """Per-device summary derived from one trace.
+
+    Attributes
+    ----------
+    device_id, scenario, controller, seed:
+        Identity of the device (``controller`` is the spec's descriptive
+        label, ``controller_kind`` the coarse kind used for grouping).
+    steps, duration_s:
+        Size of the simulated trace.
+    accuracy:
+        Fraction of steps classified correctly.
+    average_current_ua:
+        Time-weighted average sensor current.
+    energy_uc:
+        Total sensor charge drawn, in microcoulombs.
+    battery_capacity_mah:
+        Capacity of the device's battery.
+    battery_life_days:
+        Estimated days the device's battery sustains its average current.
+    state_residency:
+        Fraction of time spent in each sensor configuration.
+    """
+
+    device_id: int
+    scenario: str
+    controller: str
+    controller_kind: str
+    seed: int
+    steps: int
+    duration_s: float
+    accuracy: float
+    average_current_ua: float
+    energy_uc: float
+    battery_capacity_mah: float
+    battery_life_days: float
+    state_residency: Mapping[str, float]
+
+    @classmethod
+    def from_trace(
+        cls, profile: DeviceProfile, trace: SimulationTrace
+    ) -> "DeviceReport":
+        """Summarise one device's trace."""
+        average_current = trace.average_current_ua
+        return cls(
+            device_id=profile.device_id,
+            scenario=profile.scenario,
+            controller=profile.controller.label,
+            controller_kind=profile.controller.kind,
+            seed=profile.seed,
+            steps=len(trace),
+            duration_s=trace.duration_s,
+            accuracy=trace.accuracy,
+            average_current_ua=average_current,
+            energy_uc=trace.energy_uc,
+            battery_capacity_mah=profile.battery.capacity_mah,
+            battery_life_days=profile.battery.lifetime_days(average_current),
+            state_residency=trace.state_residency(),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable view of the report."""
+        return {
+            "device_id": self.device_id,
+            "scenario": self.scenario,
+            "controller": self.controller,
+            "controller_kind": self.controller_kind,
+            "seed": self.seed,
+            "steps": self.steps,
+            "duration_s": self.duration_s,
+            "accuracy": self.accuracy,
+            "average_current_ua": self.average_current_ua,
+            "energy_uc": self.energy_uc,
+            "battery_capacity_mah": self.battery_capacity_mah,
+            "battery_life_days": self.battery_life_days,
+            "state_residency": dict(self.state_residency),
+        }
+
+
+class FleetTelemetry:
+    """Aggregates per-device reports into fleet-level distributions."""
+
+    def __init__(self, reports: Sequence[DeviceReport]) -> None:
+        if not reports:
+            raise ValueError("telemetry needs at least one device report")
+        self._reports: Tuple[DeviceReport, ...] = tuple(reports)
+
+    @classmethod
+    def from_result(cls, result: FleetResult) -> "FleetTelemetry":
+        """Build telemetry from a :class:`FleetResult`."""
+        return cls(
+            [
+                DeviceReport.from_trace(profile, trace)
+                for profile, trace in zip(result.profiles, result.traces)
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def reports(self) -> Tuple[DeviceReport, ...]:
+        """The per-device reports, in device-id order."""
+        return self._reports
+
+    @property
+    def num_devices(self) -> int:
+        """Number of devices covered by this telemetry."""
+        return len(self._reports)
+
+    @property
+    def device_seconds(self) -> float:
+        """Total simulated device-time, in seconds."""
+        return float(sum(report.duration_s for report in self._reports))
+
+    # ------------------------------------------------------------------
+    # Fleet-level aggregation
+    # ------------------------------------------------------------------
+    def fleet_summary(self) -> Dict[str, object]:
+        """Headline distributions over the whole fleet."""
+        return {
+            "num_devices": self.num_devices,
+            "device_seconds": self.device_seconds,
+            "accuracy": distribution_stats(
+                [report.accuracy for report in self._reports]
+            ),
+            "average_current_ua": distribution_stats(
+                [report.average_current_ua for report in self._reports]
+            ),
+            "battery_life_days": distribution_stats(
+                [report.battery_life_days for report in self._reports]
+            ),
+            "config_dwell": self.config_dwell(),
+        }
+
+    def config_dwell(self) -> Dict[str, float]:
+        """Fleet-wide fraction of device-time spent in each configuration.
+
+        Each device's residency is weighted by its simulated duration, so
+        the values sum to one over the whole fleet.
+        """
+        dwell: Dict[str, float] = {}
+        total_time = self.device_seconds
+        for report in self._reports:
+            for config_name, share in report.state_residency.items():
+                dwell[config_name] = (
+                    dwell.get(config_name, 0.0)
+                    + share * report.duration_s / total_time
+                )
+        return dict(sorted(dwell.items()))
+
+    def by_scenario(self) -> Dict[str, Dict[str, object]]:
+        """Aggregate metrics per behaviour scenario."""
+        return self._grouped(lambda report: report.scenario)
+
+    def by_controller(self) -> Dict[str, Dict[str, object]]:
+        """Aggregate metrics per controller kind."""
+        return self._grouped(lambda report: report.controller_kind)
+
+    def _grouped(self, key) -> Dict[str, Dict[str, object]]:
+        groups: Dict[str, List[DeviceReport]] = {}
+        for report in self._reports:
+            groups.setdefault(key(report), []).append(report)
+        aggregated: Dict[str, Dict[str, object]] = {}
+        for name in sorted(groups):
+            members = groups[name]
+            aggregated[name] = {
+                "num_devices": len(members),
+                "mean_accuracy": float(
+                    np.mean([member.accuracy for member in members])
+                ),
+                "mean_current_ua": float(
+                    np.mean([member.average_current_ua for member in members])
+                ),
+                "mean_battery_life_days": float(
+                    np.mean([member.battery_life_days for member in members])
+                ),
+            }
+        return aggregated
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """The full telemetry report as one JSON-serialisable mapping."""
+        return {
+            "fleet": self.fleet_summary(),
+            "by_scenario": self.by_scenario(),
+            "by_controller": self.by_controller(),
+            "devices": [report.to_dict() for report in self._reports],
+        }
+
+    def to_json(self, path: Optional[str] = None, indent: int = 2) -> str:
+        """Serialise the report to JSON, optionally writing it to ``path``."""
+        text = json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        return text
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    def format_table(self) -> str:
+        """Human-readable fleet report for the CLI."""
+        summary = self.fleet_summary()
+        accuracy = summary["accuracy"]
+        current = summary["average_current_ua"]
+        battery = summary["battery_life_days"]
+        lines = [
+            f"devices            : {self.num_devices}",
+            f"device-time        : {self.device_seconds:.0f} s",
+            (
+                "accuracy           : "
+                f"mean {accuracy['mean']:.3f}  "
+                f"p5 {accuracy['p5']:.3f}  p50 {accuracy['p50']:.3f}  "
+                f"p95 {accuracy['p95']:.3f}"
+            ),
+            (
+                "current (uA)       : "
+                f"mean {current['mean']:.1f}  "
+                f"p5 {current['p5']:.1f}  p50 {current['p50']:.1f}  "
+                f"p95 {current['p95']:.1f}"
+            ),
+            (
+                "battery life (days): "
+                f"mean {battery['mean']:.1f}  "
+                f"p5 {battery['p5']:.1f}  p50 {battery['p50']:.1f}  "
+                f"p95 {battery['p95']:.1f}"
+            ),
+            "config dwell       :",
+        ]
+        for config_name, share in self.config_dwell().items():
+            lines.append(f"  {config_name:>12}: {100.0 * share:5.1f} %")
+        lines.append("by controller      :")
+        for kind, stats in self.by_controller().items():
+            lines.append(
+                f"  {kind:>15}: {stats['num_devices']:>4} devices  "
+                f"acc {stats['mean_accuracy']:.3f}  "
+                f"{stats['mean_current_ua']:7.1f} uA  "
+                f"{stats['mean_battery_life_days']:6.1f} days"
+            )
+        lines.append("by scenario        :")
+        for scenario, stats in self.by_scenario().items():
+            lines.append(
+                f"  {scenario:>15}: {stats['num_devices']:>4} devices  "
+                f"acc {stats['mean_accuracy']:.3f}  "
+                f"{stats['mean_current_ua']:7.1f} uA  "
+                f"{stats['mean_battery_life_days']:6.1f} days"
+            )
+        return "\n".join(lines)

@@ -153,6 +153,10 @@ class ClosedLoopSimulator:
         )
         buffer = SampleBuffer(window_duration_s=self._window_duration_s)
         self._controller.reset()
+        # Controllers that react to the raw signal (e.g. the intensity
+        # baseline repackaged as an adaptive controller) expose an
+        # optional observe_window hook fed with every fresh acquisition.
+        observe = getattr(self._controller, "observe_window", None)
 
         trace = SimulationTrace()
         total_duration = signal.duration_s
@@ -169,6 +173,8 @@ class ClosedLoopSimulator:
                 rng=rng,
             )
             buffer.push(acquisition)
+            if observe is not None:
+                observe(acquisition)
             batch = buffer.window()
             result = self._pipeline.classify_window(batch)
             self._controller.update(result.activity, result.confidence)

@@ -3,6 +3,10 @@
 from __future__ import annotations
 
 import io
+import json
+import os
+import subprocess
+import sys
 
 import pytest
 
@@ -31,6 +35,13 @@ class TestParser:
     def test_train_requires_output(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["train"])
+
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.devices == 100
+        assert args.duration == 600.0
+        assert args.engine == "batched"
+        assert args.out is None
 
 
 class TestExperimentsCommand:
@@ -90,6 +101,49 @@ class TestTrainAndSimulate:
         assert "accuracy" in text
         assert "power saving" in text
 
+    def test_fleet_runs_and_exports_json(self, tmp_path):
+        out = io.StringIO()
+        report_path = tmp_path / "fleet.json"
+        code = main(
+            [
+                "fleet",
+                "--devices", "4",
+                "--duration", "15",
+                "--windows", "6",
+                "--seed", "5",
+                "--out", str(report_path),
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "engine             : batched" in text
+        assert "device-seconds/s" in text
+        assert "config dwell" in text
+        report = json.loads(report_path.read_text())
+        assert report["fleet"]["num_devices"] == 4
+        assert len(report["devices"]) == 4
+
+    def test_fleet_sequential_engine_matches_batched(self, tmp_path):
+        outputs = {}
+        for engine in ("batched", "sequential"):
+            path = tmp_path / f"{engine}.json"
+            code = main(
+                [
+                    "fleet",
+                    "--devices", "3",
+                    "--duration", "10",
+                    "--windows", "6",
+                    "--seed", "5",
+                    "--engine", engine,
+                    "--out", str(path),
+                ],
+                out=io.StringIO(),
+            )
+            assert code == 0
+            outputs[engine] = json.loads(path.read_text())
+        assert outputs["batched"]["devices"] == outputs["sequential"]["devices"]
+
     def test_simulate_trains_fresh_model_when_none_given(self):
         out = io.StringIO()
         code = main(
@@ -105,3 +159,20 @@ class TestTrainAndSimulate:
         )
         assert code == 0
         assert "average current    : 180.0 uA" in out.getvalue()
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro_invokes_cli(self):
+        """``python -m repro`` must reach the same main()."""
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "experiments"],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "table1" in completed.stdout

@@ -1,0 +1,67 @@
+"""Seed-determinism regression tests.
+
+Reproducibility from a single integer seed is a core promise of the
+library (and what makes the batched/sequential fleet equivalence
+checkable at all).  These tests pin it down for both the single-device
+closed loop and the fleet engine.
+"""
+
+from __future__ import annotations
+
+from repro.core.controller import SpotWithConfidenceController
+from repro.datasets.scenarios import make_setting_schedule, ActivitySetting
+from repro.fleet.engine import FleetSimulator, traces_equal
+from repro.fleet.population import DevicePopulation
+from repro.sim.runtime import ClosedLoopSimulator
+
+
+class TestClosedLoopDeterminism:
+    def test_same_seed_gives_identical_traces(self, trained_pipeline):
+        schedule = make_setting_schedule(
+            ActivitySetting.MEDIUM, total_duration_s=60.0, seed=7
+        )
+        traces = []
+        for _ in range(2):
+            simulator = ClosedLoopSimulator(
+                pipeline=trained_pipeline,
+                controller=SpotWithConfidenceController(stability_threshold=5),
+            )
+            traces.append(simulator.run(schedule, seed=123))
+        assert traces_equal(traces[0], traces[1])
+
+    def test_different_seeds_diverge(self, trained_pipeline):
+        schedule = make_setting_schedule(
+            ActivitySetting.MEDIUM, total_duration_s=60.0, seed=7
+        )
+        simulator = ClosedLoopSimulator(
+            pipeline=trained_pipeline,
+            controller=SpotWithConfidenceController(stability_threshold=5),
+        )
+        first = simulator.run(schedule, seed=1)
+        second = simulator.run(schedule, seed=2)
+        assert not traces_equal(first, second)
+
+
+class TestFleetDeterminism:
+    def test_same_master_seed_gives_identical_fleet_runs(self, trained_pipeline):
+        runs = []
+        for _ in range(2):
+            population = DevicePopulation.generate(
+                5, duration_s=20.0, master_seed=321
+            )
+            runs.append(FleetSimulator(trained_pipeline).run(population))
+        for left, right in zip(runs[0].traces, runs[1].traces):
+            assert traces_equal(left, right)
+
+    def test_different_master_seeds_diverge(self, trained_pipeline):
+        simulator = FleetSimulator(trained_pipeline)
+        first = simulator.run(
+            DevicePopulation.generate(5, duration_s=20.0, master_seed=1)
+        )
+        second = simulator.run(
+            DevicePopulation.generate(5, duration_s=20.0, master_seed=2)
+        )
+        assert any(
+            not traces_equal(left, right)
+            for left, right in zip(first.traces, second.traces)
+        )

@@ -156,6 +156,50 @@ class TestBatchExtraction:
         assert batch.shape == (0, 15)
 
 
+class TestStackedExtraction:
+    def test_stacked_is_bit_identical_to_per_window(self):
+        """The fleet equivalence guarantee rests on this exactness."""
+        extractor = default_feature_extractor()
+        rng = np.random.default_rng(3)
+        stack = rng.normal(size=(5, 50, 3))
+        stacked = extractor.extract_stacked(stack, 25.0)
+        assert stacked.shape == (5, extractor.num_features)
+        for index in range(stack.shape[0]):
+            individual = extractor.extract(stack[index], 25.0)
+            assert np.array_equal(stacked[index], individual)
+
+    def test_stacked_bins_mode(self):
+        extractor = FeatureExtractor(n_fourier_features=3, fourier_mode="bins")
+        rng = np.random.default_rng(4)
+        stack = rng.normal(size=(4, 25, 3))
+        stacked = extractor.extract_stacked(stack, 12.5)
+        for index in range(stack.shape[0]):
+            assert np.array_equal(stacked[index], extractor.extract(stack[index], 12.5))
+
+    def test_rejects_bad_shapes(self):
+        extractor = default_feature_extractor()
+        with pytest.raises(ValueError):
+            extractor.extract_stacked(np.zeros((4, 10, 2)), 25.0)
+        with pytest.raises(ValueError):
+            extractor.extract_stacked(np.zeros((4, 1, 3)), 25.0)
+        with pytest.raises(ValueError):
+            extractor.extract_stacked(np.zeros((4, 10, 3)), 0.0)
+
+    def test_batch_groups_mixed_shapes(self):
+        extractor = default_feature_extractor()
+        rng = np.random.default_rng(5)
+        windows = [
+            (rng.normal(size=(50, 3)), 25.0),
+            (rng.normal(size=(25, 3)), 12.5),
+            (rng.normal(size=(50, 3)), 25.0),
+            (rng.normal(size=(50, 3)), 50.0),
+        ]
+        batch = extractor.extract_batch(windows)
+        assert batch.shape == (4, extractor.num_features)
+        for row, (samples, sampling_hz) in zip(batch, windows):
+            assert np.array_equal(row, extractor.extract(samples, sampling_hz))
+
+
 class TestWindowingHelpers:
     def test_window_constants_match_paper(self):
         assert WINDOW_DURATION_S == 2.0

@@ -1,0 +1,114 @@
+"""Tests for the batched fleet simulation engine.
+
+The central claim of the fleet subsystem — batched lock-step simulation
+is *bit-identical* to running each device through the single-device
+closed loop — is verified here directly against
+:class:`repro.sim.runtime.ClosedLoopSimulator`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.engine import FleetSimulator, traces_equal
+from repro.fleet.population import DevicePopulation, PopulationSpec
+from repro.sim.runtime import ClosedLoopSimulator
+
+
+@pytest.fixture(scope="module")
+def small_population():
+    return DevicePopulation.generate(3, duration_s=30.0, master_seed=99)
+
+
+class TestBatchedSequentialEquivalence:
+    def test_fleet_matches_independent_closed_loop_runs(
+        self, trained_pipeline, small_population
+    ):
+        """A 3-device fleet tick-for-tick matches three independent
+        ClosedLoopSimulator runs given the same seeds."""
+        fleet = FleetSimulator(trained_pipeline).run(small_population)
+        for profile, fleet_trace in zip(fleet.profiles, fleet.traces):
+            simulator = ClosedLoopSimulator(
+                pipeline=trained_pipeline,
+                controller=profile.make_controller(),
+                power_model=profile.power_model,
+                noise=profile.noise,
+            )
+            reference = simulator.run(list(profile.schedule), seed=profile.seed)
+            assert traces_equal(fleet_trace, reference)
+
+    def test_run_matches_run_sequential(self, trained_pipeline):
+        population = DevicePopulation.generate(6, duration_s=25.0, master_seed=11)
+        simulator = FleetSimulator(trained_pipeline)
+        batched = simulator.run(population)
+        sequential = simulator.run_sequential(population)
+        assert batched.mode == "batched"
+        assert sequential.mode == "sequential"
+        for left, right in zip(batched.traces, sequential.traces):
+            assert traces_equal(left, right)
+
+    def test_equivalence_covers_every_controller_kind(self, trained_pipeline):
+        """Force one device of each kind into the fleet and re-check."""
+        spec = PopulationSpec(
+            controller_weights={
+                "spot": 1.0,
+                "spot_confidence": 1.0,
+                "static": 1.0,
+                "intensity": 1.0,
+            }
+        )
+        population = DevicePopulation.generate(
+            8, duration_s=20.0, master_seed=13, spec=spec
+        )
+        assert len(population.controller_counts()) >= 3
+        simulator = FleetSimulator(trained_pipeline)
+        batched = simulator.run(population)
+        sequential = simulator.run_sequential(population)
+        for left, right in zip(batched.traces, sequential.traces):
+            assert traces_equal(left, right)
+
+
+class TestFleetRunShape:
+    def test_one_record_per_second_per_device(self, trained_pipeline, small_population):
+        result = FleetSimulator(trained_pipeline).run(small_population)
+        assert result.num_devices == 3
+        for trace in result.traces:
+            assert len(trace) == 30
+        assert result.device_seconds == pytest.approx(90.0)
+        assert result.throughput_device_seconds_per_s > 0.0
+
+    def test_duration_can_be_truncated(self, trained_pipeline, small_population):
+        result = FleetSimulator(trained_pipeline).run(
+            small_population, duration_s=10.0
+        )
+        for trace in result.traces:
+            assert len(trace) == 10
+
+    def test_duration_beyond_schedules_rejected(
+        self, trained_pipeline, small_population
+    ):
+        with pytest.raises(ValueError):
+            FleetSimulator(trained_pipeline).run(small_population, duration_s=60.0)
+
+    def test_empty_population_rejected(self, trained_pipeline):
+        with pytest.raises(ValueError):
+            FleetSimulator(trained_pipeline).run([])
+
+    def test_window_shorter_than_step_rejected(self, trained_pipeline):
+        with pytest.raises(ValueError):
+            FleetSimulator(trained_pipeline, step_s=2.0, window_duration_s=1.0)
+
+
+class TestTracesEqual:
+    def test_differing_lengths_are_unequal(self, trained_pipeline, small_population):
+        simulator = FleetSimulator(trained_pipeline)
+        full = simulator.run(small_population)
+        short = simulator.run(small_population, duration_s=10.0)
+        assert not traces_equal(full.traces[0], short.traces[0])
+
+    def test_identical_runs_are_equal(self, trained_pipeline, small_population):
+        simulator = FleetSimulator(trained_pipeline)
+        first = simulator.run(small_population)
+        second = simulator.run(small_population)
+        for left, right in zip(first.traces, second.traces):
+            assert traces_equal(left, right)

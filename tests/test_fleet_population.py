@@ -1,0 +1,145 @@
+"""Tests for heterogeneous device-population generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.intensity_based import (
+    DEFAULT_LOW_INTENSITY_CONFIG,
+    IntensityController,
+    calibrate_intensity_thresholds,
+)
+from repro.core.config import HIGH_POWER_CONFIG
+from repro.core.controller import (
+    SpotController,
+    SpotWithConfidenceController,
+    StaticController,
+)
+from repro.datasets.scenarios import schedule_duration
+from repro.fleet.population import (
+    CONTROLLER_KINDS,
+    SCENARIO_NAMES,
+    ControllerSpec,
+    DevicePopulation,
+    PopulationSpec,
+    make_scenario_schedule,
+)
+
+
+class TestControllerSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            ControllerSpec(kind="pid")
+
+    def test_intensity_requires_thresholds(self):
+        with pytest.raises(ValueError):
+            ControllerSpec(kind="intensity")
+
+    def test_builds_every_kind(self):
+        thresholds = calibrate_intensity_thresholds(
+            (HIGH_POWER_CONFIG, DEFAULT_LOW_INTENSITY_CONFIG),
+            windows_per_activity=2,
+            seed=0,
+        )
+        built = {
+            "spot": ControllerSpec(kind="spot").build(),
+            "spot_confidence": ControllerSpec(kind="spot_confidence").build(),
+            "static": ControllerSpec(kind="static").build(),
+            "intensity": ControllerSpec(
+                kind="intensity", intensity_thresholds=thresholds
+            ).build(),
+        }
+        assert isinstance(built["spot"], SpotController)
+        assert not isinstance(built["spot"], SpotWithConfidenceController)
+        assert isinstance(built["spot_confidence"], SpotWithConfidenceController)
+        assert isinstance(built["static"], StaticController)
+        assert isinstance(built["intensity"], IntensityController)
+
+    def test_labels_mention_knobs(self):
+        assert "10" in ControllerSpec(kind="spot", stability_threshold=10).label
+        assert "0.9" in ControllerSpec(
+            kind="spot_confidence", confidence_threshold=0.9
+        ).label
+        assert "F100_A128" in ControllerSpec(kind="static").label
+
+
+class TestScenarioSchedules:
+    def test_every_named_scenario_generates(self):
+        for scenario in SCENARIO_NAMES:
+            schedule = make_scenario_schedule(scenario, 120.0, seed=1)
+            assert schedule_duration(schedule) == pytest.approx(120.0)
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ValueError):
+            make_scenario_schedule("astronaut", 120.0)
+
+
+class TestPopulationSpec:
+    def test_rejects_unknown_scenario_weight(self):
+        with pytest.raises(ValueError):
+            PopulationSpec(scenario_weights={"astronaut": 1.0})
+
+    def test_rejects_unknown_controller_weight(self):
+        with pytest.raises(ValueError):
+            PopulationSpec(controller_weights={"pid": 1.0})
+
+    def test_rejects_all_zero_weights(self):
+        with pytest.raises(ValueError):
+            PopulationSpec(controller_weights={"spot": 0.0})
+
+
+class TestGeneration:
+    def test_population_is_deterministic(self):
+        first = DevicePopulation.generate(8, duration_s=60.0, master_seed=42)
+        second = DevicePopulation.generate(8, duration_s=60.0, master_seed=42)
+        assert first.profiles == second.profiles
+
+    def test_master_seed_changes_population(self):
+        first = DevicePopulation.generate(8, duration_s=60.0, master_seed=1)
+        second = DevicePopulation.generate(8, duration_s=60.0, master_seed=2)
+        assert first.profiles != second.profiles
+
+    def test_growing_population_preserves_prefix(self):
+        """Device i depends only on (master_seed, i), not the fleet size."""
+        small = DevicePopulation.generate(4, duration_s=60.0, master_seed=3)
+        large = DevicePopulation.generate(9, duration_s=60.0, master_seed=3)
+        assert large.profiles[:4] == small.profiles
+
+    def test_schedules_match_requested_duration(self):
+        population = DevicePopulation.generate(6, duration_s=90.0, master_seed=0)
+        for profile in population:
+            assert profile.duration_s == pytest.approx(90.0)
+
+    def test_population_is_heterogeneous(self):
+        population = DevicePopulation.generate(40, duration_s=30.0, master_seed=5)
+        assert len(population.scenario_counts()) >= 4
+        assert len(population.controller_counts()) >= 3
+        noises = {profile.noise.base_noise_std_ms2 for profile in population}
+        batteries = {profile.battery.capacity_mah for profile in population}
+        assert len(noises) > 20
+        assert len(batteries) > 20
+
+    def test_only_known_kinds_and_scenarios(self):
+        population = DevicePopulation.generate(20, duration_s=30.0, master_seed=6)
+        for profile in population:
+            assert profile.scenario in SCENARIO_NAMES
+            assert profile.controller.kind in CONTROLLER_KINDS
+
+    def test_controller_mix_can_be_restricted(self):
+        spec = PopulationSpec(controller_weights={"static": 1.0})
+        population = DevicePopulation.generate(
+            5, duration_s=30.0, master_seed=0, spec=spec
+        )
+        assert population.controller_counts() == {"static": 5}
+
+    def test_collection_protocol(self):
+        population = DevicePopulation.generate(3, duration_s=30.0, master_seed=0)
+        assert len(population) == 3
+        assert population[1].device_id == 1
+        assert [profile.device_id for profile in population] == [0, 1, 2]
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            DevicePopulation.generate(0, duration_s=30.0)
+        with pytest.raises(ValueError):
+            DevicePopulation.generate(3, duration_s=-1.0)

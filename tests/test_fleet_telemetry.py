@@ -1,0 +1,154 @@
+"""Tests for fleet telemetry aggregation and export."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.activities import Activity
+from repro.energy.battery import Battery
+from repro.fleet.engine import FleetResult, FleetSimulator
+from repro.fleet.population import ControllerSpec, DevicePopulation, DeviceProfile
+from repro.fleet.telemetry import (
+    DeviceReport,
+    FleetTelemetry,
+    distribution_stats,
+)
+from repro.sensors.imu import NoiseModel
+from repro.energy.accelerometer import AccelerometerPowerModel
+from repro.sim.trace import SimulationTrace, StepRecord
+
+
+def _profile(device_id: int, scenario: str = "low", kind: str = "static") -> DeviceProfile:
+    return DeviceProfile(
+        device_id=device_id,
+        scenario=scenario,
+        schedule=((Activity.SIT, 4.0),),
+        controller=ControllerSpec(kind=kind),
+        noise=NoiseModel(),
+        power_model=AccelerometerPowerModel.bmi160(),
+        battery=Battery(capacity_mah=100.0),
+        seed=device_id,
+    )
+
+
+def _trace(config_currents: list) -> SimulationTrace:
+    """A hand-built trace: one (config_name, current, correct) triple per step."""
+    trace = SimulationTrace()
+    for index, (config_name, current_ua, correct) in enumerate(config_currents):
+        trace.append(
+            StepRecord(
+                time_s=float(index + 1),
+                true_activity=Activity.SIT,
+                predicted_activity=Activity.SIT if correct else Activity.WALK,
+                confidence=0.9,
+                config_name=config_name,
+                current_ua=current_ua,
+                duration_s=1.0,
+            )
+        )
+    return trace
+
+
+class TestDistributionStats:
+    def test_known_values(self):
+        stats = distribution_stats([1.0, 2.0, 3.0, 4.0])
+        assert stats["count"] == 4
+        assert stats["mean"] == pytest.approx(2.5)
+        assert stats["min"] == 1.0
+        assert stats["max"] == 4.0
+        assert stats["p50"] == pytest.approx(np.percentile([1, 2, 3, 4], 50))
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            distribution_stats([])
+
+
+class TestDeviceReport:
+    def test_report_matches_trace_aggregates(self):
+        profile = _profile(0)
+        trace = _trace(
+            [("A", 100.0, True), ("A", 100.0, True), ("B", 50.0, False), ("B", 50.0, True)]
+        )
+        report = DeviceReport.from_trace(profile, trace)
+        assert report.steps == 4
+        assert report.duration_s == pytest.approx(4.0)
+        assert report.accuracy == pytest.approx(0.75)
+        assert report.average_current_ua == pytest.approx(75.0)
+        assert report.energy_uc == pytest.approx(300.0)
+        assert report.state_residency == {"A": 0.5, "B": 0.5}
+        # 100 mAh at 85 % usable over 75 uA -> (100*0.85/0.075)/24 hours.
+        expected_days = (100.0 * 0.85 / (75.0 / 1000.0)) / 24.0
+        assert report.battery_life_days == pytest.approx(expected_days)
+
+    def test_to_dict_is_json_serialisable(self):
+        report = DeviceReport.from_trace(_profile(1), _trace([("A", 10.0, True)]))
+        text = json.dumps(report.to_dict())
+        assert "battery_life_days" in text
+
+
+class TestFleetAggregation:
+    def _telemetry(self) -> FleetTelemetry:
+        profiles = (
+            _profile(0, scenario="low", kind="static"),
+            _profile(1, scenario="high", kind="spot"),
+        )
+        traces = (
+            _trace([("A", 100.0, True), ("A", 100.0, True)]),
+            _trace([("B", 50.0, False), ("B", 50.0, True)]),
+        )
+        result = FleetResult(
+            profiles=profiles, traces=traces, elapsed_s=0.1, mode="batched"
+        )
+        return FleetTelemetry.from_result(result)
+
+    def test_fleet_summary_distributions(self):
+        summary = self._telemetry().fleet_summary()
+        assert summary["num_devices"] == 2
+        assert summary["device_seconds"] == pytest.approx(4.0)
+        assert summary["accuracy"]["mean"] == pytest.approx(0.75)
+        assert summary["average_current_ua"]["mean"] == pytest.approx(75.0)
+
+    def test_config_dwell_is_time_weighted_and_normalised(self):
+        dwell = self._telemetry().config_dwell()
+        assert dwell == {"A": pytest.approx(0.5), "B": pytest.approx(0.5)}
+        assert sum(dwell.values()) == pytest.approx(1.0)
+
+    def test_groupings_partition_the_fleet(self):
+        telemetry = self._telemetry()
+        by_scenario = telemetry.by_scenario()
+        by_controller = telemetry.by_controller()
+        assert sorted(by_scenario) == ["high", "low"]
+        assert sorted(by_controller) == ["spot", "static"]
+        assert sum(group["num_devices"] for group in by_scenario.values()) == 2
+        assert by_controller["static"]["mean_accuracy"] == pytest.approx(1.0)
+        assert by_controller["spot"]["mean_accuracy"] == pytest.approx(0.5)
+
+    def test_empty_reports_rejected(self):
+        with pytest.raises(ValueError):
+            FleetTelemetry([])
+
+
+class TestExport:
+    def test_json_roundtrip_and_file_export(self, tmp_path, trained_pipeline):
+        population = DevicePopulation.generate(3, duration_s=10.0, master_seed=4)
+        result = FleetSimulator(trained_pipeline).run(population)
+        telemetry = FleetTelemetry.from_result(result)
+
+        path = tmp_path / "fleet.json"
+        text = telemetry.to_json(str(path))
+        on_disk = json.loads(path.read_text())
+        assert on_disk == json.loads(text)
+        assert on_disk["fleet"]["num_devices"] == 3
+        assert len(on_disk["devices"]) == 3
+        for key in ("accuracy", "average_current_ua", "battery_life_days"):
+            assert "p95" in on_disk["fleet"][key]
+
+    def test_format_table_mentions_key_sections(self, trained_pipeline):
+        population = DevicePopulation.generate(2, duration_s=10.0, master_seed=4)
+        result = FleetSimulator(trained_pipeline).run(population)
+        table = FleetTelemetry.from_result(result).format_table()
+        for needle in ("devices", "battery life", "config dwell", "by controller"):
+            assert needle in table

@@ -101,3 +101,58 @@ class TestHarPipelineInference:
         pipeline = HarPipeline(classifier=classifier, scaler=None)
         result = pipeline.classify_features(small_dataset.features[0])
         assert isinstance(result.activity, Activity)
+
+
+class TestBatchedInference:
+    def test_batch_results_are_bit_identical_to_single(
+        self, trained_pipeline, small_dataset
+    ):
+        """Classification must be invariant to how requests are batched —
+        the property the fleet engine's one-call-per-tick design rests on."""
+        features = small_dataset.features[:7]
+        batch = trained_pipeline.classify_batch(features)
+        assert len(batch) == 7
+        for row, batched in zip(features, batch):
+            single = trained_pipeline.classify_features(row)
+            assert single.activity == batched.activity
+            assert single.confidence == batched.confidence
+            assert np.array_equal(single.probabilities, batched.probabilities)
+
+    def test_batch_probabilities_are_valid(self, trained_pipeline, small_dataset):
+        for result in trained_pipeline.classify_batch(small_dataset.features[:5]):
+            assert result.probabilities.shape == (NUM_ACTIVITIES,)
+            assert result.probabilities.sum() == pytest.approx(1.0)
+            assert result.confidence == pytest.approx(result.probabilities.max())
+
+    def test_empty_batch(self, trained_pipeline, small_dataset):
+        assert trained_pipeline.classify_batch(small_dataset.features[:0]) == []
+
+    def test_batch_rejects_vectors(self, trained_pipeline, small_dataset):
+        with pytest.raises(ValueError):
+            trained_pipeline.classify_batch(small_dataset.features[0])
+
+    def test_classify_windows_preserves_order_across_configs(
+        self, trained_pipeline, dataset_builder
+    ):
+        """Mixed-configuration windows are grouped for stacked extraction
+        but results come back in input order."""
+        windows = []
+        for config in (HIGH_POWER_CONFIG, LOW_POWER_CONFIG, HIGH_POWER_CONFIG):
+            samples = dataset_builder.acquire_raw_window(Activity.WALK, config)
+            count = samples.shape[0]
+            windows.append(
+                SensorWindow(
+                    samples=samples,
+                    times_s=np.arange(1, count + 1) / config.sampling_hz,
+                    config=config,
+                )
+            )
+        batched = trained_pipeline.classify_windows(windows)
+        assert len(batched) == 3
+        for window, result in zip(windows, batched):
+            single = trained_pipeline.classify_window(window)
+            assert single.activity == result.activity
+            assert single.confidence == result.confidence
+
+    def test_classify_windows_empty(self, trained_pipeline):
+        assert trained_pipeline.classify_windows([]) == []

@@ -7,8 +7,10 @@ import pytest
 from repro.core.activities import Activity, STATIC_ACTIVITIES
 from repro.datasets.scenarios import (
     ActivitySetting,
+    ScenarioArchetype,
     ScheduleSpec,
     generate_random_schedule,
+    make_archetype_schedule,
     make_daily_routine_schedule,
     make_fig5_schedule,
     make_setting_schedule,
@@ -159,3 +161,94 @@ class TestStableAndRoutineSchedules:
 
     def test_daily_routine_reproducible(self):
         assert make_daily_routine_schedule(seed=3) == make_daily_routine_schedule(seed=3)
+
+
+class TestWeightedSchedules:
+    def test_weights_must_parallel_activities(self):
+        with pytest.raises(ValueError):
+            ScheduleSpec(
+                total_duration_s=60.0,
+                min_bout_s=5.0,
+                max_bout_s=10.0,
+                activities=(Activity.SIT, Activity.WALK),
+                weights=(1.0,),
+            )
+
+    def test_weights_must_be_non_negative_and_not_all_zero(self):
+        with pytest.raises(ValueError):
+            ScheduleSpec(
+                total_duration_s=60.0,
+                min_bout_s=5.0,
+                max_bout_s=10.0,
+                activities=(Activity.SIT, Activity.WALK),
+                weights=(-1.0, 1.0),
+            )
+        with pytest.raises(ValueError):
+            ScheduleSpec(
+                total_duration_s=60.0,
+                min_bout_s=5.0,
+                max_bout_s=10.0,
+                activities=(Activity.SIT, Activity.WALK),
+                weights=(0.0, 0.0),
+            )
+
+    def test_weighted_draws_follow_weights(self):
+        spec = ScheduleSpec(
+            total_duration_s=2000.0,
+            min_bout_s=5.0,
+            max_bout_s=10.0,
+            activities=(Activity.SIT, Activity.WALK, Activity.STAND),
+            weights=(10.0, 1.0, 10.0),
+        )
+        schedule = generate_random_schedule(spec, seed=0)
+        time_per_activity = {}
+        for activity, duration in schedule:
+            time_per_activity[activity] = time_per_activity.get(activity, 0.0) + duration
+        assert time_per_activity[Activity.SIT] > time_per_activity[Activity.WALK]
+        assert time_per_activity[Activity.STAND] > time_per_activity[Activity.WALK]
+
+    def test_uniform_stream_unchanged_by_weights_feature(self):
+        """weights=None must keep the exact pre-feature random stream."""
+        spec = ScheduleSpec(
+            total_duration_s=120.0, min_bout_s=5.0, max_bout_s=10.0
+        )
+        first = generate_random_schedule(spec, seed=11)
+        second = generate_random_schedule(spec, seed=11)
+        assert first == second
+
+
+class TestScenarioArchetypes:
+    def test_every_archetype_generates_exact_duration(self):
+        for archetype in ScenarioArchetype:
+            schedule = make_archetype_schedule(archetype, 300.0, seed=2)
+            assert schedule_duration(schedule) == pytest.approx(300.0)
+            assert schedule_change_count(schedule) == len(schedule) - 1
+
+    def test_archetypes_only_use_their_activity_pool(self):
+        for archetype in ScenarioArchetype:
+            schedule = make_archetype_schedule(archetype, 600.0, seed=3)
+            pool = set(archetype.activities)
+            assert {activity for activity, _ in schedule} <= pool
+
+    def test_archetype_schedules_are_seed_deterministic(self):
+        first = make_archetype_schedule(ScenarioArchetype.ATHLETE, 300.0, seed=4)
+        second = make_archetype_schedule(ScenarioArchetype.ATHLETE, 300.0, seed=4)
+        assert first == second
+
+    def test_athlete_changes_faster_than_office_worker(self):
+        athlete = make_archetype_schedule(ScenarioArchetype.ATHLETE, 600.0, seed=5)
+        office = make_archetype_schedule(
+            ScenarioArchetype.OFFICE_WORKER, 600.0, seed=5
+        )
+        assert schedule_change_count(athlete) > schedule_change_count(office)
+
+    def test_office_worker_mostly_sits(self):
+        schedule = make_archetype_schedule(
+            ScenarioArchetype.OFFICE_WORKER, 3000.0, seed=6
+        )
+        sitting = sum(d for activity, d in schedule if activity == Activity.SIT)
+        assert sitting / schedule_duration(schedule) > 0.35
+
+    def test_string_coerces_to_archetype(self):
+        schedule = make_archetype_schedule("elderly", 120.0, seed=7)
+        assert schedule_duration(schedule) == pytest.approx(120.0)

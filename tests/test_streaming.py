@@ -87,11 +87,18 @@ class TestStreamingControlLoop:
         assert step.result is not None
 
     def test_reset_restores_initial_state(self, trained_pipeline, dataset_builder):
+        # Same robust walk-down setup as test_walks_down_to_lowest_state
+        # (stable LIE, enough pushes, min duration below the 12.5 Hz
+        # rounding): the point here is reset(), not borderline windows.
         controller = SpotController(stability_threshold=1)
-        stream = StreamingAdaSense(pipeline=trained_pipeline, controller=controller)
+        stream = StreamingAdaSense(
+            pipeline=trained_pipeline,
+            controller=controller,
+            min_classify_duration_s=0.9,
+        )
         config = stream.current_config
-        for _ in range(4):
-            samples = _second_of(dataset_builder, Activity.SIT, config)
+        for _ in range(20):
+            samples = _second_of(dataset_builder, Activity.LIE, config)
             config = stream.push(samples, config).next_config
         assert controller.state_index > 0
         stream.reset()
