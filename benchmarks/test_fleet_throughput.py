@@ -1,28 +1,66 @@
-"""Throughput benchmark: batched fleet engine vs the sequential loop.
+"""Throughput benchmark: the fleet execution paths against each other.
 
-The fleet engine's reason to exist is turning an O(N x per-device-
-Python-loop) workload into a handful of vectorized calls per tick.  This
-module measures both paths on the same population in device-seconds of
-simulated time per wall-clock second, prints the comparison, and guards
-the speedup: at fleet scale (>= 50 devices) batched simulation must be
-at least as fast as the sequential reference.
+Four ways of simulating the same 50-device population are measured in
+device-seconds of simulated time per wall-clock second and written to
+``BENCH_fleet.json`` at the repository root so the performance
+trajectory is tracked across PRs:
+
+``sequential``
+    The per-device reference loop (exact features, scalar sensing).
+``batched``
+    Lock-step batched classification with exact full-window features
+    and per-device sensing — the PR 1 fleet engine's execution recipe.
+``incremental``
+    The default execution core: stacked multi-device sensing plus
+    chunk-cached incremental feature extraction.
+``sharded``
+    The incremental engine split across worker processes (bounded by
+    the available cores, so on a single-core runner this mostly
+    measures process overhead).
+
+Two guards are asserted: batched must not be slower than sequential
+(the PR 1 claim), and the incremental path must deliver at least 1.5x
+the batched throughput (this PR's claim).  A separate test verifies the
+speed does not cost fidelity: incremental and sharded runs must be
+bit-identical to the sequential reference for the full population.
 """
 
 from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
 
 import pytest
 
 from _bench_utils import BENCH_SEED, print_report
 
 from repro.core.adasense import AdaSense
-from repro.fleet import DevicePopulation, FleetSimulator, traces_equal
+from repro.fleet import (
+    DevicePopulation,
+    FleetSimulator,
+    FleetTelemetry,
+    ShardedFleetSimulator,
+    traces_equal,
+)
 
-#: Fleet size for the guard; the issue requires >= 50 devices.
+#: Fleet size for the guards; the issue requires >= 50 devices.
 NUM_DEVICES = 50
 
-#: Simulated seconds per device (kept short: the guard compares
+#: Simulated seconds per device (kept short: the guards compare
 #: *relative* speed, and 50 x 30 = 1500 device-seconds is plenty).
 DURATION_S = 30.0
+
+#: Required speedup of the incremental execution core over the PR 1
+#: style batched path.  Overridable for noisy shared runners (CI sets a
+#: lower bar via REPRO_MIN_INCREMENTAL_SPEEDUP; the default is the
+#: guarantee tracked on dedicated hardware).
+MIN_INCREMENTAL_SPEEDUP = float(
+    os.environ.get("REPRO_MIN_INCREMENTAL_SPEEDUP", "1.5")
+)
+
+#: Where the machine-readable throughput report lands.
+BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
 
 
 @pytest.fixture(scope="module")
@@ -31,54 +69,141 @@ def fleet_setup():
     population = DevicePopulation.generate(
         NUM_DEVICES, duration_s=DURATION_S, master_seed=BENCH_SEED
     )
-    return FleetSimulator(system.pipeline), population
+    return system.pipeline, population
 
 
-def test_fleet_throughput_batched_vs_sequential(benchmark, fleet_setup):
-    simulator, population = fleet_setup
+def _mode_entry(result) -> dict:
+    return {
+        "elapsed_s": result.elapsed_s,
+        "device_seconds_per_s": result.throughput_device_seconds_per_s,
+        "devices_per_s": result.num_devices / result.elapsed_s,
+    }
 
-    batched = benchmark.pedantic(
-        simulator.run, args=(population,), rounds=1, iterations=1, warmup_rounds=1
+
+def _best_of(runner, rounds: int = 2):
+    """Warm a mode up once, then keep its fastest timed round.
+
+    Every mode gets the same treatment — one discarded warm-up run
+    followed by ``rounds`` timed runs — so no path is compared warm
+    against another path's cold first call, and a single scheduling
+    blip on a loaded CI runner cannot fail the hard throughput gates
+    below.
+    """
+    runner()
+    results = [runner() for _ in range(rounds)]
+    return min(results, key=lambda result: result.elapsed_s)
+
+
+def test_fleet_throughput_modes(benchmark, fleet_setup):
+    pipeline, population = fleet_setup
+    pr1_style = FleetSimulator(pipeline, features="exact", sensing="per_device")
+    incremental_engine = FleetSimulator(pipeline)
+    sharded_engine = ShardedFleetSimulator(pipeline)
+
+    first_incremental = benchmark.pedantic(
+        incremental_engine.run,
+        args=(population,),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=1,
     )
-    sequential = simulator.run_sequential(population)
+    incremental = min(
+        (first_incremental, incremental_engine.run(population)),
+        key=lambda result: result.elapsed_s,
+    )
+    batched = _best_of(lambda: pr1_style.run(population))
+    sequential = _best_of(lambda: pr1_style.run_sequential(population))
+    sharded_run = _best_of(lambda: sharded_engine.run(population))
+    sharded = sharded_run.result
 
-    speedup = sequential.elapsed_s / batched.elapsed_s
+    report = {
+        "num_devices": NUM_DEVICES,
+        "duration_s": DURATION_S,
+        "seed": BENCH_SEED,
+        "modes": {
+            "sequential": _mode_entry(sequential),
+            "batched": _mode_entry(batched),
+            "incremental": _mode_entry(incremental),
+            "sharded": {
+                **_mode_entry(sharded),
+                "num_shards": sharded_run.num_shards,
+                "used_processes": sharded_run.used_processes,
+            },
+        },
+        "speedup_incremental_vs_batched": batched.elapsed_s / incremental.elapsed_s,
+        "speedup_batched_vs_sequential": sequential.elapsed_s / batched.elapsed_s,
+    }
+    BENCH_JSON_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
     print_report(
-        "Fleet throughput — batched vs sequential simulation",
+        "Fleet throughput — execution paths over one 50-device population",
         "\n".join(
             [
-                f"devices                : {batched.num_devices}",
-                f"simulated device-time  : {batched.device_seconds:.0f} s",
+                f"devices                : {NUM_DEVICES}",
+                f"simulated device-time  : {incremental.device_seconds:.0f} s",
+            ]
+            + [
                 (
-                    f"batched                : {batched.elapsed_s:8.3f} s wall "
-                    f"({batched.throughput_device_seconds_per_s:8.0f} device-s/s)"
-                ),
+                    f"{name:<23}: {result.elapsed_s:8.3f} s wall "
+                    f"({result.throughput_device_seconds_per_s:8.0f} device-s/s)"
+                )
+                for name, result in (
+                    ("sequential", sequential),
+                    ("batched (PR 1 recipe)", batched),
+                    ("incremental", incremental),
+                    ("sharded", sharded),
+                )
+            ]
+            + [
                 (
-                    f"sequential             : {sequential.elapsed_s:8.3f} s wall "
-                    f"({sequential.throughput_device_seconds_per_s:8.0f} device-s/s)"
+                    "incremental vs batched : "
+                    f"{report['speedup_incremental_vs_batched']:8.2f}x"
                 ),
-                f"speedup                : {speedup:8.2f}x",
+                f"report                 -> {BENCH_JSON_PATH.name}",
             ]
         ),
     )
 
-    # Sanity: both engines simulated the same fleet...
-    assert sequential.num_devices == batched.num_devices == NUM_DEVICES
+    # Sanity: every engine simulated the same fleet...
+    assert (
+        sequential.num_devices
+        == batched.num_devices
+        == incremental.num_devices
+        == sharded.num_devices
+        == NUM_DEVICES
+    )
     assert batched.device_seconds == sequential.device_seconds
-    # ...and the batched engine must not be slower at fleet scale.
+    assert incremental.device_seconds == sequential.device_seconds
+    # ...the batched engine must not be slower at fleet scale...
     assert batched.elapsed_s <= sequential.elapsed_s, (
         f"batched fleet simulation took {batched.elapsed_s:.3f} s but the "
         f"sequential loop took {sequential.elapsed_s:.3f} s for "
         f"{NUM_DEVICES} devices"
     )
+    # ...and the incremental execution core must beat the PR 1 recipe.
+    speedup = report["speedup_incremental_vs_batched"]
+    assert speedup >= MIN_INCREMENTAL_SPEEDUP, (
+        f"incremental throughput is only {speedup:.2f}x the batched path "
+        f"(required: {MIN_INCREMENTAL_SPEEDUP}x) for {NUM_DEVICES} devices"
+    )
 
 
-def test_fleet_batched_results_match_sequential(fleet_setup):
-    """The speedup must not come at the cost of fidelity: spot-check a
-    few devices for bit-identical traces at benchmark scale."""
-    simulator, population = fleet_setup
-    subset = list(population)[:5]
-    batched = simulator.run(subset)
-    sequential = simulator.run_sequential(subset)
-    for left, right in zip(batched.traces, sequential.traces):
+def test_fleet_fast_paths_match_sequential_reference(fleet_setup):
+    """The speedup must not cost fidelity: incremental and sharded runs
+    are bit-identical to the per-device sequential reference for the
+    whole 50-device population, and the sharded telemetry matches the
+    telemetry of the sequential traces."""
+    pipeline, population = fleet_setup
+    simulator = FleetSimulator(pipeline)
+    sequential = simulator.run_sequential(population)
+    incremental = simulator.run(population)
+    sharded_run = ShardedFleetSimulator(pipeline).run(population)
+
+    for left, right in zip(incremental.traces, sequential.traces):
         assert traces_equal(left, right)
+    for left, right in zip(sharded_run.result.traces, sequential.traces):
+        assert traces_equal(left, right)
+    assert (
+        sharded_run.telemetry.to_dict()
+        == FleetTelemetry.from_result(sequential).to_dict()
+    )

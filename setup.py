@@ -11,10 +11,11 @@ from setuptools import find_packages, setup
 
 setup(
     name="adasense-repro",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of AdaSense (DAC 2020): adaptive low-power sensing "
-        "and activity recognition, with a vectorized fleet simulator"
+        "and activity recognition, with a vectorized, process-shardable "
+        "fleet simulator on a unified execution core"
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),

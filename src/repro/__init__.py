@@ -40,9 +40,17 @@ traces into fleet-level distributions with JSON export.
 >>> FleetTelemetry.from_result(result).num_devices
 4
 
+Every simulation path runs on one shared execution core
+(:mod:`repro.exec`): stacked multi-device sensing, incremental
+(chunk-cached) feature extraction and one batched classifier call per
+tick, with :class:`~repro.fleet.ShardedFleetSimulator` splitting a
+population across worker processes — all bit-identical to the
+per-device sequential reference.
+
 The same study is available from the command line::
 
     repro fleet --devices 500 --duration 600 --out fleet.json
+    repro fleet --devices 500 --duration 600 --engine sharded
 
 See ``examples/`` for complete, commented scenarios (including
 ``examples/fleet_report.py``) and ``benchmarks/`` for the scripts that
@@ -64,8 +72,13 @@ from repro.core.controller import (
     StaticController,
 )
 from repro.core.dse import DesignSpaceExplorer
-from repro.core.features import FeatureExtractor
+from repro.core.features import (
+    FeatureExtractor,
+    IncrementalFeatureExtractor,
+    WindowGeometry,
+)
 from repro.core.pipeline import HarPipeline
+from repro.exec.engine import DeviceRuntime, StepEngine
 from repro.baselines.intensity_based import IntensityBasedApproach
 from repro.baselines.static import AlwaysHighPowerBaseline
 from repro.datasets.scenarios import (
@@ -85,11 +98,13 @@ from repro.fleet import (
     FleetSimulator,
     FleetTelemetry,
     PopulationSpec,
+    ShardedFleetRun,
+    ShardedFleetSimulator,
 )
 from repro.sim.runtime import ClosedLoopSimulator
 from repro.sim.trace import SimulationTrace
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -121,8 +136,14 @@ __all__ = [
     "make_archetype_schedule",
     "DevicePopulation",
     "DeviceProfile",
+    "DeviceRuntime",
     "FleetResult",
     "FleetSimulator",
     "FleetTelemetry",
+    "IncrementalFeatureExtractor",
     "PopulationSpec",
+    "ShardedFleetRun",
+    "ShardedFleetSimulator",
+    "StepEngine",
+    "WindowGeometry",
 ]

@@ -38,7 +38,12 @@ from repro.core.controller import (
 )
 from repro.core.pipeline import HarPipeline
 from repro.datasets.scenarios import ActivitySetting, make_setting_schedule
-from repro.fleet import DevicePopulation, FleetSimulator, FleetTelemetry
+from repro.fleet import (
+    DevicePopulation,
+    FleetSimulator,
+    FleetTelemetry,
+    ShardedFleetSimulator,
+)
 from repro.ml.persistence import load_model, save_model
 
 #: Experiment name -> callable returning an object with ``format_table()``.
@@ -173,9 +178,18 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_parser.add_argument("--out", default=None,
                               help="write the full JSON telemetry report here")
     fleet_parser.add_argument(
-        "--engine", choices=("batched", "sequential"), default="batched",
-        help="batched lock-step fleet engine (default) or the per-device "
-             "sequential reference loop",
+        "--engine", choices=("batched", "sequential", "sharded"), default="batched",
+        help="batched lock-step fleet engine (default), the per-device "
+             "sequential reference loop, or the process-sharded engine",
+    )
+    fleet_parser.add_argument(
+        "--features", choices=("incremental", "exact"), default="incremental",
+        help="feature extraction: chunk-cached incremental path (default) "
+             "or the exact full-window path",
+    )
+    fleet_parser.add_argument(
+        "--shards", type=int, default=None,
+        help="worker processes for --engine sharded (default: CPU count)",
     )
     fleet_parser.add_argument("--model", default=None,
                               help="JSON model saved by 'train' (otherwise trains a fresh one)")
@@ -278,14 +292,24 @@ def _command_fleet(args: argparse.Namespace, out) -> int:
         duration_s=args.duration,
         master_seed=args.seed,
     )
-    simulator = FleetSimulator(system.pipeline)
-    if args.engine == "sequential":
-        result = simulator.run_sequential(population)
+    if args.engine == "sharded":
+        sharded = ShardedFleetSimulator(system.pipeline, features=args.features)
+        run = sharded.run(population, num_shards=args.shards)
+        result = run.result
+        telemetry = run.telemetry
+        out.write(
+            f"engine             : sharded ({run.num_shards} shards: "
+            f"{', '.join(str(size) for size in run.shard_sizes)})\n"
+        )
     else:
-        result = simulator.run(population)
-    telemetry = FleetTelemetry.from_result(result)
-
-    out.write(f"engine             : {result.mode}\n")
+        simulator = FleetSimulator(system.pipeline, features=args.features)
+        if args.engine == "sequential":
+            result = simulator.run_sequential(population)
+        else:
+            result = simulator.run(population)
+        telemetry = FleetTelemetry.from_result(result)
+        out.write(f"engine             : {result.mode}\n")
+    out.write(f"features           : {args.features}\n")
     out.write(
         f"throughput         : {result.throughput_device_seconds_per_s:.0f} "
         f"device-seconds/s ({result.elapsed_s:.2f} s wall clock)\n"

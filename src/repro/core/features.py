@@ -34,7 +34,8 @@ Two spellings of the Fourier features are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Literal, Sequence, Tuple
+from functools import lru_cache
+from typing import Dict, Iterable, List, Literal, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -54,6 +55,34 @@ DEFAULT_MAX_FREQUENCY_HZ: float = 3.0
 _NUM_AXES: int = 3
 
 FourierMode = Literal["bands", "bins"]
+
+
+@lru_cache(maxsize=512)
+def _spectral_layout(
+    n_samples: int,
+    sampling_hz: float,
+    max_frequency_hz: float,
+    n_fourier_features: int,
+) -> Tuple[np.ndarray, Tuple[np.ndarray, ...]]:
+    """FFT bin frequencies and per-band masks for one window geometry.
+
+    Keyed by ``(n_samples, sampling_hz)`` (plus the extractor's band
+    layout), so repeated extractions over the same window shape — the
+    common case in closed-loop and fleet simulation, where the same
+    sensor configuration is classified every second — reuse one
+    frequency grid and one set of boolean band masks instead of
+    recomputing them per call.  The returned arrays are frozen so a
+    cache hit can never be mutated by a caller.
+    """
+    frequencies = np.fft.rfftfreq(n_samples, d=1.0 / sampling_hz)
+    edges = np.linspace(0.0, max_frequency_hz, n_fourier_features + 1)
+    masks = []
+    for band in range(n_fourier_features):
+        mask = (frequencies > edges[band]) & (frequencies <= edges[band + 1])
+        mask.setflags(write=False)
+        masks.append(mask)
+    frequencies.setflags(write=False)
+    return frequencies, tuple(masks)
 
 
 @dataclass(frozen=True)
@@ -199,7 +228,6 @@ class FeatureExtractor:
         batch, n_samples = samples.shape[0], samples.shape[1]
         centered = samples - samples.mean(axis=1, keepdims=True)
         spectrum = np.abs(np.fft.rfft(centered, axis=1)) * (2.0 / n_samples)
-        frequencies = np.fft.rfftfreq(n_samples, d=1.0 / sampling_hz)
 
         if self.fourier_mode == "bins":
             features = np.zeros((batch, self.n_fourier_features, _NUM_AXES))
@@ -208,15 +236,18 @@ class FeatureExtractor:
                 features[:, :available] = spectrum[:, 1 : available + 1]
             return features.transpose(0, 2, 1).reshape(batch, -1)
 
-        # "bands" mode: RMS magnitude in equal-width bands up to max_frequency_hz.
-        edges = np.linspace(
-            0.0, self.max_frequency_hz, self.n_fourier_features + 1
+        # "bands" mode: RMS magnitude in equal-width bands up to
+        # max_frequency_hz.  The frequency grid and per-band masks only
+        # depend on the window geometry, so they come from the shared cache.
+        _, masks = _spectral_layout(
+            n_samples,
+            float(sampling_hz),
+            self.max_frequency_hz,
+            self.n_fourier_features,
         )
         features = np.zeros((batch, self.n_fourier_features, _NUM_AXES))
-        for band in range(self.n_fourier_features):
-            low, high = edges[band], edges[band + 1]
-            mask = (frequencies > low) & (frequencies <= high)
-            # Exclude the DC bin explicitly (frequencies > 0 already does).
+        for band, mask in enumerate(masks):
+            # The DC bin is excluded by construction (frequencies > low >= 0).
             if mask.any():
                 features[:, band] = np.sqrt(
                     np.mean(spectrum[:, mask, :] ** 2, axis=1)
@@ -227,6 +258,338 @@ class FeatureExtractor:
 def default_feature_extractor() -> FeatureExtractor:
     """The extractor configuration used throughout the paper reproduction."""
     return FeatureExtractor()
+
+
+# ----------------------------------------------------------------------
+# Incremental (chunk-cached) feature extraction
+# ----------------------------------------------------------------------
+#
+# AdaSense classifies overlapping windows: a two-second window every
+# second, so consecutive windows share half their samples.  Recomputing
+# the statistical moments and the spectrum from scratch every tick
+# therefore redoes half the work.  The incremental extractor instead
+# caches, per freshly acquired second ("chunk"), the partial quantities
+# the features are built from:
+#
+# * the chunk's per-axis sample sum and sum of squares (for mean / std
+#   via the two-moment identity), and
+# * the chunk's contribution to the low-frequency DFT bins of the full
+#   window — only bins up to ``max_frequency_hz`` matter, so this is a
+#   tiny ``(bins, chunk)`` matrix product rather than a full FFT.
+#
+# Combining a window is then a handful of adds: the DFT contribution of
+# a chunk at window offset ``p`` is its cached coefficient times the
+# phase factor ``exp(-2j*pi*k*p/n)``, and sums simply accumulate.
+# Mean-centering is unnecessary because subtracting a constant only
+# changes the DC bin, which the features exclude.
+#
+# The combined features are mathematically identical to the full-window
+# path and agree to ~1e-12 relative precision (floating-point summation
+# order differs), which the property tests in
+# ``tests/test_exec_incremental.py`` sweep over sampling rates, window /
+# hop ratios and Fourier modes.  The execution engine keeps the exact
+# full-window path as a fallback (warm-up ticks, configuration switches,
+# misaligned geometries) and as a toggle (``features="exact"``).
+
+
+@dataclass(frozen=True)
+class WindowGeometry:
+    """Steady-state chunk layout of the sliding classification window.
+
+    A device acquiring at ``sampling_hz`` contributes ``chunk_samples``
+    samples per step; the classification buffer caps the window at
+    ``window_samples``.  When the cap is not an integer multiple of the
+    chunk size (e.g. 12.5 Hz: 12-sample chunks against a 25-sample cap)
+    the steady-state window consists of the ``tail_samples`` newest
+    samples of the oldest buffered chunk followed by
+    ``chunks_per_window`` complete chunks — exactly the structure
+    :class:`repro.sensors.buffer.SampleBuffer` converges to.
+    """
+
+    sampling_hz: float
+    chunk_samples: int
+    window_samples: int
+    chunks_per_window: int
+    tail_samples: int
+
+    @classmethod
+    def for_window(
+        cls, sampling_hz: float, step_s: float, window_duration_s: float
+    ) -> Optional["WindowGeometry"]:
+        """Geometry for one configuration, or ``None`` when incremental
+        extraction cannot apply (degenerate sample counts)."""
+        chunk = int(round(sampling_hz * step_s))
+        window = int(round(sampling_hz * window_duration_s))
+        if chunk < 1 or window < max(chunk, 2):
+            return None
+        full = window // chunk
+        return cls(
+            sampling_hz=float(sampling_hz),
+            chunk_samples=chunk,
+            window_samples=window,
+            chunks_per_window=full,
+            tail_samples=window - full * chunk,
+        )
+
+    @property
+    def cached_chunks(self) -> int:
+        """Chunks that must be cached before a window can be combined.
+
+        One extra chunk is needed when the window keeps a tail of the
+        oldest chunk (``tail_samples > 0``).
+        """
+        return self.chunks_per_window + (1 if self.tail_samples else 0)
+
+
+@dataclass(frozen=True)
+class _SpectralBasis:
+    """Precomputed DFT basis and band layout for one window geometry.
+
+    ``chunk_basis[k - 1, j] = exp(-2j*pi*j*k/n)`` for the spectral bins
+    ``k = 1..bins`` of the ``n``-point window DFT, evaluated over one
+    chunk's local sample indices; ``tail_basis`` is the same for the
+    tail fragment.  ``chunk_phases[slot]`` rotates a cached chunk
+    coefficient to the window offset of chunk slot ``slot``.
+    """
+
+    bins: int
+    chunk_basis: np.ndarray
+    tail_basis: Optional[np.ndarray]
+    chunk_phases: np.ndarray
+    band_masks: Optional[Tuple[np.ndarray, ...]]
+    scale: float
+
+
+class ChunkPartials:
+    """Cached partial features of one acquired chunk (one device).
+
+    ``sums`` / ``sumsq`` are the per-axis sample sums over the full
+    chunk; ``dft`` its offset-free contribution to the window's
+    low-frequency DFT bins.  The ``tail_*`` fields hold the same
+    quantities for the chunk's newest ``tail_samples`` samples (``None``
+    for aligned geometries), used once the chunk becomes the oldest,
+    partially trimmed entry of the buffer.
+    """
+
+    __slots__ = ("sums", "sumsq", "dft", "tail_sums", "tail_sumsq", "tail_dft")
+
+    def __init__(self, sums, sumsq, dft, tail_sums=None, tail_sumsq=None, tail_dft=None):
+        self.sums = sums
+        self.sumsq = sumsq
+        self.dft = dft
+        self.tail_sums = tail_sums
+        self.tail_sumsq = tail_sumsq
+        self.tail_dft = tail_dft
+
+
+class IncrementalFeatureExtractor:
+    """Chunk-cached feature extraction over overlapping windows.
+
+    Wraps a :class:`FeatureExtractor` and reproduces its feature vector
+    from per-chunk partials: each freshly acquired second is reduced
+    once (:meth:`chunk_partials_stacked`), and every overlapping window
+    containing it is assembled by :meth:`combine_stacked` from cached
+    partials with a few vectorised adds.  :meth:`extract_stacked`
+    delegates to the wrapped extractor and is the exact-equivalence
+    fallback used for warm-up windows and as the ``features="exact"``
+    engine toggle.
+    """
+
+    def __init__(self, extractor: Optional[FeatureExtractor] = None) -> None:
+        self._extractor = (
+            extractor if extractor is not None else default_feature_extractor()
+        )
+        self._bases: Dict[WindowGeometry, _SpectralBasis] = {}
+
+    @property
+    def extractor(self) -> FeatureExtractor:
+        """The wrapped full-window extractor."""
+        return self._extractor
+
+    @property
+    def num_features(self) -> int:
+        """Length of the extracted feature vector."""
+        return self._extractor.num_features
+
+    # ------------------------------------------------------------------
+    # Exact fallback
+    # ------------------------------------------------------------------
+    def extract_stacked(self, samples: np.ndarray, sampling_hz: float) -> np.ndarray:
+        """Exact full-window extraction (delegates to the wrapped extractor)."""
+        return self._extractor.extract_stacked(samples, sampling_hz)
+
+    # ------------------------------------------------------------------
+    # Basis
+    # ------------------------------------------------------------------
+    def basis_for(self, geometry: WindowGeometry) -> _SpectralBasis:
+        """The (cached) DFT basis and band layout for ``geometry``."""
+        basis = self._bases.get(geometry)
+        if basis is None:
+            basis = self._build_basis(geometry)
+            self._bases[geometry] = basis
+        return basis
+
+    def _build_basis(self, geometry: WindowGeometry) -> _SpectralBasis:
+        extractor = self._extractor
+        n = geometry.window_samples
+        max_bin = n // 2
+        band_masks: Optional[Tuple[np.ndarray, ...]] = None
+        if extractor.fourier_mode == "bins":
+            bins = min(extractor.n_fourier_features, max_bin)
+        else:
+            frequencies, masks = _spectral_layout(
+                n,
+                geometry.sampling_hz,
+                extractor.max_frequency_hz,
+                extractor.n_fourier_features,
+            )
+            in_band = np.flatnonzero(
+                (frequencies[: max_bin + 1] > 0.0)
+                & (frequencies[: max_bin + 1] <= extractor.max_frequency_hz)
+            )
+            bins = int(in_band[-1]) if in_band.size else 0
+            band_masks = tuple(mask[1 : bins + 1] for mask in masks)
+
+        k = np.arange(1, bins + 1)
+        j_chunk = np.arange(geometry.chunk_samples)
+        chunk_basis = np.exp(-2j * np.pi * np.outer(k, j_chunk) / n)
+        tail_basis = None
+        if geometry.tail_samples:
+            j_tail = np.arange(geometry.tail_samples)
+            tail_basis = np.exp(-2j * np.pi * np.outer(k, j_tail) / n)
+        offsets = geometry.tail_samples + geometry.chunk_samples * np.arange(
+            geometry.chunks_per_window
+        )
+        chunk_phases = np.exp(-2j * np.pi * np.outer(offsets, k) / n)
+        return _SpectralBasis(
+            bins=bins,
+            chunk_basis=chunk_basis,
+            tail_basis=tail_basis,
+            chunk_phases=chunk_phases,
+            band_masks=band_masks,
+            scale=2.0 / n,
+        )
+
+    # ------------------------------------------------------------------
+    # Incremental path
+    # ------------------------------------------------------------------
+    def chunk_partials_stacked(
+        self, chunks: np.ndarray, geometry: WindowGeometry
+    ) -> List[ChunkPartials]:
+        """Reduce a stack of freshly acquired chunks to cached partials.
+
+        Parameters
+        ----------
+        chunks:
+            Array of shape ``(batch, chunk_samples, 3)`` — one chunk per
+            device, all acquired under the same configuration.
+        geometry:
+            The window geometry the chunks belong to.
+        """
+        chunks = np.asarray(chunks, dtype=float)
+        if chunks.ndim != 3 or chunks.shape[1] != geometry.chunk_samples:
+            raise ValueError(
+                f"chunks must have shape (batch, {geometry.chunk_samples}, 3), "
+                f"got {chunks.shape}"
+            )
+        basis = self.basis_for(geometry)
+        sums = chunks.sum(axis=1)
+        sumsq = (chunks * chunks).sum(axis=1)
+        dft = (
+            basis.chunk_basis[None, :, :, None] * chunks[:, None, :, :]
+        ).sum(axis=2)
+        if geometry.tail_samples:
+            tail = chunks[:, geometry.chunk_samples - geometry.tail_samples :, :]
+            tail_sums = tail.sum(axis=1)
+            tail_sumsq = (tail * tail).sum(axis=1)
+            tail_dft = (
+                basis.tail_basis[None, :, :, None] * tail[:, None, :, :]
+            ).sum(axis=2)
+            return [
+                ChunkPartials(
+                    sums[d], sumsq[d], dft[d],
+                    tail_sums[d], tail_sumsq[d], tail_dft[d],
+                )
+                for d in range(chunks.shape[0])
+            ]
+        return [
+            ChunkPartials(sums[d], sumsq[d], dft[d]) for d in range(chunks.shape[0])
+        ]
+
+    def combine_stacked(
+        self,
+        windows: Sequence[Sequence[ChunkPartials]],
+        geometry: WindowGeometry,
+    ) -> np.ndarray:
+        """Assemble feature vectors from cached partials.
+
+        Parameters
+        ----------
+        windows:
+            One sequence of :class:`ChunkPartials` per device, ordered
+            oldest to newest and exactly ``geometry.cached_chunks``
+            long.  For tailed geometries the first entry contributes its
+            ``tail_*`` partials, the rest their full-chunk partials.
+        geometry:
+            The shared window geometry.
+
+        Returns
+        -------
+        numpy.ndarray
+            Matrix of shape ``(len(windows), num_features)``.
+        """
+        basis = self.basis_for(geometry)
+        expected = geometry.cached_chunks
+        for window in windows:
+            if len(window) != expected:
+                raise ValueError(
+                    f"each window needs {expected} cached chunks, got {len(window)}"
+                )
+        batch = len(windows)
+        n = geometry.window_samples
+        full_offset = 1 if geometry.tail_samples else 0
+        if geometry.tail_samples:
+            sums = np.stack([window[0].tail_sums for window in windows])
+            sumsq = np.stack([window[0].tail_sumsq for window in windows])
+            spectrum_acc = np.stack([window[0].tail_dft for window in windows])
+        else:
+            sums = np.zeros((batch, _NUM_AXES))
+            sumsq = np.zeros((batch, _NUM_AXES))
+            spectrum_acc = np.zeros((batch, basis.bins, _NUM_AXES), dtype=complex)
+        for slot in range(geometry.chunks_per_window):
+            column = [window[slot + full_offset] for window in windows]
+            sums = sums + np.stack([partials.sums for partials in column])
+            sumsq = sumsq + np.stack([partials.sumsq for partials in column])
+            spectrum_acc = spectrum_acc + (
+                np.stack([partials.dft for partials in column])
+                * basis.chunk_phases[slot][None, :, None]
+            )
+        means = sums / n
+        variance = sumsq / n - means * means
+        np.maximum(variance, 0.0, out=variance)
+        stds = np.sqrt(variance)
+        spectrum = np.abs(spectrum_acc) * basis.scale
+        fourier = self._fourier_from_spectrum(spectrum, basis)
+        return np.concatenate([means, stds, fourier], axis=1)
+
+    def _fourier_from_spectrum(
+        self, spectrum: np.ndarray, basis: _SpectralBasis
+    ) -> np.ndarray:
+        batch = spectrum.shape[0]
+        n_fourier = self._extractor.n_fourier_features
+        features = np.zeros((batch, n_fourier, _NUM_AXES))
+        if self._extractor.fourier_mode == "bins":
+            available = min(n_fourier, basis.bins)
+            if available > 0:
+                features[:, :available] = spectrum[:, :available]
+        else:
+            assert basis.band_masks is not None
+            for band, mask in enumerate(basis.band_masks):
+                if mask.any():
+                    features[:, band] = np.sqrt(
+                        np.mean(spectrum[:, mask, :] ** 2, axis=1)
+                    )
+        return features.transpose(0, 2, 1).reshape(batch, -1)
 
 
 def window_sample_count(sampling_hz: float, duration_s: float = WINDOW_DURATION_S) -> int:
@@ -248,5 +611,12 @@ def sliding_window_starts(
     if total_duration_s < window_s:
         return np.empty(0)
     last_start = total_duration_s - window_s
-    count = int(np.floor(last_start / hop_s)) + 1
+    # A recording of exactly window_s + k * hop_s seconds must yield k + 1
+    # windows, but accumulated floating-point error can leave the quotient
+    # a few ulps below the integer (e.g. (4.1 - 2.0) / 0.7 < 3), silently
+    # dropping the last window.  Snap quotients within a relative tolerance
+    # of the next integer before flooring.
+    quotient = last_start / hop_s
+    tolerance = 1e-9 * max(1.0, abs(quotient))
+    count = int(np.floor(quotient + tolerance)) + 1
     return hop_s * np.arange(count)

@@ -223,6 +223,42 @@ class ActivityRealization:
     frequencies_hz: np.ndarray
     phases: np.ndarray
     fundamental_hz: float
+    #: Lazily cached axis-grouped component layout for the stacked
+    #: evaluator (see :func:`evaluate_realizations_windowed`); excluded
+    #: from equality/repr because it is derived from the other fields.
+    _fused_layout: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def fused_layout(self) -> tuple:
+        """Axis-grouped component arrays for the stacked evaluator.
+
+        Returns ``(fusable, amplitudes, frequencies, phases, counts)``
+        where the component arrays are reordered so each axis's
+        components are contiguous (original order preserved within an
+        axis) and ``counts`` gives the per-axis group sizes.  Computed
+        once per realisation — the layout is immutable.
+        """
+        layout = self._fused_layout
+        if layout is None:
+            counts = np.bincount(self.axes, minlength=NUM_AXES)
+            if (
+                self.amplitudes.size == 0
+                or (counts == 0).any()
+                or (counts > _MAX_FUSED_AXIS_COMPONENTS).any()
+            ):
+                layout = (False, None, None, None, None)
+            else:
+                order = np.argsort(self.axes, kind="stable")
+                layout = (
+                    True,
+                    self.amplitudes[order],
+                    self.frequencies_hz[order],
+                    self.phases[order],
+                    tuple(int(count) for count in counts),
+                )
+            object.__setattr__(self, "_fused_layout", layout)
+        return layout
 
     def evaluate(self, times_s: np.ndarray) -> np.ndarray:
         """Instantaneous acceleration at the given times.
@@ -304,6 +340,107 @@ class ActivityRealization:
     def peak_amplitude(self) -> float:
         """Upper bound of the dynamic part of the signal in m/s^2."""
         return float(np.abs(self.amplitudes).sum()) if self.amplitudes.size else 0.0
+
+
+#: Largest per-axis component count the fused stacked evaluator handles.
+#: NumPy sums fewer than eight elements along an axis with a plain
+#: left-to-right loop, which the fused evaluator's round-by-round adds
+#: reproduce bit for bit; at eight elements NumPy switches to unrolled
+#: pairwise summation and the fused path falls back to per-realisation
+#: evaluation.
+_MAX_FUSED_AXIS_COMPONENTS: int = 7
+
+
+def evaluate_realizations_windowed(
+    realizations: Sequence[ActivityRealization],
+    times_s: np.ndarray,
+    window_s: float,
+) -> np.ndarray:
+    """Evaluate many realisations over one shared time grid in one pass.
+
+    This is the sensing hot path of the fleet engine: every device in a
+    configuration group samples the *same* window times, so instead of
+    one trigonometric evaluation per device the sinusoidal components of
+    all realisations are concatenated and evaluated with a single
+    ``sin`` over a ``(times, total_components)`` matrix.  Per-device,
+    per-axis sums then fall out of one ``np.add.reduceat`` over
+    axis-grouped columns.
+
+    The result is bit-for-bit identical to::
+
+        np.stack([r.evaluate_windowed(times_s, window_s) for r in realizations])
+
+    Realisations the fused path cannot reproduce exactly (no components,
+    or eight-plus components on one axis, where NumPy switches to
+    pairwise summation) are evaluated individually.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(len(realizations), len(times_s), 3)``.
+    """
+    check_non_negative(window_s, "window_s")
+    times = np.asarray(times_s, dtype=float)
+    if times.ndim != 1:
+        raise ValueError(f"times_s must be a 1-D array, got shape {times.shape}")
+    output = np.empty((len(realizations), times.shape[0], NUM_AXES))
+
+    fused: List[int] = []
+    amplitude_parts: List[np.ndarray] = []
+    frequency_parts: List[np.ndarray] = []
+    phase_parts: List[np.ndarray] = []
+    group_sizes: List[int] = []
+    for index, realization in enumerate(realizations):
+        # The axis-grouped layout (stable sort: each axis's components
+        # contiguous, original order preserved — matching the
+        # boolean-mask selection of the per-realisation path) is cached
+        # on the realisation itself.
+        fusable, amplitudes_d, frequencies_d, phases_d, counts = (
+            realization.fused_layout()
+        )
+        if not fusable:
+            output[index] = realization.evaluate_windowed(times, window_s)
+            continue
+        fused.append(index)
+        amplitude_parts.append(amplitudes_d)
+        frequency_parts.append(frequencies_d)
+        phase_parts.append(phases_d)
+        group_sizes.extend(counts)
+    if not fused:
+        return output
+
+    amplitudes = np.concatenate(amplitude_parts)
+    frequencies = np.concatenate(frequency_parts)
+    phases = np.concatenate(phase_parts)
+
+    if window_s == 0.0:
+        effective_amplitudes = amplitudes
+        effective_times = times[:, None]
+    else:
+        effective_amplitudes = amplitudes * np.sinc(frequencies * window_s)
+        effective_times = times[:, None] - window_s / 2.0
+
+    angles = 2.0 * np.pi * frequencies[None, :] * effective_times + phases[None, :]
+    contributions = effective_amplitudes[None, :] * np.sin(angles)
+
+    # Per-(device, axis) sums, accumulated round by round (every group's
+    # k-th component in one gather) so each group is summed strictly
+    # left to right — the order NumPy uses for the per-realisation
+    # ``contributions[:, mask].sum(axis=1)`` with < 8 components.
+    sizes = np.asarray(group_sizes)
+    starts = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+    sums = np.zeros((times.shape[0], sizes.size))
+    for round_index in range(int(sizes.max())):
+        active = np.flatnonzero(sizes > round_index)
+        sources = starts[active] + round_index
+        if round_index == 0:
+            sums[:, active] = contributions[:, sources]
+        else:
+            sums[:, active] = sums[:, active] + contributions[:, sources]
+    values = sums.reshape(times.shape[0], len(fused), NUM_AXES).transpose(1, 0, 2)
+    offsets = np.stack([realizations[i].offset for i in fused])
+    output[fused] = offsets[:, None, :] + values
+    return output
 
 
 def _profile(
@@ -565,6 +702,39 @@ class ScheduledSignal:
         index = int(np.searchsorted(self._boundaries, time_s, side="right"))
         index = min(index, len(self._segments) - 1)
         return self._segments[index].activity
+
+    def activities_at(self, times_s: np.ndarray) -> List[Activity]:
+        """Ground-truth activities at many times with one lookup.
+
+        Vectorised spelling of :meth:`activity_at`, used by the
+        execution engine to precompute a whole run's ground truth.
+        """
+        times = np.asarray(times_s, dtype=float)
+        if times.size and times.min() < 0:
+            raise ValueError("times_s must be non-negative")
+        indices = np.searchsorted(self._boundaries, times, side="right")
+        indices = np.minimum(indices, len(self._segments) - 1)
+        return [self._segments[int(index)].activity for index in indices]
+
+    def realization_spanning(
+        self, times_s: np.ndarray
+    ) -> Optional[ActivityRealization]:
+        """The single bout realisation covering every time stamp, if any.
+
+        Returns ``None`` when the (sorted) times straddle a bout
+        boundary, in which case the caller must fall back to the
+        segment-splitting :meth:`evaluate_windowed` path.
+        """
+        times = np.asarray(times_s, dtype=float)
+        if times.size == 0:
+            return None
+        edges = np.searchsorted(
+            self._boundaries, times[[0, -1]], side="right"
+        )
+        edges = np.minimum(edges, len(self._segments) - 1)
+        if edges[0] != edges[1]:
+            return None
+        return self._segments[int(edges[0])].realization
 
     def segment_at(self, time_s: float) -> SignalSegment:
         """Return the bout covering ``time_s`` (clamped to the last bout)."""

@@ -1,0 +1,38 @@
+"""Shared execution core for single-device and fleet simulation.
+
+:mod:`repro.exec.engine` owns the per-tick sense → classify → adapt
+protocol (:class:`~repro.exec.engine.StepEngine` advancing
+:class:`~repro.exec.engine.DeviceRuntime` states);
+:mod:`repro.exec.sharding` scales it across worker processes
+(:class:`~repro.exec.sharding.ShardedFleetSimulator`).  The simulators
+in :mod:`repro.sim.runtime` and :mod:`repro.fleet.engine` are facades
+over this package.
+
+``ShardedFleetSimulator`` is exported lazily because the sharding
+module sits *above* the fleet layer (it merges fleet telemetry), while
+the engine sits below it — an eager import here would cycle.
+"""
+
+from repro.exec.engine import (
+    FEATURE_MODES,
+    SENSING_MODES,
+    DeviceRuntime,
+    StepEngine,
+)
+
+__all__ = [
+    "FEATURE_MODES",
+    "SENSING_MODES",
+    "DeviceRuntime",
+    "StepEngine",
+    "ShardedFleetRun",
+    "ShardedFleetSimulator",
+]
+
+
+def __getattr__(name: str):
+    if name in ("ShardedFleetSimulator", "ShardedFleetRun"):
+        from repro.exec import sharding
+
+        return getattr(sharding, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

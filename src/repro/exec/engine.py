@@ -1,0 +1,418 @@
+"""The shared execution core: one per-tick protocol for every simulator.
+
+Before this module existed the repository carried two parallel
+implementations of the sense → classify → adapt loop — the single-device
+:class:`repro.sim.runtime.ClosedLoopSimulator` and the fleet-scale
+:class:`repro.fleet.engine.FleetSimulator` — each replicating the
+other's random-draw order by hand.  :class:`StepEngine` collapses them:
+both simulators are now thin facades that build
+:class:`DeviceRuntime` states and hand them to one engine.
+
+Per simulated tick the engine performs, for every device:
+
+1. **Sense** — acquire one step of samples under the controller's
+   active configuration.  Devices sharing a configuration are read with
+   one stacked pass (:func:`repro.sensors.imu.read_windows_stacked`),
+   bit-identical to per-device acquisition because every device keeps
+   its own noise stream.
+2. **Buffer** — push the acquisition into the device's classification
+   buffer (flushing on configuration change) and feed the controller's
+   optional ``observe_window`` hook.
+3. **Extract** — turn buffered windows into feature vectors.  The
+   default ``features="incremental"`` path caches each second's partial
+   sums and low-frequency DFT coefficients
+   (:class:`repro.core.features.IncrementalFeatureExtractor`) so an
+   overlapping window costs one new-chunk reduction plus a cheap
+   combine; warm-up windows, configuration switches and misaligned
+   geometries fall back to the exact full-window path, which
+   ``features="exact"`` forces everywhere.
+4. **Classify** — one batched classifier call for the whole device set
+   (batch-size invariant, so results do not depend on fleet
+   composition).
+5. **Adapt & record** — advance each controller and append a
+   :class:`repro.sim.trace.StepRecord`.
+
+Determinism contract: for a fixed set of runtimes the engine produces
+the same traces regardless of ``sensing`` mode, feature batching, or
+how devices are grouped — which is what makes process sharding
+(:mod:`repro.exec.sharding`) a pure partitioning concern.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import SensorConfig
+from repro.core.features import (
+    WINDOW_DURATION_S,
+    ChunkPartials,
+    IncrementalFeatureExtractor,
+    WindowGeometry,
+)
+from repro.core.pipeline import HarPipeline
+from repro.datasets.synthetic import ScheduledSignal
+from repro.energy.accelerometer import AccelerometerPowerModel
+from repro.sensors.buffer import SampleBuffer
+from repro.sensors.imu import (
+    DEFAULT_INTERNAL_RATE_HZ,
+    NoiseModel,
+    SimulatedAccelerometer,
+    read_windows_stacked,
+)
+from repro.sim.trace import SimulationTrace, StepRecord
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive
+
+#: Feature-extraction modes the engine supports.
+FEATURE_MODES: Tuple[str, ...] = ("incremental", "exact")
+
+#: Acquisition modes the engine supports.
+SENSING_MODES: Tuple[str, ...] = ("stacked", "per_device")
+
+
+class DeviceRuntime:
+    """Mutable per-device state advanced by :class:`StepEngine`.
+
+    Construction replicates the random-draw order the original
+    single-device loop established: one stream per device seeds first
+    the signal realisation (when built from a profile), then the sensor
+    bias, then every per-step noise draw.
+    """
+
+    __slots__ = (
+        "signal",
+        "sensor",
+        "buffer",
+        "controller",
+        "observe",
+        "power_model",
+        "rng",
+        "trace",
+        "active_config",
+        "partials",
+        "chunks_in_config",
+        "previous_config",
+    )
+
+    def __init__(
+        self,
+        signal: ScheduledSignal,
+        controller,
+        power_model: AccelerometerPowerModel,
+        noise: NoiseModel,
+        rng,
+        internal_rate_hz: float = DEFAULT_INTERNAL_RATE_HZ,
+        window_duration_s: float = WINDOW_DURATION_S,
+    ) -> None:
+        self.signal = signal
+        self.rng = as_rng(rng)
+        self.sensor = SimulatedAccelerometer(
+            signal=signal,
+            noise=noise,
+            internal_rate_hz=internal_rate_hz,
+            seed=self.rng,
+        )
+        self.buffer = SampleBuffer(window_duration_s=window_duration_s)
+        self.controller = controller
+        self.controller.reset()
+        self.observe: Optional[Callable] = getattr(
+            self.controller, "observe_window", None
+        )
+        self.power_model = power_model
+        self.trace = SimulationTrace()
+        self.active_config: Optional[SensorConfig] = None
+        #: Cached per-chunk feature partials, oldest first.
+        self.partials: Deque[ChunkPartials] = deque()
+        #: Chunks acquired since the configuration last changed.
+        self.chunks_in_config = 0
+        self.previous_config: Optional[SensorConfig] = None
+
+    @classmethod
+    def from_profile(
+        cls,
+        profile,
+        internal_rate_hz: float = DEFAULT_INTERNAL_RATE_HZ,
+        window_duration_s: float = WINDOW_DURATION_S,
+    ) -> "DeviceRuntime":
+        """Build the runtime of one fleet device from its profile."""
+        rng = as_rng(profile.seed)
+        signal = ScheduledSignal(list(profile.schedule), seed=rng)
+        return cls(
+            signal=signal,
+            controller=profile.make_controller(),
+            power_model=profile.power_model,
+            noise=profile.noise,
+            rng=rng,
+            internal_rate_hz=internal_rate_hz,
+            window_duration_s=window_duration_s,
+        )
+
+
+class StepEngine:
+    """Advances a set of :class:`DeviceRuntime` states in lock step.
+
+    Parameters
+    ----------
+    pipeline:
+        The trained HAR pipeline shared by every device.
+    internal_rate_hz:
+        Internal conversion rate of every simulated accelerometer.
+    step_s:
+        Classification period (one second in the paper).
+    window_duration_s:
+        Length of the classification buffer (two seconds in the paper).
+    features:
+        ``"incremental"`` (default) caches per-chunk partial features
+        and combines overlapping windows cheaply; ``"exact"`` extracts
+        every window from scratch (the pre-refactor behaviour).
+    sensing:
+        ``"stacked"`` (default) acquires all devices sharing a
+        configuration in one vectorised pass; ``"per_device"`` reads
+        each sensor individually.  Both produce bit-identical samples.
+    """
+
+    def __init__(
+        self,
+        pipeline: HarPipeline,
+        internal_rate_hz: float = DEFAULT_INTERNAL_RATE_HZ,
+        step_s: float = 1.0,
+        window_duration_s: float = WINDOW_DURATION_S,
+        features: str = "incremental",
+        sensing: str = "stacked",
+    ) -> None:
+        check_positive(step_s, "step_s")
+        check_positive(window_duration_s, "window_duration_s")
+        if window_duration_s < step_s:
+            raise ValueError(
+                "window_duration_s must be at least step_s, got "
+                f"{window_duration_s} < {step_s}"
+            )
+        if features not in FEATURE_MODES:
+            raise ValueError(
+                f"features must be one of {FEATURE_MODES}, got {features!r}"
+            )
+        if sensing not in SENSING_MODES:
+            raise ValueError(
+                f"sensing must be one of {SENSING_MODES}, got {sensing!r}"
+            )
+        self._pipeline = pipeline
+        self._internal_rate_hz = float(internal_rate_hz)
+        self._step_s = float(step_s)
+        self._window_duration_s = float(window_duration_s)
+        self._features = features
+        self._sensing = sensing
+        self._incremental = IncrementalFeatureExtractor(pipeline.extractor)
+        self._geometries: Dict[SensorConfig, Optional[WindowGeometry]] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pipeline(self) -> HarPipeline:
+        """The shared HAR pipeline."""
+        return self._pipeline
+
+    @property
+    def internal_rate_hz(self) -> float:
+        """Internal conversion rate of the simulated accelerometers."""
+        return self._internal_rate_hz
+
+    @property
+    def step_s(self) -> float:
+        """Classification period in seconds."""
+        return self._step_s
+
+    @property
+    def window_duration_s(self) -> float:
+        """Classification-buffer length in seconds."""
+        return self._window_duration_s
+
+    @property
+    def features(self) -> str:
+        """The active feature-extraction mode."""
+        return self._features
+
+    @property
+    def sensing(self) -> str:
+        """The active acquisition mode."""
+        return self._sensing
+
+    # ------------------------------------------------------------------
+    # Runtime construction
+    # ------------------------------------------------------------------
+    def make_runtime(
+        self,
+        signal: ScheduledSignal,
+        controller,
+        power_model: AccelerometerPowerModel,
+        noise: NoiseModel,
+        rng,
+    ) -> DeviceRuntime:
+        """Build a runtime matching this engine's timing parameters."""
+        return DeviceRuntime(
+            signal=signal,
+            controller=controller,
+            power_model=power_model,
+            noise=noise,
+            rng=rng,
+            internal_rate_hz=self._internal_rate_hz,
+            window_duration_s=self._window_duration_s,
+        )
+
+    def runtime_from_profile(self, profile) -> DeviceRuntime:
+        """Build a fleet-device runtime matching this engine's timing."""
+        return DeviceRuntime.from_profile(
+            profile,
+            internal_rate_hz=self._internal_rate_hz,
+            window_duration_s=self._window_duration_s,
+        )
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def run(
+        self, runtimes: Sequence[DeviceRuntime], num_steps: int
+    ) -> List[SimulationTrace]:
+        """Advance every runtime ``num_steps`` ticks and return the traces."""
+        if not runtimes:
+            raise ValueError("run needs at least one device runtime")
+        if num_steps < 0:
+            raise ValueError(f"num_steps must be non-negative, got {num_steps}")
+        step_s = self._step_s
+        # Ground truth is taken at the midpoint of each step's newest
+        # second of data; precomputing it per device removes one scalar
+        # segment lookup per device per tick from the hot loop.
+        midpoints = step_s * np.arange(1, num_steps + 1) - 0.5 * step_s
+        truths = [runtime.signal.activities_at(midpoints) for runtime in runtimes]
+
+        for step_index in range(1, num_steps + 1):
+            step_end = step_index * step_s
+
+            # Phase 1: group devices by active configuration and acquire.
+            groups: Dict[SensorConfig, List[int]] = {}
+            for index, runtime in enumerate(runtimes):
+                config = runtime.controller.current_config
+                runtime.active_config = config
+                groups.setdefault(config, []).append(index)
+
+            acquisitions: List = [None] * len(runtimes)
+            for config, indices in groups.items():
+                if self._sensing == "stacked":
+                    windows = read_windows_stacked(
+                        [runtimes[i].sensor for i in indices],
+                        end_time_s=step_end,
+                        duration_s=step_s,
+                        config=config,
+                        rngs=[runtimes[i].rng for i in indices],
+                    )
+                else:
+                    windows = [
+                        runtimes[i].sensor.read_window(
+                            end_time_s=step_end,
+                            duration_s=step_s,
+                            config=config,
+                            rng=runtimes[i].rng,
+                        )
+                        for i in indices
+                    ]
+                for i, window in zip(indices, windows):
+                    acquisitions[i] = window
+
+            # Phase 2: buffers, observe hooks, chunk bookkeeping.
+            for index, runtime in enumerate(runtimes):
+                runtime.buffer.push(acquisitions[index])
+                if runtime.observe is not None:
+                    runtime.observe(acquisitions[index])
+                if runtime.active_config != runtime.previous_config:
+                    runtime.partials.clear()
+                    runtime.chunks_in_config = 0
+                    runtime.previous_config = runtime.active_config
+                runtime.chunks_in_config += 1
+
+            # Phase 3: feature extraction (incremental where possible).
+            features = np.empty(
+                (len(runtimes), self._pipeline.extractor.num_features)
+            )
+            for config, indices in groups.items():
+                self._extract_group(runtimes, acquisitions, features, config, indices)
+
+            # Phase 4: one batched classification for the whole device set.
+            results = self._pipeline.classify_batch(features)
+
+            # Phase 5: controllers advance, traces record.
+            for index, runtime in enumerate(runtimes):
+                result = results[index]
+                runtime.controller.update(result.activity, result.confidence)
+                runtime.trace.append(
+                    StepRecord(
+                        time_s=step_end,
+                        true_activity=truths[index][step_index - 1],
+                        predicted_activity=result.activity,
+                        confidence=result.confidence,
+                        config_name=runtime.active_config.name,
+                        current_ua=runtime.power_model.current_ua(
+                            runtime.active_config
+                        ),
+                        duration_s=step_s,
+                    )
+                )
+        return [runtime.trace for runtime in runtimes]
+
+    # ------------------------------------------------------------------
+    # Feature extraction internals
+    # ------------------------------------------------------------------
+    def _geometry(self, config: SensorConfig) -> Optional[WindowGeometry]:
+        if config not in self._geometries:
+            self._geometries[config] = WindowGeometry.for_window(
+                config.sampling_hz, self._step_s, self._window_duration_s
+            )
+        return self._geometries[config]
+
+    def _extract_group(
+        self,
+        runtimes: Sequence[DeviceRuntime],
+        acquisitions: Sequence,
+        features: np.ndarray,
+        config: SensorConfig,
+        indices: List[int],
+    ) -> None:
+        """Fill the feature rows of one configuration group."""
+        geometry = (
+            self._geometry(config) if self._features == "incremental" else None
+        )
+        exact_indices = indices
+        if geometry is not None:
+            chunks = np.stack([acquisitions[i].samples for i in indices])
+            partials = self._incremental.chunk_partials_stacked(chunks, geometry)
+            cached = geometry.cached_chunks
+            steady: List[int] = []
+            exact_indices = []
+            for i, chunk_partials in zip(indices, partials):
+                runtime = runtimes[i]
+                runtime.partials.append(chunk_partials)
+                while len(runtime.partials) > cached:
+                    runtime.partials.popleft()
+                if (
+                    runtime.chunks_in_config >= cached
+                    and runtime.buffer.num_samples == geometry.window_samples
+                ):
+                    steady.append(i)
+                else:
+                    exact_indices.append(i)
+            if steady:
+                features[steady] = self._incremental.combine_stacked(
+                    [runtimes[i].partials for i in steady], geometry
+                )
+        if exact_indices:
+            # Warm-up windows (and the "exact" toggle) take the
+            # full-window path; extract_batch stacks equal-shape windows
+            # and keeps the input order.
+            features[exact_indices] = self._incremental.extractor.extract_batch(
+                [
+                    (runtimes[i].buffer.window().samples, config.sampling_hz)
+                    for i in exact_indices
+                ]
+            )

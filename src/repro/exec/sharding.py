@@ -1,0 +1,230 @@
+"""Process-sharded fleet simulation.
+
+A :class:`repro.fleet.population.DevicePopulation` is embarrassingly
+parallel: every device owns a private random stream derived from the
+population's master seed, so a device's trace depends only on its own
+profile — never on which other devices happen to share its batch.  The
+execution core is additionally batch-size invariant, which makes
+sharding a pure partitioning concern: split the population into
+contiguous shards, simulate each shard with a full
+:class:`repro.fleet.engine.FleetSimulator` in its own worker process,
+and merge the per-shard traces and :class:`repro.fleet.telemetry.FleetTelemetry`
+reports back in device-id order.  The merged result is bit-identical to
+a single-process run — and to the per-device sequential reference —
+for any shard count, which the shard-invariance tests pin down.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import multiprocessing
+import time
+
+from repro.core.features import WINDOW_DURATION_S
+from repro.core.pipeline import HarPipeline
+from repro.fleet.engine import FleetResult, FleetSimulator, resolve_fleet_duration
+from repro.fleet.population import DeviceProfile, DevicePopulation
+from repro.fleet.telemetry import FleetTelemetry
+from repro.sensors.imu import DEFAULT_INTERNAL_RATE_HZ
+from repro.utils.validation import check_positive_int
+
+
+def _run_shard(payload) -> Tuple[int, FleetResult, FleetTelemetry]:
+    """Simulate one shard (executed inside a worker process)."""
+    shard_index, pipeline, profiles, duration_s, settings = payload
+    simulator = FleetSimulator(pipeline, **settings)
+    result = simulator.run(profiles, duration_s=duration_s)
+    return shard_index, result, FleetTelemetry.from_result(result)
+
+
+@dataclass(frozen=True)
+class ShardedFleetRun:
+    """Outcome of one sharded fleet simulation.
+
+    Attributes
+    ----------
+    result:
+        The merged :class:`FleetResult` (``mode="sharded"``), traces in
+        device-id order and bit-identical to a single-process run.
+    telemetry:
+        Fleet telemetry merged from the per-shard reports.
+    shard_sizes:
+        Devices per shard, in shard order.
+    used_processes:
+        Whether worker processes were actually used (single shards and
+        pool-creation failures run inline).
+    """
+
+    result: FleetResult
+    telemetry: FleetTelemetry
+    shard_sizes: Tuple[int, ...]
+    used_processes: bool
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards the population was split into."""
+        return len(self.shard_sizes)
+
+    @property
+    def elapsed_s(self) -> float:
+        """Wall-clock time of the whole sharded run."""
+        return self.result.elapsed_s
+
+
+class ShardedFleetSimulator:
+    """Splits a device population across worker processes.
+
+    Parameters
+    ----------
+    pipeline:
+        The trained HAR pipeline; shipped to every worker.
+    num_shards:
+        Default shard count for :meth:`run`; ``None`` uses the machine's
+        CPU count.
+    internal_rate_hz, step_s, window_duration_s, features, sensing:
+        Forwarded to the per-shard :class:`FleetSimulator` (and through
+        it to the shared :class:`repro.exec.engine.StepEngine`).
+    """
+
+    def __init__(
+        self,
+        pipeline: HarPipeline,
+        num_shards: Optional[int] = None,
+        internal_rate_hz: float = DEFAULT_INTERNAL_RATE_HZ,
+        step_s: float = 1.0,
+        window_duration_s: float = WINDOW_DURATION_S,
+        features: str = "incremental",
+        sensing: str = "stacked",
+    ) -> None:
+        if num_shards is not None:
+            check_positive_int(num_shards, "num_shards")
+        self._pipeline = pipeline
+        self._num_shards = num_shards
+        self._settings: Dict[str, object] = {
+            "internal_rate_hz": internal_rate_hz,
+            "step_s": step_s,
+            "window_duration_s": window_duration_s,
+            "features": features,
+            "sensing": sensing,
+        }
+        # Validate the engine settings eagerly (in the parent process)
+        # instead of deep inside the first worker.
+        FleetSimulator(pipeline, **self._settings)
+
+    @property
+    def pipeline(self) -> HarPipeline:
+        """The shared HAR pipeline."""
+        return self._pipeline
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        population: "DevicePopulation | Sequence[DeviceProfile]",
+        num_shards: Optional[int] = None,
+    ) -> List[Tuple[DeviceProfile, ...]]:
+        """Split a population into contiguous, near-equal shards.
+
+        Contiguous splitting preserves device-id order, so merging shard
+        outputs is a plain concatenation.  The shard count is capped at
+        the population size.
+        """
+        profiles = tuple(population)
+        if not profiles:
+            raise ValueError("population must contain at least one device")
+        requested = num_shards if num_shards is not None else self._num_shards
+        if requested is None:
+            requested = os.cpu_count() or 1
+        check_positive_int(requested, "num_shards")
+        count = min(requested, len(profiles))
+        base, extra = divmod(len(profiles), count)
+        shards: List[Tuple[DeviceProfile, ...]] = []
+        cursor = 0
+        for shard_index in range(count):
+            size = base + (1 if shard_index < extra else 0)
+            shards.append(profiles[cursor : cursor + size])
+            cursor += size
+        return shards
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        population: "DevicePopulation | Sequence[DeviceProfile]",
+        duration_s: Optional[float] = None,
+        num_shards: Optional[int] = None,
+    ) -> ShardedFleetRun:
+        """Simulate the population across worker processes and merge.
+
+        Parameters
+        ----------
+        population:
+            The devices to simulate.
+        duration_s:
+            Simulated seconds per device (defaults to the shortest
+            schedule, as in :meth:`FleetSimulator.run`).
+        num_shards:
+            Overrides the simulator's default shard count for this run.
+
+        Returns
+        -------
+        ShardedFleetRun
+            Merged traces and telemetry, invariant to the shard count.
+        """
+        profiles = tuple(population)
+        if not profiles:
+            raise ValueError("population must contain at least one device")
+        duration = resolve_fleet_duration(profiles, duration_s)
+        shards = self.plan(profiles, num_shards)
+
+        start = time.perf_counter()
+        payloads = [
+            (index, self._pipeline, shard, duration, self._settings)
+            for index, shard in enumerate(shards)
+        ]
+        outcomes, used_processes = self._execute(payloads)
+        outcomes.sort(key=lambda outcome: outcome[0])
+        traces = tuple(
+            trace for _, result, _ in outcomes for trace in result.traces
+        )
+        telemetry = FleetTelemetry.merge(
+            [shard_telemetry for _, _, shard_telemetry in outcomes]
+        )
+        elapsed = time.perf_counter() - start
+        merged = FleetResult(
+            profiles=profiles,
+            traces=traces,
+            elapsed_s=elapsed,
+            mode="sharded",
+        )
+        return ShardedFleetRun(
+            result=merged,
+            telemetry=telemetry,
+            shard_sizes=tuple(len(shard) for shard in shards),
+            used_processes=used_processes,
+        )
+
+    def _execute(self, payloads) -> Tuple[List, bool]:
+        """Run shard payloads, in worker processes when it makes sense."""
+        if len(payloads) == 1:
+            return [_run_shard(payloads[0])], False
+        try:
+            context = multiprocessing.get_context(
+                "fork" if "fork" in multiprocessing.get_all_start_methods()
+                else None
+            )
+            max_workers = min(len(payloads), os.cpu_count() or 1)
+            with ProcessPoolExecutor(
+                max_workers=max_workers, mp_context=context
+            ) as executor:
+                return list(executor.map(_run_shard, payloads)), True
+        except OSError:
+            # Restricted environments (no process spawning) still get
+            # correct results — shards are independent either way.
+            return [_run_shard(payload) for payload in payloads], False

@@ -4,10 +4,13 @@ The single-device :class:`repro.sim.runtime.ClosedLoopSimulator` steps
 one virtual wearable at a time.  This subsystem scales that loop to
 *populations*: :mod:`repro.fleet.population` generates N heterogeneous
 devices deterministically from a master seed,
-:mod:`repro.fleet.engine` advances all of them in lock step with one
-batched classifier call per simulated second, and
-:mod:`repro.fleet.telemetry` aggregates the resulting traces into
-fleet-level distributions with JSON export.
+:mod:`repro.fleet.engine` advances all of them in lock step on the
+shared execution core (:mod:`repro.exec`) — stacked sensing,
+incremental feature extraction and one batched classifier call per
+simulated second — :class:`repro.exec.sharding.ShardedFleetSimulator`
+splits a population across worker processes, and
+:mod:`repro.fleet.telemetry` aggregates (and merges) the resulting
+traces into fleet-level distributions with JSON export.
 
 >>> from repro import AdaSense
 >>> from repro.fleet import DevicePopulation, FleetSimulator, FleetTelemetry
@@ -19,7 +22,12 @@ fleet-level distributions with JSON export.
 8
 """
 
-from repro.fleet.engine import FleetResult, FleetSimulator, traces_equal
+from repro.fleet.engine import (
+    FleetResult,
+    FleetSimulator,
+    resolve_fleet_duration,
+    traces_equal,
+)
 from repro.fleet.population import (
     CONTROLLER_KINDS,
     SCENARIO_NAMES,
@@ -34,6 +42,7 @@ from repro.fleet.telemetry import (
     FleetTelemetry,
     distribution_stats,
 )
+from repro.exec.sharding import ShardedFleetRun, ShardedFleetSimulator
 
 __all__ = [
     "CONTROLLER_KINDS",
@@ -46,7 +55,10 @@ __all__ = [
     "FleetSimulator",
     "FleetTelemetry",
     "PopulationSpec",
+    "ShardedFleetRun",
+    "ShardedFleetSimulator",
     "distribution_stats",
     "make_scenario_schedule",
+    "resolve_fleet_duration",
     "traces_equal",
 ]

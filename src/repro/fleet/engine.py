@@ -2,38 +2,38 @@
 
 :class:`FleetSimulator` advances every device in a population through
 the sense → classify → adapt loop *together*, one simulated second at a
-time.  Sensing and control stay per-device (each device owns its signal,
-noise stream, buffer and controller state), but the expensive middle of
-the loop is batched: every tick the freshly buffered windows of all N
-devices are feature-extracted as stacked matrices (one per sensor
-configuration in use) and classified with a **single**
-:meth:`repro.core.pipeline.HarPipeline.classify_batch` call, instead of
-N independent pipeline invocations.
+time, by handing the whole population to the shared execution core
+(:class:`repro.exec.engine.StepEngine`) — the same engine the
+single-device :class:`repro.sim.runtime.ClosedLoopSimulator` drives, so
+the two loops cannot drift apart.  Per tick the engine batches the
+expensive middle of the loop: devices sharing a sensor configuration
+are *sensed* with one stacked acquisition pass, their features are
+extracted incrementally from cached per-second partials (or exactly,
+with ``features="exact"``), and the entire fleet is classified with a
+**single** :meth:`repro.core.pipeline.HarPipeline.classify_batch` call.
 
 Because the batched classifier path is bit-for-bit invariant to batch
-size (see :meth:`HarPipeline.classify_batch`) and each device's random
-draws replicate :meth:`repro.sim.runtime.ClosedLoopSimulator.run`
-draw-for-draw, a fleet simulation produces *exactly* the traces the
+size, the stacked sensing path preserves each device's private noise
+stream, and the incremental/exact feature decision depends only on
+per-device state, a fleet simulation produces *exactly* the traces the
 sequential per-device loop would — :meth:`FleetSimulator.run_sequential`
-is that reference path, used by the equivalence tests and the
-throughput benchmark.
+is that reference path, used by the equivalence tests, the sharding
+tests and the throughput benchmark.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.features import WINDOW_DURATION_S
 from repro.core.pipeline import HarPipeline
-from repro.datasets.synthetic import ScheduledSignal
+from repro.exec.engine import StepEngine
 from repro.fleet.population import DeviceProfile, DevicePopulation
-from repro.sensors.buffer import SampleBuffer
-from repro.sensors.imu import DEFAULT_INTERNAL_RATE_HZ, SimulatedAccelerometer
+from repro.sensors.imu import DEFAULT_INTERNAL_RATE_HZ
 from repro.sim.runtime import ClosedLoopSimulator
-from repro.sim.trace import SimulationTrace, StepRecord
-from repro.utils.rng import as_rng
+from repro.sim.trace import SimulationTrace
 from repro.utils.validation import check_positive
 
 
@@ -51,7 +51,7 @@ class FleetResult:
     elapsed_s:
         Wall-clock time the simulation took.
     mode:
-        ``"batched"`` or ``"sequential"``.
+        ``"batched"``, ``"sequential"`` or ``"sharded"``.
     """
 
     profiles: Tuple[DeviceProfile, ...]
@@ -84,50 +84,25 @@ class FleetResult:
         return self.device_seconds / self.elapsed_s
 
 
-class _DeviceState:
-    """Mutable per-device simulation state inside the lock-step loop.
+def resolve_fleet_duration(
+    profiles: Sequence[DeviceProfile], duration_s: Optional[float]
+) -> float:
+    """Validate a requested fleet duration against the device schedules.
 
-    Construction replicates the exact random-draw order of
-    :meth:`ClosedLoopSimulator.run`: one stream per device seeds first
-    the signal realisation, then the sensor bias, then every per-step
-    noise draw.
+    Defaults to the shortest schedule in the population so every device
+    has signal for the whole run; an explicit duration must not exceed
+    that.
     """
-
-    __slots__ = (
-        "profile",
-        "rng",
-        "signal",
-        "sensor",
-        "buffer",
-        "controller",
-        "observe",
-        "trace",
-        "active_config",
-    )
-
-    def __init__(
-        self,
-        profile: DeviceProfile,
-        internal_rate_hz: float,
-        window_duration_s: float,
-    ) -> None:
-        self.profile = profile
-        self.rng = as_rng(profile.seed)
-        self.signal = ScheduledSignal(list(profile.schedule), seed=self.rng)
-        self.sensor = SimulatedAccelerometer(
-            signal=self.signal,
-            noise=profile.noise,
-            internal_rate_hz=internal_rate_hz,
-            seed=self.rng,
+    shortest = min(profile.duration_s for profile in profiles)
+    if duration_s is None:
+        return shortest
+    check_positive(duration_s, "duration_s")
+    if duration_s - shortest > 1e-9:
+        raise ValueError(
+            f"duration_s={duration_s} exceeds the shortest device schedule "
+            f"({shortest} s); regenerate the population with a longer duration"
         )
-        self.buffer = SampleBuffer(window_duration_s=window_duration_s)
-        self.controller = profile.make_controller()
-        self.controller.reset()
-        self.observe: Optional[Callable] = getattr(
-            self.controller, "observe_window", None
-        )
-        self.trace = SimulationTrace()
-        self.active_config = None
+    return float(duration_s)
 
 
 class FleetSimulator:
@@ -145,6 +120,13 @@ class FleetSimulator:
         Classification period (one second in the paper).
     window_duration_s:
         Length of the classification buffer (two seconds in the paper).
+    features:
+        Feature mode of the execution core — ``"incremental"``
+        (default) or ``"exact"``; see
+        :class:`repro.exec.engine.StepEngine`.
+    sensing:
+        Acquisition mode — ``"stacked"`` (default, vectorised across
+        devices sharing a configuration) or ``"per_device"``.
     """
 
     def __init__(
@@ -153,23 +135,32 @@ class FleetSimulator:
         internal_rate_hz: float = DEFAULT_INTERNAL_RATE_HZ,
         step_s: float = 1.0,
         window_duration_s: float = WINDOW_DURATION_S,
+        features: str = "incremental",
+        sensing: str = "stacked",
     ) -> None:
-        check_positive(step_s, "step_s")
-        check_positive(window_duration_s, "window_duration_s")
-        if window_duration_s < step_s:
-            raise ValueError(
-                "window_duration_s must be at least step_s, got "
-                f"{window_duration_s} < {step_s}"
-            )
-        self._pipeline = pipeline
-        self._internal_rate_hz = float(internal_rate_hz)
-        self._step_s = float(step_s)
-        self._window_duration_s = float(window_duration_s)
+        self._engine = StepEngine(
+            pipeline=pipeline,
+            internal_rate_hz=internal_rate_hz,
+            step_s=step_s,
+            window_duration_s=window_duration_s,
+            features=features,
+            sensing=sensing,
+        )
 
     @property
     def pipeline(self) -> HarPipeline:
         """The shared HAR pipeline."""
-        return self._pipeline
+        return self._engine.pipeline
+
+    @property
+    def engine(self) -> StepEngine:
+        """The shared execution core this simulator drives."""
+        return self._engine
+
+    @property
+    def features(self) -> str:
+        """The feature-extraction mode of the execution core."""
+        return self._engine.features
 
     # ------------------------------------------------------------------
     # Batched simulation
@@ -199,60 +190,16 @@ class FleetSimulator:
         profiles = tuple(population)
         if not profiles:
             raise ValueError("population must contain at least one device")
-        duration = self._resolve_duration(profiles, duration_s)
+        duration = resolve_fleet_duration(profiles, duration_s)
 
         start = time.perf_counter()
-        states = [
-            _DeviceState(profile, self._internal_rate_hz, self._window_duration_s)
-            for profile in profiles
-        ]
-        num_steps = int(round(duration / self._step_s))
-        for step_index in range(1, num_steps + 1):
-            step_end = step_index * self._step_s
-
-            # Phase 1 (per device): acquire this second of samples under
-            # the controller's active configuration and refresh buffers.
-            windows = []
-            for state in states:
-                state.active_config = state.controller.current_config
-                acquisition = state.sensor.read_window(
-                    end_time_s=step_end,
-                    duration_s=self._step_s,
-                    config=state.active_config,
-                    rng=state.rng,
-                )
-                state.buffer.push(acquisition)
-                if state.observe is not None:
-                    state.observe(acquisition)
-                windows.append(state.buffer.window())
-
-            # Phase 2 (fleet-wide): one stacked feature extraction per
-            # configuration group and a single batched classifier call.
-            results = self._pipeline.classify_windows(windows)
-
-            # Phase 3 (per device): advance controllers and record.
-            for state, result in zip(states, results):
-                state.controller.update(result.activity, result.confidence)
-                true_activity = state.signal.activity_at(
-                    step_end - 0.5 * self._step_s
-                )
-                state.trace.append(
-                    StepRecord(
-                        time_s=step_end,
-                        true_activity=true_activity,
-                        predicted_activity=result.activity,
-                        confidence=result.confidence,
-                        config_name=state.active_config.name,
-                        current_ua=state.profile.power_model.current_ua(
-                            state.active_config
-                        ),
-                        duration_s=self._step_s,
-                    )
-                )
+        runtimes = [self._engine.runtime_from_profile(profile) for profile in profiles]
+        num_steps = int(round(duration / self._engine.step_s))
+        traces = self._engine.run(runtimes, num_steps)
         elapsed = time.perf_counter() - start
         return FleetResult(
             profiles=profiles,
-            traces=tuple(state.trace for state in states),
+            traces=tuple(traces),
             elapsed_s=elapsed,
             mode="batched",
         )
@@ -267,28 +214,32 @@ class FleetSimulator:
     ) -> FleetResult:
         """Simulate each device independently with the single-device loop.
 
-        This is the O(N × per-device-Python-loop) reference the batched
-        engine is validated against and benchmarked over.  Devices whose
-        schedules are longer than ``duration_s`` are truncated so both
-        paths simulate the same number of steps.
+        This is the O(N × per-device-loop) reference the batched and
+        sharded engines are validated against and benchmarked over.  It
+        uses the same feature mode as the batched path but reads every
+        sensor individually, so it exercises the scalar acquisition
+        path.  Devices whose schedules are longer than ``duration_s``
+        are truncated so both paths simulate the same number of steps.
         """
         profiles = tuple(population)
         if not profiles:
             raise ValueError("population must contain at least one device")
-        duration = self._resolve_duration(profiles, duration_s)
-        num_steps = int(round(duration / self._step_s))
+        duration = resolve_fleet_duration(profiles, duration_s)
+        num_steps = int(round(duration / self._engine.step_s))
 
         start = time.perf_counter()
         traces: List[SimulationTrace] = []
         for profile in profiles:
             simulator = ClosedLoopSimulator(
-                pipeline=self._pipeline,
+                pipeline=self._engine.pipeline,
                 controller=profile.make_controller(),
                 power_model=profile.power_model,
                 noise=profile.noise,
-                internal_rate_hz=self._internal_rate_hz,
-                step_s=self._step_s,
-                window_duration_s=self._window_duration_s,
+                internal_rate_hz=self._engine.internal_rate_hz,
+                step_s=self._engine.step_s,
+                window_duration_s=self._engine.window_duration_s,
+                features=self._engine.features,
+                sensing="per_device",
             )
             trace = simulator.run(list(profile.schedule), seed=profile.seed)
             trace.records = trace.records[:num_steps]
@@ -300,23 +251,6 @@ class FleetSimulator:
             elapsed_s=elapsed,
             mode="sequential",
         )
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _resolve_duration(
-        self, profiles: Sequence[DeviceProfile], duration_s: Optional[float]
-    ) -> float:
-        shortest = min(profile.duration_s for profile in profiles)
-        if duration_s is None:
-            return shortest
-        check_positive(duration_s, "duration_s")
-        if duration_s - shortest > 1e-9:
-            raise ValueError(
-                f"duration_s={duration_s} exceeds the shortest device schedule "
-                f"({shortest} s); regenerate the population with a longer duration"
-            )
-        return float(duration_s)
 
 
 def traces_equal(left: SimulationTrace, right: SimulationTrace) -> bool:

@@ -147,6 +147,20 @@ class FleetTelemetry:
             ]
         )
 
+    @classmethod
+    def merge(cls, parts: Sequence["FleetTelemetry"]) -> "FleetTelemetry":
+        """Merge telemetry from several shards into one fleet report.
+
+        Device reports are re-sorted by device id, so the merged report
+        is independent of how the fleet was sharded — a 1-, 2- or
+        4-shard run of the same population yields an identical report.
+        """
+        if not parts:
+            raise ValueError("merge needs at least one telemetry part")
+        reports = [report for part in parts for report in part.reports]
+        reports.sort(key=lambda report: report.device_id)
+        return cls(reports)
+
     # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------

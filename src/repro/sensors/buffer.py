@@ -18,7 +18,7 @@ of two, exactly as a real implementation that restarts its FIFO would.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -70,6 +70,17 @@ class SampleBuffer:
     def is_empty(self) -> bool:
         """Whether the buffer holds no samples."""
         return self.num_samples == 0
+
+    def chunk_sizes(self) -> Tuple[int, ...]:
+        """Sample counts of the buffered acquisition chunks, oldest first.
+
+        The oldest entry may be a partially trimmed chunk.  This is the
+        layout :class:`repro.core.features.WindowGeometry` describes —
+        the steady-state ``[tail, chunk, ..., chunk]`` pattern the
+        incremental feature path's cached partials rely on, pinned down
+        by the geometry tests.
+        """
+        return tuple(chunk.shape[0] for chunk in self._samples)
 
     @property
     def is_full(self) -> bool:

@@ -25,7 +25,7 @@ The *signal* being measured is any object exposing
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Protocol
+from typing import List, Optional, Protocol, Sequence
 
 import numpy as np
 
@@ -39,6 +39,42 @@ from repro.utils.validation import check_non_negative, check_positive
 #: averaging window of ``W`` sub-samples spans ``W / INTERNAL_RATE_HZ``
 #: seconds of signal.
 DEFAULT_INTERNAL_RATE_HZ: float = 1600.0
+
+
+def _sample_times(
+    end_time_s: float, duration_s: float, config: "SensorConfig"
+) -> np.ndarray:
+    """Validated output-sample time grid shared by both acquisition paths.
+
+    Single source of truth for the window's sample instants, so the
+    scalar :meth:`SimulatedAccelerometer.read_window` and the stacked
+    :func:`read_windows_stacked` cannot drift apart.
+    """
+    check_positive(duration_s, "duration_s")
+    if end_time_s - duration_s < -1e-9:
+        raise ValueError(
+            "window starts before time zero: "
+            f"end_time_s={end_time_s}, duration_s={duration_s}"
+        )
+    num_samples = config.samples_in(duration_s)
+    period = 1.0 / config.sampling_hz
+    start = end_time_s - duration_s
+    times = start + period * np.arange(1, num_samples + 1)
+    return np.clip(times, 0.0, None)
+
+
+def _digitise(noisy, bias, full_scale, lsb):
+    """Bias, clip and quantise noisy samples — the sensor's output stage.
+
+    Shared by both acquisition paths (all operations are elementwise,
+    so scalar and stacked invocations are bit-identical); the argument
+    order *is* the contract: bias is added after the noise, then the
+    result is clipped to the full-scale range and quantised to the ADC
+    step.
+    """
+    biased = noisy + bias
+    clipped = np.clip(biased, -full_scale, full_scale)
+    return np.round(clipped / lsb) * lsb
 
 
 class ContinuousSignal(Protocol):
@@ -74,6 +110,15 @@ class NoiseModel:
     bias_std_ms2: float = 0.05
     full_scale_g: float = 2.0
     resolution_bits: int = 16
+    #: Per-instance cache of output-sample noise per averaging window.
+    #: A fleet device's model is queried once per simulated second with
+    #: one of a handful of Table I averaging windows, so this stays tiny
+    #: (unlike a module-level cache, which the per-device continuous
+    #: noise-scale draws would thrash).  Derived state: excluded from
+    #: equality and repr.
+    _std_cache: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         check_non_negative(self.base_noise_std_ms2, "base_noise_std_ms2")
@@ -100,7 +145,11 @@ class NoiseModel:
             raise ValueError(
                 f"averaging_window must be at least 1, got {averaging_window}"
             )
-        return self.base_noise_std_ms2 / float(np.sqrt(averaging_window))
+        std = self._std_cache.get(averaging_window)
+        if std is None:
+            std = self.base_noise_std_ms2 / float(np.sqrt(averaging_window))
+            self._std_cache[averaging_window] = std
+        return std
 
 
 @dataclass(frozen=True)
@@ -240,30 +289,20 @@ class SimulatedAccelerometer:
             The acquired batch, ``round(duration_s * sampling_hz)``
             samples long.
         """
-        check_positive(duration_s, "duration_s")
-        if end_time_s - duration_s < -1e-9:
-            raise ValueError(
-                "window starts before time zero: "
-                f"end_time_s={end_time_s}, duration_s={duration_s}"
-            )
         generator = self._rng if rng is None else as_rng(rng)
-        num_samples = config.samples_in(duration_s)
-        period = 1.0 / config.sampling_hz
-        start = end_time_s - duration_s
-        times = start + period * np.arange(1, num_samples + 1)
-        times = np.clip(times, 0.0, None)
+        times = _sample_times(end_time_s, duration_s, config)
 
         window_span = self.averaging_window_duration(config)
         clean = self._signal.evaluate_windowed(times, window_span)
 
         noise_std = self._noise.output_noise_std(config.averaging_window)
         noisy = clean + generator.normal(0.0, noise_std, size=clean.shape)
-        noisy = noisy + self._bias[None, :]
-
-        full_scale = self._noise.full_scale_ms2
-        clipped = np.clip(noisy, -full_scale, full_scale)
-        lsb = self._noise.lsb_ms2
-        quantised = np.round(clipped / lsb) * lsb
+        quantised = _digitise(
+            noisy,
+            self._bias[None, :],
+            self._noise.full_scale_ms2,
+            self._noise.lsb_ms2,
+        )
         return SensorWindow(samples=quantised, times_s=times, config=config)
 
     def read_second(
@@ -271,3 +310,87 @@ class SimulatedAccelerometer:
     ) -> SensorWindow:
         """Convenience wrapper acquiring exactly one second of samples."""
         return self.read_window(end_time_s, 1.0, config, rng=rng)
+
+
+def read_windows_stacked(
+    sensors: Sequence["SimulatedAccelerometer"],
+    end_time_s: float,
+    duration_s: float,
+    config: SensorConfig,
+    rngs: Sequence[np.random.Generator],
+) -> List[SensorWindow]:
+    """Acquire the same window interval from many sensors in one pass.
+
+    All sensors share the configuration and the time grid, so the fleet
+    engine can compute the sample times once, evaluate every device's
+    clean signal with one stacked trigonometric pass (see
+    :func:`repro.datasets.synthetic.evaluate_realizations_windowed`) and
+    apply bias, clipping and quantisation to the whole ``(devices,
+    samples, 3)`` stack at once.  Per-device noise is still drawn from
+    each device's own generator with exactly the call
+    :meth:`SimulatedAccelerometer.read_window` makes, so the returned
+    windows are bit-for-bit identical to reading each sensor
+    individually — the property the engine equivalence tests pin down.
+
+    Parameters
+    ----------
+    sensors:
+        The simulated accelerometers to read, one per device.
+    end_time_s, duration_s, config:
+        As in :meth:`SimulatedAccelerometer.read_window`.
+    rngs:
+        One noise generator per sensor (parallel to ``sensors``).
+    """
+    if len(sensors) != len(rngs):
+        raise ValueError(
+            f"sensors and rngs must be parallel, got {len(sensors)} sensors "
+            f"and {len(rngs)} generators"
+        )
+    from repro.datasets.synthetic import evaluate_realizations_windowed
+
+    num_devices = len(sensors)
+    times = _sample_times(end_time_s, duration_s, config)
+    num_samples = times.shape[0]
+
+    clean = np.empty((num_devices, num_samples, 3))
+    # Group devices by averaging-window span (identical for sensors that
+    # share an internal rate — the engine's normal case) and, within each
+    # span, stack the devices whose window falls inside a single bout.
+    spans: dict = {}
+    for index, sensor in enumerate(sensors):
+        spans.setdefault(sensor.averaging_window_duration(config), []).append(index)
+    for span, indices in spans.items():
+        stacked_indices: List[int] = []
+        realizations = []
+        for index in indices:
+            signal = sensors[index]._signal
+            spanning = getattr(signal, "realization_spanning", None)
+            realization = spanning(times) if spanning is not None else None
+            if realization is None:
+                clean[index] = signal.evaluate_windowed(times, span)
+            else:
+                stacked_indices.append(index)
+                realizations.append(realization)
+        if stacked_indices:
+            clean[stacked_indices] = evaluate_realizations_windowed(
+                realizations, times, span
+            )
+
+    noise = np.empty_like(clean)
+    biases = np.empty((num_devices, 3))
+    full_scales = np.empty((num_devices, 1, 1))
+    lsbs = np.empty((num_devices, 1, 1))
+    for index, sensor in enumerate(sensors):
+        model = sensor._noise
+        noise[index] = rngs[index].normal(
+            0.0, model.output_noise_std(config.averaging_window), size=(num_samples, 3)
+        )
+        biases[index] = sensor._bias
+        full_scales[index] = model.full_scale_ms2
+        lsbs[index] = model.lsb_ms2
+
+    quantised = _digitise(clean + noise, biases[:, None, :], full_scales, lsbs)
+    return [
+        SensorWindow(samples=quantised[index], times_s=times, config=config)
+        for index in range(num_devices)
+    ]

@@ -14,8 +14,12 @@ would:
 5. the energy model charges the episode with the current draw of the
    configuration that was active while the data was acquired.
 
-The result is a :class:`repro.sim.trace.SimulationTrace` with one record
-per second, from which the behavioural plot of Fig. 5 and the aggregate
+The per-tick protocol itself lives in the shared execution core
+(:class:`repro.exec.engine.StepEngine`) — this class is the
+single-device facade over it, so the closed loop and the fleet engine
+can never drift apart.  The result is a
+:class:`repro.sim.trace.SimulationTrace` with one record per second,
+from which the behavioural plot of Fig. 5 and the aggregate
 power/accuracy numbers of Fig. 6 and Fig. 7 are derived.
 """
 
@@ -30,15 +34,10 @@ from repro.core.pipeline import HarPipeline
 from repro.datasets.scenarios import Schedule
 from repro.datasets.synthetic import ScheduledSignal, SyntheticSignalGenerator
 from repro.energy.accelerometer import AccelerometerPowerModel
-from repro.sensors.buffer import SampleBuffer
-from repro.sensors.imu import (
-    DEFAULT_INTERNAL_RATE_HZ,
-    NoiseModel,
-    SimulatedAccelerometer,
-)
-from repro.sim.trace import SimulationTrace, StepRecord
+from repro.exec.engine import StepEngine
+from repro.sensors.imu import DEFAULT_INTERNAL_RATE_HZ, NoiseModel
+from repro.sim.trace import SimulationTrace
 from repro.utils.rng import SeedLike, as_rng
-from repro.utils.validation import check_positive
 
 #: Anything the simulator accepts as "the user's behaviour".
 ScheduleLike = Union[Schedule, Sequence[Tuple[Activity, float]], ScheduledSignal]
@@ -65,6 +64,13 @@ class ClosedLoopSimulator:
         Classification period; the paper classifies once per second.
     window_duration_s:
         Length of the classification buffer (two seconds in the paper).
+    features:
+        Feature-extraction mode of the underlying
+        :class:`repro.exec.engine.StepEngine` — ``"incremental"``
+        (default, chunk-cached) or ``"exact"`` (full-window).
+    sensing:
+        Acquisition mode of the engine — ``"stacked"`` (default) or
+        ``"per_device"``.  Both are bit-identical for a single device.
     """
 
     def __init__(
@@ -76,23 +82,22 @@ class ClosedLoopSimulator:
         internal_rate_hz: float = DEFAULT_INTERNAL_RATE_HZ,
         step_s: float = 1.0,
         window_duration_s: float = WINDOW_DURATION_S,
+        features: str = "incremental",
+        sensing: str = "stacked",
     ) -> None:
-        check_positive(step_s, "step_s")
-        check_positive(window_duration_s, "window_duration_s")
-        if window_duration_s < step_s:
-            raise ValueError(
-                "window_duration_s must be at least step_s, got "
-                f"{window_duration_s} < {step_s}"
-            )
-        self._pipeline = pipeline
+        self._engine = StepEngine(
+            pipeline=pipeline,
+            internal_rate_hz=internal_rate_hz,
+            step_s=step_s,
+            window_duration_s=window_duration_s,
+            features=features,
+            sensing=sensing,
+        )
         self._controller = controller
         self._power_model = (
             power_model if power_model is not None else AccelerometerPowerModel.bmi160()
         )
         self._noise = noise if noise is not None else NoiseModel()
-        self._internal_rate_hz = float(internal_rate_hz)
-        self._step_s = float(step_s)
-        self._window_duration_s = float(window_duration_s)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -100,7 +105,7 @@ class ClosedLoopSimulator:
     @property
     def pipeline(self) -> HarPipeline:
         """The HAR pipeline used for every classification."""
-        return self._pipeline
+        return self._engine.pipeline
 
     @property
     def controller(self) -> AdaptiveController:
@@ -111,6 +116,11 @@ class ClosedLoopSimulator:
     def power_model(self) -> AccelerometerPowerModel:
         """The accelerometer current model."""
         return self._power_model
+
+    @property
+    def engine(self) -> StepEngine:
+        """The shared execution core this simulator drives."""
+        return self._engine
 
     # ------------------------------------------------------------------
     # Simulation
@@ -145,56 +155,16 @@ class ClosedLoopSimulator:
         else:
             signal = ScheduledSignal(list(schedule), generator=generator, seed=rng)
 
-        sensor = SimulatedAccelerometer(
+        runtime = self._engine.make_runtime(
             signal=signal,
+            controller=self._controller,
+            power_model=self._power_model,
             noise=self._noise,
-            internal_rate_hz=self._internal_rate_hz,
-            seed=rng,
+            rng=rng,
         )
-        buffer = SampleBuffer(window_duration_s=self._window_duration_s)
-        self._controller.reset()
-        # Controllers that react to the raw signal (e.g. the intensity
-        # baseline repackaged as an adaptive controller) expose an
-        # optional observe_window hook fed with every fresh acquisition.
-        observe = getattr(self._controller, "observe_window", None)
-
-        trace = SimulationTrace()
-        total_duration = signal.duration_s
-        num_steps = int(round(total_duration / self._step_s))
-
-        for step_index in range(1, num_steps + 1):
-            step_end = step_index * self._step_s
-            active_config = self._controller.current_config
-
-            acquisition = sensor.read_window(
-                end_time_s=step_end,
-                duration_s=self._step_s,
-                config=active_config,
-                rng=rng,
-            )
-            buffer.push(acquisition)
-            if observe is not None:
-                observe(acquisition)
-            batch = buffer.window()
-            result = self._pipeline.classify_window(batch)
-            self._controller.update(result.activity, result.confidence)
-
-            # Ground truth is taken at the midpoint of the newest second of
-            # data, i.e. what the user was doing while this step's samples
-            # were acquired.
-            true_activity = signal.activity_at(step_end - 0.5 * self._step_s)
-            trace.append(
-                StepRecord(
-                    time_s=step_end,
-                    true_activity=true_activity,
-                    predicted_activity=result.activity,
-                    confidence=result.confidence,
-                    config_name=active_config.name,
-                    current_ua=self._power_model.current_ua(active_config),
-                    duration_s=self._step_s,
-                )
-            )
-        return trace
+        num_steps = int(round(signal.duration_s / self._engine.step_s))
+        traces = self._engine.run([runtime], num_steps)
+        return traces[0]
 
     def run_many(
         self,

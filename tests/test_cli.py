@@ -144,6 +144,49 @@ class TestTrainAndSimulate:
             outputs[engine] = json.loads(path.read_text())
         assert outputs["batched"]["devices"] == outputs["sequential"]["devices"]
 
+    def test_fleet_sharded_engine_matches_batched(self, tmp_path):
+        outputs = {}
+        for engine, extra in (
+            ("batched", []),
+            ("sharded", ["--shards", "2"]),
+        ):
+            path = tmp_path / f"{engine}.json"
+            out = io.StringIO()
+            code = main(
+                [
+                    "fleet",
+                    "--devices", "4",
+                    "--duration", "10",
+                    "--windows", "6",
+                    "--seed", "5",
+                    "--engine", engine,
+                    "--out", str(path),
+                ]
+                + extra,
+                out=out,
+            )
+            assert code == 0
+            if engine == "sharded":
+                assert "sharded (2 shards" in out.getvalue()
+            outputs[engine] = json.loads(path.read_text())
+        assert outputs["sharded"] == outputs["batched"]
+
+    def test_fleet_exact_features_flag(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "fleet",
+                "--devices", "2",
+                "--duration", "8",
+                "--windows", "6",
+                "--seed", "5",
+                "--features", "exact",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "features           : exact" in out.getvalue()
+
     def test_simulate_trains_fresh_model_when_none_given(self):
         out = io.StringIO()
         code = main(

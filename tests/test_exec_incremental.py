@@ -1,0 +1,206 @@
+"""Property tests for incremental (chunk-cached) feature extraction.
+
+The incremental extractor must reproduce the full-window
+:class:`repro.core.features.FeatureExtractor` to floating-point
+precision for every geometry the execution engine can encounter: all
+Table I sampling-rate families (including the 12.5 Hz family whose
+chunks do not divide the window, leaving a trimmed tail), window/hop
+ratios beyond the paper's 2:1, and both Fourier feature modes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.features import (
+    FeatureExtractor,
+    IncrementalFeatureExtractor,
+    WindowGeometry,
+)
+from repro.utils.rng import stable_seed_from
+
+#: Sampling rates of the Table I configuration families.
+SAMPLING_RATES = (100.0, 50.0, 25.0, 12.5, 6.25)
+
+#: (window_s, step_s) ratios to sweep, including a non-integer ratio.
+WINDOW_STEPS = ((2.0, 1.0), (3.0, 1.0), (2.5, 1.0), (2.0, 2.0))
+
+
+def _steady_window(geometry: WindowGeometry, chunks):
+    """Assemble the raw steady-state window the buffer would hold."""
+    parts = []
+    if geometry.tail_samples:
+        parts.append(chunks[0][geometry.chunk_samples - geometry.tail_samples :])
+        body = chunks[1:]
+    else:
+        body = chunks
+    parts.extend(body)
+    return np.concatenate(parts, axis=0)
+
+
+def _gravity_like_chunks(rng, count, chunk_samples):
+    """Chunks with a realistic structure: gravity offset plus noise."""
+    offset = rng.normal(0.0, 9.81, size=(1, 1, 3))
+    wobble = rng.normal(0.0, 1.5, size=(count, chunk_samples, 3))
+    return offset + wobble
+
+
+class TestGeometry:
+    def test_aligned_geometry(self):
+        geometry = WindowGeometry.for_window(50.0, 1.0, 2.0)
+        assert geometry.chunk_samples == 50
+        assert geometry.window_samples == 100
+        assert geometry.chunks_per_window == 2
+        assert geometry.tail_samples == 0
+        assert geometry.cached_chunks == 2
+
+    def test_tailed_geometry_at_12_5_hz(self):
+        # round(12.5) = 12 samples per second against a 25-sample cap:
+        # the steady window keeps 1 sample of the oldest chunk.
+        geometry = WindowGeometry.for_window(12.5, 1.0, 2.0)
+        assert geometry.chunk_samples == 12
+        assert geometry.window_samples == 25
+        assert geometry.chunks_per_window == 2
+        assert geometry.tail_samples == 1
+        assert geometry.cached_chunks == 3
+
+    @pytest.mark.parametrize("sampling_hz", SAMPLING_RATES)
+    def test_geometry_matches_real_buffer_layout(self, sampling_hz):
+        """The steady-state chunk pattern WindowGeometry predicts is the
+        pattern SampleBuffer actually converges to — the assumption the
+        cached partials rest on."""
+        from repro.core.config import SensorConfig
+        from repro.sensors.buffer import SampleBuffer
+        from repro.sensors.imu import SensorWindow
+
+        geometry = WindowGeometry.for_window(sampling_hz, 1.0, 2.0)
+        config = SensorConfig(sampling_hz=sampling_hz, averaging_window=8)
+        buffer = SampleBuffer(window_duration_s=2.0)
+        rng = np.random.default_rng(3)
+        for push in range(1, geometry.cached_chunks + 3):
+            samples = rng.normal(size=(geometry.chunk_samples, 3))
+            times = push - 1.0 + np.arange(1, geometry.chunk_samples + 1) / sampling_hz
+            buffer.push(SensorWindow(samples=samples, times_s=times, config=config))
+            if push >= geometry.cached_chunks:
+                expected = (geometry.chunk_samples,) * geometry.chunks_per_window
+                if geometry.tail_samples:
+                    expected = (geometry.tail_samples,) + expected
+                assert buffer.chunk_sizes() == expected
+                assert buffer.num_samples == geometry.window_samples
+
+    def test_degenerate_geometries_are_none(self):
+        assert WindowGeometry.for_window(0.4, 1.0, 2.0) is None
+        assert WindowGeometry.for_window(1.0, 1.0, 1.0) is None  # 1-sample window
+
+    def test_basis_is_cached(self):
+        incremental = IncrementalFeatureExtractor()
+        geometry = WindowGeometry.for_window(50.0, 1.0, 2.0)
+        assert incremental.basis_for(geometry) is incremental.basis_for(geometry)
+
+
+class TestIncrementalEquivalence:
+    @pytest.mark.parametrize("fourier_mode", ["bands", "bins"])
+    @pytest.mark.parametrize("window_s,step_s", WINDOW_STEPS)
+    @pytest.mark.parametrize("sampling_hz", SAMPLING_RATES)
+    def test_combined_features_match_full_extraction(
+        self, sampling_hz, window_s, step_s, fourier_mode
+    ):
+        """Slide a window over a random stream chunk by chunk; every
+        steady-state combine must match the full-window extraction."""
+        geometry = WindowGeometry.for_window(sampling_hz, step_s, window_s)
+        if geometry is None:
+            pytest.skip("degenerate geometry")
+        extractor = FeatureExtractor(fourier_mode=fourier_mode)
+        incremental = IncrementalFeatureExtractor(extractor)
+        rng = np.random.default_rng(
+            stable_seed_from(
+                int(sampling_hz * 100), int(window_s * 10), int(step_s * 10),
+                fourier_mode,
+            )
+        )
+
+        total_chunks = geometry.cached_chunks + 3
+        stream = _gravity_like_chunks(rng, total_chunks, geometry.chunk_samples)
+        partials = [
+            incremental.chunk_partials_stacked(chunk[None], geometry)[0]
+            for chunk in stream
+        ]
+        for start in range(total_chunks - geometry.cached_chunks + 1):
+            cached = partials[start : start + geometry.cached_chunks]
+            combined = incremental.combine_stacked([cached], geometry)[0]
+            window = _steady_window(
+                geometry, stream[start : start + geometry.cached_chunks]
+            )
+            assert window.shape[0] == geometry.window_samples
+            reference = extractor.extract(window, sampling_hz)
+            np.testing.assert_allclose(
+                combined, reference, rtol=1e-7, atol=1e-9,
+                err_msg=(
+                    f"fs={sampling_hz} window={window_s} step={step_s} "
+                    f"mode={fourier_mode} start={start}"
+                ),
+            )
+
+    def test_batched_combine_matches_single(self):
+        """Combining many devices at once equals combining one by one —
+        the batch invariance the fleet/sequential equivalence rests on."""
+        geometry = WindowGeometry.for_window(12.5, 1.0, 2.0)
+        incremental = IncrementalFeatureExtractor()
+        rng = np.random.default_rng(9)
+        devices = 7
+        windows = []
+        for _ in range(devices):
+            chunks = _gravity_like_chunks(
+                rng, geometry.cached_chunks, geometry.chunk_samples
+            )
+            windows.append(
+                [
+                    incremental.chunk_partials_stacked(chunk[None], geometry)[0]
+                    for chunk in chunks
+                ]
+            )
+        batched = incremental.combine_stacked(windows, geometry)
+        for index, window in enumerate(windows):
+            single = incremental.combine_stacked([window], geometry)[0]
+            np.testing.assert_array_equal(batched[index], single)
+
+    def test_stacked_partials_match_single(self):
+        geometry = WindowGeometry.for_window(50.0, 1.0, 2.0)
+        incremental = IncrementalFeatureExtractor()
+        rng = np.random.default_rng(11)
+        chunks = _gravity_like_chunks(rng, 5, geometry.chunk_samples)
+        stacked = incremental.chunk_partials_stacked(chunks, geometry)
+        for index in range(5):
+            single = incremental.chunk_partials_stacked(
+                chunks[index][None], geometry
+            )[0]
+            np.testing.assert_array_equal(stacked[index].sums, single.sums)
+            np.testing.assert_array_equal(stacked[index].sumsq, single.sumsq)
+            np.testing.assert_array_equal(stacked[index].dft, single.dft)
+
+    def test_wrong_chunk_count_rejected(self):
+        geometry = WindowGeometry.for_window(50.0, 1.0, 2.0)
+        incremental = IncrementalFeatureExtractor()
+        chunk = np.zeros((1, geometry.chunk_samples, 3))
+        partials = incremental.chunk_partials_stacked(chunk, geometry)
+        with pytest.raises(ValueError):
+            incremental.combine_stacked([partials], geometry)  # needs 2 chunks
+
+    def test_wrong_chunk_shape_rejected(self):
+        geometry = WindowGeometry.for_window(50.0, 1.0, 2.0)
+        incremental = IncrementalFeatureExtractor()
+        with pytest.raises(ValueError):
+            incremental.chunk_partials_stacked(np.zeros((1, 7, 3)), geometry)
+
+    def test_exact_fallback_delegates_to_wrapped_extractor(self):
+        extractor = FeatureExtractor()
+        incremental = IncrementalFeatureExtractor(extractor)
+        rng = np.random.default_rng(13)
+        windows = rng.normal(9.8, 2.0, size=(4, 100, 3))
+        np.testing.assert_array_equal(
+            incremental.extract_stacked(windows, 50.0),
+            extractor.extract_stacked(windows, 50.0),
+        )
+        assert incremental.extractor is extractor
+        assert incremental.num_features == extractor.num_features

@@ -1,0 +1,112 @@
+"""Tests for process-sharded fleet simulation (:mod:`repro.exec.sharding`).
+
+The sharded engine's contract: for any shard count, the merged traces
+and telemetry are identical to a single-process run (and, through the
+engine equivalence, to the per-device sequential reference).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import (
+    DevicePopulation,
+    FleetSimulator,
+    FleetTelemetry,
+    ShardedFleetSimulator,
+    traces_equal,
+)
+
+
+@pytest.fixture(scope="module")
+def population():
+    return DevicePopulation.generate(10, duration_s=12.0, master_seed=77)
+
+
+class TestPlanning:
+    def test_contiguous_near_equal_split(self, trained_pipeline, population):
+        simulator = ShardedFleetSimulator(trained_pipeline)
+        shards = simulator.plan(population, num_shards=3)
+        assert [len(shard) for shard in shards] == [4, 3, 3]
+        flattened = [profile for shard in shards for profile in shard]
+        assert [p.device_id for p in flattened] == list(range(10))
+
+    def test_shard_count_capped_at_population(self, trained_pipeline, population):
+        simulator = ShardedFleetSimulator(trained_pipeline)
+        shards = simulator.plan(population, num_shards=50)
+        assert len(shards) == len(population)
+        assert all(len(shard) == 1 for shard in shards)
+
+    def test_invalid_shard_count_rejected(self, trained_pipeline, population):
+        simulator = ShardedFleetSimulator(trained_pipeline)
+        with pytest.raises(ValueError):
+            simulator.plan(population, num_shards=0)
+
+    def test_empty_population_rejected(self, trained_pipeline):
+        simulator = ShardedFleetSimulator(trained_pipeline)
+        with pytest.raises(ValueError):
+            simulator.run([])
+
+    def test_invalid_engine_settings_rejected_eagerly(self, trained_pipeline):
+        with pytest.raises(ValueError):
+            ShardedFleetSimulator(trained_pipeline, features="magic")
+
+
+class TestShardCountInvariance:
+    def test_merged_output_invariant_to_shard_count(
+        self, trained_pipeline, population
+    ):
+        """1, 2 and 4 shards produce identical merged traces and
+        telemetry, equal to the unsharded batched run."""
+        reference = FleetSimulator(trained_pipeline).run(population)
+        reference_telemetry = FleetTelemetry.from_result(reference)
+        simulator = ShardedFleetSimulator(trained_pipeline)
+        for num_shards in (1, 2, 4):
+            run = simulator.run(population, num_shards=num_shards)
+            assert run.num_shards == num_shards
+            assert sum(run.shard_sizes) == len(population)
+            assert run.result.mode == "sharded"
+            for left, right in zip(run.result.traces, reference.traces):
+                assert traces_equal(left, right)
+            assert run.telemetry.to_dict() == reference_telemetry.to_dict()
+
+    def test_matches_sequential_reference(self, trained_pipeline, population):
+        sequential = FleetSimulator(trained_pipeline).run_sequential(population)
+        run = ShardedFleetSimulator(trained_pipeline).run(
+            population, num_shards=2
+        )
+        for left, right in zip(run.result.traces, sequential.traces):
+            assert traces_equal(left, right)
+
+    def test_duration_truncation(self, trained_pipeline, population):
+        run = ShardedFleetSimulator(trained_pipeline).run(
+            population, duration_s=5.0, num_shards=2
+        )
+        assert all(len(trace) == 5 for trace in run.result.traces)
+
+    def test_excessive_duration_rejected(self, trained_pipeline, population):
+        with pytest.raises(ValueError):
+            ShardedFleetSimulator(trained_pipeline).run(
+                population, duration_s=60.0, num_shards=2
+            )
+
+
+class TestTelemetryMerge:
+    def test_merge_equals_from_result(self, trained_pipeline, population):
+        simulator = ShardedFleetSimulator(trained_pipeline)
+        run = simulator.run(population, num_shards=3)
+        direct = FleetTelemetry.from_result(run.result)
+        assert run.telemetry.to_dict() == direct.to_dict()
+
+    def test_merge_reorders_by_device_id(self, trained_pipeline, population):
+        result = FleetSimulator(trained_pipeline).run(population)
+        telemetry = FleetTelemetry.from_result(result)
+        front = FleetTelemetry(telemetry.reports[:4])
+        back = FleetTelemetry(telemetry.reports[4:])
+        merged = FleetTelemetry.merge([back, front])  # deliberately reversed
+        assert [r.device_id for r in merged.reports] == list(range(10))
+        assert merged.to_dict() == telemetry.to_dict()
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FleetTelemetry.merge([])

@@ -12,6 +12,7 @@ from repro.core.features import (
     HOP_DURATION_S,
     WINDOW_DURATION_S,
     FeatureExtractor,
+    _spectral_layout,
     default_feature_extractor,
     sliding_window_starts,
     window_sample_count,
@@ -221,3 +222,50 @@ class TestWindowingHelpers:
     def test_sliding_window_custom_hop(self):
         starts = sliding_window_starts(10.0, window_s=2.0, hop_s=2.0)
         np.testing.assert_allclose(starts, [0.0, 2.0, 4.0, 6.0, 8.0])
+
+    def test_sliding_window_float_edge_keeps_last_window(self):
+        """Regression: a recording of exactly window + k*hop seconds must
+        yield k+1 windows even when floating-point error leaves
+        (total - window) / hop a few ulps below the integer (here
+        (4.1 - 2.0) / 0.7 == 2.9999999999999996)."""
+        starts = sliding_window_starts(4.1, window_s=2.0, hop_s=0.7)
+        assert starts.size == 4
+        np.testing.assert_allclose(starts, [0.0, 0.7, 1.4, 2.1])
+
+    def test_sliding_window_exact_multiples_unchanged(self):
+        for k in range(1, 20):
+            total = 2.0 + k * 1.0
+            assert sliding_window_starts(total).size == k + 1
+
+
+class TestSpectralLayoutCache:
+    def test_layout_cached_per_geometry(self):
+        first = _spectral_layout(100, 50.0, 3.0, 3)
+        second = _spectral_layout(100, 50.0, 3.0, 3)
+        assert first[0] is second[0]
+        assert all(a is b for a, b in zip(first[1], second[1]))
+
+    def test_cached_arrays_are_frozen(self):
+        frequencies, masks = _spectral_layout(64, 32.0, 3.0, 3)
+        with pytest.raises(ValueError):
+            frequencies[0] = 1.0
+        with pytest.raises(ValueError):
+            masks[0][0] = True
+
+    def test_layout_matches_direct_computation(self):
+        frequencies, masks = _spectral_layout(50, 25.0, 3.0, 3)
+        np.testing.assert_array_equal(
+            frequencies, np.fft.rfftfreq(50, d=1.0 / 25.0)
+        )
+        edges = np.linspace(0.0, 3.0, 4)
+        for band, mask in enumerate(masks):
+            expected = (frequencies > edges[band]) & (frequencies <= edges[band + 1])
+            np.testing.assert_array_equal(mask, expected)
+
+    def test_band_features_unaffected_by_cache(self):
+        generator = np.random.default_rng(21)
+        samples = generator.normal(9.8, 2.0, size=(5, 100, 3))
+        extractor = FeatureExtractor()
+        first = extractor.extract_stacked(samples, 50.0)
+        second = extractor.extract_stacked(samples, 50.0)
+        np.testing.assert_array_equal(first, second)
