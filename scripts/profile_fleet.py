@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Profile a fleet simulation and dump the hottest functions.
+
+A tiny cProfile harness around the fleet engine so a performance
+regression can be localised in one command, without writing a script:
+
+    PYTHONPATH=src python scripts/profile_fleet.py
+    PYTHONPATH=src python scripts/profile_fleet.py \
+        --devices 2000 --duration 20 --controllers per_object --trace full \
+        --sort tottime --top 40
+
+Training the shared classifier and generating the population happen
+*outside* the profiled region — the numbers cover exactly one
+simulation run (runtime construction plus the tick loop), which is what
+``BENCH_fleet.json`` times.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+import time
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--devices", type=int, default=1000,
+                        help="number of simulated devices (default: 1000)")
+    parser.add_argument("--duration", type=float, default=20.0,
+                        help="simulated seconds per device (default: 20)")
+    parser.add_argument("--seed", type=int, default=2020,
+                        help="master seed for training and the population")
+    parser.add_argument("--windows", type=int, default=16,
+                        help="training windows per activity per configuration")
+    parser.add_argument("--features", choices=("incremental", "exact"),
+                        default="incremental")
+    parser.add_argument("--sensing", choices=("stacked", "per_device"),
+                        default="stacked")
+    parser.add_argument("--controllers", choices=("bank", "per_object"),
+                        default="bank")
+    parser.add_argument("--trace", choices=("summary", "full"),
+                        default="summary")
+    parser.add_argument("--sort", choices=("tottime", "cumulative", "ncalls"),
+                        default="tottime", help="pstats sort key")
+    parser.add_argument("--top", type=int, default=30,
+                        help="number of entries to print (default: 30)")
+    parser.add_argument("--output", default=None,
+                        help="optional .pstats dump path for snakeviz etc.")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    from repro.core.adasense import AdaSense
+    from repro.fleet import DevicePopulation, FleetSimulator
+
+    start = time.perf_counter()
+    system = AdaSense.train(
+        windows_per_activity_per_config=args.windows, seed=args.seed
+    )
+    population = DevicePopulation.generate(
+        args.devices, duration_s=args.duration, master_seed=args.seed
+    )
+    simulator = FleetSimulator(
+        system.pipeline,
+        features=args.features,
+        sensing=args.sensing,
+        controllers=args.controllers,
+    )
+    # One untimed warm-up run so lazily built caches (DFT bases, spectral
+    # layouts, BLAS threads) do not pollute the profile.
+    simulator.run(population, trace=args.trace)
+    print(
+        f"setup: {args.devices} devices x {args.duration:.0f} s "
+        f"({args.features}/{args.sensing}/{args.controllers}/{args.trace}), "
+        f"prepared in {time.perf_counter() - start:.1f} s",
+        file=sys.stderr,
+    )
+
+    profile = cProfile.Profile()
+    profile.enable()
+    result = simulator.run(population, trace=args.trace)
+    profile.disable()
+
+    print(
+        f"profiled run: {result.elapsed_s:.2f} s wall, "
+        f"{result.throughput_device_seconds_per_s:.0f} device-seconds/s",
+        file=sys.stderr,
+    )
+    stats = pstats.Stats(profile)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    if args.output:
+        stats.dump_stats(args.output)
+        print(f"pstats dump -> {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,11 +14,18 @@ Two baselines frame AdaSense's results:
   Section V-D.
 """
 
-from repro.baselines.intensity_based import IntensityBasedApproach, activity_intensity
+from repro.baselines.intensity_based import (
+    IntensityBasedApproach,
+    IntensityController,
+    activity_intensity,
+    stacked_intensities,
+)
 from repro.baselines.static import AlwaysHighPowerBaseline
 
 __all__ = [
     "IntensityBasedApproach",
+    "IntensityController",
     "activity_intensity",
+    "stacked_intensities",
     "AlwaysHighPowerBaseline",
 ]

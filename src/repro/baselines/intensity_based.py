@@ -22,7 +22,7 @@ Consequences reproduced here (and compared in Fig. 7 / Section V-D):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -40,8 +40,12 @@ from repro.sensors.imu import (
     NoiseModel,
     SimulatedAccelerometer,
 )
-from repro.sim.runtime import ScheduleLike
 from repro.sim.trace import SimulationTrace, StepRecord
+
+if TYPE_CHECKING:  # imported lazily: sim.runtime sits above this module
+    # in the layering (it pulls in the execution engine, which imports
+    # the controller bank, which imports this module).
+    from repro.sim.runtime import ScheduleLike
 from repro.utils.rng import SeedLike, as_rng
 from repro.utils.validation import check_positive_int
 
@@ -72,6 +76,32 @@ def activity_intensity(samples: np.ndarray) -> float:
         raise ValueError("at least two samples are required to compute a derivative")
     differences = np.abs(np.diff(samples, axis=0))
     return float(differences.mean(axis=0).sum())
+
+
+def stacked_intensities(chunks: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`activity_intensity` over a batch stack.
+
+    Computes the intensity of every device's batch in one pass; the
+    per-device reductions run in the same order NumPy uses for a single
+    ``(n, 3)`` batch, so each entry is bit-identical to calling
+    :func:`activity_intensity` on the corresponding slice — the property
+    that lets the fleet engine's controller bank vectorise the
+    intensity-switching observe step.
+
+    Parameters
+    ----------
+    chunks:
+        Raw sample batches stacked as ``(devices, n, 3)`` with ``n >= 2``.
+    """
+    chunks = np.asarray(chunks, dtype=float)
+    if chunks.ndim != 3 or chunks.shape[2] != 3:
+        raise ValueError(
+            f"chunks must have shape (devices, n, 3), got {chunks.shape}"
+        )
+    if chunks.shape[1] < 2:
+        raise ValueError("at least two samples are required to compute a derivative")
+    differences = np.abs(np.diff(chunks, axis=1))
+    return differences.mean(axis=1).sum(axis=1)
 
 
 @dataclass(frozen=True)
@@ -193,6 +223,22 @@ class IntensityController:
             self._config = self._pending
             self._pending = None
         return self._config
+
+    def restore_state(self, config: SensorConfig) -> None:
+        """Overwrite the active configuration (controller-bank write-back).
+
+        ``config`` must be one of the two calibrated configurations; the
+        pending decision is cleared, matching the between-tick state of a
+        per-object run (``update`` always consumes what ``observe_window``
+        staged).
+        """
+        if config not in (self._high_config, self._low_config):
+            raise ValueError(
+                f"config must be {self._high_config.name} or "
+                f"{self._low_config.name}, got {config.name}"
+            )
+        self._config = config
+        self._pending = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

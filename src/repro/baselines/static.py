@@ -10,16 +10,20 @@ that the baseline runs through exactly the same code path as AdaSense.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.config import HIGH_POWER_CONFIG, SensorConfig
 from repro.core.controller import StaticController
 from repro.core.pipeline import HarPipeline
 from repro.energy.accelerometer import AccelerometerPowerModel
 from repro.sensors.imu import DEFAULT_INTERNAL_RATE_HZ, NoiseModel
-from repro.sim.runtime import ClosedLoopSimulator, ScheduleLike
 from repro.sim.trace import SimulationTrace
 from repro.utils.rng import SeedLike
+
+if TYPE_CHECKING:  # imported lazily: sim.runtime sits above the
+    # baselines package in the layering (its execution engine imports
+    # the controller bank, which imports repro.baselines).
+    from repro.sim.runtime import ScheduleLike
 
 
 class AlwaysHighPowerBaseline:
@@ -68,8 +72,10 @@ class AlwaysHighPowerBaseline:
         """Sensor current of the pinned configuration (constant over time)."""
         return self._power_model.current_ua(self._config)
 
-    def simulate(self, schedule: ScheduleLike, seed: SeedLike = None) -> SimulationTrace:
+    def simulate(self, schedule: "ScheduleLike", seed: SeedLike = None) -> SimulationTrace:
         """Run the baseline over an activity schedule."""
+        from repro.sim.runtime import ClosedLoopSimulator
+
         simulator = ClosedLoopSimulator(
             pipeline=self._pipeline,
             controller=StaticController(self._config),

@@ -191,6 +191,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=None,
         help="worker processes for --engine sharded (default: CPU count)",
     )
+    fleet_parser.add_argument(
+        "--controllers", choices=("bank", "per_object"), default="bank",
+        help="advance adaptive controllers with the vectorized "
+             "array-of-states bank (default) or one object at a time",
+    )
+    fleet_parser.add_argument(
+        "--trace", choices=("summary", "full"), default="summary",
+        help="collect streaming O(devices) telemetry accumulators "
+             "(default) or materialise full per-step traces; reports are "
+             "bit-identical (--engine sequential always records full "
+             "traces)",
+    )
     fleet_parser.add_argument("--model", default=None,
                               help="JSON model saved by 'train' (otherwise trains a fresh one)")
     fleet_parser.add_argument("--windows", type=int, default=40,
@@ -293,8 +305,10 @@ def _command_fleet(args: argparse.Namespace, out) -> int:
         master_seed=args.seed,
     )
     if args.engine == "sharded":
-        sharded = ShardedFleetSimulator(system.pipeline, features=args.features)
-        run = sharded.run(population, num_shards=args.shards)
+        sharded = ShardedFleetSimulator(
+            system.pipeline, features=args.features, controllers=args.controllers
+        )
+        run = sharded.run(population, num_shards=args.shards, trace=args.trace)
         result = run.result
         telemetry = run.telemetry
         out.write(
@@ -302,14 +316,18 @@ def _command_fleet(args: argparse.Namespace, out) -> int:
             f"{', '.join(str(size) for size in run.shard_sizes)})\n"
         )
     else:
-        simulator = FleetSimulator(system.pipeline, features=args.features)
+        simulator = FleetSimulator(
+            system.pipeline, features=args.features, controllers=args.controllers
+        )
         if args.engine == "sequential":
             result = simulator.run_sequential(population)
         else:
-            result = simulator.run(population)
+            result = simulator.run(population, trace=args.trace)
         telemetry = FleetTelemetry.from_result(result)
         out.write(f"engine             : {result.mode}\n")
     out.write(f"features           : {args.features}\n")
+    out.write(f"controllers        : {args.controllers}\n")
+    out.write(f"trace              : {result.trace_mode}\n")
     out.write(
         f"throughput         : {result.throughput_device_seconds_per_s:.0f} "
         f"device-seconds/s ({result.elapsed_s:.2f} s wall clock)\n"

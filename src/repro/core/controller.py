@@ -212,6 +212,32 @@ class SpotController:
         """Whether a reported activity change should trigger the snap-back."""
         return True
 
+    def restore_state(
+        self,
+        state_index: int,
+        counter: int,
+        last_activity: Optional[Activity],
+    ) -> None:
+        """Overwrite the FSM state in one call.
+
+        The vectorized controller bank
+        (:class:`repro.exec.controller_bank.ControllerBank`) advances
+        array-of-states copies of many SPOT machines at once and uses
+        this hook to write the final state back into the per-object
+        controllers, so code that inspects a controller after a banked
+        run sees exactly what a per-object run would have left behind.
+        """
+        if not 0 <= state_index < len(self._states):
+            raise ValueError(
+                f"state_index must lie in [0, {len(self._states)}), got {state_index}"
+            )
+        check_non_negative(counter, "counter")
+        self._state_index = int(state_index)
+        self._counter = int(counter)
+        self._last_activity = (
+            None if last_activity is None else Activity.from_any(last_activity)
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
             f"{type(self).__name__}(state={self.current_config.name}, "

@@ -382,6 +382,48 @@ class ChunkPartials:
         self.tail_dft = tail_dft
 
 
+class StackedChunkPartials:
+    """Partial features of one acquisition tick for a whole device group.
+
+    The array-of-devices counterpart of :class:`ChunkPartials`: every
+    field carries a leading batch axis, so one tick's reduction of a
+    configuration group stays a single object.  The fleet engine's
+    banked path keeps a short history of these per configuration and
+    assembles steady-state windows with per-slot row gathers instead of
+    re-stacking thousands of per-device partials every tick.
+    """
+
+    __slots__ = ("sums", "sumsq", "dft", "tail_sums", "tail_sumsq", "tail_dft")
+
+    def __init__(self, sums, sumsq, dft, tail_sums=None, tail_sumsq=None, tail_dft=None):
+        self.sums = sums
+        self.sumsq = sumsq
+        self.dft = dft
+        self.tail_sums = tail_sums
+        self.tail_sumsq = tail_sumsq
+        self.tail_dft = tail_dft
+
+    def device(self, row: int) -> ChunkPartials:
+        """The single-device :class:`ChunkPartials` view of one row."""
+        if self.tail_sums is None:
+            return ChunkPartials(self.sums[row], self.sumsq[row], self.dft[row])
+        return ChunkPartials(
+            self.sums[row], self.sumsq[row], self.dft[row],
+            self.tail_sums[row], self.tail_sumsq[row], self.tail_dft[row],
+        )
+
+    def slot_arrays(self, rows: np.ndarray, tail: bool):
+        """Gather one combine slot (``sums``, ``sumsq``, ``dft``) for ``rows``.
+
+        With ``tail=True`` the tail partials are gathered instead — the
+        contribution a chunk makes once it is the oldest, partially
+        trimmed entry of the window.
+        """
+        if tail:
+            return self.tail_sums[rows], self.tail_sumsq[rows], self.tail_dft[rows]
+        return self.sums[rows], self.sumsq[rows], self.dft[rows]
+
+
 class IncrementalFeatureExtractor:
     """Chunk-cached feature extraction over overlapping windows.
 
@@ -486,6 +528,17 @@ class IncrementalFeatureExtractor:
         geometry:
             The window geometry the chunks belong to.
         """
+        stacked = self.chunk_partials_arrays(chunks, geometry)
+        return [stacked.device(d) for d in range(stacked.sums.shape[0])]
+
+    def chunk_partials_arrays(
+        self, chunks: np.ndarray, geometry: WindowGeometry
+    ) -> StackedChunkPartials:
+        """Reduce a chunk stack to one :class:`StackedChunkPartials`.
+
+        Array-of-devices spelling of :meth:`chunk_partials_stacked`
+        (whose per-device objects are row views of this result).
+        """
         chunks = np.asarray(chunks, dtype=float)
         if chunks.ndim != 3 or chunks.shape[1] != geometry.chunk_samples:
             raise ValueError(
@@ -495,26 +548,20 @@ class IncrementalFeatureExtractor:
         basis = self.basis_for(geometry)
         sums = chunks.sum(axis=1)
         sumsq = (chunks * chunks).sum(axis=1)
-        dft = (
-            basis.chunk_basis[None, :, :, None] * chunks[:, None, :, :]
-        ).sum(axis=2)
-        if geometry.tail_samples:
-            tail = chunks[:, geometry.chunk_samples - geometry.tail_samples :, :]
-            tail_sums = tail.sum(axis=1)
-            tail_sumsq = (tail * tail).sum(axis=1)
-            tail_dft = (
-                basis.tail_basis[None, :, :, None] * tail[:, None, :, :]
-            ).sum(axis=2)
-            return [
-                ChunkPartials(
-                    sums[d], sumsq[d], dft[d],
-                    tail_sums[d], tail_sumsq[d], tail_dft[d],
-                )
-                for d in range(chunks.shape[0])
-            ]
-        return [
-            ChunkPartials(sums[d], sumsq[d], dft[d]) for d in range(chunks.shape[0])
-        ]
+        # einsum contracts the sample axis with the same sequential
+        # accumulation order as summing the broadcast product, so the
+        # coefficients are bit-identical — without ever materialising
+        # the (batch, bins, samples, 3) intermediate.
+        dft = np.einsum("kj,dja->dka", basis.chunk_basis, chunks)
+        if not geometry.tail_samples:
+            return StackedChunkPartials(sums, sumsq, dft)
+        tail = chunks[:, geometry.chunk_samples - geometry.tail_samples :, :]
+        tail_sums = tail.sum(axis=1)
+        tail_sumsq = (tail * tail).sum(axis=1)
+        tail_dft = np.einsum("kj,dja->dka", basis.tail_basis, tail)
+        return StackedChunkPartials(
+            sums, sumsq, dft, tail_sums, tail_sumsq, tail_dft
+        )
 
     def combine_stacked(
         self,
@@ -538,31 +585,77 @@ class IncrementalFeatureExtractor:
         numpy.ndarray
             Matrix of shape ``(len(windows), num_features)``.
         """
-        basis = self.basis_for(geometry)
         expected = geometry.cached_chunks
         for window in windows:
             if len(window) != expected:
                 raise ValueError(
                     f"each window needs {expected} cached chunks, got {len(window)}"
                 )
-        batch = len(windows)
-        n = geometry.window_samples
         full_offset = 1 if geometry.tail_samples else 0
+        slots = []
         if geometry.tail_samples:
-            sums = np.stack([window[0].tail_sums for window in windows])
-            sumsq = np.stack([window[0].tail_sumsq for window in windows])
-            spectrum_acc = np.stack([window[0].tail_dft for window in windows])
+            slots.append(
+                (
+                    np.stack([window[0].tail_sums for window in windows]),
+                    np.stack([window[0].tail_sumsq for window in windows]),
+                    np.stack([window[0].tail_dft for window in windows]),
+                )
+            )
+        for slot in range(geometry.chunks_per_window):
+            column = [window[slot + full_offset] for window in windows]
+            slots.append(
+                (
+                    np.stack([partials.sums for partials in column]),
+                    np.stack([partials.sumsq for partials in column]),
+                    np.stack([partials.dft for partials in column]),
+                )
+            )
+        return self.combine_slot_arrays(slots, geometry)
+
+    def combine_slot_arrays(
+        self,
+        slots: "Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray]]",
+        geometry: WindowGeometry,
+    ) -> np.ndarray:
+        """Assemble feature vectors from already-stacked per-slot partials.
+
+        Parameters
+        ----------
+        slots:
+            ``geometry.cached_chunks`` triples ``(sums, sumsq, dft)``
+            with a leading batch axis, ordered oldest chunk first.  For
+            tailed geometries the first entry must carry the oldest
+            chunk's *tail* partials.  This is the gather-based spelling
+            the fleet engine's banked path feeds from its per-
+            configuration :class:`StackedChunkPartials` history;
+            :meth:`combine_stacked` builds the same triples from
+            per-device partials.  Both produce bit-identical features.
+
+        Returns
+        -------
+        numpy.ndarray
+            Matrix of shape ``(batch, num_features)``.
+        """
+        basis = self.basis_for(geometry)
+        if len(slots) != geometry.cached_chunks:
+            raise ValueError(
+                f"expected {geometry.cached_chunks} slots, got {len(slots)}"
+            )
+        batch = slots[0][0].shape[0]
+        n = geometry.window_samples
+        if geometry.tail_samples:
+            sums, sumsq, spectrum_acc = slots[0]
+            chunk_slots = slots[1:]
         else:
             sums = np.zeros((batch, _NUM_AXES))
             sumsq = np.zeros((batch, _NUM_AXES))
             spectrum_acc = np.zeros((batch, basis.bins, _NUM_AXES), dtype=complex)
-        for slot in range(geometry.chunks_per_window):
-            column = [window[slot + full_offset] for window in windows]
-            sums = sums + np.stack([partials.sums for partials in column])
-            sumsq = sumsq + np.stack([partials.sumsq for partials in column])
+            chunk_slots = slots
+        for slot, (slot_sums, slot_sumsq, slot_dft) in enumerate(chunk_slots):
+            sums = sums + slot_sums
+            sumsq = sumsq + slot_sumsq
             spectrum_acc = spectrum_acc + (
-                np.stack([partials.dft for partials in column])
-                * basis.chunk_phases[slot][None, :, None]
+                slot_dft * basis.chunk_phases[slot][None, :, None]
             )
         means = sums / n
         variance = sumsq / n - means * means

@@ -177,25 +177,7 @@ class HarPipeline:
         list of ClassificationResult
             One result per input row, in order.
         """
-        features = np.asarray(features, dtype=float)
-        if features.ndim != 2:
-            raise ValueError(
-                f"classify_batch expects a feature matrix, got shape {features.shape}"
-            )
-        if features.shape[0] == 0:
-            return []
-        if self._scaler is not None:
-            features = self._scaler.transform(features)
-        # A single-row matrix product may be dispatched to a different
-        # BLAS kernel (gemv) than the same row inside a larger batch
-        # (gemm), which changes the floating-point summation order.
-        # Duplicating the lone row keeps results batch-size invariant.
-        if features.shape[0] == 1:
-            probabilities = np.atleast_2d(
-                self._classifier.predict_proba(np.vstack([features, features]))
-            )[:1]
-        else:
-            probabilities = np.atleast_2d(self._classifier.predict_proba(features))
+        probabilities = self._batch_probabilities(features)
         results: List[ClassificationResult] = []
         for row in probabilities:
             index = int(np.argmax(row))
@@ -207,6 +189,51 @@ class HarPipeline:
                 )
             )
         return results
+
+    def classify_batch_labels(
+        self, features: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Classify a feature matrix into plain label/confidence arrays.
+
+        The fleet-scale spelling of :meth:`classify_batch`: the same
+        probabilities (bit for bit — both methods share one internal
+        path, and ``argmax`` breaks ties identically), but returned as
+        two arrays instead of one result object per row, so the
+        execution engine's controller bank and streaming telemetry can
+        consume them without materialising 10⁵ Python objects per tick.
+
+        Returns
+        -------
+        (labels, confidences)
+            Integer class index and softmax confidence per input row.
+        """
+        probabilities = self._batch_probabilities(features)
+        if probabilities.shape[0] == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        labels = probabilities.argmax(axis=1)
+        confidences = probabilities[np.arange(labels.shape[0]), labels]
+        return labels, confidences
+
+    def _batch_probabilities(self, features: np.ndarray) -> np.ndarray:
+        """Shared batched probability computation for the classify paths."""
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2:
+            raise ValueError(
+                f"classify_batch expects a feature matrix, got shape {features.shape}"
+            )
+        if features.shape[0] == 0:
+            return np.empty((0, NUM_ACTIVITIES))
+        if self._scaler is not None:
+            features = self._scaler.transform(features)
+        # A single-row matrix product may be dispatched to a different
+        # BLAS kernel (gemv) than the same row inside a larger batch
+        # (gemm), which changes the floating-point summation order.
+        # Duplicating the lone row keeps results batch-size invariant.
+        if features.shape[0] == 1:
+            return np.atleast_2d(
+                self._classifier.predict_proba(np.vstack([features, features]))
+            )[:1]
+        return np.atleast_2d(self._classifier.predict_proba(features))
 
     # ------------------------------------------------------------------
     # Training / evaluation on window datasets

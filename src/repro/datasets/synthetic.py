@@ -30,7 +30,9 @@ applied by :class:`repro.sensors.imu.SimulatedAccelerometer`.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -471,6 +473,12 @@ def _profile(
 def default_activity_profiles() -> Dict[Activity, ActivityProfile]:
     """Return the default signal profiles for the six activities.
 
+    The profile objects are immutable and identical on every call, so
+    they are built once and shared (every fleet device constructs a
+    signal generator; rebuilding ~20 validated dataclasses per device
+    was a measurable slice of fleet start-up).  The returned dict is a
+    fresh copy, so callers may add or replace entries freely.
+
     The numbers are not fitted to a particular dataset; they encode the
     qualitative structure reported across the wearable HAR literature:
 
@@ -482,6 +490,11 @@ def default_activity_profiles() -> Dict[Activity, ActivityProfile]:
     * stair descent is faster (~2.3 Hz) with pronounced impact
       harmonics.
     """
+    return dict(_default_activity_profiles())
+
+
+@lru_cache(maxsize=1)
+def _default_activity_profiles() -> "Tuple[Tuple[Activity, ActivityProfile], ...]":
     profiles = {
         Activity.SIT: _profile(
             Activity.SIT,
@@ -568,7 +581,7 @@ def default_activity_profiles() -> Dict[Activity, ActivityProfile]:
             amplitude_jitter=0.3,
         ),
     }
-    return profiles
+    return tuple(profiles.items())
 
 
 class SyntheticSignalGenerator:
@@ -679,6 +692,10 @@ class ScheduledSignal:
             cursor += duration
         self._segments = segments
         self._boundaries = np.array([segment.end_s for segment in segments])
+        # Plain-float copy for bisect: the spanning test runs once per
+        # device per simulated second, where a C-level bisect beats the
+        # numpy searchsorted call overhead several-fold.
+        self._boundary_list = [float(segment.end_s) for segment in segments]
 
     @property
     def segments(self) -> List[SignalSegment]:
@@ -728,13 +745,14 @@ class ScheduledSignal:
         times = np.asarray(times_s, dtype=float)
         if times.size == 0:
             return None
-        edges = np.searchsorted(
-            self._boundaries, times[[0, -1]], side="right"
-        )
-        edges = np.minimum(edges, len(self._segments) - 1)
-        if edges[0] != edges[1]:
+        # bisect_right on a float list performs exactly the comparisons
+        # of np.searchsorted(..., side="right"); it is the scalar
+        # spelling of the same lookup, minus the array-call overhead.
+        last = len(self._segments) - 1
+        first = min(bisect_right(self._boundary_list, times[0]), last)
+        if first != min(bisect_right(self._boundary_list, times[-1]), last):
             return None
-        return self._segments[int(edges[0])].realization
+        return self._segments[first].realization
 
     def segment_at(self, time_s: float) -> SignalSegment:
         """Return the bout covering ``time_s`` (clamped to the last bout)."""

@@ -13,16 +13,23 @@ module sits *above* the fleet layer (it merges fleet telemetry), while
 the engine sits below it — an eager import here would cycle.
 """
 
+from repro.exec.controller_bank import ConfigTable, ControllerBank
 from repro.exec.engine import (
+    CONTROLLER_MODES,
     FEATURE_MODES,
     SENSING_MODES,
+    TRACE_MODES,
     DeviceRuntime,
     StepEngine,
 )
 
 __all__ = [
+    "CONTROLLER_MODES",
     "FEATURE_MODES",
     "SENSING_MODES",
+    "TRACE_MODES",
+    "ConfigTable",
+    "ControllerBank",
     "DeviceRuntime",
     "StepEngine",
     "ShardedFleetRun",

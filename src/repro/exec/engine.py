@@ -29,22 +29,33 @@ Per simulated tick the engine performs, for every device:
 4. **Classify** — one batched classifier call for the whole device set
    (batch-size invariant, so results do not depend on fleet
    composition).
-5. **Adapt & record** — advance each controller and append a
-   :class:`repro.sim.trace.StepRecord`.
+5. **Adapt & record** — advance the controllers and record the step.
+   With ``controllers="bank"`` (the default) every supported controller
+   family is advanced by **one vectorized array-of-states pass**
+   (:class:`repro.exec.controller_bank.ControllerBank`); unsupported
+   custom controllers transparently stay on the per-object path.  With
+   ``trace="full"`` the step is appended to a
+   :class:`repro.sim.trace.StepRecord` trace; with ``trace="summary"``
+   it is folded into O(devices) running telemetry accumulators
+   (:class:`repro.sim.trace.TraceSummary`) and no per-step state is
+   ever stored.
 
 Determinism contract: for a fixed set of runtimes the engine produces
-the same traces regardless of ``sensing`` mode, feature batching, or
-how devices are grouped — which is what makes process sharding
-(:mod:`repro.exec.sharding`) a pure partitioning concern.
+the same traces regardless of ``sensing`` mode, feature batching,
+controller banking, or how devices are grouped — which is what makes
+process sharding (:mod:`repro.exec.sharding`) a pure partitioning
+concern and ``trace="summary"`` a pure memory optimisation.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.baselines.intensity_based import stacked_intensities
+from repro.core.activities import Activity
 from repro.core.config import SensorConfig
 from repro.core.features import (
     WINDOW_DURATION_S,
@@ -54,15 +65,18 @@ from repro.core.features import (
 )
 from repro.core.pipeline import HarPipeline
 from repro.datasets.synthetic import ScheduledSignal
+from repro.exec.controller_bank import ControllerBank
 from repro.energy.accelerometer import AccelerometerPowerModel
 from repro.sensors.buffer import SampleBuffer
 from repro.sensors.imu import (
     DEFAULT_INTERNAL_RATE_HZ,
     NoiseModel,
+    SensorWindow,
     SimulatedAccelerometer,
     read_windows_stacked,
+    read_windows_stacked_raw,
 )
-from repro.sim.trace import SimulationTrace, StepRecord
+from repro.sim.trace import SimulationTrace, StepRecord, TraceSummary
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_positive
 
@@ -71,6 +85,12 @@ FEATURE_MODES: Tuple[str, ...] = ("incremental", "exact")
 
 #: Acquisition modes the engine supports.
 SENSING_MODES: Tuple[str, ...] = ("stacked", "per_device")
+
+#: Controller-advance modes the engine supports.
+CONTROLLER_MODES: Tuple[str, ...] = ("bank", "per_object")
+
+#: Trace-collection modes the engine supports.
+TRACE_MODES: Tuple[str, ...] = ("full", "summary")
 
 
 class DeviceRuntime:
@@ -151,6 +171,109 @@ class DeviceRuntime:
         )
 
 
+class _StreamingSummary:
+    """Vectorized per-tick telemetry fold over a whole fleet.
+
+    Holds the :class:`repro.sim.trace.TraceSummary` accumulators of
+    every device as parallel arrays and folds one tick with a handful
+    of elementwise operations.  Because the per-device sequence of
+    floating-point additions is exactly the sequence
+    :meth:`TraceSummary.fold_step` performs, the emitted summaries are
+    bit-identical to replaying a full trace through the scalar fold —
+    the property the ``trace="summary"`` equivalence tests pin down.
+
+    Configurations are interned to current columns on first sight, so
+    each device's per-configuration sensor current is computed once per
+    column, not once per tick.  Dwell and switch counts are keyed by
+    configuration *name* (a separate interning), matching the
+    per-record fold exactly even if two distinct configurations share a
+    name.
+    """
+
+    def __init__(self, num_devices: int) -> None:
+        self._num_devices = num_devices
+        self._columns: Dict[SensorConfig, int] = {}
+        self._name_columns: Dict[str, int] = {}
+        self._names: List[str] = []
+        #: Config column -> name column (grows with the config columns).
+        self._name_of_column = np.empty(0, dtype=np.int64)
+        self._currents = np.empty((num_devices, 0))
+        self._dwell = np.empty((num_devices, 0))
+        self._steps = 0
+        self._duration = np.zeros(num_devices)
+        self._correct = np.zeros(num_devices, dtype=np.int64)
+        self._charge = np.zeros(num_devices)
+        self._switches = np.zeros(num_devices, dtype=np.int64)
+        self._previous_names: Optional[np.ndarray] = None
+
+    def column(
+        self, config: SensorConfig, runtimes: Sequence["DeviceRuntime"]
+    ) -> int:
+        """Current column of ``config``, created on first sight."""
+        column = self._columns.get(config)
+        if column is None:
+            column = len(self._columns)
+            self._columns[config] = column
+            name_column = self._name_columns.get(config.name)
+            if name_column is None:
+                name_column = len(self._names)
+                self._name_columns[config.name] = name_column
+                self._names.append(config.name)
+                self._dwell = np.column_stack(
+                    [self._dwell, np.zeros(self._num_devices)]
+                )
+            self._name_of_column = np.append(self._name_of_column, name_column)
+            currents = np.array(
+                [runtime.power_model.current_ua(config) for runtime in runtimes]
+            )
+            self._currents = np.column_stack([self._currents, currents])
+        return column
+
+    def fold_tick(
+        self,
+        rows: np.ndarray,
+        columns: np.ndarray,
+        correct: np.ndarray,
+        duration_s: float,
+    ) -> None:
+        """Fold one tick for every device at once."""
+        self._steps += 1
+        self._duration += duration_s
+        self._correct += correct
+        self._charge += self._currents[rows, columns] * duration_s
+        names = self._name_of_column[columns]
+        self._dwell[rows, names] += duration_s
+        if self._previous_names is not None:
+            self._switches += names != self._previous_names
+        self._previous_names = names
+
+    def summaries(self) -> List[TraceSummary]:
+        """Emit one :class:`TraceSummary` per device, in device order."""
+        result: List[TraceSummary] = []
+        for index in range(self._num_devices):
+            dwell = {
+                name: float(self._dwell[index, column])
+                for column, name in enumerate(self._names)
+                if self._dwell[index, column] > 0.0
+            }
+            result.append(
+                TraceSummary(
+                    steps=self._steps,
+                    duration_s=float(self._duration[index]),
+                    correct_steps=int(self._correct[index]),
+                    charge_uc=float(self._charge[index]),
+                    dwell_s=dwell,
+                    config_switches=int(self._switches[index]),
+                    last_config=(
+                        self._names[self._previous_names[index]]
+                        if self._previous_names is not None
+                        else None
+                    ),
+                )
+            )
+        return result
+
+
 class StepEngine:
     """Advances a set of :class:`DeviceRuntime` states in lock step.
 
@@ -172,6 +295,14 @@ class StepEngine:
         ``"stacked"`` (default) acquires all devices sharing a
         configuration in one vectorised pass; ``"per_device"`` reads
         each sensor individually.  Both produce bit-identical samples.
+    controllers:
+        ``"bank"`` (default) advances every supported controller family
+        through the vectorized array-of-states
+        :class:`repro.exec.controller_bank.ControllerBank` (custom
+        controller types automatically stay per-object);
+        ``"per_object"`` calls every controller's ``update`` in a
+        Python loop (the pre-bank behaviour).  Both produce
+        bit-identical traces.
     """
 
     def __init__(
@@ -182,6 +313,7 @@ class StepEngine:
         window_duration_s: float = WINDOW_DURATION_S,
         features: str = "incremental",
         sensing: str = "stacked",
+        controllers: str = "bank",
     ) -> None:
         check_positive(step_s, "step_s")
         check_positive(window_duration_s, "window_duration_s")
@@ -198,12 +330,17 @@ class StepEngine:
             raise ValueError(
                 f"sensing must be one of {SENSING_MODES}, got {sensing!r}"
             )
+        if controllers not in CONTROLLER_MODES:
+            raise ValueError(
+                f"controllers must be one of {CONTROLLER_MODES}, got {controllers!r}"
+            )
         self._pipeline = pipeline
         self._internal_rate_hz = float(internal_rate_hz)
         self._step_s = float(step_s)
         self._window_duration_s = float(window_duration_s)
         self._features = features
         self._sensing = sensing
+        self._controllers = controllers
         self._incremental = IncrementalFeatureExtractor(pipeline.extractor)
         self._geometries: Dict[SensorConfig, Optional[WindowGeometry]] = {}
 
@@ -240,6 +377,11 @@ class StepEngine:
         """The active acquisition mode."""
         return self._sensing
 
+    @property
+    def controllers(self) -> str:
+        """The active controller-advance mode."""
+        return self._controllers
+
     # ------------------------------------------------------------------
     # Runtime construction
     # ------------------------------------------------------------------
@@ -274,91 +416,274 @@ class StepEngine:
     # Simulation
     # ------------------------------------------------------------------
     def run(
-        self, runtimes: Sequence[DeviceRuntime], num_steps: int
-    ) -> List[SimulationTrace]:
-        """Advance every runtime ``num_steps`` ticks and return the traces."""
+        self,
+        runtimes: Sequence[DeviceRuntime],
+        num_steps: int,
+        trace: str = "full",
+    ) -> Union[List[SimulationTrace], List[TraceSummary]]:
+        """Advance every runtime ``num_steps`` ticks.
+
+        Parameters
+        ----------
+        runtimes:
+            The device states to advance, in device order.
+        num_steps:
+            Number of classification ticks to simulate.
+        trace:
+            ``"full"`` (default) appends one
+            :class:`repro.sim.trace.StepRecord` per device per tick and
+            returns the accumulated traces; ``"summary"`` folds every
+            tick into O(devices) running telemetry accumulators and
+            returns one :class:`repro.sim.trace.TraceSummary` per
+            device — same aggregate statistics, bit for bit, without
+            ever storing per-step state.
+        """
         if not runtimes:
             raise ValueError("run needs at least one device runtime")
         if num_steps < 0:
             raise ValueError(f"num_steps must be non-negative, got {num_steps}")
+        if trace not in TRACE_MODES:
+            raise ValueError(f"trace must be one of {TRACE_MODES}, got {trace!r}")
+        num_devices = len(runtimes)
         step_s = self._step_s
+        controllers = [runtime.controller for runtime in runtimes]
+
         # Ground truth is taken at the midpoint of each step's newest
-        # second of data; precomputing it per device removes one scalar
-        # segment lookup per device per tick from the hot loop.
+        # second of data; one precomputed (devices, steps) label matrix
+        # removes every per-tick segment lookup from the hot loop.  The
+        # per-device Activity lists are only kept for full-trace record
+        # building — summary mode fills the matrix row by row and holds
+        # nothing else per step.
         midpoints = step_s * np.arange(1, num_steps + 1) - 0.5 * step_s
-        truths = [runtime.signal.activities_at(midpoints) for runtime in runtimes]
+        truth_labels = np.empty((num_devices, num_steps), dtype=np.int64)
+        truths: Optional[List] = None
+        if trace == "full":
+            truths = [
+                runtime.signal.activities_at(midpoints) for runtime in runtimes
+            ]
+            truth_labels[:] = np.array(truths, dtype=np.int64).reshape(
+                num_devices, num_steps
+            )
+        else:
+            for index, runtime in enumerate(runtimes):
+                truth_labels[index] = runtime.signal.activities_at(midpoints)
+
+        bank: Optional[ControllerBank] = None
+        if self._controllers == "bank":
+            candidate = ControllerBank(controllers)
+            if candidate.num_banked > 0:
+                bank = candidate
+        loose = bank.loose_indices if bank is not None else tuple(range(num_devices))
+        # Array-returning classification feeds both the bank and the
+        # streaming fold; the per-object full-trace path keeps the
+        # result-object API.
+        use_arrays = bank is not None or trace == "summary"
+        summary = _StreamingSummary(num_devices) if trace == "summary" else None
+        # With the bank active, stacked acquisitions stay one array per
+        # configuration group end to end (no per-device window objects),
+        # and incremental partials live in a per-configuration stacked
+        # history instead of per-device deques.
+        raw_stacks = bank is not None and self._sensing == "stacked"
+        partials_history: Dict[SensorConfig, Deque] = {}
+        intensities = (
+            np.full(num_devices, np.nan)
+            if bank is not None and bank.has_intensity
+            else None
+        )
+        device_rows = np.arange(num_devices)
 
         for step_index in range(1, num_steps + 1):
             step_end = step_index * step_s
 
-            # Phase 1: group devices by active configuration and acquire.
+            # Phase 1: group devices by active configuration.  The bank
+            # path groups from the state arrays; group index vectors
+            # stay ndarrays so later per-group scatters need no list
+            # round-trips.  On the raw-stack path ``active_config``
+            # only feeds full-trace records (phase 2 carries the group
+            # config directly), so summary runs skip the stores.
             groups: Dict[SensorConfig, List[int]] = {}
-            for index, runtime in enumerate(runtimes):
-                config = runtime.controller.current_config
-                runtime.active_config = config
-                groups.setdefault(config, []).append(index)
+            if bank is not None:
+                config_ids = bank.current_config_ids(controllers)
+                for config_id in np.unique(config_ids):
+                    indices = np.flatnonzero(config_ids == config_id)
+                    config = bank.config_for_id(config_id)
+                    groups[config] = indices
+                    if summary is None or not raw_stacks:
+                        for i in indices:
+                            runtimes[i].active_config = config
+            else:
+                for index, runtime in enumerate(runtimes):
+                    config = controllers[index].current_config
+                    runtime.active_config = config
+                    groups.setdefault(config, []).append(index)
 
-            acquisitions: List = [None] * len(runtimes)
-            for config, indices in groups.items():
-                if self._sensing == "stacked":
-                    windows = read_windows_stacked(
+            # Phase 1b: acquire, one stacked pass per configuration.  On
+            # the banked path the stack itself is the acquisition record:
+            # buffers hold row views and feature extraction / intensity
+            # switching slice it, so no per-device window objects exist.
+            acquisitions: Optional[List] = None
+            stacks: Dict[SensorConfig, Tuple[np.ndarray, np.ndarray]] = {}
+            if raw_stacks:
+                for config, indices in groups.items():
+                    stacks[config] = read_windows_stacked_raw(
                         [runtimes[i].sensor for i in indices],
                         end_time_s=step_end,
                         duration_s=step_s,
                         config=config,
                         rngs=[runtimes[i].rng for i in indices],
                     )
-                else:
-                    windows = [
-                        runtimes[i].sensor.read_window(
+            else:
+                acquisitions = [None] * num_devices
+                for config, indices in groups.items():
+                    if self._sensing == "stacked":
+                        windows = read_windows_stacked(
+                            [runtimes[i].sensor for i in indices],
                             end_time_s=step_end,
                             duration_s=step_s,
                             config=config,
-                            rng=runtimes[i].rng,
+                            rngs=[runtimes[i].rng for i in indices],
                         )
-                        for i in indices
-                    ]
-                for i, window in zip(indices, windows):
-                    acquisitions[i] = window
+                    else:
+                        windows = [
+                            runtimes[i].sensor.read_window(
+                                end_time_s=step_end,
+                                duration_s=step_s,
+                                config=config,
+                                rng=runtimes[i].rng,
+                            )
+                            for i in indices
+                        ]
+                    for i, window in zip(indices, windows):
+                        acquisitions[i] = window
 
             # Phase 2: buffers, observe hooks, chunk bookkeeping.
-            for index, runtime in enumerate(runtimes):
-                runtime.buffer.push(acquisitions[index])
-                if runtime.observe is not None:
-                    runtime.observe(acquisitions[index])
-                if runtime.active_config != runtime.previous_config:
-                    runtime.partials.clear()
-                    runtime.chunks_in_config = 0
-                    runtime.previous_config = runtime.active_config
-                runtime.chunks_in_config += 1
+            if raw_stacks:
+                for config, indices in groups.items():
+                    samples, sample_times = stacks[config]
+                    for row, index in enumerate(indices):
+                        runtime = runtimes[index]
+                        runtime.buffer.push_raw(samples[row], sample_times, config)
+                        if runtime.observe is not None and not bank.is_banked[index]:
+                            runtime.observe(
+                                SensorWindow(
+                                    samples=samples[row],
+                                    times_s=sample_times,
+                                    config=config,
+                                )
+                            )
+                        if config != runtime.previous_config:
+                            runtime.partials.clear()
+                            runtime.chunks_in_config = 0
+                            runtime.previous_config = config
+                        runtime.chunks_in_config += 1
+            else:
+                for index, runtime in enumerate(runtimes):
+                    runtime.buffer.push(acquisitions[index])
+                    if runtime.observe is not None and (
+                        bank is None or not bank.is_banked[index]
+                    ):
+                        runtime.observe(acquisitions[index])
+                    if runtime.active_config != runtime.previous_config:
+                        runtime.partials.clear()
+                        runtime.chunks_in_config = 0
+                        runtime.previous_config = runtime.active_config
+                    runtime.chunks_in_config += 1
+
+            # Banked intensity devices: one stacked derivative pass per
+            # configuration replaces their per-object observe hooks.
+            if intensities is not None:
+                for config, indices in groups.items():
+                    if raw_stacks:
+                        rows = np.flatnonzero(bank.is_intensity[indices])
+                        if rows.size:
+                            intensities[indices[rows]] = stacked_intensities(
+                                stacks[config][0][rows]
+                            )
+                    else:
+                        observed = [i for i in indices if bank.is_intensity[i]]
+                        if observed:
+                            chunks = np.stack(
+                                [acquisitions[i].samples for i in observed]
+                            )
+                            intensities[observed] = stacked_intensities(chunks)
+                bank.observe_intensities(intensities)
 
             # Phase 3: feature extraction (incremental where possible).
             features = np.empty(
-                (len(runtimes), self._pipeline.extractor.num_features)
+                (num_devices, self._pipeline.extractor.num_features)
             )
             for config, indices in groups.items():
-                self._extract_group(runtimes, acquisitions, features, config, indices)
+                if raw_stacks:
+                    self._extract_group_banked(
+                        runtimes,
+                        features,
+                        config,
+                        indices,
+                        stacks[config][0],
+                        partials_history,
+                    )
+                else:
+                    self._extract_group(
+                        runtimes, features, config, indices, acquisitions
+                    )
 
             # Phase 4: one batched classification for the whole device set.
-            results = self._pipeline.classify_batch(features)
+            if use_arrays:
+                labels, confidences = self._pipeline.classify_batch_labels(features)
+            else:
+                results = self._pipeline.classify_batch(features)
 
-            # Phase 5: controllers advance, traces record.
-            for index, runtime in enumerate(runtimes):
-                result = results[index]
-                runtime.controller.update(result.activity, result.confidence)
-                runtime.trace.append(
-                    StepRecord(
-                        time_s=step_end,
-                        true_activity=truths[index][step_index - 1],
-                        predicted_activity=result.activity,
-                        confidence=result.confidence,
-                        config_name=runtime.active_config.name,
-                        current_ua=runtime.power_model.current_ua(
-                            runtime.active_config
-                        ),
-                        duration_s=step_s,
+            # Phase 5: controllers advance (one vectorized pass for the
+            # banked devices), traces record or accumulators fold.
+            if bank is not None:
+                bank.update(labels, confidences)
+            if use_arrays:
+                for index in loose:
+                    controllers[index].update(
+                        Activity(int(labels[index])), float(confidences[index])
                     )
+            else:
+                for index in loose:
+                    result = results[index]
+                    controllers[index].update(result.activity, result.confidence)
+
+            if summary is not None:
+                columns = np.empty(num_devices, dtype=np.int64)
+                for config, indices in groups.items():
+                    columns[indices] = summary.column(config, runtimes)
+                summary.fold_tick(
+                    rows=device_rows,
+                    columns=columns,
+                    correct=truth_labels[:, step_index - 1] == labels,
+                    duration_s=step_s,
                 )
+            else:
+                for index, runtime in enumerate(runtimes):
+                    if use_arrays:
+                        predicted = Activity(int(labels[index]))
+                        confidence = float(confidences[index])
+                    else:
+                        result = results[index]
+                        predicted = result.activity
+                        confidence = result.confidence
+                    runtime.trace.append(
+                        StepRecord(
+                            time_s=step_end,
+                            true_activity=truths[index][step_index - 1],
+                            predicted_activity=predicted,
+                            confidence=confidence,
+                            config_name=runtime.active_config.name,
+                            current_ua=runtime.power_model.current_ua(
+                                runtime.active_config
+                            ),
+                            duration_s=step_s,
+                        )
+                    )
+
+        if bank is not None:
+            bank.write_back(controllers)
+        if summary is not None:
+            return summary.summaries()
         return [runtime.trace for runtime in runtimes]
 
     # ------------------------------------------------------------------
@@ -374,12 +699,16 @@ class StepEngine:
     def _extract_group(
         self,
         runtimes: Sequence[DeviceRuntime],
-        acquisitions: Sequence,
         features: np.ndarray,
         config: SensorConfig,
         indices: List[int],
+        acquisitions: Sequence,
     ) -> None:
-        """Fill the feature rows of one configuration group."""
+        """Fill the feature rows of one configuration group.
+
+        Per-device spelling: partials are cached on each runtime's
+        deque.  The banked path uses :meth:`_extract_group_banked`.
+        """
         geometry = (
             self._geometry(config) if self._features == "incremental" else None
         )
@@ -406,13 +735,84 @@ class StepEngine:
                 features[steady] = self._incremental.combine_stacked(
                     [runtimes[i].partials for i in steady], geometry
                 )
-        if exact_indices:
-            # Warm-up windows (and the "exact" toggle) take the
-            # full-window path; extract_batch stacks equal-shape windows
-            # and keeps the input order.
-            features[exact_indices] = self._incremental.extractor.extract_batch(
-                [
-                    (runtimes[i].buffer.window().samples, config.sampling_hz)
-                    for i in exact_indices
+        if len(exact_indices):
+            self._extract_exact(runtimes, features, config, exact_indices)
+
+    def _extract_group_banked(
+        self,
+        runtimes: Sequence[DeviceRuntime],
+        features: np.ndarray,
+        config: SensorConfig,
+        indices: List[int],
+        chunk_stack: np.ndarray,
+        history: Dict[SensorConfig, Deque],
+    ) -> None:
+        """Fill the feature rows of one configuration group (banked path).
+
+        Instead of per-device partial deques, each tick's group
+        reduction stays one :class:`StackedChunkPartials`, kept in a
+        per-configuration history of the last ``cached_chunks`` ticks.
+        A steady-state device's window is assembled by gathering its
+        row from each history slot — any device stable in a
+        configuration for the last ``cached_chunks`` ticks was, by
+        definition, present in that configuration's group at each of
+        them.  Features are bit-identical to the per-device-deque path.
+        """
+        geometry = (
+            self._geometry(config) if self._features == "incremental" else None
+        )
+        exact_indices = indices
+        if geometry is not None:
+            stacked = self._incremental.chunk_partials_arrays(chunk_stack, geometry)
+            rows = np.empty(len(runtimes), dtype=np.intp)
+            rows[indices] = np.arange(len(indices))
+            entries = history.get(config)
+            if entries is None:
+                entries = deque(maxlen=geometry.cached_chunks)
+                history[config] = entries
+            entries.append((stacked, rows))
+            cached = geometry.cached_chunks
+            window_samples = geometry.window_samples
+            ready = len(entries) == cached
+            steady: List[int] = []
+            exact_indices = []
+            for i in indices:
+                runtime = runtimes[i]
+                if (
+                    ready
+                    and runtime.chunks_in_config >= cached
+                    and runtime.buffer.num_samples == window_samples
+                ):
+                    steady.append(i)
+                else:
+                    exact_indices.append(i)
+            if steady:
+                tailed = bool(geometry.tail_samples)
+                slots = [
+                    slot_partials.slot_arrays(
+                        slot_rows[steady], tailed and slot == 0
+                    )
+                    for slot, (slot_partials, slot_rows) in enumerate(entries)
                 ]
-            )
+                features[steady] = self._incremental.combine_slot_arrays(
+                    slots, geometry
+                )
+        if len(exact_indices):
+            self._extract_exact(runtimes, features, config, exact_indices)
+
+    def _extract_exact(
+        self,
+        runtimes: Sequence[DeviceRuntime],
+        features: np.ndarray,
+        config: SensorConfig,
+        exact_indices: List[int],
+    ) -> None:
+        """Exact full-window extraction for warm-up windows and the
+        ``features="exact"`` toggle; extract_batch stacks equal-shape
+        windows and keeps the input order."""
+        features[exact_indices] = self._incremental.extractor.extract_batch(
+            [
+                (runtimes[i].buffer.window().samples, config.sampling_hz)
+                for i in exact_indices
+            ]
+        )

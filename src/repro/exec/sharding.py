@@ -35,9 +35,9 @@ from repro.utils.validation import check_positive_int
 
 def _run_shard(payload) -> Tuple[int, FleetResult, FleetTelemetry]:
     """Simulate one shard (executed inside a worker process)."""
-    shard_index, pipeline, profiles, duration_s, settings = payload
+    shard_index, pipeline, profiles, duration_s, settings, trace = payload
     simulator = FleetSimulator(pipeline, **settings)
-    result = simulator.run(profiles, duration_s=duration_s)
+    result = simulator.run(profiles, duration_s=duration_s, trace=trace)
     return shard_index, result, FleetTelemetry.from_result(result)
 
 
@@ -85,7 +85,7 @@ class ShardedFleetSimulator:
     num_shards:
         Default shard count for :meth:`run`; ``None`` uses the machine's
         CPU count.
-    internal_rate_hz, step_s, window_duration_s, features, sensing:
+    internal_rate_hz, step_s, window_duration_s, features, sensing, controllers:
         Forwarded to the per-shard :class:`FleetSimulator` (and through
         it to the shared :class:`repro.exec.engine.StepEngine`).
     """
@@ -99,6 +99,7 @@ class ShardedFleetSimulator:
         window_duration_s: float = WINDOW_DURATION_S,
         features: str = "incremental",
         sensing: str = "stacked",
+        controllers: str = "bank",
     ) -> None:
         if num_shards is not None:
             check_positive_int(num_shards, "num_shards")
@@ -110,6 +111,7 @@ class ShardedFleetSimulator:
             "window_duration_s": window_duration_s,
             "features": features,
             "sensing": sensing,
+            "controllers": controllers,
         }
         # Validate the engine settings eagerly (in the parent process)
         # instead of deep inside the first worker.
@@ -159,6 +161,7 @@ class ShardedFleetSimulator:
         population: "DevicePopulation | Sequence[DeviceProfile]",
         duration_s: Optional[float] = None,
         num_shards: Optional[int] = None,
+        trace: str = "full",
     ) -> ShardedFleetRun:
         """Simulate the population across worker processes and merge.
 
@@ -171,6 +174,10 @@ class ShardedFleetSimulator:
             schedule, as in :meth:`FleetSimulator.run`).
         num_shards:
             Overrides the simulator's default shard count for this run.
+        trace:
+            ``"full"`` (default) or ``"summary"`` (streaming
+            accumulators only; also shrinks the per-shard payload the
+            workers ship back to O(devices)).
 
         Returns
         -------
@@ -185,7 +192,7 @@ class ShardedFleetSimulator:
 
         start = time.perf_counter()
         payloads = [
-            (index, self._pipeline, shard, duration, self._settings)
+            (index, self._pipeline, shard, duration, self._settings, trace)
             for index, shard in enumerate(shards)
         ]
         outcomes, used_processes = self._execute(payloads)
@@ -202,6 +209,7 @@ class ShardedFleetSimulator:
             traces=traces,
             elapsed_s=elapsed,
             mode="sharded",
+            trace_mode=trace,
         )
         return ShardedFleetRun(
             result=merged,

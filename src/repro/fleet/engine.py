@@ -33,7 +33,7 @@ from repro.exec.engine import StepEngine
 from repro.fleet.population import DeviceProfile, DevicePopulation
 from repro.sensors.imu import DEFAULT_INTERNAL_RATE_HZ
 from repro.sim.runtime import ClosedLoopSimulator
-from repro.sim.trace import SimulationTrace
+from repro.sim.trace import SimulationTrace, TraceSummary
 from repro.utils.validation import check_positive
 
 
@@ -46,18 +46,24 @@ class FleetResult:
     profiles:
         The simulated device profiles, in device-id order.
     traces:
-        One :class:`SimulationTrace` per device, parallel to
-        ``profiles``.
+        One :class:`SimulationTrace` (``trace_mode="full"``) or
+        :class:`repro.sim.trace.TraceSummary` (``trace_mode="summary"``)
+        per device, parallel to ``profiles``.
     elapsed_s:
         Wall-clock time the simulation took.
     mode:
         ``"batched"``, ``"sequential"`` or ``"sharded"``.
+    trace_mode:
+        ``"full"`` when per-step traces were materialised,
+        ``"summary"`` when only O(1)-memory running aggregates were
+        kept per device.
     """
 
     profiles: Tuple[DeviceProfile, ...]
-    traces: Tuple[SimulationTrace, ...]
+    traces: "Tuple[SimulationTrace | TraceSummary, ...]"
     elapsed_s: float
     mode: str
+    trace_mode: str = "full"
 
     def __post_init__(self) -> None:
         if len(self.profiles) != len(self.traces):
@@ -127,6 +133,10 @@ class FleetSimulator:
     sensing:
         Acquisition mode — ``"stacked"`` (default, vectorised across
         devices sharing a configuration) or ``"per_device"``.
+    controllers:
+        Controller-advance mode — ``"bank"`` (default, one vectorized
+        array-of-states pass per tick) or ``"per_object"``; see
+        :class:`repro.exec.engine.StepEngine`.
     """
 
     def __init__(
@@ -137,6 +147,7 @@ class FleetSimulator:
         window_duration_s: float = WINDOW_DURATION_S,
         features: str = "incremental",
         sensing: str = "stacked",
+        controllers: str = "bank",
     ) -> None:
         self._engine = StepEngine(
             pipeline=pipeline,
@@ -145,6 +156,7 @@ class FleetSimulator:
             window_duration_s=window_duration_s,
             features=features,
             sensing=sensing,
+            controllers=controllers,
         )
 
     @property
@@ -169,6 +181,7 @@ class FleetSimulator:
         self,
         population: "DevicePopulation | Sequence[DeviceProfile]",
         duration_s: Optional[float] = None,
+        trace: str = "full",
     ) -> FleetResult:
         """Simulate every device in lock step with batched classification.
 
@@ -180,11 +193,18 @@ class FleetSimulator:
             Simulated seconds per device; defaults to the shortest
             schedule in the population so every device has signal for
             the whole run.
+        trace:
+            ``"full"`` (default) materialises one
+            :class:`SimulationTrace` per device; ``"summary"`` keeps
+            only O(1)-memory running aggregates per device
+            (:class:`repro.sim.trace.TraceSummary`), dropping fleet
+            memory from O(devices × steps) to O(devices) while yielding
+            bit-identical telemetry reports.
 
         Returns
         -------
         FleetResult
-            Per-device traces bit-identical to
+            Per-device traces (or summaries) bit-identical to
             :meth:`run_sequential` for the same population.
         """
         profiles = tuple(population)
@@ -195,13 +215,14 @@ class FleetSimulator:
         start = time.perf_counter()
         runtimes = [self._engine.runtime_from_profile(profile) for profile in profiles]
         num_steps = int(round(duration / self._engine.step_s))
-        traces = self._engine.run(runtimes, num_steps)
+        traces = self._engine.run(runtimes, num_steps, trace=trace)
         elapsed = time.perf_counter() - start
         return FleetResult(
             profiles=profiles,
             traces=tuple(traces),
             elapsed_s=elapsed,
             mode="batched",
+            trace_mode=trace,
         )
 
     # ------------------------------------------------------------------
@@ -217,9 +238,10 @@ class FleetSimulator:
         This is the O(N × per-device-loop) reference the batched and
         sharded engines are validated against and benchmarked over.  It
         uses the same feature mode as the batched path but reads every
-        sensor individually, so it exercises the scalar acquisition
-        path.  Devices whose schedules are longer than ``duration_s``
-        are truncated so both paths simulate the same number of steps.
+        sensor individually and advances every controller per object,
+        so it exercises the scalar acquisition and adaptation paths.
+        Devices whose schedules are longer than ``duration_s`` are
+        truncated so both paths simulate the same number of steps.
         """
         profiles = tuple(population)
         if not profiles:
@@ -240,6 +262,7 @@ class FleetSimulator:
                 window_duration_s=self._engine.window_duration_s,
                 features=self._engine.features,
                 sensing="per_device",
+                controllers="per_object",
             )
             trace = simulator.run(list(profile.schedule), seed=profile.seed)
             trace.records = trace.records[:num_steps]

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.fleet.engine import FleetResult
 from repro.fleet.population import DeviceProfile
-from repro.sim.trace import SimulationTrace
+from repro.sim.trace import SimulationTrace, TraceSummary
 
 #: Percentiles reported for every fleet-level distribution.
 DISTRIBUTION_PERCENTILES: Tuple[int, ...] = (5, 25, 50, 75, 95)
@@ -29,23 +29,33 @@ DISTRIBUTION_PERCENTILES: Tuple[int, ...] = (5, 25, 50, 75, 95)
 def distribution_stats(values: Sequence[float]) -> Dict[str, float]:
     """Summary statistics (mean, spread, percentiles) of a sample.
 
+    All percentiles are computed with a single :func:`np.percentile`
+    call.  An empty sample yields a well-defined all-zero summary
+    (``count`` 0.0) instead of an error, so group-wise aggregations may
+    encounter empty partitions without special-casing.
+
     Parameters
     ----------
     values:
-        Non-empty sequence of per-device measurements.
+        Sequence of per-device measurements.
     """
     array = np.asarray(values, dtype=float)
     if array.size == 0:
-        raise ValueError("cannot summarise an empty sample")
-    stats: Dict[str, float] = {
+        stats = dict.fromkeys(("count", "mean", "std", "min", "max"), 0.0)
+        stats.update((f"p{percentile}", 0.0) for percentile in DISTRIBUTION_PERCENTILES)
+        return stats
+    stats = {
         "count": float(array.size),
         "mean": float(array.mean()),
         "std": float(array.std()),
         "min": float(array.min()),
         "max": float(array.max()),
     }
-    for percentile in DISTRIBUTION_PERCENTILES:
-        stats[f"p{percentile}"] = float(np.percentile(array, percentile))
+    percentiles = np.percentile(array, DISTRIBUTION_PERCENTILES)
+    stats.update(
+        (f"p{percentile}", float(value))
+        for percentile, value in zip(DISTRIBUTION_PERCENTILES, percentiles)
+    )
     return stats
 
 
@@ -72,6 +82,9 @@ class DeviceReport:
         Estimated days the device's battery sustains its average current.
     state_residency:
         Fraction of time spent in each sensor configuration.
+    config_switches:
+        Number of steps whose active configuration differed from the
+        previous step's — the controller's switching activity.
     """
 
     device_id: int
@@ -87,27 +100,42 @@ class DeviceReport:
     battery_capacity_mah: float
     battery_life_days: float
     state_residency: Mapping[str, float]
+    config_switches: int
 
     @classmethod
     def from_trace(
         cls, profile: DeviceProfile, trace: SimulationTrace
     ) -> "DeviceReport":
-        """Summarise one device's trace."""
-        average_current = trace.average_current_ua
+        """Summarise one device's trace.
+
+        The trace is replayed through the
+        :class:`repro.sim.trace.TraceSummary` fold — the same
+        accumulation a ``trace="summary"`` run performs on the fly —
+        so full-trace and streaming runs produce bit-identical reports.
+        """
+        return cls.from_summary(profile, TraceSummary.from_trace(trace))
+
+    @classmethod
+    def from_summary(
+        cls, profile: DeviceProfile, summary: TraceSummary
+    ) -> "DeviceReport":
+        """Build the report straight from streaming accumulators."""
+        average_current = summary.average_current_ua
         return cls(
             device_id=profile.device_id,
             scenario=profile.scenario,
             controller=profile.controller.label,
             controller_kind=profile.controller.kind,
             seed=profile.seed,
-            steps=len(trace),
-            duration_s=trace.duration_s,
-            accuracy=trace.accuracy,
+            steps=summary.steps,
+            duration_s=summary.duration_s,
+            accuracy=summary.accuracy,
             average_current_ua=average_current,
-            energy_uc=trace.energy_uc,
+            energy_uc=summary.energy_uc,
             battery_capacity_mah=profile.battery.capacity_mah,
             battery_life_days=profile.battery.lifetime_days(average_current),
-            state_residency=trace.state_residency(),
+            state_residency=summary.state_residency(),
+            config_switches=summary.config_switches,
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -126,6 +154,7 @@ class DeviceReport:
             "battery_capacity_mah": self.battery_capacity_mah,
             "battery_life_days": self.battery_life_days,
             "state_residency": dict(self.state_residency),
+            "config_switches": self.config_switches,
         }
 
 
@@ -139,10 +168,17 @@ class FleetTelemetry:
 
     @classmethod
     def from_result(cls, result: FleetResult) -> "FleetTelemetry":
-        """Build telemetry from a :class:`FleetResult`."""
+        """Build telemetry from a :class:`FleetResult`.
+
+        Accepts both full-trace results and streaming
+        (``trace_mode="summary"``) results, whose per-device
+        :class:`TraceSummary` aggregates feed the reports directly.
+        """
         return cls(
             [
-                DeviceReport.from_trace(profile, trace)
+                DeviceReport.from_summary(profile, trace)
+                if isinstance(trace, TraceSummary)
+                else DeviceReport.from_trace(profile, trace)
                 for profile, trace in zip(result.profiles, result.traces)
             ]
         )

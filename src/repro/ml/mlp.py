@@ -50,13 +50,20 @@ class TrainingHistory:
 
 
 def _softmax(logits: np.ndarray) -> np.ndarray:
-    shifted = logits - logits.max(axis=1, keepdims=True)
-    exponentials = np.exp(shifted)
-    return exponentials / exponentials.sum(axis=1, keepdims=True)
+    """Row-wise softmax computed **in place** on ``logits``.
 
-
-def _relu(values: np.ndarray) -> np.ndarray:
-    return np.maximum(values, 0.0)
+    The caller always passes a freshly materialised logit matrix, so
+    reusing it as the output buffer saves three temporaries per call
+    (the shifted logits, the exponentials and the quotient) — on the
+    fleet hot path that is three fewer ``(devices, classes)``
+    allocations per simulated second.  The operation sequence (shift by
+    the row maximum, exponentiate, normalise) is unchanged, so results
+    are bit-identical to the allocating spelling.
+    """
+    logits -= logits.max(axis=1, keepdims=True)
+    np.exp(logits, out=logits)
+    logits /= logits.sum(axis=1, keepdims=True)
+    return logits
 
 
 class MLPClassifier:
@@ -202,13 +209,23 @@ class MLPClassifier:
     # Forward / backward passes
     # ------------------------------------------------------------------
     def _forward(self, features: np.ndarray) -> Tuple[List[np.ndarray], np.ndarray]:
-        """Return hidden activations (post-ReLU) and output probabilities."""
+        """Return hidden activations (post-ReLU) and output probabilities.
+
+        Each layer's pre-activation matrix is the only allocation per
+        layer: the bias add and the ReLU run in place on it
+        (``np.maximum(..., out=...)``), and the softmax reuses the logit
+        buffer.  All values are bit-identical to the allocating
+        spelling; only allocation churn changes.
+        """
         activations: List[np.ndarray] = [features]
         current = features
         for index in range(len(self._weights) - 1):
-            current = _relu(current @ self._weights[index] + self._biases[index])
+            current = current @ self._weights[index]
+            current += self._biases[index]
+            np.maximum(current, 0.0, out=current)
             activations.append(current)
-        logits = current @ self._weights[-1] + self._biases[-1]
+        logits = current @ self._weights[-1]
+        logits += self._biases[-1]
         return activations, _softmax(logits)
 
     def _loss(self, probabilities: np.ndarray, one_hot_labels: np.ndarray) -> float:

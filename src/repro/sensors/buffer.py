@@ -43,6 +43,10 @@ class SampleBuffer:
         self._samples: List[np.ndarray] = []
         self._times: List[np.ndarray] = []
         self._config: Optional[SensorConfig] = None
+        # Maintained incrementally: the buffer is interrogated once per
+        # device per simulated second, so recounting chunk lengths on
+        # every access would put an O(chunks) sum on the fleet hot path.
+        self._num_samples = 0
 
     @property
     def window_duration_s(self) -> float:
@@ -57,7 +61,7 @@ class SampleBuffer:
     @property
     def num_samples(self) -> int:
         """Number of samples currently buffered."""
-        return int(sum(chunk.shape[0] for chunk in self._samples))
+        return self._num_samples
 
     @property
     def buffered_duration_s(self) -> float:
@@ -92,6 +96,7 @@ class SampleBuffer:
         self._samples = []
         self._times = []
         self._config = None
+        self._num_samples = 0
 
     def push(self, window: SensorWindow) -> None:
         """Append freshly acquired samples, flushing on configuration change.
@@ -103,11 +108,28 @@ class SampleBuffer:
             configuration differs from the buffered one, the buffer is
             flushed before the new samples are stored.
         """
-        if self._config is not None and window.config != self._config:
+        self.push_raw(
+            np.asarray(window.samples, dtype=float),
+            np.asarray(window.times_s, dtype=float),
+            window.config,
+        )
+
+    def push_raw(
+        self, samples: np.ndarray, times_s: np.ndarray, config: SensorConfig
+    ) -> None:
+        """Append already-validated float64 samples without a window object.
+
+        Semantics are exactly those of :meth:`push`; this spelling lets
+        the fleet engine's banked path feed every buffer a row view of
+        one stacked acquisition instead of building a
+        :class:`SensorWindow` per device per tick.
+        """
+        if self._config is not None and config != self._config:
             self.clear()
-        self._config = window.config
-        self._samples.append(np.asarray(window.samples, dtype=float))
-        self._times.append(np.asarray(window.times_s, dtype=float))
+        self._config = config
+        self._samples.append(samples)
+        self._times.append(times_s)
+        self._num_samples += samples.shape[0]
         self._trim()
 
     def _trim(self) -> None:
@@ -115,8 +137,9 @@ class SampleBuffer:
         if self._config is None:
             return
         max_samples = int(round(self._window_duration_s * self._config.sampling_hz))
-        total = self.num_samples
-        excess = total - max_samples
+        excess = self._num_samples - max_samples
+        if excess > 0:
+            self._num_samples = max_samples
         while excess > 0 and self._samples:
             first = self._samples[0]
             if first.shape[0] <= excess:

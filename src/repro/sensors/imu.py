@@ -341,6 +341,33 @@ def read_windows_stacked(
     rngs:
         One noise generator per sensor (parallel to ``sensors``).
     """
+    quantised, times = read_windows_stacked_raw(
+        sensors, end_time_s=end_time_s, duration_s=duration_s, config=config,
+        rngs=rngs,
+    )
+    return [
+        SensorWindow(samples=quantised[index], times_s=times, config=config)
+        for index in range(len(sensors))
+    ]
+
+
+def read_windows_stacked_raw(
+    sensors: Sequence["SimulatedAccelerometer"],
+    end_time_s: float,
+    duration_s: float,
+    config: SensorConfig,
+    rngs: Sequence[np.random.Generator],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The raw spelling of :func:`read_windows_stacked`.
+
+    Returns the acquired samples as one ``(devices, samples, 3)`` stack
+    plus the shared time grid, without wrapping each device's rows in a
+    :class:`SensorWindow`.  The execution engine's banked path consumes
+    the stack directly (buffers hold row views, feature extraction and
+    intensity switching slice the stack), which removes one validated
+    container object per device per tick from the fleet hot path.  The
+    sample values are exactly those of :func:`read_windows_stacked`.
+    """
     if len(sensors) != len(rngs):
         raise ValueError(
             f"sensors and rngs must be parallel, got {len(sensors)} sensors "
@@ -390,7 +417,4 @@ def read_windows_stacked(
         lsbs[index] = model.lsb_ms2
 
     quantised = _digitise(clean + noise, biases[:, None, :], full_scales, lsbs)
-    return [
-        SensorWindow(samples=quantised[index], times_s=times, config=config)
-        for index in range(num_devices)
-    ]
+    return quantised, times

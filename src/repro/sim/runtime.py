@@ -71,6 +71,11 @@ class ClosedLoopSimulator:
     sensing:
         Acquisition mode of the engine — ``"stacked"`` (default) or
         ``"per_device"``.  Both are bit-identical for a single device.
+    controllers:
+        Controller-advance mode of the engine — ``"bank"`` (default,
+        vectorized array-of-states) or ``"per_object"``.  Both are
+        bit-identical; custom controller types automatically run per
+        object either way.
     """
 
     def __init__(
@@ -84,6 +89,7 @@ class ClosedLoopSimulator:
         window_duration_s: float = WINDOW_DURATION_S,
         features: str = "incremental",
         sensing: str = "stacked",
+        controllers: str = "bank",
     ) -> None:
         self._engine = StepEngine(
             pipeline=pipeline,
@@ -92,6 +98,7 @@ class ClosedLoopSimulator:
             window_duration_s=window_duration_s,
             features=features,
             sensing=sensing,
+            controllers=controllers,
         )
         self._controller = controller
         self._power_model = (

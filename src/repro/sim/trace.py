@@ -8,7 +8,7 @@ aggregate many traces into average power and recognition accuracy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -172,3 +172,109 @@ class SimulationTrace:
         for trace in traces:
             merged.records.extend(trace.records)
         return merged
+
+
+@dataclass
+class TraceSummary:
+    """O(1)-memory running aggregate of a simulation trace.
+
+    This is the streaming-telemetry counterpart of
+    :class:`SimulationTrace`: instead of storing one record per step it
+    folds every tick into a handful of per-device accumulators —
+    exactly the quantities :class:`repro.fleet.telemetry.DeviceReport`
+    needs — so a fleet run with ``trace="summary"`` keeps memory at
+    O(devices) instead of O(devices × steps).
+
+    The fold (one sequential addition per tick, see :meth:`fold_step`)
+    is the *definition* of the summary statistics: the full-trace report
+    path replays a stored trace through the same fold
+    (:meth:`from_trace`), which is what makes summary-mode fleet reports
+    bit-identical to full-trace ones.
+
+    Attributes
+    ----------
+    steps:
+        Number of classification steps folded in.
+    duration_s:
+        Accumulated simulated time.
+    correct_steps:
+        Number of steps whose prediction matched the ground truth.
+    charge_uc:
+        Accumulated sensor charge (current × step duration), in
+        microcoulombs.
+    dwell_s:
+        Accumulated seconds spent in each sensor configuration.
+    config_switches:
+        Number of steps whose active configuration differed from the
+        previous step's (the controller's switching activity).
+    last_config:
+        Configuration of the most recently folded step (fold state).
+    """
+
+    steps: int = 0
+    duration_s: float = 0.0
+    correct_steps: int = 0
+    charge_uc: float = 0.0
+    dwell_s: Dict[str, float] = field(default_factory=dict)
+    config_switches: int = 0
+    last_config: Optional[str] = None
+
+    @classmethod
+    def from_trace(cls, trace: "SimulationTrace") -> "TraceSummary":
+        """Fold a fully materialised trace, record by record."""
+        summary = cls()
+        for record in trace.records:
+            summary.fold_step(
+                correct=record.correct,
+                current_ua=record.current_ua,
+                config_name=record.config_name,
+                duration_s=record.duration_s,
+            )
+        return summary
+
+    def fold_step(
+        self, correct: bool, current_ua: float, config_name: str, duration_s: float
+    ) -> None:
+        """Fold one classification step into the running aggregates."""
+        self.steps += 1
+        self.duration_s += duration_s
+        self.correct_steps += int(correct)
+        self.charge_uc += current_ua * duration_s
+        self.dwell_s[config_name] = (
+            self.dwell_s.get(config_name, 0.0) + duration_s
+        )
+        if self.last_config is not None and config_name != self.last_config:
+            self.config_switches += 1
+        self.last_config = config_name
+
+    def _require_non_empty(self) -> None:
+        if self.steps == 0:
+            raise ValueError("summary is empty")
+
+    def __len__(self) -> int:
+        return self.steps
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of steps whose prediction matched the ground truth."""
+        self._require_non_empty()
+        return self.correct_steps / self.steps
+
+    @property
+    def average_current_ua(self) -> float:
+        """Time-weighted average sensor current over the folded steps."""
+        self._require_non_empty()
+        return self.charge_uc / self.duration_s
+
+    @property
+    def energy_uc(self) -> float:
+        """Total sensor charge drawn, in microcoulombs."""
+        self._require_non_empty()
+        return self.charge_uc
+
+    def state_residency(self) -> Dict[str, float]:
+        """Fraction of time spent in each sensor configuration."""
+        self._require_non_empty()
+        return {
+            name: dwell / self.duration_s for name, dwell in self.dwell_s.items()
+        }

@@ -1,0 +1,240 @@
+"""Unit tests for the vectorized controller bank.
+
+The bank claims bit-identical equivalence with the per-object
+controllers; these tests drive both against the same randomized
+classification streams and compare every piece of observable state at
+every step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.intensity_based import (
+    IntensityController,
+    IntensityThresholds,
+    activity_intensity,
+    stacked_intensities,
+)
+from repro.core.activities import NUM_ACTIVITIES, Activity
+from repro.core.config import DEFAULT_SPOT_STATES, HIGH_POWER_CONFIG, TABLE1_BY_NAME
+from repro.core.controller import (
+    SpotController,
+    SpotWithConfidenceController,
+    StaticController,
+)
+from repro.exec.controller_bank import NO_ACTIVITY, ConfigTable, ControllerBank
+from repro.sensors.imu import SensorWindow
+
+
+LOW_CONFIG = TABLE1_BY_NAME["F25_A32"]
+
+
+def make_intensity_controller() -> IntensityController:
+    thresholds = IntensityThresholds(
+        {HIGH_POWER_CONFIG.name: 1.5, LOW_CONFIG.name: 0.9}
+    )
+    return IntensityController(thresholds)
+
+
+def make_mixed_controllers():
+    """A mixed population covering all four supported families."""
+    return [
+        SpotController(stability_threshold=3),
+        SpotWithConfidenceController(stability_threshold=2, confidence_threshold=0.8),
+        StaticController(),
+        make_intensity_controller(),
+        SpotController(stability_threshold=0),
+        SpotWithConfidenceController(stability_threshold=4, confidence_threshold=0.5),
+        StaticController(LOW_CONFIG),
+        SpotController(states=DEFAULT_SPOT_STATES[:1]),
+        make_intensity_controller(),
+        SpotWithConfidenceController(stability_threshold=1, confidence_threshold=0.99),
+    ]
+
+
+def random_stream(rng, steps: int, count: int):
+    """Random (labels, confidences) per step, biased towards repeats."""
+    labels = np.empty((steps, count), dtype=np.int64)
+    current = rng.integers(NUM_ACTIVITIES, size=count)
+    for step in range(steps):
+        switch = rng.random(count) < 0.35
+        fresh = rng.integers(NUM_ACTIVITIES, size=count)
+        current = np.where(switch, fresh, current)
+        labels[step] = current
+    confidences = rng.uniform(0.0, 1.0, size=(steps, count))
+    return labels, confidences
+
+
+def drive_reference(controllers, labels, confidences, intensity_values=None):
+    """Advance per-object controllers, returning per-step config names."""
+    configs = []
+    for step in range(labels.shape[0]):
+        names = []
+        for index, controller in enumerate(controllers):
+            if isinstance(controller, IntensityController):
+                samples = intensity_samples(intensity_values[step, index])
+                controller.observe_window(
+                    SensorWindow(
+                        samples=samples,
+                        times_s=np.arange(samples.shape[0], dtype=float),
+                        config=controller.current_config,
+                    )
+                )
+            controller.update(
+                Activity(int(labels[step, index])),
+                float(confidences[step, index]),
+            )
+            names.append(controller.current_config.name)
+        configs.append(names)
+    return configs
+
+
+def intensity_samples(level: float) -> np.ndarray:
+    """A small batch whose activity_intensity is exactly ``level``."""
+    samples = np.zeros((3, 3))
+    # |diff| pattern: two steps of size level each on axis 0 -> mean level.
+    samples[1, 0] = level
+    samples[2, 0] = 0.0
+    return samples
+
+
+def drive_bank(controllers, labels, confidences, intensity_values=None):
+    """Advance the same population through the bank."""
+    bank = ControllerBank(controllers)
+    configs = []
+    for step in range(labels.shape[0]):
+        # configs reported for the *upcoming* acquisition
+        if intensity_values is not None and bank.has_intensity:
+            intensities = np.full(len(controllers), np.nan)
+            for index, controller in enumerate(controllers):
+                if bank.is_intensity[index]:
+                    intensities[index] = activity_intensity(
+                        intensity_samples(intensity_values[step, index])
+                    )
+            bank.observe_intensities(intensities)
+        bank.update(labels[step], confidences[step])
+        ids = bank.current_config_ids(controllers)
+        configs.append([bank.config_for_id(i).name for i in ids])
+    bank.write_back(controllers)
+    return configs
+
+
+class TestConfigTable:
+    def test_interns_stably(self):
+        table = ConfigTable()
+        first = table.intern(HIGH_POWER_CONFIG)
+        second = table.intern(LOW_CONFIG)
+        assert first != second
+        assert table.intern(HIGH_POWER_CONFIG) == first
+        assert table.config(first) == HIGH_POWER_CONFIG
+        assert len(table) == 2
+
+
+class TestBankEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_mixed_population_matches_per_object(self, seed):
+        rng = np.random.default_rng(seed)
+        reference = make_mixed_controllers()
+        banked = make_mixed_controllers()
+        labels, confidences = random_stream(rng, steps=60, count=len(reference))
+        intensity_values = rng.uniform(0.2, 2.5, size=labels.shape)
+
+        expected = drive_reference(reference, labels, confidences, intensity_values)
+        actual = drive_bank(banked, labels, confidences, intensity_values)
+        assert actual == expected
+
+        # write_back must leave the controller objects in the exact state
+        # the per-object run produced.
+        for ref, bank in zip(reference, banked):
+            assert ref.current_config == bank.current_config
+            if isinstance(ref, SpotController):
+                assert ref.state_index == bank.state_index
+                assert ref.counter == bank.counter
+                assert ref.last_activity == bank.last_activity
+
+    def test_spot_only_long_stream(self):
+        rng = np.random.default_rng(7)
+        reference = [SpotController(stability_threshold=t) for t in (1, 2, 5, 20)]
+        banked = [SpotController(stability_threshold=t) for t in (1, 2, 5, 20)]
+        labels, confidences = random_stream(rng, steps=300, count=4)
+        assert drive_bank(banked, labels, confidences) == drive_reference(
+            reference, labels, confidences
+        )
+
+    def test_confidence_freeze_keeps_last_activity(self):
+        """A low-confidence change must freeze the machine completely."""
+        controller = SpotWithConfidenceController(
+            stability_threshold=2, confidence_threshold=0.9
+        )
+        bank = ControllerBank([controller])
+        bank.update(np.array([0]), np.array([0.95]))  # last = SIT
+        bank.update(np.array([1]), np.array([0.5]))  # untrusted change: frozen
+        bank.write_back([controller])
+        assert controller.last_activity == Activity.SIT
+        assert controller.state_index == 0
+
+    def test_custom_controllers_stay_loose(self):
+        class CustomSpot(SpotController):
+            def _should_escalate(self, activity, confidence):
+                return False
+
+        controllers = [SpotController(), CustomSpot(), StaticController()]
+        bank = ControllerBank(controllers)
+        assert bank.loose_indices == (1,)
+        assert bank.num_banked == 2
+        assert not bank.is_banked[1]
+
+    def test_empty_bank_for_unsupported_only(self):
+        class Custom:
+            current_config = HIGH_POWER_CONFIG
+
+        bank = ControllerBank([Custom()])
+        assert bank.num_banked == 0
+        assert bank.loose_indices == (0,)
+
+
+class TestRestoreState:
+    def test_spot_restore_roundtrip(self):
+        controller = SpotController(stability_threshold=5)
+        controller.restore_state(state_index=2, counter=3, last_activity=Activity.WALK)
+        assert controller.state_index == 2
+        assert controller.counter == 3
+        assert controller.last_activity == Activity.WALK
+        controller.restore_state(state_index=0, counter=0, last_activity=None)
+        assert controller.last_activity is None
+
+    def test_spot_restore_validates(self):
+        controller = SpotController()
+        with pytest.raises(ValueError):
+            controller.restore_state(state_index=99, counter=0, last_activity=None)
+        with pytest.raises(ValueError):
+            controller.restore_state(state_index=0, counter=-1, last_activity=None)
+
+    def test_intensity_restore_validates(self):
+        controller = make_intensity_controller()
+        controller.restore_state(LOW_CONFIG)
+        assert controller.current_config == LOW_CONFIG
+        with pytest.raises(ValueError):
+            controller.restore_state(TABLE1_BY_NAME["F50_A16"])
+
+
+class TestStackedIntensities:
+    def test_matches_scalar_bit_for_bit(self):
+        rng = np.random.default_rng(3)
+        chunks = rng.normal(size=(40, 57, 3))
+        stacked = stacked_intensities(chunks)
+        for index in range(chunks.shape[0]):
+            assert stacked[index] == activity_intensity(chunks[index])
+
+    def test_validates_shape(self):
+        with pytest.raises(ValueError):
+            stacked_intensities(np.zeros((4, 10)))
+        with pytest.raises(ValueError):
+            stacked_intensities(np.zeros((4, 1, 3)))
+
+
+class TestSentinel:
+    def test_no_activity_sentinel_is_not_a_class_index(self):
+        assert NO_ACTIVITY not in [int(a) for a in Activity]

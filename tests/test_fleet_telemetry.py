@@ -61,9 +61,11 @@ class TestDistributionStats:
         assert stats["max"] == 4.0
         assert stats["p50"] == pytest.approx(np.percentile([1, 2, 3, 4], 50))
 
-    def test_empty_sample_rejected(self):
-        with pytest.raises(ValueError):
-            distribution_stats([])
+    def test_empty_sample_yields_zero_summary(self):
+        stats = distribution_stats([])
+        assert stats["count"] == 0.0
+        assert set(stats) == set(distribution_stats([1.0, 2.0]))
+        assert all(value == 0.0 for value in stats.values())
 
 
 class TestDeviceReport:

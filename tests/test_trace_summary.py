@@ -1,0 +1,99 @@
+"""Tests for the O(1)-memory trace fold and the telemetry updates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.activities import Activity
+from repro.fleet.telemetry import DISTRIBUTION_PERCENTILES, distribution_stats
+from repro.sim.trace import SimulationTrace, StepRecord, TraceSummary
+
+
+def make_trace(specs):
+    trace = SimulationTrace()
+    for step, (true, predicted, config, current) in enumerate(specs, start=1):
+        trace.append(
+            StepRecord(
+                time_s=float(step),
+                true_activity=true,
+                predicted_activity=predicted,
+                confidence=0.9,
+                config_name=config,
+                current_ua=current,
+                duration_s=1.0,
+            )
+        )
+    return trace
+
+
+class TestTraceSummary:
+    def test_fold_matches_trace_aggregates(self):
+        trace = make_trace(
+            [
+                (Activity.SIT, Activity.SIT, "A", 100.0),
+                (Activity.SIT, Activity.WALK, "A", 100.0),
+                (Activity.WALK, Activity.WALK, "B", 50.0),
+                (Activity.WALK, Activity.WALK, "B", 50.0),
+            ]
+        )
+        summary = TraceSummary.from_trace(trace)
+        assert summary.steps == len(trace)
+        assert len(summary) == len(trace)
+        assert summary.duration_s == trace.duration_s
+        assert summary.accuracy == trace.accuracy
+        assert summary.average_current_ua == pytest.approx(trace.average_current_ua)
+        assert summary.energy_uc == pytest.approx(trace.energy_uc)
+        assert summary.state_residency() == pytest.approx(trace.state_residency())
+
+    def test_incremental_fold_equals_replay(self):
+        """Folding tick by tick equals replaying the finished trace."""
+        trace = make_trace(
+            [(Activity.SIT, Activity.SIT, "A", 70.0)] * 3
+            + [(Activity.WALK, Activity.SIT, "B", 20.0)] * 2
+        )
+        streamed = TraceSummary()
+        for record in trace.records:
+            streamed.fold_step(
+                correct=record.correct,
+                current_ua=record.current_ua,
+                config_name=record.config_name,
+                duration_s=record.duration_s,
+            )
+        assert streamed == TraceSummary.from_trace(trace)
+
+    def test_empty_summary_raises(self):
+        summary = TraceSummary()
+        assert summary.steps == 0
+        with pytest.raises(ValueError):
+            summary.accuracy
+        with pytest.raises(ValueError):
+            summary.average_current_ua
+        with pytest.raises(ValueError):
+            summary.state_residency()
+
+    def test_dwell_only_contains_visited_configs(self):
+        trace = make_trace([(Activity.SIT, Activity.SIT, "A", 10.0)])
+        summary = TraceSummary.from_trace(trace)
+        assert set(summary.dwell_s) == {"A"}
+        assert summary.state_residency() == {"A": 1.0}
+
+
+class TestDistributionStats:
+    def test_empty_input_yields_zero_summary(self):
+        stats = distribution_stats([])
+        assert stats["count"] == 0.0
+        assert stats["mean"] == 0.0
+        assert stats["min"] == 0.0
+        for percentile in DISTRIBUTION_PERCENTILES:
+            assert stats[f"p{percentile}"] == 0.0
+
+    def test_single_percentile_call_matches_individual_calls(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        stats = distribution_stats(values)
+        for percentile in DISTRIBUTION_PERCENTILES:
+            assert stats[f"p{percentile}"] == pytest.approx(
+                float(np.percentile(np.asarray(values), percentile))
+            )
+        assert stats["count"] == len(values)
+        assert stats["mean"] == pytest.approx(np.mean(values))
