@@ -17,16 +17,24 @@ recipes of successive PRs:
     chunk-cached incremental feature extraction, with per-object
     controller updates and full per-step traces.
 ``controller_bank``
-    This PR's recipe: the PR 2 core plus the vectorized array-of-states
+    The PR 3 recipe: the PR 2 core plus the vectorized array-of-states
     controller bank and streaming (``trace="summary"``) telemetry — no
     per-device Python in the adapt phase and O(devices) memory.
+``batched_noise``
+    This PR's recipe: the controller-bank recipe plus the batched
+    acquisition layer (``noise="batched"``) — pooled counter-based
+    noise streams, fleet-wide ring sample storage and persistent
+    per-device signal tables, removing the last per-device Python from
+    the sense path.
 
-**Scaling sweep**: the ``incremental`` and ``controller_bank`` recipes
-are raced over growing device counts (50 → 5 000 by default).  The
-hard gate asserts the controller-bank recipe delivers at least
-``REPRO_MIN_BANK_SPEEDUP``× (default 1.3×) the PR 2 incremental
-recipe's devices/s at the largest count, where per-device Python
-dominates the per-tick budget.
+**Scaling sweep**: the ``incremental``, ``controller_bank`` and
+``batched_noise`` recipes are raced over growing device counts
+(50 → 5 000 by default).  Two hard gates at the largest count, where
+per-device Python dominates the per-tick budget: the controller-bank
+recipe must deliver at least ``REPRO_MIN_BANK_SPEEDUP``× (default
+1.3×) the PR 2 incremental recipe's devices/s, and the batched-noise
+recipe at least ``REPRO_MIN_NOISE_SPEEDUP``× (default 1.4×) the
+controller-bank recipe's.
 
 Set ``REPRO_BENCH_SMOKE=1`` (as CI does on shared runners) to run the
 whole file in smoke mode: tiny populations, no thresholds, no
@@ -88,6 +96,12 @@ MIN_BANK_SPEEDUP = 0.0 if SMOKE else float(
     os.environ.get("REPRO_MIN_BANK_SPEEDUP", "1.3")
 )
 
+#: Required speedup of the batched-noise acquisition layer over the
+#: PR 3 controller-bank recipe at the largest sweep count.
+MIN_NOISE_SPEEDUP = 0.0 if SMOKE else float(
+    os.environ.get("REPRO_MIN_NOISE_SPEEDUP", "1.4")
+)
+
 #: Where the machine-readable throughput report lands.
 BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
 
@@ -123,26 +137,25 @@ def _best_of(runner, rounds: int = 2):
     return min(results, key=lambda result: result.elapsed_s)
 
 
-def _race(left_runner, right_runner, rounds: int = 3):
-    """Interleave two modes round by round and keep each one's best.
+def _race(*runners, rounds: int = 3):
+    """Interleave contestants round by round and keep each one's best.
 
     Interleaving (instead of timing one mode's rounds back to back)
-    spreads machine-load noise evenly over both contestants, and the
+    spreads machine-load noise evenly over every contestant, and the
     collection before every timed run stops one mode's garbage from
-    being charged to the other — together they are what make the
-    speedup gate below meaningful on shared hardware.
+    being charged to another — together they are what make the
+    speedup gates below meaningful on shared hardware.
     """
-    left_runner()
-    right_runner()
-    lefts, rights = [], []
+    for runner in runners:
+        runner()
+    results = [[] for _ in runners]
     for _ in range(rounds):
-        gc.collect()
-        lefts.append(left_runner())
-        gc.collect()
-        rights.append(right_runner())
-    return (
-        min(lefts, key=lambda result: result.elapsed_s),
-        min(rights, key=lambda result: result.elapsed_s),
+        for index, runner in enumerate(runners):
+            gc.collect()
+            results[index].append(runner())
+    return tuple(
+        min(outcomes, key=lambda result: result.elapsed_s)
+        for outcomes in results
     )
 
 
@@ -153,6 +166,7 @@ def test_fleet_throughput_modes(benchmark, fleet_setup):
     )
     pr2_style = FleetSimulator(pipeline, controllers="per_object")
     bank_engine = FleetSimulator(pipeline)
+    noise_engine = FleetSimulator(pipeline, noise="batched")
     sharded_engine = ShardedFleetSimulator(pipeline)
 
     first_incremental = benchmark.pedantic(
@@ -167,6 +181,9 @@ def test_fleet_throughput_modes(benchmark, fleet_setup):
         key=lambda result: result.elapsed_s,
     )
     controller_bank = _best_of(lambda: bank_engine.run(population, trace="summary"))
+    batched_noise = _best_of(
+        lambda: noise_engine.run(population, trace="summary")
+    )
     batched = _best_of(lambda: pr1_style.run(population))
     sequential = _best_of(lambda: pr1_style.run_sequential(population))
     sharded_run = _best_of(lambda: sharded_engine.run(population, trace="summary"))
@@ -181,6 +198,7 @@ def test_fleet_throughput_modes(benchmark, fleet_setup):
             "batched": _mode_entry(batched),
             "incremental": _mode_entry(incremental),
             "controller_bank": _mode_entry(controller_bank),
+            "batched_noise": _mode_entry(batched_noise),
             "sharded": {
                 **_mode_entry(sharded),
                 "num_shards": sharded_run.num_shards,
@@ -191,6 +209,8 @@ def test_fleet_throughput_modes(benchmark, fleet_setup):
         "speedup_batched_vs_sequential": sequential.elapsed_s / batched.elapsed_s,
         "speedup_bank_vs_incremental": incremental.elapsed_s
         / controller_bank.elapsed_s,
+        "speedup_noise_vs_bank": controller_bank.elapsed_s
+        / batched_noise.elapsed_s,
     }
     if not SMOKE:
         existing = {}
@@ -217,7 +237,8 @@ def test_fleet_throughput_modes(benchmark, fleet_setup):
                     ("sequential", sequential),
                     ("batched (PR 1 recipe)", batched),
                     ("incremental (PR 2)", incremental),
-                    ("controller_bank", controller_bank),
+                    ("controller_bank (PR 3)", controller_bank),
+                    ("batched_noise", batched_noise),
                     ("sharded", sharded),
                 )
             ]
@@ -230,6 +251,10 @@ def test_fleet_throughput_modes(benchmark, fleet_setup):
                     "bank vs incremental    : "
                     f"{report['speedup_bank_vs_incremental']:8.2f}x"
                 ),
+                (
+                    "noise vs bank          : "
+                    f"{report['speedup_noise_vs_bank']:8.2f}x"
+                ),
                 f"report                 -> {BENCH_JSON_PATH.name}",
             ]
         ),
@@ -241,12 +266,14 @@ def test_fleet_throughput_modes(benchmark, fleet_setup):
         == batched.num_devices
         == incremental.num_devices
         == controller_bank.num_devices
+        == batched_noise.num_devices
         == sharded.num_devices
         == NUM_DEVICES
     )
     assert batched.device_seconds == sequential.device_seconds
     assert incremental.device_seconds == sequential.device_seconds
     assert controller_bank.device_seconds == sequential.device_seconds
+    assert batched_noise.device_seconds == sequential.device_seconds
     # ...the batched engine must not be slower at fleet scale...
     assert SMOKE or batched.elapsed_s <= sequential.elapsed_s, (
         f"batched fleet simulation took {batched.elapsed_s:.3f} s but the "
@@ -262,11 +289,12 @@ def test_fleet_throughput_modes(benchmark, fleet_setup):
 
 
 def test_fleet_throughput_scaling_sweep(fleet_setup):
-    """Race the PR 2 incremental recipe against the controller-bank
-    recipe over growing device counts; gate the speedup at the top."""
+    """Race the PR 2 incremental, PR 3 controller-bank and batched-noise
+    recipes over growing device counts; gate the speedups at the top."""
     pipeline, _ = fleet_setup
     pr2_style = FleetSimulator(pipeline, controllers="per_object")
     bank_engine = FleetSimulator(pipeline)
+    noise_engine = FleetSimulator(pipeline, noise="batched")
 
     sweep = {}
     for count in SWEEP_DEVICES:
@@ -274,16 +302,20 @@ def test_fleet_throughput_scaling_sweep(fleet_setup):
             count, duration_s=SWEEP_DURATION_S, master_seed=BENCH_SEED
         )
         rounds = 4 if count == max(SWEEP_DEVICES) else 2
-        incremental, controller_bank = _race(
+        incremental, controller_bank, batched_noise = _race(
             lambda: pr2_style.run(population),
             lambda: bank_engine.run(population, trace="summary"),
+            lambda: noise_engine.run(population, trace="summary"),
             rounds=rounds,
         )
         sweep[str(count)] = {
             "incremental": _mode_entry(incremental),
             "controller_bank": _mode_entry(controller_bank),
+            "batched_noise": _mode_entry(batched_noise),
             "speedup_bank_vs_incremental": incremental.elapsed_s
             / controller_bank.elapsed_s,
+            "speedup_noise_vs_bank": controller_bank.elapsed_s
+            / batched_noise.elapsed_s,
         }
 
     if not SMOKE:
@@ -309,13 +341,18 @@ def test_fleet_throughput_scaling_sweep(fleet_setup):
             + [
                 (
                     f"{count:>6} devices        : "
-                    f"incremental {entry['incremental']['devices_per_s']:7.1f} dev/s  "
-                    f"bank {entry['controller_bank']['devices_per_s']:7.1f} dev/s  "
-                    f"({entry['speedup_bank_vs_incremental']:.2f}x)"
+                    f"incr {entry['incremental']['devices_per_s']:7.1f}  "
+                    f"bank {entry['controller_bank']['devices_per_s']:7.1f}  "
+                    f"noise {entry['batched_noise']['devices_per_s']:7.1f} dev/s  "
+                    f"(bank {entry['speedup_bank_vs_incremental']:.2f}x, "
+                    f"noise {entry['speedup_noise_vs_bank']:.2f}x)"
                 )
                 for count, entry in sweep.items()
             ]
-            + [f"gate (at {top} devices) : >= {MIN_BANK_SPEEDUP}x"]
+            + [
+                f"gates (at {top} devices): bank >= {MIN_BANK_SPEEDUP}x, "
+                f"noise >= {MIN_NOISE_SPEEDUP}x"
+            ]
         ),
     )
 
@@ -323,6 +360,12 @@ def test_fleet_throughput_scaling_sweep(fleet_setup):
     assert speedup >= MIN_BANK_SPEEDUP, (
         f"controller-bank throughput is only {speedup:.2f}x the PR 2 "
         f"incremental recipe (required: {MIN_BANK_SPEEDUP}x) at {top} devices"
+    )
+    noise_speedup = sweep[top]["speedup_noise_vs_bank"]
+    assert noise_speedup >= MIN_NOISE_SPEEDUP, (
+        f"batched-noise throughput is only {noise_speedup:.2f}x the PR 3 "
+        f"controller-bank recipe (required: {MIN_NOISE_SPEEDUP}x) at {top} "
+        f"devices"
     )
 
 
@@ -347,3 +390,12 @@ def test_fleet_fast_paths_match_sequential_reference(fleet_setup):
         == reference_telemetry
     )
     assert sharded_run.telemetry.to_dict() == reference_telemetry
+
+    # The batched acquisition layer has its own reference: within
+    # noise="batched" every engine spelling is bit-identical too.
+    noise_engine = FleetSimulator(pipeline, noise="batched")
+    for left, right in zip(
+        noise_engine.run(population).traces,
+        noise_engine.run_sequential(population).traces,
+    ):
+        assert traces_equal(left, right)

@@ -1,4 +1,3 @@
-#!/usr/bin/env python3
 """Profile a fleet simulation and dump the hottest functions.
 
 A tiny cProfile harness around the fleet engine so a performance
@@ -8,6 +7,13 @@ regression can be localised in one command, without writing a script:
     PYTHONPATH=src python scripts/profile_fleet.py \
         --devices 2000 --duration 20 --controllers per_object --trace full \
         --sort tottime --top 40
+
+``--compare`` profiles two named recipes back to back and prints a
+side-by-side table of their hottest functions, so the cost shifted by
+a mode change is visible at a glance:
+
+    PYTHONPATH=src python scripts/profile_fleet.py \
+        --devices 2000 --compare controller_bank batched_noise
 
 Training the shared classifier and generating the population happen
 *outside* the profiled region — the numbers cover exactly one
@@ -22,6 +28,31 @@ import cProfile
 import pstats
 import sys
 import time
+
+#: The execution recipes of successive PRs, by bench name.  Each maps
+#: to ``FleetSimulator`` keyword arguments plus the trace mode.
+RECIPES = {
+    "sequential": dict(
+        features="exact", sensing="per_device", controllers="per_object",
+        noise="per_device", trace="full",
+    ),
+    "batched": dict(
+        features="exact", sensing="per_device", controllers="per_object",
+        noise="per_device", trace="full",
+    ),
+    "incremental": dict(
+        features="incremental", sensing="stacked", controllers="per_object",
+        noise="per_device", trace="full",
+    ),
+    "controller_bank": dict(
+        features="incremental", sensing="stacked", controllers="bank",
+        noise="per_device", trace="summary",
+    ),
+    "batched_noise": dict(
+        features="incremental", sensing="stacked", controllers="bank",
+        noise="batched", trace="summary",
+    ),
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,8 +71,15 @@ def build_parser() -> argparse.ArgumentParser:
                         default="stacked")
     parser.add_argument("--controllers", choices=("bank", "per_object"),
                         default="bank")
+    parser.add_argument("--noise", choices=("per_device", "batched"),
+                        default="per_device",
+                        help="acquisition layer (default: per_device)")
     parser.add_argument("--trace", choices=("summary", "full"),
                         default="summary")
+    parser.add_argument("--compare", nargs=2, metavar=("MODE_A", "MODE_B"),
+                        choices=sorted(RECIPES), default=None,
+                        help="profile two named recipes and print a "
+                             "side-by-side diff of their hottest functions")
     parser.add_argument("--sort", choices=("tottime", "cumulative", "ncalls"),
                         default="tottime", help="pstats sort key")
     parser.add_argument("--top", type=int, default=30,
@@ -49,6 +87,53 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--output", default=None,
                         help="optional .pstats dump path for snakeviz etc.")
     return parser
+
+
+def _profile_run(simulator, population, trace):
+    """One warmed-up, profiled simulation; returns (result, stats)."""
+    # One untimed warm-up run so lazily built caches (DFT bases,
+    # spectral layouts, BLAS threads) do not pollute the profile.
+    simulator.run(population, trace=trace)
+    profile = cProfile.Profile()
+    profile.enable()
+    result = simulator.run(population, trace=trace)
+    profile.disable()
+    return result, pstats.Stats(profile)
+
+
+def _function_totals(stats: pstats.Stats) -> dict:
+    """Map ``file:line(function)`` -> (tottime, ncalls)."""
+    totals = {}
+    for (filename, line, name), (cc, nc, tt, ct, callers) in stats.stats.items():
+        short = filename.rsplit("/", 1)[-1]
+        totals[f"{short}:{line}({name})"] = (tt, nc)
+    return totals
+
+
+def _print_comparison(name_a, result_a, stats_a, name_b, result_b, stats_b,
+                      top: int) -> None:
+    totals_a = _function_totals(stats_a)
+    totals_b = _function_totals(stats_b)
+    ranked = sorted(
+        set(totals_a) | set(totals_b),
+        key=lambda key: -max(
+            totals_a.get(key, (0.0, 0))[0], totals_b.get(key, (0.0, 0))[0]
+        ),
+    )[:top]
+    width = max((len(key) for key in ranked), default=20)
+    print(
+        f"\nside-by-side tottime — {name_a} "
+        f"({result_a.elapsed_s:.2f} s) vs {name_b} "
+        f"({result_b.elapsed_s:.2f} s)"
+    )
+    print(f"{'function':<{width}}  {name_a:>14}  {name_b:>14}      delta")
+    for key in ranked:
+        left, _ = totals_a.get(key, (0.0, 0))
+        right, _ = totals_b.get(key, (0.0, 0))
+        print(
+            f"{key:<{width}}  {left:>12.3f} s  {right:>12.3f} s  "
+            f"{right - left:>+8.3f} s"
+        )
 
 
 def main(argv=None) -> int:
@@ -64,33 +149,58 @@ def main(argv=None) -> int:
     population = DevicePopulation.generate(
         args.devices, duration_s=args.duration, master_seed=args.seed
     )
+    print(
+        f"setup: {args.devices} devices x {args.duration:.0f} s, "
+        f"prepared in {time.perf_counter() - start:.1f} s",
+        file=sys.stderr,
+    )
+
+    if args.compare is not None:
+        name_a, name_b = args.compare
+        outcomes = []
+        for name in (name_a, name_b):
+            recipe = dict(RECIPES[name])
+            trace = recipe.pop("trace")
+            if name == "sequential":
+                simulator = FleetSimulator(system.pipeline, **recipe)
+                simulator.run_sequential(population)
+                profile = cProfile.Profile()
+                profile.enable()
+                result = simulator.run_sequential(population)
+                profile.disable()
+                outcomes.append((result, pstats.Stats(profile)))
+            else:
+                outcomes.append(
+                    _profile_run(
+                        FleetSimulator(system.pipeline, **recipe),
+                        population,
+                        trace,
+                    )
+                )
+            print(
+                f"{name}: {outcomes[-1][0].elapsed_s:.2f} s wall, "
+                f"{outcomes[-1][0].throughput_device_seconds_per_s:.0f} "
+                f"device-seconds/s",
+                file=sys.stderr,
+            )
+        _print_comparison(
+            name_a, *outcomes[0], name_b, *outcomes[1], top=args.top
+        )
+        return 0
+
     simulator = FleetSimulator(
         system.pipeline,
         features=args.features,
         sensing=args.sensing,
         controllers=args.controllers,
+        noise=args.noise,
     )
-    # One untimed warm-up run so lazily built caches (DFT bases, spectral
-    # layouts, BLAS threads) do not pollute the profile.
-    simulator.run(population, trace=args.trace)
-    print(
-        f"setup: {args.devices} devices x {args.duration:.0f} s "
-        f"({args.features}/{args.sensing}/{args.controllers}/{args.trace}), "
-        f"prepared in {time.perf_counter() - start:.1f} s",
-        file=sys.stderr,
-    )
-
-    profile = cProfile.Profile()
-    profile.enable()
-    result = simulator.run(population, trace=args.trace)
-    profile.disable()
-
+    result, stats = _profile_run(simulator, population, args.trace)
     print(
         f"profiled run: {result.elapsed_s:.2f} s wall, "
         f"{result.throughput_device_seconds_per_s:.0f} device-seconds/s",
         file=sys.stderr,
     )
-    stats = pstats.Stats(profile)
     stats.sort_stats(args.sort).print_stats(args.top)
     if args.output:
         stats.dump_stats(args.output)

@@ -11,7 +11,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="adasense-repro",
-    version="1.3.0",
+    version="1.4.0",
     description=(
         "Reproduction of AdaSense (DAC 2020): adaptive low-power sensing "
         "and activity recognition, with a vectorized, process-shardable "

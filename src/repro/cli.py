@@ -197,6 +197,13 @@ def build_parser() -> argparse.ArgumentParser:
              "array-of-states bank (default) or one object at a time",
     )
     fleet_parser.add_argument(
+        "--noise", choices=("per_device", "batched"), default="per_device",
+        help="acquisition layer: per-device generator draws (default, "
+             "bit-exact v1.3.0 reference) or the batched layer (pooled "
+             "counter-based noise streams, ring sample storage, cached "
+             "signal tables; statistically equivalent and shard-invariant)",
+    )
+    fleet_parser.add_argument(
         "--trace", choices=("summary", "full"), default="summary",
         help="collect streaming O(devices) telemetry accumulators "
              "(default) or materialise full per-step traces; reports are "
@@ -306,7 +313,10 @@ def _command_fleet(args: argparse.Namespace, out) -> int:
     )
     if args.engine == "sharded":
         sharded = ShardedFleetSimulator(
-            system.pipeline, features=args.features, controllers=args.controllers
+            system.pipeline,
+            features=args.features,
+            controllers=args.controllers,
+            noise=args.noise,
         )
         run = sharded.run(population, num_shards=args.shards, trace=args.trace)
         result = run.result
@@ -317,7 +327,10 @@ def _command_fleet(args: argparse.Namespace, out) -> int:
         )
     else:
         simulator = FleetSimulator(
-            system.pipeline, features=args.features, controllers=args.controllers
+            system.pipeline,
+            features=args.features,
+            controllers=args.controllers,
+            noise=args.noise,
         )
         if args.engine == "sequential":
             result = simulator.run_sequential(population)
@@ -327,6 +340,7 @@ def _command_fleet(args: argparse.Namespace, out) -> int:
         out.write(f"engine             : {result.mode}\n")
     out.write(f"features           : {args.features}\n")
     out.write(f"controllers        : {args.controllers}\n")
+    out.write(f"noise              : {args.noise}\n")
     out.write(f"trace              : {result.trace_mode}\n")
     out.write(
         f"throughput         : {result.throughput_device_seconds_per_s:.0f} "

@@ -115,6 +115,13 @@ class ActivityProfile:
     harmonics: Tuple[HarmonicSpec, ...]
     amplitude_jitter: float = 0.15
     orientation_jitter_deg: float = 5.0
+    #: Lazily cached stacked component table (axes, base amplitudes,
+    #: frequency scales and the axis-grouped fused layout) shared by
+    #: every realisation drawn from this profile; derived state,
+    #: excluded from equality and repr.
+    _components: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         check_positive(self.base_frequency_hz, "base_frequency_hz")
@@ -126,6 +133,45 @@ class ActivityProfile:
             raise ValueError("gravity_direction must have exactly three components")
         if not np.isfinite(direction).all() or np.linalg.norm(direction) == 0:
             raise ValueError("gravity_direction must be a finite, non-zero vector")
+
+    def component_table(self) -> tuple:
+        """Stacked per-component arrays shared by all realisations.
+
+        Returns ``(axes, base_amplitudes, frequency_scales, order,
+        counts, fusable)``: the per-component arrays in declaration
+        order, plus the stable axis-grouping permutation, per-axis
+        group sizes and fused-evaluator eligibility — all of which
+        depend only on the profile's harmonics, never on a
+        realisation's jitter draws.  Computed once per profile; the
+        returned arrays are shared, so callers must treat them as
+        read-only.
+        """
+        table = self._components
+        if table is None:
+            axes = np.array([h.axis for h in self.harmonics], dtype=int)
+            base_amplitudes = np.array(
+                [h.amplitude for h in self.harmonics], dtype=float
+            )
+            frequency_scales = np.array(
+                [h.frequency_scale for h in self.harmonics], dtype=float
+            )
+            counts = np.bincount(axes, minlength=NUM_AXES)
+            fusable = bool(
+                axes.size
+                and not (counts == 0).any()
+                and not (counts > _MAX_FUSED_AXIS_COMPONENTS).any()
+            )
+            order = np.argsort(axes, kind="stable")
+            table = (
+                axes,
+                base_amplitudes,
+                frequency_scales,
+                order,
+                tuple(int(count) for count in counts),
+                fusable,
+            )
+            object.__setattr__(self, "_components", table)
+        return table
 
     def realize(self, rng: SeedLike = None) -> "ActivityRealization":
         """Draw one concrete signal realisation from this profile.
@@ -154,18 +200,13 @@ class ActivityProfile:
         )
         offset = gravity * GRAVITY_MS2
 
-        n_components = len(self.harmonics)
-        axes = np.array([h.axis for h in self.harmonics], dtype=int)
-        amplitudes = (
-            np.array([h.amplitude for h in self.harmonics], dtype=float)
-            * amplitude_scale
+        axes, base_amplitudes, frequency_scales, order, counts, fusable = (
+            self.component_table()
         )
-        frequencies = (
-            np.array([h.frequency_scale for h in self.harmonics], dtype=float)
-            * frequency
-        )
-        phases = generator.uniform(0.0, 2.0 * np.pi, size=n_components)
-        return ActivityRealization(
+        amplitudes = base_amplitudes * amplitude_scale
+        frequencies = frequency_scales * frequency
+        phases = generator.uniform(0.0, 2.0 * np.pi, size=len(self.harmonics))
+        realization = ActivityRealization(
             activity=self.activity,
             offset=offset,
             axes=axes,
@@ -174,6 +215,16 @@ class ActivityProfile:
             phases=phases,
             fundamental_hz=frequency,
         )
+        # The fused layout's permutation and group sizes are profile
+        # state; prefill the realisation's cache so the stacked
+        # evaluator never re-derives them per bout.
+        layout = (
+            (True, amplitudes[order], frequencies[order], phases[order], counts)
+            if fusable
+            else (False, None, None, None, None)
+        )
+        object.__setattr__(realization, "_fused_layout", layout)
+        return realization
 
 
 def _jitter_direction(
@@ -381,68 +432,451 @@ def evaluate_realizations_windowed(
     numpy.ndarray
         Array of shape ``(len(realizations), len(times_s), 3)``.
     """
-    check_non_negative(window_s, "window_s")
-    times = np.asarray(times_s, dtype=float)
-    if times.ndim != 1:
-        raise ValueError(f"times_s must be a 1-D array, got shape {times.shape}")
-    output = np.empty((len(realizations), times.shape[0], NUM_AXES))
+    return _StackedTables(realizations, window_s).evaluate(times_s)
 
-    fused: List[int] = []
-    amplitude_parts: List[np.ndarray] = []
-    frequency_parts: List[np.ndarray] = []
-    phase_parts: List[np.ndarray] = []
-    group_sizes: List[int] = []
-    for index, realization in enumerate(realizations):
-        # The axis-grouped layout (stable sort: each axis's components
-        # contiguous, original order preserved — matching the
-        # boolean-mask selection of the per-realisation path) is cached
-        # on the realisation itself.
-        fusable, amplitudes_d, frequencies_d, phases_d, counts = (
-            realization.fused_layout()
+
+class _StackedTables:
+    """Assembled component tables of one realisation group.
+
+    Building the tables — concatenating every realisation's
+    axis-grouped components, the ``sinc`` attenuation of the averaging
+    window and the round-by-round gather plan — costs a Python pass
+    over the group, but the result depends only on *which* realisations
+    are grouped and the window span, never on the sample times.  The
+    one-shot :func:`evaluate_realizations_windowed` builds an instance
+    per call; the fleet engine's persistent per-device spelling is
+    :class:`StackedEvaluationCache`.  Both run the identical
+    arithmetic, which is what keeps the cached path bit-for-bit equal
+    to the uncached one.
+    """
+
+    def __init__(
+        self, realizations: Sequence[ActivityRealization], window_s: float
+    ) -> None:
+        check_non_negative(window_s, "window_s")
+        self._realizations = tuple(realizations)
+        self._window_s = float(window_s)
+
+        fused: List[int] = []
+        loose: List[int] = []
+        amplitude_parts: List[np.ndarray] = []
+        frequency_parts: List[np.ndarray] = []
+        phase_parts: List[np.ndarray] = []
+        group_sizes: List[int] = []
+        for index, realization in enumerate(self._realizations):
+            # The axis-grouped layout (stable sort: each axis's
+            # components contiguous, original order preserved —
+            # matching the boolean-mask selection of the
+            # per-realisation path) is cached on the realisation.
+            fusable, amplitudes_d, frequencies_d, phases_d, counts = (
+                realization.fused_layout()
+            )
+            if not fusable:
+                loose.append(index)
+                continue
+            fused.append(index)
+            amplitude_parts.append(amplitudes_d)
+            frequency_parts.append(frequencies_d)
+            phase_parts.append(phases_d)
+            group_sizes.extend(counts)
+        self._fused = np.asarray(fused, dtype=np.intp)
+        self._loose = tuple(loose)
+        if not fused:
+            return
+
+        amplitudes = np.concatenate(amplitude_parts)
+        frequencies = np.concatenate(frequency_parts)
+        self._phases = np.concatenate(phase_parts)
+        if self._window_s == 0.0:
+            self._effective_amplitudes = amplitudes
+        else:
+            self._effective_amplitudes = amplitudes * np.sinc(
+                frequencies * self._window_s
+            )
+        self._angular = 2.0 * np.pi * frequencies
+
+        # Gather plan for the per-(device, axis) sums: every group's
+        # k-th component in one gather per round, so each group is
+        # summed strictly left to right — the order NumPy uses for the
+        # per-realisation ``contributions[:, mask].sum(axis=1)`` with
+        # < 8 components.
+        sizes = np.asarray(group_sizes)
+        starts = np.concatenate([[0], np.cumsum(sizes)[:-1]])
+        self._num_groups = sizes.size
+        self._rounds: List[Tuple[np.ndarray, np.ndarray]] = []
+        for round_index in range(int(sizes.max())):
+            active = np.flatnonzero(sizes > round_index)
+            self._rounds.append((active, starts[active] + round_index))
+        self._offsets = np.stack(
+            [self._realizations[i].offset for i in fused]
         )
-        if not fusable:
-            output[index] = realization.evaluate_windowed(times, window_s)
-            continue
-        fused.append(index)
-        amplitude_parts.append(amplitudes_d)
-        frequency_parts.append(frequencies_d)
-        phase_parts.append(phases_d)
-        group_sizes.extend(counts)
-    if not fused:
+
+    def evaluate(self, times_s: np.ndarray) -> np.ndarray:
+        """Stacked windowed evaluation over one shared time grid."""
+        times = np.asarray(times_s, dtype=float)
+        if times.ndim != 1:
+            raise ValueError(
+                f"times_s must be a 1-D array, got shape {times.shape}"
+            )
+        output = np.empty((len(self._realizations), times.shape[0], NUM_AXES))
+        for index in self._loose:
+            output[index] = self._realizations[index].evaluate_windowed(
+                times, self._window_s
+            )
+        if not self._fused.size:
+            return output
+
+        shifted = (
+            times if self._window_s == 0.0 else times - self._window_s / 2.0
+        )
+        effective_times = shifted[:, None]
+        angles = (
+            self._angular[None, :] * effective_times + self._phases[None, :]
+        )
+        contributions = self._effective_amplitudes[None, :] * np.sin(angles)
+        sums = np.zeros((times.shape[0], self._num_groups))
+        for round_index, (active, sources) in enumerate(self._rounds):
+            if round_index == 0:
+                sums[:, active] = contributions[:, sources]
+            else:
+                sums[:, active] = sums[:, active] + contributions[:, sources]
+        values = sums.reshape(
+            times.shape[0], self._fused.size, NUM_AXES
+        ).transpose(1, 0, 2)
+        output[self._fused] = self._offsets[:, None, :] + values
         return output
 
-    amplitudes = np.concatenate(amplitude_parts)
-    frequencies = np.concatenate(frequency_parts)
-    phases = np.concatenate(phase_parts)
 
-    if window_s == 0.0:
-        effective_amplitudes = amplitudes
-        effective_times = times[:, None]
-    else:
-        effective_amplitudes = amplitudes * np.sinc(frequencies * window_s)
-        effective_times = times[:, None] - window_s / 2.0
+class StackedEvaluationCache:
+    """Persistent per-device component tables for the fleet sense path.
 
-    angles = 2.0 * np.pi * frequencies[None, :] * effective_times + phases[None, :]
-    contributions = effective_amplitudes[None, :] * np.sin(angles)
+    The fleet engine evaluates the *same* realisations over a fresh
+    time grid every tick, but the composition of a configuration group
+    churns constantly as controllers adapt — so any cache keyed on the
+    whole group rebuilds every tick.  This cache instead keeps one
+    *row per device*: each device's sinusoidal components live at a
+    fixed row of ``(devices, 3 * k)`` arrays, padded with
+    zero-amplitude components to ``k`` slots per axis, and a row is
+    rewritten only when that device crosses a bout boundary.  A tick's
+    evaluation is then one gather of the group's rows, one
+    trigonometric pass over ``(group, 3 * k, times)`` and one
+    fixed-width axis reduction.
 
-    # Per-(device, axis) sums, accumulated round by round (every group's
-    # k-th component in one gather) so each group is summed strictly
-    # left to right — the order NumPy uses for the per-realisation
-    # ``contributions[:, mask].sum(axis=1)`` with < 8 components.
-    sizes = np.asarray(group_sizes)
-    starts = np.concatenate([[0], np.cumsum(sizes)[:-1]])
-    sums = np.zeros((times.shape[0], sizes.size))
-    for round_index in range(int(sizes.max())):
-        active = np.flatnonzero(sizes > round_index)
-        sources = starts[active] + round_index
-        if round_index == 0:
-            sums[:, active] = contributions[:, sources]
-        else:
-            sums[:, active] = sums[:, active] + contributions[:, sources]
-    values = sums.reshape(times.shape[0], len(fused), NUM_AXES).transpose(1, 0, 2)
-    offsets = np.stack([realizations[i].offset for i in fused])
-    output[fused] = offsets[:, None, :] + values
-    return output
+    Padding preserves bit-identity with the unpadded evaluators: each
+    axis's real components keep their stable order, NumPy reduces the
+    ``k < 8`` slots strictly left to right, and the trailing
+    zero-amplitude slots contribute exact ``+0.0`` terms.  Results are
+    bit-for-bit those of :func:`evaluate_realizations_windowed`
+    (pinned by the equivalence tests); realisations the padded layout
+    cannot host (empty, or more components per axis than the fused
+    limit) fall back to per-realisation evaluation, exactly as the
+    one-shot path does.
+    """
+
+    def __init__(self, num_devices: int = 0) -> None:
+        self._num_devices = num_devices
+        #: Padded slots per axis; grows to the widest realisation seen.
+        self._slots = 0
+        self._refs: List[Optional[ActivityRealization]] = [None] * num_devices
+        self._fusable = np.zeros(num_devices, dtype=bool)
+        #: Validity interval of each cached row: the time bounds of the
+        #: bout the row was built from.  A window inside the interval
+        #: needs no per-device lookup at all.
+        self._starts = np.full(num_devices, np.inf)
+        self._ends = np.full(num_devices, -np.inf)
+        self._angular: Optional[np.ndarray] = None
+        self._amplitudes: Optional[np.ndarray] = None
+        self._frequencies: Optional[np.ndarray] = None
+        self._phases_padded: Optional[np.ndarray] = None
+        self._offsets_padded: Optional[np.ndarray] = None
+        #: Per-span effective amplitudes (``amp * sinc(f * span)``).
+        self._effective: Dict[float, np.ndarray] = {}
+        #: Reusable trig scratch, grown to the largest (group, width,
+        #: times) evaluation seen; slicing it per tick keeps the hot
+        #: path allocation-free.
+        self._scratch = np.empty(0)
+
+    def _grow(self, num_devices: int, slots: int) -> None:
+        """Widen the row arrays, remapping existing rows in place.
+
+        Growth preserves every cached row — each axis block is copied
+        to its offset under the new per-axis width and the padding
+        stays zero — so callers never need to re-resolve devices that
+        were already cached.
+        """
+        old_devices, old_slots = self._num_devices, self._slots
+        self._num_devices = max(num_devices, self._num_devices)
+        self._slots = max(slots, self._slots)
+        width = NUM_AXES * self._slots
+        shape = (self._num_devices, width)
+
+        def remap(old: Optional[np.ndarray]) -> np.ndarray:
+            grown = np.zeros(shape)
+            if old is not None and old_devices and old_slots:
+                for axis in range(NUM_AXES):
+                    grown[
+                        :old_devices,
+                        axis * self._slots : axis * self._slots + old_slots,
+                    ] = old[:old_devices, axis * old_slots : (axis + 1) * old_slots]
+            return grown
+
+        self._refs = self._refs + [None] * (self._num_devices - old_devices)
+        self._fusable = np.concatenate(
+            [self._fusable, np.zeros(self._num_devices - old_devices, dtype=bool)]
+        )
+        self._starts = np.concatenate(
+            [self._starts, np.full(self._num_devices - old_devices, np.inf)]
+        )
+        self._ends = np.concatenate(
+            [self._ends, np.full(self._num_devices - old_devices, -np.inf)]
+        )
+        self._angular = remap(self._angular)
+        self._amplitudes = remap(self._amplitudes)
+        self._frequencies = remap(self._frequencies)
+        self._phases_padded = remap(self._phases_padded)
+        offsets = np.zeros((self._num_devices, NUM_AXES))
+        if self._offsets_padded is not None and old_devices:
+            offsets[:old_devices] = self._offsets_padded[:old_devices]
+        self._offsets_padded = offsets
+        self._effective = {
+            span: remap(effective) for span, effective in self._effective.items()
+        }
+
+    def _update_row(self, row: int, realization: ActivityRealization) -> None:
+        """Write one device's padded component row."""
+        fusable, amplitudes, frequencies, phases, counts = (
+            realization.fused_layout()
+        )
+        self._refs[row] = realization
+        self._fusable[row] = fusable
+        if not fusable:
+            return
+        if max(counts) > self._slots:
+            self._grow(self._num_devices, max(counts))
+            self._refs[row] = realization
+            self._fusable[row] = True
+        slots = self._slots
+        self._amplitudes[row] = 0.0
+        self._angular[row] = 0.0
+        self._frequencies[row] = 0.0
+        self._phases_padded[row] = 0.0
+        cursor = 0
+        for axis, count in enumerate(counts):
+            start = axis * slots
+            self._amplitudes[row, start : start + count] = amplitudes[
+                cursor : cursor + count
+            ]
+            self._frequencies[row, start : start + count] = frequencies[
+                cursor : cursor + count
+            ]
+            self._phases_padded[row, start : start + count] = phases[
+                cursor : cursor + count
+            ]
+            cursor += count
+        self._angular[row] = 2.0 * np.pi * self._frequencies[row]
+        self._offsets_padded[row] = realization.offset
+        for span, effective in self._effective.items():
+            if span == 0.0:
+                effective[row] = self._amplitudes[row]
+            else:
+                effective[row] = self._amplitudes[row] * np.sinc(
+                    self._frequencies[row] * span
+                )
+
+    def _effective_for(self, span: float) -> np.ndarray:
+        effective = self._effective.get(span)
+        if effective is None:
+            if span == 0.0:
+                effective = self._amplitudes.copy()
+            else:
+                effective = self._amplitudes * np.sinc(self._frequencies * span)
+            self._effective[span] = effective
+        return effective
+
+    def evaluate(
+        self,
+        realizations: Sequence[ActivityRealization],
+        times_s: np.ndarray,
+        window_s: float,
+        rows: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Evaluate a group over one shared time grid.
+
+        Parameters
+        ----------
+        realizations:
+            The active realisation of every device in the group.
+        times_s, window_s:
+            As in :func:`evaluate_realizations_windowed`.
+        rows:
+            Stable per-device row indices parallel to
+            ``realizations`` (the fleet engine passes fleet device
+            ids).  Without rows the cache cannot persist anything and
+            falls back to the one-shot evaluator.
+        """
+        if rows is None:
+            return evaluate_realizations_windowed(
+                realizations, times_s, window_s
+            )
+        check_non_negative(window_s, "window_s")
+        window = float(window_s)
+        times = np.asarray(times_s, dtype=float)
+        if times.ndim != 1:
+            raise ValueError(
+                f"times_s must be a 1-D array, got shape {times.shape}"
+            )
+        rows = np.asarray(rows)
+        if rows.shape[0] != len(realizations):
+            raise ValueError(
+                f"rows must be parallel to realizations, got {rows.shape[0]} "
+                f"rows for {len(realizations)} realizations"
+            )
+        if rows.size and int(rows.max()) >= self._num_devices:
+            self._grow(int(rows.max()) + 1, max(self._slots, 1))
+        for position, realization in enumerate(realizations):
+            # self._refs is re-read every iteration because a row
+            # update may grow (and thereby reset) the whole cache.
+            row = rows[position]
+            if self._refs[row] is not realization:
+                self._update_row(row, realization)
+
+        output = np.empty((len(realizations), times.shape[0], NUM_AXES))
+        fusable_mask = self._fusable[rows]
+        for position in np.flatnonzero(~fusable_mask):
+            output[position] = realizations[position].evaluate_windowed(
+                times, window
+            )
+        fused_positions = np.flatnonzero(fusable_mask)
+        if fused_positions.size:
+            self._evaluate_fused(
+                output, fused_positions, rows[fused_positions], times, window
+            )
+        return output
+
+    def evaluate_signals(
+        self,
+        signals: Sequence,
+        rows: np.ndarray,
+        times_s: np.ndarray,
+        window_s: float,
+    ) -> np.ndarray:
+        """Evaluate one device group directly from its signals.
+
+        The fastest spelling: instead of resolving every device's
+        active realisation each tick (a Python lookup per device), the
+        cache stores each row's *validity interval* — the time bounds
+        of the bout it was built from — and revalidates the whole group
+        with two array comparisons.  Only devices whose window left
+        their cached bout touch Python: they re-resolve through
+        :meth:`repro.datasets.synthetic.ScheduledSignal.spanning_segment`
+        and rewrite their row.  Windows straddling a bout boundary, and
+        signals without segment support, are evaluated individually for
+        that tick, exactly as :func:`evaluate_realizations_windowed`
+        treats its fallback cases.
+
+        Parameters
+        ----------
+        signals:
+            The continuous signal of every device in the group.
+        rows:
+            Stable per-device row indices parallel to ``signals``.
+        times_s, window_s:
+            As in :func:`evaluate_realizations_windowed`.
+        """
+        check_non_negative(window_s, "window_s")
+        window = float(window_s)
+        times = np.asarray(times_s, dtype=float)
+        if times.ndim != 1:
+            raise ValueError(
+                f"times_s must be a 1-D array, got shape {times.shape}"
+            )
+        rows = np.asarray(rows)
+        if rows.shape[0] != len(signals):
+            raise ValueError(
+                f"rows must be parallel to signals, got {rows.shape[0]} rows "
+                f"for {len(signals)} signals"
+            )
+        output = np.empty((rows.shape[0], times.shape[0], NUM_AXES))
+        if not rows.size:
+            return output
+        if not times.size:
+            # Mirror the one-shot evaluator: an empty grid yields an
+            # empty result per device, touching no cached state.
+            for position, signal in enumerate(signals):
+                output[position] = signal.evaluate_windowed(times, window)
+            return output
+        if int(rows.max()) >= self._num_devices:
+            self._grow(int(rows.max()) + 1, max(self._slots, 1))
+        first_time = float(times[0])
+        last_time = float(times[-1])
+        valid = (self._starts[rows] <= first_time) & (
+            last_time < self._ends[rows]
+        )
+        for position in np.flatnonzero(~valid):
+            signal = signals[position]
+            spanning = getattr(signal, "spanning_segment", None)
+            segment = spanning(times) if spanning is not None else None
+            if segment is None:
+                output[position] = signal.evaluate_windowed(times, window)
+                continue
+            row = int(rows[position])
+            if self._refs[row] is not segment.realization:
+                self._update_row(row, segment.realization)
+            self._starts[row] = segment.start_s
+            duration = getattr(signal, "duration_s", None)
+            # The schedule's last bout is clamped (it covers any later
+            # time), so its row never expires.
+            self._ends[row] = (
+                np.inf
+                if duration is not None and segment.end_s >= duration
+                else segment.end_s
+            )
+            valid[position] = True
+        for position in np.flatnonzero(valid & ~self._fusable[rows]):
+            output[position] = self._refs[int(rows[position])].evaluate_windowed(
+                times, window
+            )
+        fused_positions = np.flatnonzero(valid & self._fusable[rows])
+        if fused_positions.size:
+            self._evaluate_fused(
+                output, fused_positions, rows[fused_positions], times, window
+            )
+        return output
+
+    def _evaluate_fused(
+        self,
+        output: np.ndarray,
+        positions: np.ndarray,
+        fused_rows: np.ndarray,
+        times: np.ndarray,
+        window: float,
+    ) -> None:
+        """Fill ``output[positions]`` from the padded component rows."""
+        shifted = times if window == 0.0 else times - window / 2.0
+        angular = self._angular[fused_rows]
+        phases = self._phases_padded[fused_rows]
+        effective = self._effective_for(window)[fused_rows]
+        # One persistent scratch block holds the (group, width, times)
+        # trig intermediate; every ufunc writes in place, so the whole
+        # evaluation allocates nothing proportional to the group size.
+        needed = fused_rows.shape[0] * NUM_AXES * self._slots * times.shape[0]
+        if self._scratch.size < needed:
+            self._scratch = np.empty(needed)
+        work = self._scratch[:needed].reshape(
+            fused_rows.shape[0], NUM_AXES * self._slots, times.shape[0]
+        )
+        np.multiply(angular[:, :, None], shifted[None, None, :], out=work)
+        np.add(work, phases[:, :, None], out=work)
+        np.sin(work, out=work)
+        np.multiply(effective[:, :, None], work, out=work)
+        # k < 8 slots per axis reduce strictly left to right; the
+        # trailing zero-amplitude slots add exact zeros, so the sums
+        # equal the unpadded round-by-round accumulation bit for bit.
+        sums = work.reshape(
+            fused_rows.shape[0], NUM_AXES, self._slots, times.shape[0]
+        ).sum(axis=2)
+        np.add(self._offsets_padded[fused_rows][:, :, None], sums, out=sums)
+        output[positions] = sums.transpose(0, 2, 1)
 
 
 def _profile(
@@ -696,6 +1130,10 @@ class ScheduledSignal:
         # device per simulated second, where a C-level bisect beats the
         # numpy searchsorted call overhead several-fold.
         self._boundary_list = [float(segment.end_s) for segment in segments]
+        # Last segment the spanning lookup resolved to.  Consecutive
+        # simulation ticks almost always stay inside one bout, so the
+        # hint turns the common case into two float comparisons.
+        self._span_hint = 0
 
     @property
     def segments(self) -> List[SignalSegment]:
@@ -742,17 +1180,42 @@ class ScheduledSignal:
         boundary, in which case the caller must fall back to the
         segment-splitting :meth:`evaluate_windowed` path.
         """
+        segment = self.spanning_segment(times_s)
+        return None if segment is None else segment.realization
+
+    def spanning_segment(
+        self, times_s: np.ndarray
+    ) -> Optional[SignalSegment]:
+        """The single bout covering every time stamp, if any.
+
+        The segment spelling of :meth:`realization_spanning` — callers
+        that cache per-bout state (the fleet engine's signal tables)
+        use the segment's time bounds to revalidate without a lookup.
+        Note the last segment is *clamped*: any window starting at or
+        after its start resolves to it, even past ``end_s``.
+        """
         times = np.asarray(times_s, dtype=float)
         if times.size == 0:
             return None
+        last = len(self._segments) - 1
+        first_time = float(times[0])
+        last_time = float(times[-1])
+        # Fast path: both end points still fall inside the segment the
+        # previous lookup resolved to (the clamped last segment accepts
+        # any time at or beyond its start).
+        hinted = self._segments[self._span_hint]
+        if first_time >= hinted.start_s and (
+            self._span_hint == last or last_time < hinted.end_s
+        ):
+            return hinted
         # bisect_right on a float list performs exactly the comparisons
         # of np.searchsorted(..., side="right"); it is the scalar
         # spelling of the same lookup, minus the array-call overhead.
-        last = len(self._segments) - 1
-        first = min(bisect_right(self._boundary_list, times[0]), last)
-        if first != min(bisect_right(self._boundary_list, times[-1]), last):
+        first = min(bisect_right(self._boundary_list, first_time), last)
+        if first != min(bisect_right(self._boundary_list, last_time), last):
             return None
-        return self._segments[first].realization
+        self._span_hint = first
+        return self._segments[first]
 
     def segment_at(self, time_s: float) -> SignalSegment:
         """Return the bout covering ``time_s`` (clamped to the last bout)."""

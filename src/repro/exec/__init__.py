@@ -17,6 +17,7 @@ from repro.exec.controller_bank import ConfigTable, ControllerBank
 from repro.exec.engine import (
     CONTROLLER_MODES,
     FEATURE_MODES,
+    NOISE_MODES,
     SENSING_MODES,
     TRACE_MODES,
     DeviceRuntime,
@@ -26,6 +27,7 @@ from repro.exec.engine import (
 __all__ = [
     "CONTROLLER_MODES",
     "FEATURE_MODES",
+    "NOISE_MODES",
     "SENSING_MODES",
     "TRACE_MODES",
     "ConfigTable",

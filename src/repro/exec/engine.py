@@ -14,10 +14,22 @@ Per simulated tick the engine performs, for every device:
    active configuration.  Devices sharing a configuration are read with
    one stacked pass (:func:`repro.sensors.imu.read_windows_stacked`),
    bit-identical to per-device acquisition because every device keeps
-   its own noise stream.
+   its own noise stream.  With ``noise="batched"`` the whole layer
+   vectorises: measurement noise comes from pooled per-device Philox
+   streams (:class:`repro.sensors.noise_bank.NoiseBank`), clean
+   signals from persistent per-device component tables
+   (:class:`repro.datasets.synthetic.StackedEvaluationCache`), and the
+   sensor output stage from stacked
+   :class:`repro.sensors.imu.SensorStatics` arrays — statistically
+   equivalent noise, bit-identical across engines and shard counts
+   within the mode.
 2. **Buffer** — push the acquisition into the device's classification
    buffer (flushing on configuration change) and feed the controller's
-   optional ``observe_window`` hook.
+   optional ``observe_window`` hook.  On the raw-stack path the
+   buffers are rows of one fleet-wide ring
+   (:class:`repro.sensors.buffer.RingBufferBank`): a configuration
+   group is buffered with one scatter and window readiness is one
+   array comparison.
 3. **Extract** — turn buffered windows into feature vectors.  The
    default ``features="incremental"`` path caches each second's partial
    sums and low-frequency DFT coefficients
@@ -64,18 +76,20 @@ from repro.core.features import (
     WindowGeometry,
 )
 from repro.core.pipeline import HarPipeline
-from repro.datasets.synthetic import ScheduledSignal
+from repro.datasets.synthetic import ScheduledSignal, StackedEvaluationCache
 from repro.exec.controller_bank import ControllerBank
 from repro.energy.accelerometer import AccelerometerPowerModel
-from repro.sensors.buffer import SampleBuffer
+from repro.sensors.buffer import RingBufferBank, SampleBuffer
 from repro.sensors.imu import (
     DEFAULT_INTERNAL_RATE_HZ,
     NoiseModel,
+    SensorStatics,
     SensorWindow,
     SimulatedAccelerometer,
     read_windows_stacked,
     read_windows_stacked_raw,
 )
+from repro.sensors.noise_bank import NoiseBank
 from repro.sim.trace import SimulationTrace, StepRecord, TraceSummary
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_positive
@@ -91,6 +105,9 @@ CONTROLLER_MODES: Tuple[str, ...] = ("bank", "per_object")
 
 #: Trace-collection modes the engine supports.
 TRACE_MODES: Tuple[str, ...] = ("full", "summary")
+
+#: Measurement-noise / acquisition-layer modes the engine supports.
+NOISE_MODES: Tuple[str, ...] = ("per_device", "batched")
 
 
 class DeviceRuntime:
@@ -303,6 +320,22 @@ class StepEngine:
         ``"per_object"`` calls every controller's ``update`` in a
         Python loop (the pre-bank behaviour).  Both produce
         bit-identical traces.
+    noise:
+        Acquisition-layer mode.  ``"per_device"`` (default) draws every
+        device's measurement noise from its own master stream exactly
+        as v1.3.0 did — the bit-compatible reference.  ``"batched"``
+        switches the whole sense path to the vectorized acquisition
+        layer: pooled counter-based noise streams
+        (:class:`repro.sensors.noise_bank.NoiseBank`, one Philox stream
+        per device), fleet-wide ring sample storage
+        (:class:`repro.sensors.buffer.RingBufferBank`) and cached
+        clean-signal component tables
+        (:class:`repro.datasets.synthetic.StackedEvaluationCache`).
+        Batched noise *values* differ from the per-device stream (the
+        draws come from a different generator family) but are
+        statistically equivalent, and runs are bit-identical across
+        engines, sensing/controller modes and shard counts within the
+        mode.
     """
 
     def __init__(
@@ -314,6 +347,7 @@ class StepEngine:
         features: str = "incremental",
         sensing: str = "stacked",
         controllers: str = "bank",
+        noise: str = "per_device",
     ) -> None:
         check_positive(step_s, "step_s")
         check_positive(window_duration_s, "window_duration_s")
@@ -334,6 +368,10 @@ class StepEngine:
             raise ValueError(
                 f"controllers must be one of {CONTROLLER_MODES}, got {controllers!r}"
             )
+        if noise not in NOISE_MODES:
+            raise ValueError(
+                f"noise must be one of {NOISE_MODES}, got {noise!r}"
+            )
         self._pipeline = pipeline
         self._internal_rate_hz = float(internal_rate_hz)
         self._step_s = float(step_s)
@@ -341,6 +379,7 @@ class StepEngine:
         self._features = features
         self._sensing = sensing
         self._controllers = controllers
+        self._noise = noise
         self._incremental = IncrementalFeatureExtractor(pipeline.extractor)
         self._geometries: Dict[SensorConfig, Optional[WindowGeometry]] = {}
 
@@ -381,6 +420,11 @@ class StepEngine:
     def controllers(self) -> str:
         """The active controller-advance mode."""
         return self._controllers
+
+    @property
+    def noise(self) -> str:
+        """The active acquisition-layer mode."""
+        return self._noise
 
     # ------------------------------------------------------------------
     # Runtime construction
@@ -485,6 +529,39 @@ class StepEngine:
         # history instead of per-device deques.
         raw_stacks = bank is not None and self._sensing == "stacked"
         partials_history: Dict[SensorConfig, Deque] = {}
+        # The batched acquisition layer: pooled per-device noise
+        # streams, cached clean-signal tables and — on the raw-stack
+        # path — fleet-wide ring sample storage with array-held chunk
+        # bookkeeping instead of per-device buffers.
+        noise_bank: Optional[NoiseBank] = None
+        statics: Optional[SensorStatics] = None
+        # One shared signal-table cache: its per-device rows and bout
+        # validity intervals are configuration-independent (only the
+        # sample times change), so a device keeps its cached tables
+        # across configuration switches.
+        signal_tables: Optional[StackedEvaluationCache] = None
+        ring: Optional[RingBufferBank] = None
+        chunks_in_config: Optional[np.ndarray] = None
+        sensor_array: Optional[np.ndarray] = None
+        signal_array: Optional[np.ndarray] = None
+        if raw_stacks:
+            # Ring storage is a pure layout change (bit-identical
+            # values), so every raw-stack run gets it regardless of the
+            # noise mode.
+            ring = RingBufferBank(num_devices, self._window_duration_s)
+            chunks_in_config = np.zeros(num_devices, dtype=np.int64)
+        if self._noise == "batched":
+            noise_bank = NoiseBank.from_rngs(
+                [runtime.rng for runtime in runtimes]
+            )
+            statics = SensorStatics([runtime.sensor for runtime in runtimes])
+            signal_tables = StackedEvaluationCache(num_devices)
+            sensor_array = np.array(
+                [runtime.sensor for runtime in runtimes], dtype=object
+            )
+            signal_array = np.array(
+                [runtime.signal for runtime in runtimes], dtype=object
+            )
         intensities = (
             np.full(num_devices, np.nan)
             if bank is not None and bank.has_intensity
@@ -525,24 +602,76 @@ class StepEngine:
             stacks: Dict[SensorConfig, Tuple[np.ndarray, np.ndarray]] = {}
             if raw_stacks:
                 for config, indices in groups.items():
-                    stacks[config] = read_windows_stacked_raw(
-                        [runtimes[i].sensor for i in indices],
-                        end_time_s=step_end,
-                        duration_s=step_s,
-                        config=config,
-                        rngs=[runtimes[i].rng for i in indices],
-                    )
-            else:
-                acquisitions = [None] * num_devices
-                for config, indices in groups.items():
-                    if self._sensing == "stacked":
-                        windows = read_windows_stacked(
+                    if noise_bank is not None:
+                        stacks[config] = read_windows_stacked_raw(
+                            sensor_array[indices],
+                            end_time_s=step_end,
+                            duration_s=step_s,
+                            config=config,
+                            noise_bank=noise_bank,
+                            bank_rows=indices,
+                            statics=statics,
+                            tables=signal_tables,
+                            signals=signal_array[indices],
+                        )
+                    else:
+                        stacks[config] = read_windows_stacked_raw(
                             [runtimes[i].sensor for i in indices],
                             end_time_s=step_end,
                             duration_s=step_s,
                             config=config,
                             rngs=[runtimes[i].rng for i in indices],
                         )
+            else:
+                acquisitions = [None] * num_devices
+                for config, indices in groups.items():
+                    if self._sensing == "stacked":
+                        if noise_bank is not None:
+                            group_rows = np.asarray(indices)
+                            quantised, sample_times = read_windows_stacked_raw(
+                                sensor_array[group_rows],
+                                end_time_s=step_end,
+                                duration_s=step_s,
+                                config=config,
+                                noise_bank=noise_bank,
+                                bank_rows=group_rows,
+                                statics=statics,
+                                tables=signal_tables,
+                                signals=signal_array[group_rows],
+                            )
+                            windows = [
+                                SensorWindow(
+                                    samples=quantised[row],
+                                    times_s=sample_times,
+                                    config=config,
+                                )
+                                for row in range(len(indices))
+                            ]
+                        else:
+                            windows = read_windows_stacked(
+                                [runtimes[i].sensor for i in indices],
+                                end_time_s=step_end,
+                                duration_s=step_s,
+                                config=config,
+                                rngs=[runtimes[i].rng for i in indices],
+                            )
+                    elif noise_bank is not None:
+                        group_rows = np.asarray(indices)
+                        stds = statics.noise_stds(config.averaging_window)
+                        group_noise = noise_bank.normal(
+                            group_rows,
+                            config.samples_in(step_s),
+                            stds[group_rows],
+                        )
+                        windows = [
+                            runtimes[i].sensor.read_window(
+                                end_time_s=step_end,
+                                duration_s=step_s,
+                                config=config,
+                                noise=group_noise[row],
+                            )
+                            for row, i in enumerate(indices)
+                        ]
                     else:
                         windows = [
                             runtimes[i].sensor.read_window(
@@ -556,26 +685,27 @@ class StepEngine:
                     for i, window in zip(indices, windows):
                         acquisitions[i] = window
 
-            # Phase 2: buffers, observe hooks, chunk bookkeeping.
-            if raw_stacks:
+            # Phase 2: buffers, observe hooks, chunk bookkeeping.  With
+            # the ring bank the whole phase is three array operations
+            # per configuration group (scatter, reset, increment); only
+            # loose devices with observe hooks still see Python.
+            if ring is not None:
                 for config, indices in groups.items():
                     samples, sample_times = stacks[config]
-                    for row, index in enumerate(indices):
-                        runtime = runtimes[index]
-                        runtime.buffer.push_raw(samples[row], sample_times, config)
-                        if runtime.observe is not None and not bank.is_banked[index]:
-                            runtime.observe(
-                                SensorWindow(
-                                    samples=samples[row],
-                                    times_s=sample_times,
-                                    config=config,
+                    changed = ring.push_group(indices, samples, sample_times, config)
+                    chunks_in_config[changed] = 0
+                    chunks_in_config[indices] += 1
+                    if bank.num_banked < num_devices:
+                        for row in np.flatnonzero(~bank.is_banked[indices]):
+                            index = indices[row]
+                            if runtimes[index].observe is not None:
+                                runtimes[index].observe(
+                                    SensorWindow(
+                                        samples=samples[row],
+                                        times_s=sample_times,
+                                        config=config,
+                                    )
                                 )
-                            )
-                        if config != runtime.previous_config:
-                            runtime.partials.clear()
-                            runtime.chunks_in_config = 0
-                            runtime.previous_config = config
-                        runtime.chunks_in_config += 1
             else:
                 for index, runtime in enumerate(runtimes):
                     runtime.buffer.push(acquisitions[index])
@@ -613,14 +743,16 @@ class StepEngine:
                 (num_devices, self._pipeline.extractor.num_features)
             )
             for config, indices in groups.items():
-                if raw_stacks:
-                    self._extract_group_banked(
+                if ring is not None:
+                    self._extract_group_ring(
                         runtimes,
                         features,
                         config,
                         indices,
                         stacks[config][0],
                         partials_history,
+                        ring,
+                        chunks_in_config,
                     )
                 else:
                     self._extract_group(
@@ -707,7 +839,7 @@ class StepEngine:
         """Fill the feature rows of one configuration group.
 
         Per-device spelling: partials are cached on each runtime's
-        deque.  The banked path uses :meth:`_extract_group_banked`.
+        deque.  The raw-stack path uses :meth:`_extract_group_ring`.
         """
         geometry = (
             self._geometry(config) if self._features == "incremental" else None
@@ -738,30 +870,33 @@ class StepEngine:
         if len(exact_indices):
             self._extract_exact(runtimes, features, config, exact_indices)
 
-    def _extract_group_banked(
+    def _extract_group_ring(
         self,
         runtimes: Sequence[DeviceRuntime],
         features: np.ndarray,
         config: SensorConfig,
-        indices: List[int],
+        indices: np.ndarray,
         chunk_stack: np.ndarray,
         history: Dict[SensorConfig, Deque],
+        ring: RingBufferBank,
+        chunks_in_config: np.ndarray,
     ) -> None:
-        """Fill the feature rows of one configuration group (banked path).
+        """Fill the feature rows of one configuration group (ring path).
 
         Instead of per-device partial deques, each tick's group
         reduction stays one :class:`StackedChunkPartials`, kept in a
-        per-configuration history of the last ``cached_chunks`` ticks.
-        A steady-state device's window is assembled by gathering its
-        row from each history slot — any device stable in a
-        configuration for the last ``cached_chunks`` ticks was, by
-        definition, present in that configuration's group at each of
-        them.  Features are bit-identical to the per-device-deque path.
+        per-configuration history of the last ``cached_chunks`` ticks;
+        a steady-state device's window gathers its row from each
+        history slot.  The per-device steady/warm-up decision is one array
+        comparison against the ring bank's sample counts and the
+        engine's chunk counters — feature values are bit-identical to
+        both other spellings.
         """
         geometry = (
             self._geometry(config) if self._features == "incremental" else None
         )
-        exact_indices = indices
+        exact_indices: "np.ndarray | List[int]" = indices
+        steady = None
         if geometry is not None:
             stacked = self._incremental.chunk_partials_arrays(chunk_stack, geometry)
             rows = np.empty(len(runtimes), dtype=np.intp)
@@ -772,21 +907,13 @@ class StepEngine:
                 history[config] = entries
             entries.append((stacked, rows))
             cached = geometry.cached_chunks
-            window_samples = geometry.window_samples
-            ready = len(entries) == cached
-            steady: List[int] = []
-            exact_indices = []
-            for i in indices:
-                runtime = runtimes[i]
-                if (
-                    ready
-                    and runtime.chunks_in_config >= cached
-                    and runtime.buffer.num_samples == window_samples
-                ):
-                    steady.append(i)
-                else:
-                    exact_indices.append(i)
-            if steady:
+            if len(entries) == cached:
+                steady_mask = (chunks_in_config[indices] >= cached) & (
+                    ring.counts[indices] == geometry.window_samples
+                )
+                steady = indices[steady_mask]
+                exact_indices = indices[~steady_mask]
+            if steady is not None and steady.size:
                 tailed = bool(geometry.tail_samples)
                 slots = [
                     slot_partials.slot_arrays(
@@ -798,21 +925,28 @@ class StepEngine:
                     slots, geometry
                 )
         if len(exact_indices):
-            self._extract_exact(runtimes, features, config, exact_indices)
+            self._extract_exact(runtimes, features, config, exact_indices, ring)
 
     def _extract_exact(
         self,
         runtimes: Sequence[DeviceRuntime],
         features: np.ndarray,
         config: SensorConfig,
-        exact_indices: List[int],
+        exact_indices: "List[int] | np.ndarray",
+        ring: Optional[RingBufferBank] = None,
     ) -> None:
         """Exact full-window extraction for warm-up windows and the
         ``features="exact"`` toggle; extract_batch stacks equal-shape
         windows and keeps the input order."""
-        features[exact_indices] = self._incremental.extractor.extract_batch(
-            [
+        if ring is not None:
+            windows = [
+                (ring.window(i)[0], config.sampling_hz) for i in exact_indices
+            ]
+        else:
+            windows = [
                 (runtimes[i].buffer.window().samples, config.sampling_hz)
                 for i in exact_indices
             ]
+        features[exact_indices] = self._incremental.extractor.extract_batch(
+            windows
         )

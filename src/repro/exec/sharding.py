@@ -85,9 +85,12 @@ class ShardedFleetSimulator:
     num_shards:
         Default shard count for :meth:`run`; ``None`` uses the machine's
         CPU count.
-    internal_rate_hz, step_s, window_duration_s, features, sensing, controllers:
+    internal_rate_hz, step_s, window_duration_s, features, sensing, controllers, noise:
         Forwarded to the per-shard :class:`FleetSimulator` (and through
-        it to the shared :class:`repro.exec.engine.StepEngine`).
+        it to the shared :class:`repro.exec.engine.StepEngine`).  The
+        ``noise="batched"`` acquisition layer derives every device's
+        stream from the device's own seed, so sharded results stay
+        invariant to the shard count in either mode.
     """
 
     def __init__(
@@ -100,6 +103,7 @@ class ShardedFleetSimulator:
         features: str = "incremental",
         sensing: str = "stacked",
         controllers: str = "bank",
+        noise: str = "per_device",
     ) -> None:
         if num_shards is not None:
             check_positive_int(num_shards, "num_shards")
@@ -112,6 +116,7 @@ class ShardedFleetSimulator:
             "features": features,
             "sensing": sensing,
             "controllers": controllers,
+            "noise": noise,
         }
         # Validate the engine settings eagerly (in the parent process)
         # instead of deep inside the first worker.

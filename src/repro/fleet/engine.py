@@ -137,6 +137,11 @@ class FleetSimulator:
         Controller-advance mode — ``"bank"`` (default, one vectorized
         array-of-states pass per tick) or ``"per_object"``; see
         :class:`repro.exec.engine.StepEngine`.
+    noise:
+        Acquisition-layer mode — ``"per_device"`` (default, bit-exact
+        v1.3.0 reference) or ``"batched"`` (pooled counter-based noise
+        streams, ring sample storage and cached signal tables); see
+        :class:`repro.exec.engine.StepEngine`.
     """
 
     def __init__(
@@ -148,6 +153,7 @@ class FleetSimulator:
         features: str = "incremental",
         sensing: str = "stacked",
         controllers: str = "bank",
+        noise: str = "per_device",
     ) -> None:
         self._engine = StepEngine(
             pipeline=pipeline,
@@ -157,6 +163,7 @@ class FleetSimulator:
             features=features,
             sensing=sensing,
             controllers=controllers,
+            noise=noise,
         )
 
     @property
@@ -237,7 +244,9 @@ class FleetSimulator:
 
         This is the O(N × per-device-loop) reference the batched and
         sharded engines are validated against and benchmarked over.  It
-        uses the same feature mode as the batched path but reads every
+        uses the same feature and noise modes as the batched path (so a
+        ``noise="batched"`` simulator is compared against a
+        batched-noise reference) but reads every
         sensor individually and advances every controller per object,
         so it exercises the scalar acquisition and adaptation paths.
         Devices whose schedules are longer than ``duration_s`` are
@@ -263,6 +272,7 @@ class FleetSimulator:
                 features=self._engine.features,
                 sensing="per_device",
                 controllers="per_object",
+                acquisition=self._engine.noise,
             )
             trace = simulator.run(list(profile.schedule), seed=profile.seed)
             trace.records = trace.records[:num_steps]

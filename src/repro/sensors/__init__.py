@@ -8,14 +8,22 @@ paper's testbed.  It contains:
   rate and averaging window, applying the noise and quantisation
   behaviour the real part exhibits;
 * :mod:`repro.sensors.buffer` — the two-second, one-second-overlap
-  sample buffer that feeds the HAR pipeline (Fig. 1).
+  sample buffer that feeds the HAR pipeline (Fig. 1), ring-backed per
+  device (:class:`~repro.sensors.buffer.SampleBuffer`) or fleet-wide
+  (:class:`~repro.sensors.buffer.RingBufferBank`);
+* :mod:`repro.sensors.noise_bank` — pooled counter-based measurement
+  noise streams (one Philox stream per device) for the batched
+  acquisition mode.
 """
 
-from repro.sensors.buffer import SampleBuffer
+from repro.sensors.buffer import RingBufferBank, SampleBuffer
 from repro.sensors.imu import NoiseModel, SensorWindow, SimulatedAccelerometer
+from repro.sensors.noise_bank import NoiseBank
 
 __all__ = [
+    "NoiseBank",
     "NoiseModel",
+    "RingBufferBank",
     "SensorWindow",
     "SimulatedAccelerometer",
     "SampleBuffer",

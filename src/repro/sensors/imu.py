@@ -25,7 +25,7 @@ The *signal* being measured is any object exposing
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Protocol, Sequence
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -75,6 +75,19 @@ def _digitise(noisy, bias, full_scale, lsb):
     biased = noisy + bias
     clipped = np.clip(biased, -full_scale, full_scale)
     return np.round(clipped / lsb) * lsb
+
+
+def _digitise_inplace(noisy, bias, full_scale, lsb):
+    """:func:`_digitise` overwriting its input — same value sequence
+    (add bias, clip, divide, round, multiply), zero temporaries.  The
+    batched acquisition path owns its noisy stack outright, so the
+    output stage may recycle it."""
+    np.add(noisy, bias, out=noisy)
+    np.clip(noisy, -full_scale, full_scale, out=noisy)
+    np.divide(noisy, lsb, out=noisy)
+    np.round(noisy, out=noisy)
+    np.multiply(noisy, lsb, out=noisy)
+    return noisy
 
 
 class ContinuousSignal(Protocol):
@@ -268,6 +281,7 @@ class SimulatedAccelerometer:
         duration_s: float,
         config: SensorConfig,
         rng: SeedLike = None,
+        noise: Optional[np.ndarray] = None,
     ) -> SensorWindow:
         """Acquire ``duration_s`` seconds of samples ending at ``end_time_s``.
 
@@ -282,6 +296,14 @@ class SimulatedAccelerometer:
         rng:
             Optional explicit generator for the noise draw (defaults to
             the sensor's own stream).
+        noise:
+            Optional precomputed ``(samples, 3)`` measurement-noise
+            block (already scaled to the output-sample standard
+            deviation).  The execution engine's ``noise="batched"``
+            mode passes the device's
+            :class:`repro.sensors.noise_bank.NoiseBank` draw here so a
+            scalar acquisition consumes exactly the same stream values
+            as a stacked one.
 
         Returns
         -------
@@ -289,16 +311,21 @@ class SimulatedAccelerometer:
             The acquired batch, ``round(duration_s * sampling_hz)``
             samples long.
         """
-        generator = self._rng if rng is None else as_rng(rng)
         times = _sample_times(end_time_s, duration_s, config)
 
         window_span = self.averaging_window_duration(config)
         clean = self._signal.evaluate_windowed(times, window_span)
 
-        noise_std = self._noise.output_noise_std(config.averaging_window)
-        noisy = clean + generator.normal(0.0, noise_std, size=clean.shape)
+        if noise is None:
+            generator = self._rng if rng is None else as_rng(rng)
+            noise_std = self._noise.output_noise_std(config.averaging_window)
+            noise = generator.normal(0.0, noise_std, size=clean.shape)
+        elif noise.shape != clean.shape:
+            raise ValueError(
+                f"noise must have shape {clean.shape}, got {noise.shape}"
+            )
         quantised = _digitise(
-            noisy,
+            clean + noise,
             self._bias[None, :],
             self._noise.full_scale_ms2,
             self._noise.lsb_ms2,
@@ -310,6 +337,59 @@ class SimulatedAccelerometer:
     ) -> SensorWindow:
         """Convenience wrapper acquiring exactly one second of samples."""
         return self.read_window(end_time_s, 1.0, config, rng=rng)
+
+
+class SensorStatics:
+    """Per-device output-stage constants of a fleet, as stacked arrays.
+
+    A sensor's bias, full-scale range, quantisation step and base noise
+    level never change during a run, yet the stacked acquisition path
+    re-read them through one Python attribute walk per device per tick.
+    Built once per run, this cache turns the output stage of a whole
+    configuration group into pure array slicing; per-window noise
+    standard deviations (``base / sqrt(averaging_window)``) are interned
+    per averaging window on first use.
+
+    Parameters
+    ----------
+    sensors:
+        Every device's simulated accelerometer, in fleet order.
+    """
+
+    def __init__(self, sensors: Sequence["SimulatedAccelerometer"]) -> None:
+        self.biases = np.array([sensor._bias for sensor in sensors])
+        self.full_scales = np.array(
+            [sensor._noise.full_scale_ms2 for sensor in sensors]
+        )
+        self.lsbs = np.array([sensor._noise.lsb_ms2 for sensor in sensors])
+        self._base_stds = np.array(
+            [sensor._noise.base_noise_std_ms2 for sensor in sensors]
+        )
+        self._std_cache: Dict[int, np.ndarray] = {}
+        rates = np.array([sensor._internal_rate_hz for sensor in sensors])
+        #: The fleet's shared internal conversion rate, or ``None`` for
+        #: heterogeneous hardware.  A uniform rate means every sensor
+        #: shares one averaging-window span per configuration, so the
+        #: stacked reader can skip the per-device span grouping.
+        self.uniform_internal_rate_hz: Optional[float] = (
+            float(rates[0]) if rates.size and (rates == rates[0]).all() else None
+        )
+
+    def noise_stds(self, averaging_window: int) -> np.ndarray:
+        """Output-sample noise standard deviation per device.
+
+        Elementwise identical to querying every device's
+        :meth:`NoiseModel.output_noise_std`.
+        """
+        stds = self._std_cache.get(averaging_window)
+        if stds is None:
+            if averaging_window < 1:
+                raise ValueError(
+                    f"averaging_window must be at least 1, got {averaging_window}"
+                )
+            stds = self._base_stds / float(np.sqrt(averaging_window))
+            self._std_cache[averaging_window] = stds
+        return stds
 
 
 def read_windows_stacked(
@@ -356,7 +436,13 @@ def read_windows_stacked_raw(
     end_time_s: float,
     duration_s: float,
     config: SensorConfig,
-    rngs: Sequence[np.random.Generator],
+    rngs: Optional[Sequence[np.random.Generator]] = None,
+    *,
+    noise_bank=None,
+    bank_rows: Optional[np.ndarray] = None,
+    statics: Optional[SensorStatics] = None,
+    tables=None,
+    signals: Optional[Sequence] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """The raw spelling of :func:`read_windows_stacked`.
 
@@ -367,54 +453,146 @@ def read_windows_stacked_raw(
     intensity switching slice the stack), which removes one validated
     container object per device per tick from the fleet hot path.  The
     sample values are exactly those of :func:`read_windows_stacked`.
+
+    Two acquisition spellings share this body:
+
+    * ``rngs`` — one private generator per sensor, drawn in a Python
+      loop exactly as :meth:`SimulatedAccelerometer.read_window` would
+      (the ``noise="per_device"`` reference mode);
+    * ``noise_bank`` + ``bank_rows`` — one pooled
+      :class:`repro.sensors.noise_bank.NoiseBank` draw for the whole
+      group (the ``noise="batched"`` mode), optionally with a
+      :class:`SensorStatics` cache replacing the per-device output-stage
+      walk and a
+      :class:`repro.datasets.synthetic.StackedEvaluationCache` reusing
+      the clean-signal component tables across ticks (``signals``
+      optionally hands the cache the group's signal objects directly,
+      sparing one attribute walk per device).
     """
-    if len(sensors) != len(rngs):
-        raise ValueError(
-            f"sensors and rngs must be parallel, got {len(sensors)} sensors "
-            f"and {len(rngs)} generators"
-        )
     from repro.datasets.synthetic import evaluate_realizations_windowed
 
     num_devices = len(sensors)
+    if noise_bank is None:
+        if rngs is None or num_devices != len(rngs):
+            raise ValueError(
+                f"sensors and rngs must be parallel, got {num_devices} sensors "
+                f"and {0 if rngs is None else len(rngs)} generators"
+            )
+    elif bank_rows is None or num_devices != len(bank_rows):
+        raise ValueError(
+            f"sensors and bank_rows must be parallel, got {num_devices} "
+            f"sensors and {0 if bank_rows is None else len(bank_rows)} rows"
+        )
     times = _sample_times(end_time_s, duration_s, config)
     num_samples = times.shape[0]
 
-    clean = np.empty((num_devices, num_samples, 3))
-    # Group devices by averaging-window span (identical for sensors that
-    # share an internal rate — the engine's normal case) and, within each
-    # span, stack the devices whose window falls inside a single bout.
-    spans: dict = {}
-    for index, sensor in enumerate(sensors):
-        spans.setdefault(sensor.averaging_window_duration(config), []).append(index)
-    for span, indices in spans.items():
-        stacked_indices: List[int] = []
-        realizations = []
-        for index in indices:
-            signal = sensors[index]._signal
-            spanning = getattr(signal, "realization_spanning", None)
-            realization = spanning(times) if spanning is not None else None
-            if realization is None:
-                clean[index] = signal.evaluate_windowed(times, span)
-            else:
-                stacked_indices.append(index)
-                realizations.append(realization)
-        if stacked_indices:
-            clean[stacked_indices] = evaluate_realizations_windowed(
-                realizations, times, span
-            )
-
-    noise = np.empty_like(clean)
-    biases = np.empty((num_devices, 3))
-    full_scales = np.empty((num_devices, 1, 1))
-    lsbs = np.empty((num_devices, 1, 1))
-    for index, sensor in enumerate(sensors):
-        model = sensor._noise
-        noise[index] = rngs[index].normal(
-            0.0, model.output_noise_std(config.averaging_window), size=(num_samples, 3)
+    uniform_span = (
+        statics is not None
+        and statics.uniform_internal_rate_hz is not None
+        and num_devices > 0
+    )
+    if uniform_span and tables is not None and bank_rows is not None:
+        # Fully cached clean-signal path: every device shares one
+        # averaging-window span, and the signal-table cache revalidates
+        # the whole group against its stored bout intervals with two
+        # array comparisons — no per-device lookups at all.
+        span = sensors[0].averaging_window_duration(config)
+        clean = tables.evaluate_signals(
+            [sensor._signal for sensor in sensors] if signals is None else signals,
+            np.asarray(bank_rows),
+            times,
+            span,
         )
-        biases[index] = sensor._bias
-        full_scales[index] = model.full_scale_ms2
-        lsbs[index] = model.lsb_ms2
+    else:
+        clean = np.empty((num_devices, num_samples, 3))
+        # Group devices by averaging-window span (identical for sensors
+        # that share an internal rate — the engine's normal case) and,
+        # within each span, stack the devices whose window falls inside
+        # a single bout.
+        spans: dict
+        if uniform_span:
+            spans = {
+                sensors[0].averaging_window_duration(config): list(
+                    range(num_devices)
+                )
+            }
+        else:
+            spans = {}
+            for index, sensor in enumerate(sensors):
+                spans.setdefault(
+                    sensor.averaging_window_duration(config), []
+                ).append(index)
+        for span, indices in spans.items():
+            stacked_indices: List[int] = []
+            realizations = []
+            for index in indices:
+                signal = sensors[index]._signal
+                spanning = getattr(signal, "realization_spanning", None)
+                realization = spanning(times) if spanning is not None else None
+                if realization is None:
+                    clean[index] = signal.evaluate_windowed(times, span)
+                else:
+                    stacked_indices.append(index)
+                    realizations.append(realization)
+            if stacked_indices:
+                if tables is not None:
+                    clean[stacked_indices] = tables.evaluate(
+                        realizations,
+                        times,
+                        span,
+                        rows=(
+                            np.asarray(bank_rows)[stacked_indices]
+                            if bank_rows is not None
+                            else None
+                        ),
+                    )
+                else:
+                    clean[stacked_indices] = evaluate_realizations_windowed(
+                        realizations, times, span
+                    )
 
-    quantised = _digitise(clean + noise, biases[:, None, :], full_scales, lsbs)
+    if noise_bank is not None:
+        rows = np.asarray(bank_rows)
+        if statics is not None:
+            stds = statics.noise_stds(config.averaging_window)[rows]
+            biases = statics.biases[rows]
+            full_scales = statics.full_scales[rows][:, None, None]
+            lsbs = statics.lsbs[rows][:, None, None]
+        else:
+            stds = np.array(
+                [
+                    sensor._noise.output_noise_std(config.averaging_window)
+                    for sensor in sensors
+                ]
+            )
+            biases = np.array([sensor._bias for sensor in sensors])
+            full_scales = np.array(
+                [sensor._noise.full_scale_ms2 for sensor in sensors]
+            )[:, None, None]
+            lsbs = np.array(
+                [sensor._noise.lsb_ms2 for sensor in sensors]
+            )[:, None, None]
+        np.add(clean, noise_bank.normal(rows, num_samples, stds), out=clean)
+        quantised = _digitise_inplace(
+            clean, biases[:, None, :], full_scales, lsbs
+        )
+        return quantised, times
+    else:
+        noise = np.empty_like(clean)
+        biases = np.empty((num_devices, 3))
+        full_scales = np.empty((num_devices, 1, 1))
+        lsbs = np.empty((num_devices, 1, 1))
+        for index, sensor in enumerate(sensors):
+            model = sensor._noise
+            noise[index] = rngs[index].normal(
+                0.0,
+                model.output_noise_std(config.averaging_window),
+                size=(num_samples, 3),
+            )
+            biases[index] = sensor._bias
+            full_scales[index] = model.full_scale_ms2
+            lsbs[index] = model.lsb_ms2
+        noisy = clean + noise
+
+    quantised = _digitise(noisy, biases[:, None, :], full_scales, lsbs)
     return quantised, times

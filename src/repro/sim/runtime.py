@@ -76,6 +76,13 @@ class ClosedLoopSimulator:
         vectorized array-of-states) or ``"per_object"``.  Both are
         bit-identical; custom controller types automatically run per
         object either way.
+    acquisition:
+        Acquisition-layer mode of the engine — ``"per_device"``
+        (default, bit-exact v1.3.0 measurement-noise streams) or
+        ``"batched"`` (pooled counter-based streams; statistically
+        equivalent noise, bit-identical across engines within the
+        mode).  Named ``acquisition`` here because this facade already
+        uses ``noise`` for the sensor's :class:`NoiseModel`.
     """
 
     def __init__(
@@ -90,6 +97,7 @@ class ClosedLoopSimulator:
         features: str = "incremental",
         sensing: str = "stacked",
         controllers: str = "bank",
+        acquisition: str = "per_device",
     ) -> None:
         self._engine = StepEngine(
             pipeline=pipeline,
@@ -99,6 +107,7 @@ class ClosedLoopSimulator:
             features=features,
             sensing=sensing,
             controllers=controllers,
+            noise=acquisition,
         )
         self._controller = controller
         self._power_model = (

@@ -12,7 +12,7 @@ from repro.utils.constants import (
     SECONDS_PER_MINUTE,
     SECONDS_PER_HOUR,
 )
-from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.rng import as_rng, derive_seed_sequences, spawn_rngs
 from repro.utils.validation import (
     check_fraction,
     check_in_choices,
@@ -29,6 +29,7 @@ __all__ = [
     "SECONDS_PER_MINUTE",
     "SECONDS_PER_HOUR",
     "as_rng",
+    "derive_seed_sequences",
     "spawn_rngs",
     "check_fraction",
     "check_in_choices",

@@ -9,6 +9,7 @@ the stack.
 
 from __future__ import annotations
 
+from copy import deepcopy
 from typing import Iterable, List, Optional, Union
 
 import numpy as np
@@ -35,12 +36,55 @@ def as_rng(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def derive_seed_sequences(
+    seed: SeedLike, count: int
+) -> List[np.random.SeedSequence]:
+    """Spawn ``count`` child :class:`numpy.random.SeedSequence` objects.
+
+    The children are derived from the parent generator's own seed
+    sequence, so two different children never share a stream even when
+    the parent seed is reused elsewhere.
+
+    Not every generator carries a seed sequence: bit generators built
+    from an explicit key or raw state (``np.random.Philox(key=...)``,
+    restored pickles, third-party bit generators) expose
+    ``seed_seq=None`` or no ``seed_seq`` at all.  Those parents are
+    reseeded *deterministically*: entropy is drawn from a **copy** of
+    the generator, so the children are a pure function of the parent's
+    current state — never of process-level entropy — and the parent's
+    own output stream is not advanced (the guarantee
+    :meth:`repro.sensors.noise_bank.NoiseBank.from_rngs` documents).
+    The flip side of leaving the parent untouched: repeated calls on a
+    seed-sequence-less parent return *identical* children unless the
+    parent is drawn from in between, whereas seed-sequence parents
+    advance their spawn counter and always yield fresh children.
+
+    Parameters
+    ----------
+    seed:
+        Seed (or generator) for the parent stream.
+    count:
+        Number of child sequences to create.  Must be non-negative.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = as_rng(seed)
+    seed_seq = getattr(parent.bit_generator, "seed_seq", None)
+    if not isinstance(seed_seq, np.random.SeedSequence):
+        entropy = deepcopy(parent).integers(0, 2**32, size=8, dtype=np.uint32)
+        seed_seq = np.random.SeedSequence(entropy=[int(word) for word in entropy])
+    return seed_seq.spawn(count)
+
+
 def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
     """Create ``count`` statistically independent child generators.
 
     The children are derived through :class:`numpy.random.SeedSequence`
-    spawning, so two different children never share a stream even when
-    the parent seed is reused elsewhere.
+    spawning (see :func:`derive_seed_sequences`), so two different
+    children never share a stream even when the parent seed is reused
+    elsewhere.  Generators whose bit generator carries no seed sequence
+    (for example ``np.random.Philox(key=...)``) are reseeded
+    deterministically from their own output stream instead of raising.
 
     Parameters
     ----------
@@ -53,11 +97,10 @@ def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
     -------
     list of numpy.random.Generator
     """
-    if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
-    parent = as_rng(seed)
-    children = parent.bit_generator.seed_seq.spawn(count)  # type: ignore[union-attr]
-    return [np.random.default_rng(child) for child in children]
+    return [
+        np.random.default_rng(child)
+        for child in derive_seed_sequences(seed, count)
+    ]
 
 
 def stable_seed_from(*parts: Union[int, str]) -> int:

@@ -219,3 +219,40 @@ class TestModuleEntryPoint:
         )
         assert completed.returncode == 0
         assert "table1" in completed.stdout
+
+
+class TestFleetNoiseMode:
+    def test_noise_flag_parsed(self):
+        args = build_parser().parse_args(["fleet", "--noise", "batched"])
+        assert args.noise == "batched"
+        assert build_parser().parse_args(["fleet"]).noise == "per_device"
+
+    def test_batched_noise_engines_agree(self, tmp_path):
+        """The batched acquisition layer must give identical telemetry
+        from the lock-step and sharded engines (same-mode bit-identity),
+        through the CLI plumbing."""
+        outputs = {}
+        for engine, extra in (
+            ("batched", []),
+            ("sharded", ["--shards", "2"]),
+        ):
+            path = tmp_path / f"{engine}.json"
+            out = io.StringIO()
+            code = main(
+                [
+                    "fleet",
+                    "--devices", "4",
+                    "--duration", "10",
+                    "--windows", "6",
+                    "--seed", "5",
+                    "--engine", engine,
+                    "--noise", "batched",
+                    "--out", str(path),
+                ]
+                + extra,
+                out=out,
+            )
+            assert code == 0
+            assert "noise              : batched" in out.getvalue()
+            outputs[engine] = json.loads(path.read_text())
+        assert outputs["batched"]["devices"] == outputs["sharded"]["devices"]

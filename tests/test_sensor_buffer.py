@@ -114,3 +114,211 @@ class TestSampleBufferConfigChange:
         buffer.push(_window(LOW_RATE_CONFIG, 2.0))
         assert buffer.is_full
         assert buffer.num_samples == 2 * LOW_RATE_CONFIG.samples_in(1.0)
+
+
+def _reference_window(chunks):
+    """Last-window reference: plain concatenation plus tail trimming."""
+    samples = np.concatenate([c for c, _ in chunks], axis=0)
+    times = np.concatenate([t for _, t in chunks], axis=0)
+    return samples, times
+
+
+class TestRingStorage:
+    """Edge cases of the preallocated ring behind :class:`SampleBuffer`:
+    wraparound, reads spanning the wrap seam, ``push``/``push_raw``
+    interleaving and counter-based ``num_samples``."""
+
+    def test_wraparound_many_times(self):
+        """Pushing far past capacity keeps exactly the last window."""
+        buffer = SampleBuffer(window_duration_s=2.0)
+        rng = np.random.default_rng(0)
+        kept = []
+        for second in range(9):
+            count = LOW_RATE_CONFIG.samples_in(1.0)
+            period = 1.0 / LOW_RATE_CONFIG.sampling_hz
+            times = second + period * np.arange(1, count + 1)
+            samples = rng.normal(size=(count, 3))
+            kept.append((samples, times))
+            buffer.push_raw(samples, times, LOW_RATE_CONFIG)
+        assert buffer.num_samples == LOW_RATE_CONFIG.samples_in(2.0)
+        expected_samples, expected_times = _reference_window(kept[-2:])
+        window = buffer.window()
+        np.testing.assert_array_equal(window.samples, expected_samples)
+        np.testing.assert_array_equal(window.times_s, expected_times)
+
+    def test_read_spanning_wrap_seam(self):
+        """A window whose oldest samples sit at the end of the ring and
+        newest at the start must still come out in stream order."""
+        config = SensorConfig(10.0, 16)
+        buffer = SampleBuffer(window_duration_s=2.0)  # capacity 20
+        rng = np.random.default_rng(1)
+        # 13 + 13 samples: second push wraps (26 > 20); then a 7-sample
+        # push moves the seam mid-window.
+        history = []
+        for start, count in ((0.0, 13), (1.3, 13), (2.6, 7)):
+            times = start + 0.1 * np.arange(1, count + 1)
+            samples = rng.normal(size=(count, 3))
+            history.append((samples, times))
+            buffer.push_raw(samples, times, config)
+        assert buffer.num_samples == 20
+        all_samples, all_times = _reference_window(history)
+        window = buffer.window()
+        np.testing.assert_array_equal(window.samples, all_samples[-20:])
+        np.testing.assert_array_equal(window.times_s, all_times[-20:])
+
+    def test_push_and_push_raw_interleave(self):
+        """Both spellings feed the same ring; mixing them is exactly a
+        sequence of raw pushes."""
+        mixed = SampleBuffer(window_duration_s=2.0)
+        raw_only = SampleBuffer(window_duration_s=2.0)
+        rng = np.random.default_rng(2)
+        for second in range(5):
+            count = LOW_RATE_CONFIG.samples_in(1.0)
+            times = second + (1.0 / 25.0) * np.arange(1, count + 1)
+            samples = rng.normal(size=(count, 3))
+            if second % 2:
+                mixed.push(
+                    SensorWindow(
+                        samples=samples, times_s=times, config=LOW_RATE_CONFIG
+                    )
+                )
+            else:
+                mixed.push_raw(samples, times, LOW_RATE_CONFIG)
+            raw_only.push_raw(samples, times, LOW_RATE_CONFIG)
+        assert mixed.num_samples == raw_only.num_samples
+        assert mixed.chunk_sizes() == raw_only.chunk_sizes()
+        np.testing.assert_array_equal(
+            mixed.window().samples, raw_only.window().samples
+        )
+
+    def test_num_samples_constant_after_wrap(self):
+        """The count is a maintained counter: after the ring wraps it
+        stays pinned at capacity for any push pattern."""
+        buffer = SampleBuffer(window_duration_s=2.0)
+        rng = np.random.default_rng(3)
+        capacity = LOW_RATE_CONFIG.samples_in(2.0)
+        cursor = 0.0
+        pushed = 0
+        for count in (25, 25, 7, 25, 1, 13, 25, 3):
+            times = cursor + (1.0 / 25.0) * np.arange(1, count + 1)
+            buffer.push_raw(
+                rng.normal(size=(count, 3)), times, LOW_RATE_CONFIG
+            )
+            cursor = float(times[-1])
+            pushed += count
+            assert buffer.num_samples == min(pushed, capacity)
+        assert buffer.num_samples == capacity
+        assert buffer.capacity == capacity
+
+    def test_single_push_larger_than_capacity(self):
+        buffer = SampleBuffer(window_duration_s=1.0)  # capacity 25
+        rng = np.random.default_rng(4)
+        samples = rng.normal(size=(60, 3))
+        times = 0.04 * np.arange(1, 61)
+        buffer.push_raw(samples, times, LOW_RATE_CONFIG)
+        assert buffer.num_samples == 25
+        assert buffer.chunk_sizes() == (25,)
+        np.testing.assert_array_equal(buffer.window().samples, samples[-25:])
+
+    def test_property_sweep_matches_concatenation(self):
+        """Random push sizes across many seeds: the ring always equals
+        a plain concatenate-then-trim reference."""
+        for seed in range(12):
+            rng = np.random.default_rng(seed)
+            config = SensorConfig(float(rng.integers(10, 60)), 16)
+            window_s = float(rng.choice([1.0, 2.0, 3.0]))
+            buffer = SampleBuffer(window_duration_s=window_s)
+            capacity = max(1, int(round(window_s * config.sampling_hz)))
+            history = []
+            cursor = 0.0
+            for _ in range(int(rng.integers(3, 12))):
+                count = int(rng.integers(1, 2 * capacity))
+                period = 1.0 / config.sampling_hz
+                times = cursor + period * np.arange(1, count + 1)
+                samples = rng.normal(size=(count, 3))
+                history.append((samples, times))
+                buffer.push_raw(samples, times, config)
+                cursor = float(times[-1])
+                all_samples, all_times = _reference_window(history)
+                assert buffer.num_samples == min(
+                    all_samples.shape[0], capacity
+                )
+                window = buffer.window()
+                np.testing.assert_array_equal(
+                    window.samples, all_samples[-capacity:]
+                )
+                np.testing.assert_array_equal(
+                    window.times_s, all_times[-capacity:]
+                )
+
+
+class TestRingBufferBank:
+    """The fleet-wide ring bank mirrors per-device buffers exactly."""
+
+    def _push_both(self, bank, buffers, rows, samples, times, config):
+        from repro.sensors.buffer import RingBufferBank  # noqa: F401
+
+        changed = bank.push_group(np.asarray(rows), samples, times, config)
+        for row_position, device in enumerate(rows):
+            buffers[device].push_raw(samples[row_position], times, config)
+        return changed
+
+    def test_matches_per_device_buffers(self):
+        from repro.sensors.buffer import RingBufferBank
+
+        rng = np.random.default_rng(7)
+        num_devices = 6
+        bank = RingBufferBank(num_devices, window_duration_s=2.0)
+        buffers = [SampleBuffer(window_duration_s=2.0) for _ in range(num_devices)]
+        configs = [LOW_RATE_CONFIG, HIGH_POWER_CONFIG, SensorConfig(12.5, 16)]
+        cursor = 0.0
+        for tick in range(10):
+            # Random partition of the fleet into configuration groups.
+            assignment = rng.integers(0, len(configs), size=num_devices)
+            for config_index, config in enumerate(configs):
+                rows = np.flatnonzero(assignment == config_index)
+                if not rows.size:
+                    continue
+                count = config.samples_in(1.0)
+                period = 1.0 / config.sampling_hz
+                times = cursor + period * np.arange(1, count + 1)
+                samples = rng.normal(size=(rows.size, count, 3))
+                self._push_both(bank, buffers, rows, samples, times, config)
+            cursor += 1.0
+            for device in range(num_devices):
+                assert bank.counts[device] == buffers[device].num_samples
+                if buffers[device].num_samples:
+                    bank_samples, bank_times = bank.window(device)
+                    reference = buffers[device].window()
+                    np.testing.assert_array_equal(
+                        bank_samples, reference.samples
+                    )
+                    np.testing.assert_array_equal(
+                        bank_times, reference.times_s
+                    )
+
+    def test_flush_reported_on_config_change(self):
+        from repro.sensors.buffer import RingBufferBank
+
+        bank = RingBufferBank(3, window_duration_s=2.0)
+        count = LOW_RATE_CONFIG.samples_in(1.0)
+        times = (1.0 / 25.0) * np.arange(1, count + 1)
+        samples = np.zeros((3, count, 3))
+        first = bank.push_group(np.arange(3), samples, times, LOW_RATE_CONFIG)
+        np.testing.assert_array_equal(first, np.arange(3))
+        high_count = HIGH_POWER_CONFIG.samples_in(1.0)
+        high_times = 1.0 + (1.0 / 100.0) * np.arange(1, high_count + 1)
+        changed = bank.push_group(
+            np.array([1]), np.zeros((1, high_count, 3)), high_times,
+            HIGH_POWER_CONFIG,
+        )
+        np.testing.assert_array_equal(changed, np.array([1]))
+        assert bank.counts[1] == high_count
+        assert bank.counts[0] == count
+
+    def test_window_on_empty_ring_raises(self):
+        from repro.sensors.buffer import RingBufferBank
+
+        bank = RingBufferBank(2, window_duration_s=2.0)
+        with pytest.raises(RuntimeError):
+            bank.window(0)

@@ -5,7 +5,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.utils.rng import as_rng, spawn_rngs, stable_seed_from
+from repro.utils.rng import (
+    as_rng,
+    derive_seed_sequences,
+    spawn_rngs,
+    stable_seed_from,
+)
 
 
 class TestAsRng:
@@ -48,6 +53,67 @@ class TestSpawnRngs:
         first = [g.integers(0, 1000) for g in spawn_rngs(3, 3)]
         second = [g.integers(0, 1000) for g in spawn_rngs(3, 3)]
         assert first == second
+
+    def test_generator_without_seed_sequence(self):
+        """Regression: a bit generator built from an explicit key has
+        ``seed_seq=None``; spawning used to die with a bare
+        ``AttributeError`` instead of reseeding."""
+        parent = np.random.Generator(np.random.Philox(key=123))
+        children = spawn_rngs(parent, 3)
+        assert len(children) == 3
+        a = children[0].integers(0, 1_000_000, size=20)
+        b = children[1].integers(0, 1_000_000, size=20)
+        assert not np.array_equal(a, b)
+
+    def test_seedless_reseed_is_deterministic(self):
+        """The fallback derives entropy from the parent's own stream,
+        so identically-constructed parents spawn identical children."""
+        first = [
+            g.integers(0, 1000)
+            for g in spawn_rngs(np.random.Generator(np.random.Philox(key=9)), 4)
+        ]
+        second = [
+            g.integers(0, 1000)
+            for g in spawn_rngs(np.random.Generator(np.random.Philox(key=9)), 4)
+        ]
+        assert first == second
+
+
+class TestDeriveSeedSequences:
+    def test_returns_seed_sequences(self):
+        children = derive_seed_sequences(11, 3)
+        assert len(children) == 3
+        assert all(
+            isinstance(child, np.random.SeedSequence) for child in children
+        )
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            derive_seed_sequences(0, -1)
+
+    def test_spawning_does_not_consume_parent_draws(self):
+        """Seed-sequence spawning must leave the parent's output stream
+        untouched — the batched-noise mode relies on this to keep
+        signal and bias draws identical across noise modes."""
+        reference = as_rng(5).integers(0, 1_000_000, size=10)
+        parent = as_rng(5)
+        derive_seed_sequences(parent, 4)
+        np.testing.assert_array_equal(
+            parent.integers(0, 1_000_000, size=10), reference
+        )
+
+    def test_seedless_fallback_does_not_consume_parent_draws(self):
+        """The reseed fallback draws its entropy from a *copy* of the
+        parent, so even seed-sequence-less generators keep their output
+        stream untouched (the NoiseBank.from_rngs guarantee)."""
+        reference = np.random.Generator(np.random.Philox(key=77)).integers(
+            0, 1_000_000, size=10
+        )
+        parent = np.random.Generator(np.random.Philox(key=77))
+        derive_seed_sequences(parent, 4)
+        np.testing.assert_array_equal(
+            parent.integers(0, 1_000_000, size=10), reference
+        )
 
 
 class TestStableSeedFrom:
