@@ -1,18 +1,76 @@
-"""Helpers shared by the benchmark modules.
+"""Helpers shared by the benchmark modules and the profiling script.
 
 Kept separate from ``conftest.py`` so benchmark files can import them
 explicitly (``from _bench_utils import print_report``) without relying on
-how pytest names conftest modules.
+how pytest names conftest modules.  ``scripts/profile_fleet.py`` imports
+:data:`RECIPES` from here too, so the benchmarks and the profiler can
+never disagree about what a named execution recipe means.
 """
 
 from __future__ import annotations
 
 import os
+import platform
+from typing import Dict, Tuple
+
+import numpy as np
 
 from repro.experiments.common import Scale
 
 #: Seed shared by every benchmark so printed tables are reproducible.
 BENCH_SEED = 2020
+
+#: The execution recipes of successive PRs, by bench name.  Each maps
+#: to ``FleetSimulator`` keyword arguments plus the trace mode
+#: (``sequential`` shares the PR 1 engine settings but runs the
+#: per-device reference loop).
+RECIPES: Dict[str, Dict[str, str]] = {
+    "sequential": dict(
+        features="exact", sensing="per_device", controllers="per_object",
+        noise="per_device", trace="full",
+    ),
+    "batched": dict(
+        features="exact", sensing="per_device", controllers="per_object",
+        noise="per_device", trace="full",
+    ),
+    "incremental": dict(
+        features="incremental", sensing="stacked", controllers="per_object",
+        noise="per_device", trace="full",
+    ),
+    "controller_bank": dict(
+        features="incremental", sensing="stacked", controllers="bank",
+        noise="per_device", trace="summary",
+    ),
+    "batched_noise": dict(
+        features="incremental", sensing="stacked", controllers="bank",
+        noise="batched", trace="summary",
+    ),
+}
+
+
+def recipe_settings(name: str) -> Tuple[Dict[str, str], str]:
+    """Split a named recipe into (simulator kwargs, trace mode)."""
+    recipe = dict(RECIPES[name])
+    trace = recipe.pop("trace")
+    return recipe, trace
+
+
+def run_metadata(**knobs) -> Dict[str, object]:
+    """Provenance of one benchmark run: machine, toolchain, mode knobs.
+
+    Stored alongside the timings in ``BENCH_fleet.json`` so a historical
+    number can always be traced back to the hardware and library
+    versions that produced it.
+    """
+    meta: Dict[str, object] = {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python_version": platform.python_version(),
+        "numpy_version": np.__version__,
+    }
+    meta.update(knobs)
+    return meta
 
 
 def bench_scale() -> Scale:

@@ -55,7 +55,12 @@ from pathlib import Path
 
 import pytest
 
-from _bench_utils import BENCH_SEED, print_report
+from _bench_utils import (
+    BENCH_SEED,
+    print_report,
+    recipe_settings,
+    run_metadata,
+)
 
 from repro.core.adasense import AdaSense
 from repro.fleet import (
@@ -65,6 +70,7 @@ from repro.fleet import (
     ShardedFleetSimulator,
     traces_equal,
 )
+from repro.obs import MetricsRegistry
 
 #: Smoke mode: exercise the bench path without thresholds (CI runners).
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
@@ -102,6 +108,30 @@ MIN_NOISE_SPEEDUP = 0.0 if SMOKE else float(
     os.environ.get("REPRO_MIN_NOISE_SPEEDUP", "1.4")
 )
 
+#: Maximum relative slowdown a metered run may show over an unmetered
+#: run of the same recipe at the largest sweep count (default 3 %).
+MAX_METRICS_OVERHEAD = float(
+    os.environ.get("REPRO_MAX_METRICS_OVERHEAD", "0.03")
+)
+
+
+def _make_engine(pipeline, recipe_name, **extra):
+    """A FleetSimulator configured from a named bench recipe."""
+    kwargs, trace = recipe_settings(recipe_name)
+    return FleetSimulator(pipeline, **kwargs, **extra), trace
+
+
+def _write_bench_json(update) -> None:
+    """Merge an update (plus run provenance) into BENCH_fleet.json."""
+    existing = {}
+    if BENCH_JSON_PATH.exists():
+        existing = json.loads(BENCH_JSON_PATH.read_text())
+    existing.update(update)
+    existing["meta"] = run_metadata(smoke=SMOKE)
+    BENCH_JSON_PATH.write_text(
+        json.dumps(existing, indent=2, sort_keys=True) + "\n"
+    )
+
 #: Where the machine-readable throughput report lands.
 BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
 
@@ -137,14 +167,16 @@ def _best_of(runner, rounds: int = 2):
     return min(results, key=lambda result: result.elapsed_s)
 
 
-def _race(*runners, rounds: int = 3):
-    """Interleave contestants round by round and keep each one's best.
+def _race(*runners, rounds: int = 3, keep: str = "best"):
+    """Interleave contestants round by round; keep each one's best.
 
     Interleaving (instead of timing one mode's rounds back to back)
     spreads machine-load noise evenly over every contestant, and the
     collection before every timed run stops one mode's garbage from
     being charged to another — together they are what make the
-    speedup gates below meaningful on shared hardware.
+    speedup gates below meaningful on shared hardware.  ``keep="all"``
+    returns every round's result per contestant instead of the best,
+    for gates that compare paired totals.
     """
     for runner in runners:
         runner()
@@ -153,6 +185,8 @@ def _race(*runners, rounds: int = 3):
         for index, runner in enumerate(runners):
             gc.collect()
             results[index].append(runner())
+    if keep == "all":
+        return tuple(results)
     return tuple(
         min(outcomes, key=lambda result: result.elapsed_s)
         for outcomes in results
@@ -161,12 +195,10 @@ def _race(*runners, rounds: int = 3):
 
 def test_fleet_throughput_modes(benchmark, fleet_setup):
     pipeline, population = fleet_setup
-    pr1_style = FleetSimulator(
-        pipeline, features="exact", sensing="per_device", controllers="per_object"
-    )
-    pr2_style = FleetSimulator(pipeline, controllers="per_object")
-    bank_engine = FleetSimulator(pipeline)
-    noise_engine = FleetSimulator(pipeline, noise="batched")
+    pr1_style, _ = _make_engine(pipeline, "batched")
+    pr2_style, _ = _make_engine(pipeline, "incremental")
+    bank_engine, bank_trace = _make_engine(pipeline, "controller_bank")
+    noise_engine, noise_trace = _make_engine(pipeline, "batched_noise")
     sharded_engine = ShardedFleetSimulator(pipeline)
 
     first_incremental = benchmark.pedantic(
@@ -180,9 +212,9 @@ def test_fleet_throughput_modes(benchmark, fleet_setup):
         (first_incremental, pr2_style.run(population)),
         key=lambda result: result.elapsed_s,
     )
-    controller_bank = _best_of(lambda: bank_engine.run(population, trace="summary"))
+    controller_bank = _best_of(lambda: bank_engine.run(population, trace=bank_trace))
     batched_noise = _best_of(
-        lambda: noise_engine.run(population, trace="summary")
+        lambda: noise_engine.run(population, trace=noise_trace)
     )
     batched = _best_of(lambda: pr1_style.run(population))
     sequential = _best_of(lambda: pr1_style.run_sequential(population))
@@ -213,13 +245,7 @@ def test_fleet_throughput_modes(benchmark, fleet_setup):
         / batched_noise.elapsed_s,
     }
     if not SMOKE:
-        existing = {}
-        if BENCH_JSON_PATH.exists():
-            existing = json.loads(BENCH_JSON_PATH.read_text())
-        existing.update(report)
-        BENCH_JSON_PATH.write_text(
-            json.dumps(existing, indent=2, sort_keys=True) + "\n"
-        )
+        _write_bench_json(report)
 
     print_report(
         "Fleet throughput — execution paths over one 50-device population",
@@ -292,9 +318,9 @@ def test_fleet_throughput_scaling_sweep(fleet_setup):
     """Race the PR 2 incremental, PR 3 controller-bank and batched-noise
     recipes over growing device counts; gate the speedups at the top."""
     pipeline, _ = fleet_setup
-    pr2_style = FleetSimulator(pipeline, controllers="per_object")
-    bank_engine = FleetSimulator(pipeline)
-    noise_engine = FleetSimulator(pipeline, noise="batched")
+    pr2_style, _ = _make_engine(pipeline, "incremental")
+    bank_engine, bank_trace = _make_engine(pipeline, "controller_bank")
+    noise_engine, noise_trace = _make_engine(pipeline, "batched_noise")
 
     sweep = {}
     for count in SWEEP_DEVICES:
@@ -304,8 +330,8 @@ def test_fleet_throughput_scaling_sweep(fleet_setup):
         rounds = 4 if count == max(SWEEP_DEVICES) else 2
         incremental, controller_bank, batched_noise = _race(
             lambda: pr2_style.run(population),
-            lambda: bank_engine.run(population, trace="summary"),
-            lambda: noise_engine.run(population, trace="summary"),
+            lambda: bank_engine.run(population, trace=bank_trace),
+            lambda: noise_engine.run(population, trace=noise_trace),
             rounds=rounds,
         )
         sweep[str(count)] = {
@@ -319,16 +345,14 @@ def test_fleet_throughput_scaling_sweep(fleet_setup):
         }
 
     if not SMOKE:
-        existing = {}
-        if BENCH_JSON_PATH.exists():
-            existing = json.loads(BENCH_JSON_PATH.read_text())
-        existing["scaling"] = {
-            "duration_s": SWEEP_DURATION_S,
-            "seed": BENCH_SEED,
-            "devices": sweep,
-        }
-        BENCH_JSON_PATH.write_text(
-            json.dumps(existing, indent=2, sort_keys=True) + "\n"
+        _write_bench_json(
+            {
+                "scaling": {
+                    "duration_s": SWEEP_DURATION_S,
+                    "seed": BENCH_SEED,
+                    "devices": sweep,
+                }
+            }
         )
 
     top = str(max(SWEEP_DEVICES))
@@ -399,3 +423,75 @@ def test_fleet_fast_paths_match_sequential_reference(fleet_setup):
         noise_engine.run_sequential(population).traces,
     ):
         assert traces_equal(left, right)
+
+
+def test_fleet_metrics_overhead(fleet_setup):
+    """Metering must be near-free: racing a metered batched-noise run
+    against an unmetered one at the largest sweep count, the metered
+    run may be at most ``REPRO_MAX_METRICS_OVERHEAD`` (default 3 %)
+    slower."""
+    pipeline, _ = fleet_setup
+    count = max(SWEEP_DEVICES)
+    population = DevicePopulation.generate(
+        count, duration_s=SWEEP_DURATION_S, master_seed=BENCH_SEED
+    )
+    kwargs, trace = recipe_settings("batched_noise")
+    registry = MetricsRegistry()
+    plain_engine = FleetSimulator(pipeline, **kwargs)
+    metered_engine = FleetSimulator(pipeline, metrics=registry, **kwargs)
+
+    # Paired totals over interleaved rounds, not best-of: single-round
+    # wall clocks on a shared machine swing by more than the overhead
+    # being measured, and interleaving cancels slow load drift.
+    rounds = 2 if SMOKE else 5
+    plain_runs, metered_runs = _race(
+        lambda: plain_engine.run(population, trace=trace),
+        lambda: metered_engine.run(population, trace=trace),
+        rounds=rounds,
+        keep="all",
+    )
+    plain_total = sum(result.elapsed_s for result in plain_runs)
+    metered_total = sum(result.elapsed_s for result in metered_runs)
+    overhead = metered_total / plain_total - 1.0
+    plain = min(plain_runs, key=lambda result: result.elapsed_s)
+    metered = min(metered_runs, key=lambda result: result.elapsed_s)
+
+    # The registry really recorded the runs it claims to have metered.
+    assert registry.counter_value("engine.runs") == rounds + 1
+    assert registry.counter_value("engine.windows_classified") > 0.0
+    assert "tick.sense" in registry.snapshot().histograms
+
+    if not SMOKE:
+        _write_bench_json(
+            {
+                "metrics_overhead": {
+                    "num_devices": count,
+                    "duration_s": SWEEP_DURATION_S,
+                    "recipe": "batched_noise",
+                    "unmetered": _mode_entry(plain),
+                    "metered": _mode_entry(metered),
+                    "overhead": overhead,
+                    "max_overhead": MAX_METRICS_OVERHEAD,
+                }
+            }
+        )
+
+    print_report(
+        "Fleet metrics overhead — metered vs unmetered batched_noise",
+        "\n".join(
+            [
+                f"devices                : {count}",
+                f"unmetered              : {plain.elapsed_s:8.3f} s wall "
+                f"({plain.throughput_device_seconds_per_s:8.0f} device-s/s)",
+                f"metered                : {metered.elapsed_s:8.3f} s wall "
+                f"({metered.throughput_device_seconds_per_s:8.0f} device-s/s)",
+                f"overhead               : {100.0 * overhead:8.2f} % "
+                f"(gate: {100.0 * MAX_METRICS_OVERHEAD:.0f} %)",
+            ]
+        ),
+    )
+
+    assert SMOKE or overhead <= MAX_METRICS_OVERHEAD, (
+        f"metered run is {100.0 * overhead:.2f}% slower than unmetered "
+        f"(allowed: {100.0 * MAX_METRICS_OVERHEAD:.0f}%) at {count} devices"
+    )

@@ -28,31 +28,12 @@ import cProfile
 import pstats
 import sys
 import time
+from pathlib import Path
 
-#: The execution recipes of successive PRs, by bench name.  Each maps
-#: to ``FleetSimulator`` keyword arguments plus the trace mode.
-RECIPES = {
-    "sequential": dict(
-        features="exact", sensing="per_device", controllers="per_object",
-        noise="per_device", trace="full",
-    ),
-    "batched": dict(
-        features="exact", sensing="per_device", controllers="per_object",
-        noise="per_device", trace="full",
-    ),
-    "incremental": dict(
-        features="incremental", sensing="stacked", controllers="per_object",
-        noise="per_device", trace="full",
-    ),
-    "controller_bank": dict(
-        features="incremental", sensing="stacked", controllers="bank",
-        noise="per_device", trace="summary",
-    ),
-    "batched_noise": dict(
-        features="incremental", sensing="stacked", controllers="bank",
-        noise="batched", trace="summary",
-    ),
-}
+# The named execution recipes live with the benchmarks so the profiler
+# and BENCH_fleet.json can never disagree about what a recipe means.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+from _bench_utils import RECIPES, recipe_settings  # noqa: E402
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -86,14 +67,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="number of entries to print (default: 30)")
     parser.add_argument("--output", default=None,
                         help="optional .pstats dump path for snakeviz etc.")
+    parser.add_argument("--metrics", default=None, metavar="PATH",
+                        help="meter the profiled run and write the metrics "
+                             "snapshot (phase-span histograms, counters) as "
+                             "JSON")
+    parser.add_argument("--trace-events", default=None, metavar="PATH",
+                        dest="trace_events",
+                        help="meter the profiled run and write its per-tick "
+                             "phase spans as Chrome trace-event JSON "
+                             "(Perfetto)")
     return parser
 
 
 def _profile_run(simulator, population, trace):
     """One warmed-up, profiled simulation; returns (result, stats)."""
     # One untimed warm-up run so lazily built caches (DFT bases,
-    # spectral layouts, BLAS threads) do not pollute the profile.
-    simulator.run(population, trace=trace)
+    # spectral layouts, BLAS threads) do not pollute the profile.  A
+    # metered simulator is disabled for the warm-up so the exported
+    # snapshot covers exactly the profiled run.
+    metrics = simulator.metrics
+    if metrics.enabled:
+        metrics.enabled = False
+        simulator.run(population, trace=trace)
+        metrics.enabled = True
+    else:
+        simulator.run(population, trace=trace)
     profile = cProfile.Profile()
     profile.enable()
     result = simulator.run(population, trace=trace)
@@ -159,8 +157,7 @@ def main(argv=None) -> int:
         name_a, name_b = args.compare
         outcomes = []
         for name in (name_a, name_b):
-            recipe = dict(RECIPES[name])
-            trace = recipe.pop("trace")
+            recipe, trace = recipe_settings(name)
             if name == "sequential":
                 simulator = FleetSimulator(system.pipeline, **recipe)
                 simulator.run_sequential(population)
@@ -188,12 +185,18 @@ def main(argv=None) -> int:
         )
         return 0
 
+    registry = None
+    if args.metrics is not None or args.trace_events is not None:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry(trace_events=args.trace_events is not None)
     simulator = FleetSimulator(
         system.pipeline,
         features=args.features,
         sensing=args.sensing,
         controllers=args.controllers,
         noise=args.noise,
+        metrics=registry,
     )
     result, stats = _profile_run(simulator, population, args.trace)
     print(
@@ -205,6 +208,26 @@ def main(argv=None) -> int:
     if args.output:
         stats.dump_stats(args.output)
         print(f"pstats dump -> {args.output}", file=sys.stderr)
+    if registry is not None:
+        from repro.obs import write_chrome_trace, write_metrics_json
+
+        snapshot = registry.snapshot()
+        meta = {
+            "devices": args.devices,
+            "duration_s": args.duration,
+            "features": args.features,
+            "sensing": args.sensing,
+            "controllers": args.controllers,
+            "noise": args.noise,
+            "trace": args.trace,
+            "seed": args.seed,
+        }
+        if args.metrics is not None:
+            write_metrics_json(snapshot, args.metrics, extra=meta)
+            print(f"metrics -> {args.metrics}", file=sys.stderr)
+        if args.trace_events is not None:
+            write_chrome_trace(snapshot, args.trace_events)
+            print(f"trace events -> {args.trace_events}", file=sys.stderr)
     return 0
 
 

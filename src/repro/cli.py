@@ -45,6 +45,14 @@ from repro.fleet import (
     ShardedFleetSimulator,
 )
 from repro.ml.persistence import load_model, save_model
+from repro.obs import (
+    LOG_LEVELS,
+    MetricsRegistry,
+    configure_logging,
+    to_prometheus_text,
+    write_chrome_trace,
+    write_metrics_json,
+)
 
 #: Experiment name -> callable returning an object with ``format_table()``.
 ExperimentRunner = Callable[[str, int], object]
@@ -120,13 +128,24 @@ def build_parser() -> argparse.ArgumentParser:
         prog="adasense-repro",
         description="AdaSense (DAC 2020) reproduction command-line interface.",
     )
+    # Shared by every subcommand so the flag works in either position
+    # (``repro fleet --log-level debug``).
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--log-level", choices=LOG_LEVELS, default=None,
+        help="route diagnostic logging to stderr at this level "
+             "(sharded workers prefix their lines with [shard N])",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser(
-        "experiments", help="list the reproducible paper artefacts"
+        "experiments", help="list the reproducible paper artefacts",
+        parents=[common],
     )
 
-    run_parser = subparsers.add_parser("run", help="run one experiment driver")
+    run_parser = subparsers.add_parser(
+        "run", help="run one experiment driver", parents=[common]
+    )
     run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
     run_parser.add_argument(
         "--scale", choices=("quick", "paper"), default="quick",
@@ -135,7 +154,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--seed", type=int, default=2020)
 
     train_parser = subparsers.add_parser(
-        "train", help="train the shared classifier and save it to JSON"
+        "train", help="train the shared classifier and save it to JSON",
+        parents=[common],
     )
     train_parser.add_argument("--output", required=True, help="destination JSON file")
     train_parser.add_argument(
@@ -146,7 +166,8 @@ def build_parser() -> argparse.ArgumentParser:
     train_parser.add_argument("--seed", type=int, default=2020)
 
     simulate_parser = subparsers.add_parser(
-        "simulate", help="run the closed loop on a user-activity setting"
+        "simulate", help="run the closed loop on a user-activity setting",
+        parents=[common],
     )
     simulate_parser.add_argument(
         "--setting", choices=[setting.value for setting in ActivitySetting],
@@ -170,6 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_parser = subparsers.add_parser(
         "fleet",
         help="simulate a heterogeneous device population with the fleet engine",
+        parents=[common],
     )
     fleet_parser.add_argument("--devices", type=int, default=100,
                               help="number of simulated devices (default: 100)")
@@ -209,6 +231,23 @@ def build_parser() -> argparse.ArgumentParser:
              "(default) or materialise full per-step traces; reports are "
              "bit-identical (--engine sequential always records full "
              "traces)",
+    )
+    fleet_parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="meter the run and write the metrics snapshot (counters, "
+             "gauges, phase-span histograms) as JSON; metering never "
+             "perturbs the simulated traces",
+    )
+    fleet_parser.add_argument(
+        "--trace-events", default=None, metavar="PATH", dest="trace_events",
+        help="meter the run and write per-tick phase spans as Chrome "
+             "trace-event JSON (open in Perfetto or chrome://tracing; "
+             "one lane per shard)",
+    )
+    fleet_parser.add_argument(
+        "--prometheus", default=None, metavar="PATH",
+        help="meter the run and write the snapshot in the Prometheus "
+             "text exposition format",
     )
     fleet_parser.add_argument("--model", default=None,
                               help="JSON model saved by 'train' (otherwise trains a fresh one)")
@@ -311,32 +350,62 @@ def _command_fleet(args: argparse.Namespace, out) -> int:
         duration_s=args.duration,
         master_seed=args.seed,
     )
+    want_metrics = (
+        args.metrics is not None
+        or args.trace_events is not None
+        or args.prometheus is not None
+    )
+    registry = (
+        MetricsRegistry(trace_events=args.trace_events is not None)
+        if want_metrics
+        else None
+    )
+    snapshot = None
     if args.engine == "sharded":
         sharded = ShardedFleetSimulator(
             system.pipeline,
             features=args.features,
             controllers=args.controllers,
             noise=args.noise,
+            metrics=registry,
         )
         run = sharded.run(population, num_shards=args.shards, trace=args.trace)
         result = run.result
         telemetry = run.telemetry
+        snapshot = run.metrics
         out.write(
             f"engine             : sharded ({run.num_shards} shards: "
             f"{', '.join(str(size) for size in run.shard_sizes)})\n"
         )
+        for index, (size, shard_elapsed) in enumerate(
+            zip(run.shard_sizes, run.shard_elapsed_s)
+        ):
+            out.write(
+                f"  shard {index}        : {size} devices, "
+                f"{shard_elapsed:.2f} s\n"
+            )
+        stats = run.straggler_stats()
+        if stats:
+            out.write(
+                f"  shard skew       : {stats['skew']:.2f}x "
+                f"(straggler shard {int(stats['straggler'])}, "
+                f"spread {stats['spread_s']:.2f} s)\n"
+            )
     else:
         simulator = FleetSimulator(
             system.pipeline,
             features=args.features,
             controllers=args.controllers,
             noise=args.noise,
+            metrics=registry,
         )
         if args.engine == "sequential":
             result = simulator.run_sequential(population)
         else:
             result = simulator.run(population, trace=args.trace)
         telemetry = FleetTelemetry.from_result(result)
+        if registry is not None:
+            snapshot = registry.snapshot()
         out.write(f"engine             : {result.mode}\n")
     out.write(f"features           : {args.features}\n")
     out.write(f"controllers        : {args.controllers}\n")
@@ -350,6 +419,27 @@ def _command_fleet(args: argparse.Namespace, out) -> int:
     if args.out is not None:
         telemetry.to_json(args.out)
         out.write(f"telemetry          -> {args.out}\n")
+    if snapshot is not None:
+        meta = {
+            "engine": args.engine,
+            "devices": args.devices,
+            "duration_s": args.duration,
+            "features": args.features,
+            "controllers": args.controllers,
+            "noise": args.noise,
+            "trace": args.trace,
+            "seed": args.seed,
+        }
+        if args.metrics is not None:
+            write_metrics_json(snapshot, args.metrics, extra=meta)
+            out.write(f"metrics            -> {args.metrics}\n")
+        if args.trace_events is not None:
+            write_chrome_trace(snapshot, args.trace_events)
+            out.write(f"trace events       -> {args.trace_events}\n")
+        if args.prometheus is not None:
+            with open(args.prometheus, "w", encoding="utf-8") as handle:
+                handle.write(to_prometheus_text(snapshot))
+            out.write(f"prometheus         -> {args.prometheus}\n")
     return 0
 
 
@@ -358,6 +448,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(getattr(args, "log_level", None))
     commands = {
         "experiments": _command_experiments,
         "run": _command_run,

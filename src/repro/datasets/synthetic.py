@@ -595,6 +595,12 @@ class StackedEvaluationCache:
         #: times) evaluation seen; slicing it per tick keeps the hot
         #: path allocation-free.
         self._scratch = np.empty(0)
+        #: Observability counters: rows served straight from their
+        #: cached validity interval, rows re-resolved and rewritten,
+        #: and rows that fell back to per-realisation evaluation.
+        self.revalidations = 0
+        self.rebuilds = 0
+        self.fallbacks = 0
 
     def _grow(self, num_devices: int, slots: int) -> None:
         """Widen the row arrays, remapping existing rows in place.
@@ -739,6 +745,9 @@ class StackedEvaluationCache:
             row = rows[position]
             if self._refs[row] is not realization:
                 self._update_row(row, realization)
+                self.rebuilds += 1
+            else:
+                self.revalidations += 1
 
         output = np.empty((len(realizations), times.shape[0], NUM_AXES))
         fusable_mask = self._fusable[rows]
@@ -746,6 +755,7 @@ class StackedEvaluationCache:
             output[position] = realizations[position].evaluate_windowed(
                 times, window
             )
+            self.fallbacks += 1
         fused_positions = np.flatnonzero(fusable_mask)
         if fused_positions.size:
             self._evaluate_fused(
@@ -812,16 +822,20 @@ class StackedEvaluationCache:
         valid = (self._starts[rows] <= first_time) & (
             last_time < self._ends[rows]
         )
-        for position in np.flatnonzero(~valid):
+        invalid_positions = np.flatnonzero(~valid)
+        self.revalidations += int(rows.shape[0] - invalid_positions.shape[0])
+        for position in invalid_positions:
             signal = signals[position]
             spanning = getattr(signal, "spanning_segment", None)
             segment = spanning(times) if spanning is not None else None
             if segment is None:
                 output[position] = signal.evaluate_windowed(times, window)
+                self.fallbacks += 1
                 continue
             row = int(rows[position])
             if self._refs[row] is not segment.realization:
                 self._update_row(row, segment.realization)
+                self.rebuilds += 1
             self._starts[row] = segment.start_s
             duration = getattr(signal, "duration_s", None)
             # The schedule's last bout is clamped (it covers any later

@@ -79,6 +79,7 @@ from repro.core.pipeline import HarPipeline
 from repro.datasets.synthetic import ScheduledSignal, StackedEvaluationCache
 from repro.exec.controller_bank import ControllerBank
 from repro.energy.accelerometer import AccelerometerPowerModel
+from repro.obs.metrics import NULL_RECORDER
 from repro.sensors.buffer import RingBufferBank, SampleBuffer
 from repro.sensors.imu import (
     DEFAULT_INTERNAL_RATE_HZ,
@@ -336,6 +337,14 @@ class StepEngine:
         statistically equivalent, and runs are bit-identical across
         engines, sensing/controller modes and shard counts within the
         mode.
+    metrics:
+        Optional :class:`repro.obs.metrics.MetricsRegistry` the engine
+        records phase spans, counters and gauges into while running —
+        see :mod:`repro.obs` for the metric glossary.  Defaults to the
+        no-op :data:`repro.obs.metrics.NULL_RECORDER`: the unmetered
+        path takes no clock readings and allocates nothing per tick.
+        Metrics are observation only — metered traces are bit-identical
+        to unmetered ones in every mode.
     """
 
     def __init__(
@@ -348,6 +357,7 @@ class StepEngine:
         sensing: str = "stacked",
         controllers: str = "bank",
         noise: str = "per_device",
+        metrics=None,
     ) -> None:
         check_positive(step_s, "step_s")
         check_positive(window_duration_s, "window_duration_s")
@@ -382,6 +392,7 @@ class StepEngine:
         self._noise = noise
         self._incremental = IncrementalFeatureExtractor(pipeline.extractor)
         self._geometries: Dict[SensorConfig, Optional[WindowGeometry]] = {}
+        self._metrics = metrics if metrics is not None else NULL_RECORDER
 
     # ------------------------------------------------------------------
     # Introspection
@@ -425,6 +436,11 @@ class StepEngine:
     def noise(self) -> str:
         """The active acquisition-layer mode."""
         return self._noise
+
+    @property
+    def metrics(self):
+        """The metrics recorder (the no-op null recorder by default)."""
+        return self._metrics
 
     # ------------------------------------------------------------------
     # Runtime construction
@@ -569,8 +585,23 @@ class StepEngine:
         )
         device_rows = np.arange(num_devices)
 
+        # Observability: every update below is guarded by ``metered``,
+        # so the disabled (NULL_RECORDER) path takes no clock readings
+        # and allocates nothing per tick.  Recording never touches
+        # random streams or sample arrays — metered traces are
+        # bit-identical to unmetered ones (pinned by the obs tests).
+        mx = self._metrics
+        metered = mx.enabled
+        if metered:
+            run_start_ns = mx.now_ns()
+            mx.count("engine.runs")
+            mx.gauge("engine.devices", float(num_devices))
+
         for step_index in range(1, num_steps + 1):
             step_end = step_index * step_s
+            if metered:
+                tick_start_ns = mx.now_ns()
+            switched = 0
 
             # Phase 1: group devices by active configuration.  The bank
             # path groups from the state arrays; group index vectors
@@ -693,6 +724,7 @@ class StepEngine:
                 for config, indices in groups.items():
                     samples, sample_times = stacks[config]
                     changed = ring.push_group(indices, samples, sample_times, config)
+                    switched += changed.size
                     chunks_in_config[changed] = 0
                     chunks_in_config[indices] += 1
                     if bank.num_banked < num_devices:
@@ -714,6 +746,7 @@ class StepEngine:
                     ):
                         runtime.observe(acquisitions[index])
                     if runtime.active_config != runtime.previous_config:
+                        switched += 1
                         runtime.partials.clear()
                         runtime.chunks_in_config = 0
                         runtime.previous_config = runtime.active_config
@@ -738,6 +771,20 @@ class StepEngine:
                             intensities[observed] = stacked_intensities(chunks)
                 bank.observe_intensities(intensities)
 
+            if metered:
+                sense_end_ns = mx.now_ns()
+                mx.span("tick.sense", tick_start_ns, sense_end_ns)
+                mx.count("engine.ticks")
+                mx.count("engine.config_groups", len(groups))
+                for group_indices in groups.values():
+                    mx.observe("engine.cohort_devices", len(group_indices))
+                # The first tick assigns every device its initial
+                # configuration; only later ticks count as switches.
+                if step_index > 1:
+                    mx.count("engine.config_switches", switched)
+                if ring is not None:
+                    mx.gauge("ring.buffered_samples", float(ring.counts.sum()))
+
             # Phase 3: feature extraction (incremental where possible).
             features = np.empty(
                 (num_devices, self._pipeline.extractor.num_features)
@@ -759,11 +806,20 @@ class StepEngine:
                         runtimes, features, config, indices, acquisitions
                     )
 
+            if metered:
+                extract_end_ns = mx.now_ns()
+                mx.span("tick.extract", sense_end_ns, extract_end_ns)
+
             # Phase 4: one batched classification for the whole device set.
             if use_arrays:
                 labels, confidences = self._pipeline.classify_batch_labels(features)
             else:
                 results = self._pipeline.classify_batch(features)
+
+            if metered:
+                classify_end_ns = mx.now_ns()
+                mx.span("tick.classify", extract_end_ns, classify_end_ns)
+                mx.count("engine.windows_classified", num_devices)
 
             # Phase 5: controllers advance (one vectorized pass for the
             # banked devices), traces record or accumulators fold.
@@ -778,6 +834,10 @@ class StepEngine:
                 for index in loose:
                     result = results[index]
                     controllers[index].update(result.activity, result.confidence)
+
+            if metered:
+                adapt_end_ns = mx.now_ns()
+                mx.span("tick.adapt", classify_end_ns, adapt_end_ns)
 
             if summary is not None:
                 columns = np.empty(num_devices, dtype=np.int64)
@@ -811,6 +871,21 @@ class StepEngine:
                             duration_s=step_s,
                         )
                     )
+
+            if metered:
+                mx.span("tick.fold", adapt_end_ns, mx.now_ns())
+
+        if metered:
+            if noise_bank is not None:
+                mx.count("noise.refills", noise_bank.refills)
+                mx.count("noise.pool_bypasses", noise_bank.pool_bypasses)
+            if signal_tables is not None:
+                mx.count(
+                    "signal_cache.revalidations", signal_tables.revalidations
+                )
+                mx.count("signal_cache.rebuilds", signal_tables.rebuilds)
+                mx.count("signal_cache.fallbacks", signal_tables.fallbacks)
+            mx.span("engine.run", run_start_ns, mx.now_ns())
 
         if bank is not None:
             bank.write_back(controllers)
@@ -867,6 +942,10 @@ class StepEngine:
                 features[steady] = self._incremental.combine_stacked(
                     [runtimes[i].partials for i in steady], geometry
                 )
+                if self._metrics.enabled:
+                    self._metrics.count(
+                        "features.incremental_windows", len(steady)
+                    )
         if len(exact_indices):
             self._extract_exact(runtimes, features, config, exact_indices)
 
@@ -914,6 +993,10 @@ class StepEngine:
                 steady = indices[steady_mask]
                 exact_indices = indices[~steady_mask]
             if steady is not None and steady.size:
+                if self._metrics.enabled:
+                    self._metrics.count(
+                        "features.incremental_windows", int(steady.size)
+                    )
                 tailed = bool(geometry.tail_samples)
                 slots = [
                     slot_partials.slot_arrays(
@@ -938,6 +1021,8 @@ class StepEngine:
         """Exact full-window extraction for warm-up windows and the
         ``features="exact"`` toggle; extract_batch stacks equal-shape
         windows and keeps the input order."""
+        if self._metrics.enabled:
+            self._metrics.count("features.exact_windows", len(exact_indices))
         if ring is not None:
             windows = [
                 (ring.window(i)[0], config.sampling_hz) for i in exact_indices

@@ -29,16 +29,40 @@ from repro.core.pipeline import HarPipeline
 from repro.fleet.engine import FleetResult, FleetSimulator, resolve_fleet_duration
 from repro.fleet.population import DeviceProfile, DevicePopulation
 from repro.fleet.telemetry import FleetTelemetry
+from repro.obs.logsetup import shard_logger
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
 from repro.sensors.imu import DEFAULT_INTERNAL_RATE_HZ
 from repro.utils.validation import check_positive_int
 
 
-def _run_shard(payload) -> Tuple[int, FleetResult, FleetTelemetry]:
+def _run_shard(
+    payload,
+) -> Tuple[int, FleetResult, FleetTelemetry, Optional[MetricsSnapshot]]:
     """Simulate one shard (executed inside a worker process)."""
-    shard_index, pipeline, profiles, duration_s, settings, trace = payload
-    simulator = FleetSimulator(pipeline, **settings)
+    (
+        shard_index,
+        pipeline,
+        profiles,
+        duration_s,
+        settings,
+        trace,
+        collect_metrics,
+        trace_events,
+    ) = payload
+    logger = shard_logger(shard_index)
+    metrics = (
+        MetricsRegistry(trace_events=trace_events, tid=shard_index)
+        if collect_metrics
+        else None
+    )
+    simulator = FleetSimulator(pipeline, metrics=metrics, **settings)
+    logger.debug("simulating %d devices", len(profiles))
     result = simulator.run(profiles, duration_s=duration_s, trace=trace)
-    return shard_index, result, FleetTelemetry.from_result(result)
+    logger.debug(
+        "finished %d devices in %.3f s", len(profiles), result.elapsed_s
+    )
+    snapshot = metrics.snapshot() if metrics is not None else None
+    return shard_index, result, FleetTelemetry.from_result(result), snapshot
 
 
 @dataclass(frozen=True)
@@ -57,12 +81,26 @@ class ShardedFleetRun:
     used_processes:
         Whether worker processes were actually used (single shards and
         pool-creation failures run inline).
+    shard_elapsed_s:
+        Per-shard simulation wall-clock, in shard order.  With worker
+        processes the shards run concurrently, so the spread between
+        entries is straggler skew, not serial cost.
+    shard_metrics:
+        One :class:`repro.obs.metrics.MetricsSnapshot` per shard when
+        the run was metered, ``()`` otherwise.
+    metrics:
+        The coordinator's merged snapshot (worker snapshots folded with
+        the coordinator's own shard heartbeat metrics), ``None`` when
+        the run was unmetered.
     """
 
     result: FleetResult
     telemetry: FleetTelemetry
     shard_sizes: Tuple[int, ...]
     used_processes: bool
+    shard_elapsed_s: Tuple[float, ...] = ()
+    shard_metrics: Tuple[MetricsSnapshot, ...] = ()
+    metrics: Optional[MetricsSnapshot] = None
 
     @property
     def num_shards(self) -> int:
@@ -73,6 +111,27 @@ class ShardedFleetRun:
     def elapsed_s(self) -> float:
         """Wall-clock time of the whole sharded run."""
         return self.result.elapsed_s
+
+    def straggler_stats(self) -> Dict[str, float]:
+        """Wall-clock skew across shards (empty without per-shard times).
+
+        ``skew`` is max/mean shard elapsed — 1.0 means perfectly
+        balanced shards; the merge barrier waits on the ``straggler``
+        shard for ``spread_s`` seconds longer than the fastest one.
+        """
+        if not self.shard_elapsed_s:
+            return {}
+        elapsed = self.shard_elapsed_s
+        mean = sum(elapsed) / len(elapsed)
+        slowest = max(elapsed)
+        return {
+            "min_s": min(elapsed),
+            "max_s": slowest,
+            "mean_s": mean,
+            "spread_s": slowest - min(elapsed),
+            "skew": slowest / mean if mean > 0.0 else float("nan"),
+            "straggler": float(elapsed.index(slowest)),
+        }
 
 
 class ShardedFleetSimulator:
@@ -91,6 +150,16 @@ class ShardedFleetSimulator:
         ``noise="batched"`` acquisition layer derives every device's
         stream from the device's own seed, so sharded results stay
         invariant to the shard count in either mode.
+    metrics:
+        Optional :class:`repro.obs.metrics.MetricsRegistry` for the
+        coordinator.  When given (and enabled), every worker builds its
+        own registry with ``tid`` set to its shard index (inheriting
+        the coordinator's ``trace_events`` setting), the coordinator
+        records shard heartbeats (``shard.elapsed_s`` /
+        ``shard.devices`` histograms, ``shard.count`` gauge) and
+        :attr:`ShardedFleetRun.metrics` carries the merged snapshot.
+        Merging is associative and shard-count invariant for every
+        device-attributable metric.
     """
 
     def __init__(
@@ -104,11 +173,13 @@ class ShardedFleetSimulator:
         sensing: str = "stacked",
         controllers: str = "bank",
         noise: str = "per_device",
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if num_shards is not None:
             check_positive_int(num_shards, "num_shards")
         self._pipeline = pipeline
         self._num_shards = num_shards
+        self._metrics = metrics
         self._settings: Dict[str, object] = {
             "internal_rate_hz": internal_rate_hz,
             "step_s": step_s,
@@ -195,18 +266,29 @@ class ShardedFleetSimulator:
         duration = resolve_fleet_duration(profiles, duration_s)
         shards = self.plan(profiles, num_shards)
 
+        collect_metrics = self._metrics is not None and self._metrics.enabled
+        trace_events = bool(self._metrics.trace_events) if collect_metrics else False
         start = time.perf_counter()
         payloads = [
-            (index, self._pipeline, shard, duration, self._settings, trace)
+            (
+                index,
+                self._pipeline,
+                shard,
+                duration,
+                self._settings,
+                trace,
+                collect_metrics,
+                trace_events,
+            )
             for index, shard in enumerate(shards)
         ]
         outcomes, used_processes = self._execute(payloads)
         outcomes.sort(key=lambda outcome: outcome[0])
         traces = tuple(
-            trace for _, result, _ in outcomes for trace in result.traces
+            trace for _, result, _, _ in outcomes for trace in result.traces
         )
         telemetry = FleetTelemetry.merge(
-            [shard_telemetry for _, _, shard_telemetry in outcomes]
+            [shard_telemetry for _, _, shard_telemetry, _ in outcomes]
         )
         elapsed = time.perf_counter() - start
         merged = FleetResult(
@@ -216,11 +298,31 @@ class ShardedFleetSimulator:
             mode="sharded",
             trace_mode=trace,
         )
+        shard_elapsed = tuple(result.elapsed_s for _, result, _, _ in outcomes)
+        shard_metrics: Tuple[MetricsSnapshot, ...] = ()
+        merged_metrics: Optional[MetricsSnapshot] = None
+        if collect_metrics:
+            shard_metrics = tuple(
+                snapshot for _, _, _, snapshot in outcomes if snapshot is not None
+            )
+            # Coordinator-level heartbeats: one observation per shard so
+            # the merged snapshot carries balance/straggler information
+            # alongside the device-attributable engine metrics.
+            self._metrics.gauge("shard.count", float(len(shards)))
+            for (_, result, _, _), shard in zip(outcomes, shards):
+                self._metrics.observe("shard.elapsed_s", result.elapsed_s)
+                self._metrics.observe("shard.devices", float(len(shard)))
+            merged_metrics = MetricsSnapshot.merge_all(
+                (self._metrics.snapshot(),) + shard_metrics
+            )
         return ShardedFleetRun(
             result=merged,
             telemetry=telemetry,
             shard_sizes=tuple(len(shard) for shard in shards),
             used_processes=used_processes,
+            shard_elapsed_s=shard_elapsed,
+            shard_metrics=shard_metrics,
+            metrics=merged_metrics,
         )
 
     def _execute(self, payloads) -> Tuple[List, bool]:

@@ -142,6 +142,12 @@ class FleetSimulator:
         v1.3.0 reference) or ``"batched"`` (pooled counter-based noise
         streams, ring sample storage and cached signal tables); see
         :class:`repro.exec.engine.StepEngine`.
+    metrics:
+        Optional :class:`repro.obs.metrics.MetricsRegistry` the engine
+        records runtime telemetry into (phase spans, counters, cohort
+        histograms); ``None`` (default) runs unmetered at zero
+        overhead.  Recording is observation only — traces stay
+        bit-identical either way.
     """
 
     def __init__(
@@ -154,6 +160,7 @@ class FleetSimulator:
         sensing: str = "stacked",
         controllers: str = "bank",
         noise: str = "per_device",
+        metrics=None,
     ) -> None:
         self._engine = StepEngine(
             pipeline=pipeline,
@@ -164,6 +171,7 @@ class FleetSimulator:
             sensing=sensing,
             controllers=controllers,
             noise=noise,
+            metrics=metrics,
         )
 
     @property
@@ -180,6 +188,11 @@ class FleetSimulator:
     def features(self) -> str:
         """The feature-extraction mode of the execution core."""
         return self._engine.features
+
+    @property
+    def metrics(self):
+        """The engine's metrics recorder (null recorder when unmetered)."""
+        return self._engine.metrics
 
     # ------------------------------------------------------------------
     # Batched simulation
@@ -273,6 +286,7 @@ class FleetSimulator:
                 sensing="per_device",
                 controllers="per_object",
                 acquisition=self._engine.noise,
+                metrics=self._engine.metrics,
             )
             trace = simulator.run(list(profile.schedule), seed=profile.seed)
             trace.records = trace.records[:num_steps]

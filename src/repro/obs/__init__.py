@@ -1,0 +1,55 @@
+"""Runtime observability for the fleet platform.
+
+The :mod:`repro.obs` package is the *online* counterpart of the offline
+profiling tools: a low-overhead metrics registry
+(:class:`~repro.obs.metrics.MetricsRegistry`) that the execution core
+updates while a run executes — per-tick phase spans, engine counters
+and gauges, per-config cohort histograms — plus mergeable snapshots for
+the sharded coordinator (:class:`~repro.obs.metrics.MetricsSnapshot`)
+and exporters (:mod:`repro.obs.export`) for JSON, Chrome trace-event
+timelines (Perfetto) and the Prometheus text exposition format.
+
+Everything is injectable and off by default: simulators take a
+``metrics=`` recorder, and the :data:`~repro.obs.metrics.NULL_RECORDER`
+default guarantees the unmetered hot path performs no clock reads and
+no per-tick allocations, and that traces stay bit-identical in every
+engine mode.
+"""
+
+from repro.obs.export import (
+    snapshot_to_dict,
+    to_chrome_trace,
+    to_prometheus_text,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.obs.logsetup import LOG_LEVELS, configure_logging, shard_logger
+from repro.obs.metrics import (
+    DEFAULT_BUCKET_RATIO,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullRecorder,
+    NULL_RECORDER,
+    SpanEvent,
+    default_bucket_bounds,
+)
+
+__all__ = [
+    "DEFAULT_BUCKET_RATIO",
+    "HistogramSnapshot",
+    "LOG_LEVELS",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "SpanEvent",
+    "configure_logging",
+    "default_bucket_bounds",
+    "shard_logger",
+    "snapshot_to_dict",
+    "to_chrome_trace",
+    "to_prometheus_text",
+    "write_chrome_trace",
+    "write_metrics_json",
+]

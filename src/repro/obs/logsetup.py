@@ -1,0 +1,67 @@
+"""Logging configuration shared by the CLI and the scripts.
+
+One entry point, :func:`configure_logging`, maps the CLI's
+``--log-level`` flag onto the standard :mod:`logging` machinery; module
+code obtains loggers the usual way (``logging.getLogger(__name__)``).
+The sharded coordinator additionally uses :func:`shard_logger` so every
+worker-related line carries a stable per-shard prefix.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["LOG_LEVELS", "configure_logging", "shard_logger"]
+
+#: Accepted ``--log-level`` values, least to most verbose.
+LOG_LEVELS = ("critical", "error", "warning", "info", "debug")
+
+
+def configure_logging(level: Optional[str], stream=None) -> None:
+    """Configure the root ``repro`` logger for CLI / script runs.
+
+    Parameters
+    ----------
+    level:
+        One of :data:`LOG_LEVELS` (case-insensitive) or ``None`` to
+        leave logging untouched (library default: messages propagate to
+        whatever the host application configured).
+    stream:
+        Destination stream, defaulting to ``sys.stderr`` so log lines
+        never interleave with a command's stdout tables.
+    """
+    if level is None:
+        return
+    normalized = level.strip().lower()
+    if normalized not in LOG_LEVELS:
+        raise ValueError(
+            f"log level must be one of {LOG_LEVELS}, got {level!r}"
+        )
+    logger = logging.getLogger("repro")
+    logger.setLevel(getattr(logging, normalized.upper()))
+    # Reconfiguring (e.g. repeated main() calls in tests) replaces the
+    # handler instead of stacking duplicates.
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    logger.addHandler(handler)
+    logger.propagate = False
+
+
+class _ShardPrefixAdapter(logging.LoggerAdapter):
+    """Prepends a ``[shard N]`` prefix to every record's message."""
+
+    def process(self, msg, kwargs):
+        return f"[shard {self.extra['shard']}] {msg}", kwargs
+
+
+def shard_logger(shard_index: int) -> logging.LoggerAdapter:
+    """A logger whose records carry a ``[shard N]`` prefix."""
+    return _ShardPrefixAdapter(
+        logging.getLogger("repro.exec.sharding"), {"shard": shard_index}
+    )

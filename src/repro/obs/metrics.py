@@ -1,0 +1,453 @@
+"""Low-overhead runtime metrics for the fleet execution core.
+
+The engine's only visibility used to be offline: ``cProfile`` via
+``scripts/profile_fleet.py`` and end-of-run
+:class:`repro.fleet.telemetry.FleetTelemetry`.  This module adds the
+*online* layer: a :class:`MetricsRegistry` of *counters* (monotonic
+totals), *gauges* (last-sampled values) and fixed-bucket *histograms*
+(p50/p95/p99) that the execution core
+(:class:`repro.exec.engine.StepEngine`) updates as a run executes, plus
+per-tick *phase spans* that can be exported as a Chrome trace-event
+timeline (open it in Perfetto or ``chrome://tracing``).
+
+Design constraints, in priority order:
+
+* **Observation must never perturb the simulation.**  The registry is
+  write-only from the engine's point of view: it reads clocks and
+  counters, never random streams or sample arrays, so a metered run's
+  traces are bit-identical to an unmetered run in every engine mode —
+  pinned by the equivalence tests.
+* **Disabled means free.**  The default recorder is the no-op
+  :data:`NULL_RECORDER` (``enabled = False``); the engine guards every
+  metric update behind that flag, so the disabled path performs no
+  clock reads and allocates nothing per tick.
+* **Shard-mergeable.**  A :class:`MetricsSnapshot` is a plain frozen
+  value; :meth:`MetricsSnapshot.merge` is associative with
+  :meth:`MetricsSnapshot.empty` as identity, so the sharded coordinator
+  can fold worker snapshots in any grouping — counters sum, gauges sum
+  (use them for quantities that are additive across shards, e.g.
+  buffered samples), histograms merge bucket-wise and span timelines
+  concatenate.  Device-attributable counters are therefore invariant
+  to the shard count.
+
+Histograms use fixed geometric buckets (:func:`default_bucket_bounds`):
+observation is one :func:`bisect.bisect_left` and an integer add, and
+any two snapshots of the same metric merge exactly because they share
+the bucket boundaries.  Quantiles are estimated by rank interpolation
+inside the containing bucket, so the error is bounded by one bucket's
+relative width (~19 % with the default ratio) — plenty for spotting a
+straggling phase, and validated against :func:`numpy.percentile` in the
+tests.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_BUCKET_RATIO",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "SpanEvent",
+    "default_bucket_bounds",
+]
+
+#: Ratio between consecutive default histogram bucket bounds.  The
+#: worst-case relative quantile error is ``ratio - 1``.
+DEFAULT_BUCKET_RATIO: float = 2.0 ** 0.25
+
+
+def default_bucket_bounds(
+    start: float = 1e-7,
+    stop: float = 1e5,
+    ratio: float = DEFAULT_BUCKET_RATIO,
+) -> Tuple[float, ...]:
+    """Geometric bucket upper bounds shared by every default histogram.
+
+    The range covers sub-microsecond phase spans up to 10⁵ (seconds or
+    devices — histograms are unitless), so one bound set serves both
+    duration and batch-size metrics and every snapshot merges exactly.
+    """
+    if not (start > 0.0 and stop > start and ratio > 1.0):
+        raise ValueError(
+            f"invalid bucket geometry: start={start}, stop={stop}, ratio={ratio}"
+        )
+    bounds: List[float] = [start]
+    while bounds[-1] < stop:
+        bounds.append(bounds[-1] * ratio)
+    return tuple(bounds)
+
+
+#: The shared default bounds (built once; ~160 buckets).
+_DEFAULT_BOUNDS: Tuple[float, ...] = default_bucket_bounds()
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One completed phase span, in the recording process's clock.
+
+    ``start_ns`` is a :func:`time.perf_counter_ns` reading; exporters
+    rebase to the earliest span so timelines from forked shard workers
+    (which share the monotonic clock) line up in one view.
+    """
+
+    name: str
+    start_ns: int
+    duration_ns: int
+    tid: int = 0
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Frozen fixed-bucket histogram with rank-interpolated quantiles.
+
+    ``counts`` has one entry per bound (observations ``<= bounds[i]``
+    land in bucket ``i``) plus a trailing overflow bucket.
+    """
+
+    bounds: Tuple[float, ...]
+    counts: Tuple[int, ...]
+    total: float
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if len(self.counts) != len(self.bounds) + 1:
+            raise ValueError(
+                f"counts must have len(bounds) + 1 entries, got "
+                f"{len(self.counts)} for {len(self.bounds)} bounds"
+            )
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        return int(sum(self.counts))
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (NaN when empty)."""
+        count = self.count
+        return self.total / count if count else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (0-100) by rank interpolation.
+
+        The estimate lies inside the bucket containing the true rank,
+        clamped to the observed ``[low, high]`` range, so its relative
+        error is bounded by one bucket's width.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        count = self.count
+        if count == 0:
+            return float("nan")
+        target = q / 100.0 * count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                lower = self.bounds[index - 1] if index > 0 else self.low
+                upper = (
+                    self.bounds[index] if index < len(self.bounds) else self.high
+                )
+                fraction = (
+                    (target - cumulative) / bucket_count if bucket_count else 0.0
+                )
+                value = lower + fraction * (upper - lower)
+                return float(min(max(value, self.low), self.high))
+            cumulative += bucket_count
+        return float(self.high)
+
+    def merge(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
+        """Bucket-wise merge; both histograms must share their bounds."""
+        if self.bounds != other.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        return HistogramSnapshot(
+            bounds=self.bounds,
+            counts=tuple(a + b for a, b in zip(self.counts, other.counts)),
+            total=self.total + other.total,
+            low=min(self.low, other.low),
+            high=max(self.high, other.high),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Compact JSON form: summary stats plus the non-empty buckets."""
+        nonzero = [
+            (index, count) for index, count in enumerate(self.counts) if count
+        ]
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.low if self.count else None,
+            "max": self.high if self.count else None,
+            "mean": self.mean if self.count else None,
+            "p50": self.percentile(50.0) if self.count else None,
+            "p95": self.percentile(95.0) if self.count else None,
+            "p99": self.percentile(99.0) if self.count else None,
+            "buckets": {
+                str(
+                    self.bounds[index] if index < len(self.bounds) else "inf"
+                ): count
+                for index, count in nonzero
+            },
+        }
+
+
+class _Histogram:
+    """Mutable fixed-bucket histogram backing one registry metric."""
+
+    __slots__ = ("bounds", "counts", "total", "low", "high")
+
+    def __init__(self, bounds: Tuple[float, ...]) -> None:
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.total = 0.0
+        self.low = float("inf")
+        self.high = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        if value < self.low:
+            self.low = value
+        if value > self.high:
+            self.high = value
+
+    def freeze(self) -> HistogramSnapshot:
+        return HistogramSnapshot(
+            bounds=self.bounds,
+            counts=tuple(self.counts),
+            total=self.total,
+            low=self.low,
+            high=self.high,
+        )
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Frozen, mergeable state of one :class:`MetricsRegistry`.
+
+    The merge algebra is a commutative monoid with :meth:`empty` as the
+    identity (spans excepted: their concatenation order follows the
+    merge order, but the multiset of events is order-free), which is
+    what lets the sharded coordinator fold worker snapshots in any
+    grouping and still report shard-count-invariant totals.
+    """
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, HistogramSnapshot] = field(default_factory=dict)
+    spans: Tuple[SpanEvent, ...] = ()
+
+    @classmethod
+    def empty(cls) -> "MetricsSnapshot":
+        """The merge identity."""
+        return cls()
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Associative merge: sum counters and gauges, merge histograms
+        bucket-wise, concatenate span timelines."""
+        counters = dict(self.counters)
+        for name, value in other.counters.items():
+            counters[name] = counters.get(name, 0.0) + value
+        gauges = dict(self.gauges)
+        for name, value in other.gauges.items():
+            gauges[name] = gauges.get(name, 0.0) + value
+        histograms = dict(self.histograms)
+        for name, histogram in other.histograms.items():
+            mine = histograms.get(name)
+            histograms[name] = (
+                histogram if mine is None else mine.merge(histogram)
+            )
+        return MetricsSnapshot(
+            counters=counters,
+            gauges=gauges,
+            histograms=histograms,
+            spans=self.spans + other.spans,
+        )
+
+    @classmethod
+    def merge_all(
+        cls, parts: Sequence["MetricsSnapshot"]
+    ) -> "MetricsSnapshot":
+        """Fold any number of snapshots (empty sequence -> identity)."""
+        merged = cls.empty()
+        for part in parts:
+            merged = merged.merge(part)
+        return merged
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form of the snapshot (spans summarised by count)."""
+        return {
+            "counters": {
+                name: self.counters[name] for name in sorted(self.counters)
+            },
+            "gauges": {name: self.gauges[name] for name in sorted(self.gauges)},
+            "histograms": {
+                name: self.histograms[name].to_dict()
+                for name in sorted(self.histograms)
+            },
+            "num_span_events": len(self.spans),
+        }
+
+
+class MetricsRegistry:
+    """Collects counters, gauges, histograms and phase spans for one run.
+
+    Parameters
+    ----------
+    trace_events:
+        Retain individual :class:`SpanEvent` records (for the Chrome
+        trace-event export).  Span *duration histograms* are always
+        recorded; the event timeline is opt-in because a long run emits
+        several events per tick.
+    tid:
+        Thread id stamped on this registry's span events — the sharded
+        coordinator gives each worker its shard index so the merged
+        timeline shows one lane per shard.
+    bounds:
+        Histogram bucket bounds; every histogram of one registry shares
+        them so snapshots always merge.  Defaults to
+        :func:`default_bucket_bounds`.
+    """
+
+    #: Real registries record; the engine checks this one flag.
+    enabled: bool = True
+
+    def __init__(
+        self,
+        trace_events: bool = False,
+        tid: int = 0,
+        bounds: Optional[Tuple[float, ...]] = None,
+    ) -> None:
+        self._bounds = _DEFAULT_BOUNDS if bounds is None else tuple(bounds)
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, _Histogram] = {}
+        self._spans: List[SpanEvent] = []
+        self._trace_events = bool(trace_events)
+        self._tid = int(tid)
+
+    @property
+    def trace_events(self) -> bool:
+        """Whether individual span events are retained."""
+        return self._trace_events
+
+    @property
+    def tid(self) -> int:
+        """Thread id stamped on this registry's span events."""
+        return self._tid
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to the counter ``name`` (created at zero)."""
+        self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to its latest sampled ``value``."""
+        self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the histogram ``name``."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = _Histogram(self._bounds)
+            self._histograms[name] = histogram
+        histogram.observe(value)
+
+    def now_ns(self) -> int:
+        """Monotonic clock reading for span boundaries."""
+        return time.perf_counter_ns()
+
+    def span(self, name: str, start_ns: int, end_ns: int) -> None:
+        """Record one completed phase span.
+
+        Always feeds the span's duration (in seconds) into the
+        histogram ``name``; additionally retains the event when
+        ``trace_events`` is on.
+        """
+        duration_ns = end_ns - start_ns
+        self.observe(name, duration_ns * 1e-9)
+        if self._trace_events:
+            self._spans.append(
+                SpanEvent(
+                    name=name,
+                    start_ns=start_ns,
+                    duration_ns=duration_ns,
+                    tid=self._tid,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str) -> float:
+        """Current value of a counter (zero when never incremented)."""
+        return self._counters.get(name, 0.0)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Freeze the current state into a mergeable snapshot."""
+        return MetricsSnapshot(
+            counters=dict(self._counters),
+            gauges=dict(self._gauges),
+            histograms={
+                name: histogram.freeze()
+                for name, histogram in self._histograms.items()
+            },
+            spans=tuple(self._spans),
+        )
+
+
+class NullRecorder:
+    """The do-nothing default recorder.
+
+    ``enabled`` is ``False``, so the engine never takes a clock reading
+    or touches a metric structure — the disabled path costs nothing and
+    allocates nothing per tick.  The methods exist so code that does
+    not bother guarding still works.
+    """
+
+    enabled: bool = False
+    trace_events: bool = False
+    tid: int = 0
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def now_ns(self) -> int:
+        return 0
+
+    def span(self, name: str, start_ns: int, end_ns: int) -> None:
+        pass
+
+    def counter_value(self, name: str) -> float:
+        return 0.0
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot.empty()
+
+
+#: Shared no-op recorder used as the default everywhere.
+NULL_RECORDER = NullRecorder()
+
+
+def percentile_reference(values: Sequence[float], q: float) -> float:
+    """NumPy's linear-interpolation percentile, for tests and tools."""
+    return float(np.percentile(np.asarray(values, dtype=float), q))

@@ -90,6 +90,12 @@ class NoiseBank:
         # An exhausted cursor forces a refill on first use, so pool
         # memory is only ever filled for devices that actually sense.
         self._cursors = np.full(len(self._generators), self._pool_values)
+        #: Device-stream pool refills performed so far (observability
+        #: counter; one refill materialises ``pool_values`` normals).
+        self.refills = 0
+        #: Acquisitions that bypassed the pool because a single tick
+        #: needed more values than one pool holds.
+        self.pool_bypasses = 0
 
     @classmethod
     def from_rngs(cls, rngs: Sequence[np.random.Generator]) -> "NoiseBank":
@@ -160,6 +166,7 @@ class NoiseBank:
                 values[index] = self._generators[device].standard_normal(
                     count, dtype=np.float32
                 )
+            self.pool_bypasses += rows.shape[0]
         else:
             cursors = self._cursors[rows]
             exhausted = rows[cursors + count > self._pool_values]
@@ -168,6 +175,7 @@ class NoiseBank:
                     self._pool_values, dtype=np.float32
                 )
             if exhausted.size:
+                self.refills += int(exhausted.size)
                 self._cursors[exhausted] = 0
                 cursors = self._cursors[rows]
             # Devices that entered the active configuration together

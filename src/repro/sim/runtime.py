@@ -83,6 +83,11 @@ class ClosedLoopSimulator:
         equivalent noise, bit-identical across engines within the
         mode).  Named ``acquisition`` here because this facade already
         uses ``noise`` for the sensor's :class:`NoiseModel`.
+    metrics:
+        Optional :class:`repro.obs.metrics.MetricsRegistry` the engine
+        records runtime telemetry into; ``None`` (default) runs
+        unmetered at zero overhead.  Recording is observation only —
+        traces stay bit-identical either way.
     """
 
     def __init__(
@@ -98,6 +103,7 @@ class ClosedLoopSimulator:
         sensing: str = "stacked",
         controllers: str = "bank",
         acquisition: str = "per_device",
+        metrics=None,
     ) -> None:
         self._engine = StepEngine(
             pipeline=pipeline,
@@ -108,6 +114,7 @@ class ClosedLoopSimulator:
             sensing=sensing,
             controllers=controllers,
             noise=acquisition,
+            metrics=metrics,
         )
         self._controller = controller
         self._power_model = (

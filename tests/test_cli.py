@@ -221,6 +221,111 @@ class TestModuleEntryPoint:
         assert "table1" in completed.stdout
 
 
+class TestObservabilityFlags:
+    def test_flags_parsed_with_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.metrics is None
+        assert args.trace_events is None
+        assert args.prometheus is None
+        assert args.log_level is None
+
+    def test_log_level_accepted_after_subcommand(self):
+        args = build_parser().parse_args(["fleet", "--log-level", "debug"])
+        assert args.log_level == "debug"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--log-level", "loud"])
+
+    def test_fleet_exports_metrics_trace_and_prometheus(self, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.json"
+        prom_path = tmp_path / "prom.txt"
+        out = io.StringIO()
+        code = main(
+            [
+                "fleet",
+                "--devices", "3",
+                "--duration", "10",
+                "--windows", "6",
+                "--seed", "5",
+                "--metrics", str(metrics_path),
+                "--trace-events", str(trace_path),
+                "--prometheus", str(prom_path),
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert f"metrics            -> {metrics_path}" in text
+        assert f"trace events       -> {trace_path}" in text
+
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"]["engine.ticks"] == 10.0
+        assert metrics["counters"]["engine.windows_classified"] == 30.0
+        assert metrics["meta"]["engine"] == "batched"
+        assert "tick.sense" in metrics["histograms"]
+
+        trace = json.loads(trace_path.read_text())
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert spans
+        assert all("ts" in e and "dur" in e for e in spans)
+
+        prom = prom_path.read_text()
+        assert "# TYPE repro_engine_ticks counter" in prom
+
+    def test_metered_fleet_telemetry_matches_unmetered(self, tmp_path):
+        """--metrics must not perturb the simulated fleet."""
+        outputs = {}
+        for name, extra in (
+            ("plain", []),
+            ("metered", ["--metrics", str(tmp_path / "m.json")]),
+        ):
+            path = tmp_path / f"{name}.json"
+            code = main(
+                [
+                    "fleet",
+                    "--devices", "3",
+                    "--duration", "10",
+                    "--windows", "6",
+                    "--seed", "5",
+                    "--out", str(path),
+                ]
+                + extra,
+                out=io.StringIO(),
+            )
+            assert code == 0
+            outputs[name] = json.loads(path.read_text())
+        assert outputs["metered"] == outputs["plain"]
+
+    def test_sharded_fleet_prints_per_shard_lines_and_merges_metrics(
+        self, tmp_path
+    ):
+        metrics_path = tmp_path / "metrics.json"
+        out = io.StringIO()
+        code = main(
+            [
+                "fleet",
+                "--devices", "4",
+                "--duration", "10",
+                "--windows", "6",
+                "--seed", "5",
+                "--engine", "sharded",
+                "--shards", "2",
+                "--metrics", str(metrics_path),
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "shard 0" in text and "shard 1" in text
+        assert "shard skew" in text
+        metrics = json.loads(metrics_path.read_text())
+        # Two worker runs merged, plus the coordinator's heartbeats.
+        assert metrics["counters"]["engine.runs"] == 2.0
+        assert metrics["counters"]["engine.windows_classified"] == 40.0
+        assert metrics["histograms"]["shard.elapsed_s"]["count"] == 2
+        assert metrics["gauges"]["shard.count"] == 2.0
+
+
 class TestFleetNoiseMode:
     def test_noise_flag_parsed(self):
         args = build_parser().parse_args(["fleet", "--noise", "batched"])

@@ -1,0 +1,273 @@
+"""Tests for the observability core: registry, snapshots, exporters.
+
+The merge algebra is what the sharded coordinator leans on, so it is
+pinned exactly: associativity with :meth:`MetricsSnapshot.empty` as the
+identity, and shard-count invariance when one stream of observations is
+split across any number of registries.  Histogram quantiles are only
+estimates — their contract is a relative error bounded by one bucket's
+width — so they are validated against :func:`numpy.percentile`.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKET_RATIO,
+    LOG_LEVELS,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NULL_RECORDER,
+    SpanEvent,
+    configure_logging,
+    default_bucket_bounds,
+    shard_logger,
+    snapshot_to_dict,
+    to_chrome_trace,
+    to_prometheus_text,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.obs.metrics import percentile_reference
+
+
+def _random_snapshot(rng: np.random.Generator) -> MetricsSnapshot:
+    """A registry filled with integer-valued observations, frozen.
+
+    Integer values keep every float sum exact, so snapshot equality is
+    well-defined regardless of merge grouping.
+    """
+    registry = MetricsRegistry(trace_events=True, tid=int(rng.integers(4)))
+    for name in ("a", "b"):
+        registry.count(name, float(rng.integers(1, 100)))
+    registry.gauge("g", float(rng.integers(1, 50)))
+    for _ in range(20):
+        registry.observe("h", float(rng.integers(1, 10_000)))
+    # A fixed duration keeps the span-duration histogram's float total
+    # independent of summation order (bucket counts are always exact;
+    # totals of unequal values are associative only up to rounding).
+    start = int(rng.integers(1_000, 1_000_000))
+    registry.span("s", start, start + 2_048)
+    return registry.snapshot()
+
+
+class TestHistogram:
+    def test_percentiles_match_numpy_within_bucket_width(self):
+        rng = np.random.default_rng(7)
+        values = np.exp(rng.normal(loc=-4.0, scale=2.0, size=5_000))
+        registry = MetricsRegistry()
+        for value in values:
+            registry.observe("h", float(value))
+        histogram = registry.snapshot().histograms["h"]
+        # The estimate interpolates inside the containing bucket, so it
+        # is off by at most one bucket's relative width.
+        tolerance = DEFAULT_BUCKET_RATIO - 1.0
+        for q in (50.0, 90.0, 95.0, 99.0):
+            exact = percentile_reference(values, q)
+            estimate = histogram.percentile(q)
+            assert abs(estimate - exact) <= tolerance * exact + 1e-12, (
+                f"p{q}: estimate {estimate} vs exact {exact}"
+            )
+
+    def test_extremes_are_exact(self):
+        registry = MetricsRegistry()
+        for value in (0.25, 3.0, 17.5):
+            registry.observe("h", value)
+        histogram = registry.snapshot().histograms["h"]
+        assert histogram.percentile(0.0) == 0.25
+        assert histogram.percentile(100.0) == 17.5
+        assert histogram.count == 3
+        assert histogram.mean == pytest.approx((0.25 + 3.0 + 17.5) / 3)
+
+    def test_empty_percentile_is_nan(self):
+        from repro.obs import HistogramSnapshot
+
+        bounds = default_bucket_bounds(1e-3, 10.0)
+        empty = HistogramSnapshot(
+            bounds=bounds,
+            counts=(0,) * (len(bounds) + 1),
+            total=0.0,
+            low=float("inf"),
+            high=float("-inf"),
+        )
+        assert np.isnan(empty.percentile(50.0))
+        assert np.isnan(empty.mean)
+
+    def test_merge_requires_identical_bounds(self):
+        left = MetricsRegistry(bounds=default_bucket_bounds(1e-3, 10.0))
+        right = MetricsRegistry(bounds=default_bucket_bounds(1e-2, 10.0))
+        left.observe("h", 1.0)
+        right.observe("h", 1.0)
+        with pytest.raises(ValueError, match="different bounds"):
+            left.snapshot().histograms["h"].merge(
+                right.snapshot().histograms["h"]
+            )
+
+    def test_to_dict_has_quantile_summary(self):
+        registry = MetricsRegistry()
+        for value in range(1, 101):
+            registry.observe("h", float(value))
+        payload = registry.snapshot().histograms["h"].to_dict()
+        assert payload["count"] == 100
+        assert payload["min"] == 1.0
+        assert payload["max"] == 100.0
+        assert payload["p50"] <= payload["p95"] <= payload["p99"]
+
+
+class TestSnapshotAlgebra:
+    def test_merge_is_associative(self):
+        rng = np.random.default_rng(11)
+        a, b, c = (_random_snapshot(rng) for _ in range(3))
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    def test_empty_is_the_identity(self):
+        snapshot = _random_snapshot(np.random.default_rng(13))
+        empty = MetricsSnapshot.empty()
+        assert empty.merge(snapshot) == snapshot
+        assert snapshot.merge(empty) == snapshot
+
+    def test_split_observations_merge_to_the_whole(self):
+        """Splitting one observation stream over N registries and
+        merging is invariant to N — the sharded coordinator's
+        contract."""
+        values = [float(v) for v in np.random.default_rng(17).integers(
+            1, 5_000, size=60
+        )]
+        merged = {}
+        for num_parts in (1, 2, 4):
+            registries = [MetricsRegistry() for _ in range(num_parts)]
+            for index, value in enumerate(values):
+                registries[index % num_parts].observe("h", value)
+                registries[index % num_parts].count("n")
+            merged[num_parts] = MetricsSnapshot.merge_all(
+                [registry.snapshot() for registry in registries]
+            )
+        assert merged[1].counters == merged[2].counters == merged[4].counters
+        assert (
+            merged[1].histograms == merged[2].histograms == merged[4].histograms
+        )
+
+    def test_merge_all_of_nothing_is_empty(self):
+        assert MetricsSnapshot.merge_all([]) == MetricsSnapshot.empty()
+
+    def test_gauges_sum_across_shards(self):
+        left = MetricsRegistry()
+        right = MetricsRegistry()
+        left.gauge("ring.buffered_samples", 10.0)
+        right.gauge("ring.buffered_samples", 32.0)
+        merged = left.snapshot().merge(right.snapshot())
+        assert merged.gauges["ring.buffered_samples"] == 42.0
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.count("c")
+        registry.count("c", 4.0)
+        assert registry.counter_value("c") == 5.0
+        assert registry.counter_value("missing") == 0.0
+
+    def test_span_events_are_opt_in(self):
+        plain = MetricsRegistry()
+        plain.span("s", 0, 1_000)
+        assert plain.snapshot().spans == ()
+        assert "s" in plain.snapshot().histograms
+
+        tracing = MetricsRegistry(trace_events=True, tid=2)
+        tracing.span("s", 0, 1_000)
+        (event,) = tracing.snapshot().spans
+        assert event == SpanEvent(name="s", start_ns=0, duration_ns=1_000, tid=2)
+
+    def test_null_recorder_is_disabled_and_empty(self):
+        assert NULL_RECORDER.enabled is False
+        NULL_RECORDER.count("c")
+        NULL_RECORDER.observe("h", 1.0)
+        NULL_RECORDER.span("s", NULL_RECORDER.now_ns(), NULL_RECORDER.now_ns())
+        assert NULL_RECORDER.snapshot() == MetricsSnapshot.empty()
+
+
+class TestExporters:
+    def _snapshot(self) -> MetricsSnapshot:
+        registry = MetricsRegistry(trace_events=True, tid=1)
+        registry.count("engine.ticks", 40.0)
+        registry.gauge("shard.count", 2.0)
+        registry.observe("tick.sense", 0.002)
+        registry.span("tick.extract", 5_000, 9_000)
+        return registry.snapshot()
+
+    def test_metrics_json_roundtrip(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        write_metrics_json(self._snapshot(), str(path), extra={"devices": 4})
+        payload = json.loads(path.read_text())
+        assert payload["counters"]["engine.ticks"] == 40.0
+        assert payload["meta"]["devices"] == 4
+        assert payload["histograms"]["tick.sense"]["count"] == 1
+        assert payload == snapshot_to_dict(self._snapshot(), {"devices": 4})
+
+    def test_chrome_trace_schema(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(self._snapshot(), str(path))
+        document = json.loads(path.read_text())
+        events = document["traceEvents"]
+        assert events, "no trace events emitted"
+        spans = [event for event in events if event["ph"] == "X"]
+        names = [event for event in events if event["ph"] == "M"]
+        assert spans and names
+        for event in spans:
+            assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(event)
+        # Timestamps are rebased to the earliest span.
+        assert min(event["ts"] for event in spans) == 0.0
+        assert names[0]["args"]["name"] == "shard-1"
+
+    def test_prometheus_text_format(self):
+        text = to_prometheus_text(self._snapshot())
+        assert "# TYPE repro_engine_ticks counter" in text
+        assert "repro_engine_ticks 40" in text
+        assert "# TYPE repro_shard_count gauge" in text
+        assert "# TYPE repro_tick_sense summary" in text
+        assert 'repro_tick_sense{quantile="0.5"}' in text
+        assert "repro_tick_sense_count 1" in text
+        # Metric names must be exposition-safe (no dots).
+        for line in text.splitlines():
+            if not line.startswith("#"):
+                assert "." not in line.split(" ")[0].split("{")[0]
+
+
+class TestLogging:
+    def test_configure_logging_none_is_a_noop(self):
+        assert configure_logging(None) is None
+
+    def test_levels_route_to_the_given_stream(self):
+        import io
+
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        try:
+            logging.getLogger("repro.test").info("hello")
+            logging.getLogger("repro.test").debug("hidden")
+        finally:
+            configure_logging("warning", stream=io.StringIO())
+        text = stream.getvalue()
+        assert "hello" in text
+        assert "hidden" not in text
+
+    def test_shard_logger_prefixes_messages(self):
+        import io
+
+        stream = io.StringIO()
+        configure_logging("debug", stream=stream)
+        try:
+            shard_logger(3).debug("working on %d devices", 7)
+        finally:
+            configure_logging("warning", stream=io.StringIO())
+        assert "[shard 3] working on 7 devices" in stream.getvalue()
+
+    def test_log_levels_are_valid(self):
+        for level in LOG_LEVELS:
+            assert isinstance(
+                logging.getLevelName(level.upper()), int
+            ), f"unknown level {level}"
