@@ -45,6 +45,10 @@ RECIPES: Dict[str, Dict[str, str]] = {
         features="incremental", sensing="stacked", controllers="bank",
         noise="batched", trace="summary",
     ),
+    "float32": dict(
+        features="incremental", sensing="stacked", controllers="bank",
+        noise="batched", dtype="float32", trace="summary",
+    ),
 }
 
 

@@ -55,6 +55,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--noise", choices=("per_device", "batched"),
                         default="per_device",
                         help="acquisition layer (default: per_device)")
+    parser.add_argument("--dtype", choices=("float64", "float32"),
+                        default="float64",
+                        help="compute-lane precision (default: float64)")
     parser.add_argument("--trace", choices=("summary", "full"),
                         default="summary")
     parser.add_argument("--compare", nargs=2, metavar=("MODE_A", "MODE_B"),
@@ -196,6 +199,7 @@ def main(argv=None) -> int:
         sensing=args.sensing,
         controllers=args.controllers,
         noise=args.noise,
+        dtype=args.dtype,
         metrics=registry,
     )
     result, stats = _profile_run(simulator, population, args.trace)
@@ -219,6 +223,7 @@ def main(argv=None) -> int:
             "sensing": args.sensing,
             "controllers": args.controllers,
             "noise": args.noise,
+            "dtype": args.dtype,
             "trace": args.trace,
             "seed": args.seed,
         }

@@ -226,6 +226,13 @@ def build_parser() -> argparse.ArgumentParser:
              "signal tables; statistically equivalent and shard-invariant)",
     )
     fleet_parser.add_argument(
+        "--dtype", choices=("float64", "float32"), default="float64",
+        help="compute-lane precision: float64 (default, bit-exact with "
+             "prior releases) or float32 (single-precision signal "
+             "synthesis, acquisition and feature extraction; features "
+             "reach the classifier as float64 either way)",
+    )
+    fleet_parser.add_argument(
         "--trace", choices=("summary", "full"), default="summary",
         help="collect streaming O(devices) telemetry accumulators "
              "(default) or materialise full per-step traces; reports are "
@@ -367,6 +374,7 @@ def _command_fleet(args: argparse.Namespace, out) -> int:
             features=args.features,
             controllers=args.controllers,
             noise=args.noise,
+            dtype=args.dtype,
             metrics=registry,
         )
         run = sharded.run(population, num_shards=args.shards, trace=args.trace)
@@ -397,6 +405,7 @@ def _command_fleet(args: argparse.Namespace, out) -> int:
             features=args.features,
             controllers=args.controllers,
             noise=args.noise,
+            dtype=args.dtype,
             metrics=registry,
         )
         if args.engine == "sequential":
@@ -410,6 +419,7 @@ def _command_fleet(args: argparse.Namespace, out) -> int:
     out.write(f"features           : {args.features}\n")
     out.write(f"controllers        : {args.controllers}\n")
     out.write(f"noise              : {args.noise}\n")
+    out.write(f"dtype              : {args.dtype}\n")
     out.write(f"trace              : {result.trace_mode}\n")
     out.write(
         f"throughput         : {result.throughput_device_seconds_per_s:.0f} "
@@ -427,6 +437,7 @@ def _command_fleet(args: argparse.Namespace, out) -> int:
             "features": args.features,
             "controllers": args.controllers,
             "noise": args.noise,
+            "dtype": args.dtype,
             "trace": args.trace,
             "seed": args.seed,
         }

@@ -56,6 +56,46 @@ _NUM_AXES: int = 3
 
 FourierMode = Literal["bands", "bins"]
 
+#: Real dtypes a compute lane may run in (complex spectra follow along:
+#: ``float32`` windows produce ``complex64`` DFT coefficients).
+SUPPORTED_DTYPES: Tuple[np.dtype, ...] = (
+    np.dtype(np.float64),
+    np.dtype(np.float32),
+)
+
+
+def _lane_dtype(dtype) -> np.dtype:
+    """Normalise and validate a compute-lane dtype."""
+    resolved = np.dtype(dtype)
+    if resolved not in SUPPORTED_DTYPES:
+        raise ValueError(
+            f"dtype must be float64 or float32, got {dtype!r}"
+        )
+    return resolved
+
+
+def _complex_dtype(dtype: np.dtype) -> np.dtype:
+    """The complex dtype matching a real lane dtype."""
+    return np.dtype(np.complex64 if dtype == np.float32 else np.complex128)
+
+
+def _as_samples(samples, dtype: np.dtype) -> np.ndarray:
+    """``np.asarray(samples, dtype=dtype)`` without the redundant pass.
+
+    Sample stacks arriving from the ring buffer or the stacked
+    acquisition path are already C-contiguous arrays of the lane dtype,
+    so the common case returns the input untouched instead of paying an
+    ``asarray`` round trip (and, in the float32 lane, an accidental
+    upcast-copy to float64) per extraction call.
+    """
+    if (
+        isinstance(samples, np.ndarray)
+        and samples.dtype == dtype
+        and samples.flags.c_contiguous
+    ):
+        return samples
+    return np.asarray(samples, dtype=dtype)
+
 
 @lru_cache(maxsize=512)
 def _spectral_layout(
@@ -129,7 +169,9 @@ class FeatureExtractor:
     # ------------------------------------------------------------------
     # Extraction
     # ------------------------------------------------------------------
-    def extract(self, samples: np.ndarray, sampling_hz: float) -> np.ndarray:
+    def extract(
+        self, samples: np.ndarray, sampling_hz: float, dtype=np.float64
+    ) -> np.ndarray:
         """Extract the unified feature vector from one window.
 
         Parameters
@@ -139,22 +181,27 @@ class FeatureExtractor:
         sampling_hz:
             Output data rate the samples were acquired at; required to
             map FFT bins onto physical frequencies.
+        dtype:
+            Compute-lane dtype (``float64`` default, or ``float32`` for
+            the reduced-precision lane).
 
         Returns
         -------
         numpy.ndarray
             Vector of length :attr:`num_features`.
         """
-        samples = np.asarray(samples, dtype=float)
+        samples = _as_samples(samples, _lane_dtype(dtype))
         if samples.ndim != 2 or samples.shape[1] != _NUM_AXES:
             raise ValueError(f"samples must have shape (n, 3), got {samples.shape}")
         if samples.shape[0] < 2:
             raise ValueError(
                 f"at least two samples are required, got {samples.shape[0]}"
             )
-        return self.extract_stacked(samples[None, :, :], sampling_hz)[0]
+        return self.extract_stacked(samples[None, :, :], sampling_hz, dtype=dtype)[0]
 
-    def extract_stacked(self, samples: np.ndarray, sampling_hz: float) -> np.ndarray:
+    def extract_stacked(
+        self, samples: np.ndarray, sampling_hz: float, dtype=np.float64
+    ) -> np.ndarray:
         """Extract features for a stack of equally-shaped windows at once.
 
         This is the vectorised path the fleet simulator relies on: all
@@ -178,7 +225,7 @@ class FeatureExtractor:
             Matrix of shape ``(batch, num_features)``.
         """
         check_positive(sampling_hz, "sampling_hz")
-        samples = np.asarray(samples, dtype=float)
+        samples = _as_samples(samples, _lane_dtype(dtype))
         if samples.ndim != 3 or samples.shape[2] != _NUM_AXES:
             raise ValueError(
                 f"stacked samples must have shape (batch, n, 3), got {samples.shape}"
@@ -194,16 +241,20 @@ class FeatureExtractor:
         return np.concatenate([means, stds, fourier], axis=1)
 
     def extract_batch(
-        self, windows: Iterable[Tuple[np.ndarray, float]]
+        self,
+        windows: Iterable[Tuple[np.ndarray, float]],
+        dtype=np.float64,
     ) -> np.ndarray:
         """Extract features for a sequence of ``(samples, sampling_hz)`` pairs.
 
         Windows sharing a shape and sampling rate are grouped and pushed
         through :meth:`extract_stacked` together; the returned rows keep
-        the input order.
+        the input order.  The output matrix is always float64 (the
+        classifier boundary); ``dtype`` selects the compute lane.
         """
+        lane = _lane_dtype(dtype)
         items = [
-            (np.asarray(samples, dtype=float), float(sampling_hz))
+            (_as_samples(samples, lane), float(sampling_hz))
             for samples, sampling_hz in windows
         ]
         output = np.empty((len(items), self.num_features))
@@ -216,7 +267,7 @@ class FeatureExtractor:
             groups.setdefault((samples.shape, sampling_hz), []).append(index)
         for (_, sampling_hz), indices in groups.items():
             stacked = np.stack([items[index][0] for index in indices])
-            output[indices] = self.extract_stacked(stacked, sampling_hz)
+            output[indices] = self.extract_stacked(stacked, sampling_hz, dtype=dtype)
         return output
 
     # ------------------------------------------------------------------
@@ -230,7 +281,9 @@ class FeatureExtractor:
         spectrum = np.abs(np.fft.rfft(centered, axis=1)) * (2.0 / n_samples)
 
         if self.fourier_mode == "bins":
-            features = np.zeros((batch, self.n_fourier_features, _NUM_AXES))
+            features = np.zeros(
+                (batch, self.n_fourier_features, _NUM_AXES), dtype=samples.dtype
+            )
             available = min(self.n_fourier_features, spectrum.shape[1] - 1)
             if available > 0:
                 features[:, :available] = spectrum[:, 1 : available + 1]
@@ -245,7 +298,9 @@ class FeatureExtractor:
             self.max_frequency_hz,
             self.n_fourier_features,
         )
-        features = np.zeros((batch, self.n_fourier_features, _NUM_AXES))
+        features = np.zeros(
+            (batch, self.n_fourier_features, _NUM_AXES), dtype=samples.dtype
+        )
         for band, mask in enumerate(masks):
             # The DC bin is excluded by construction (frequencies > low >= 0).
             if mask.any():
@@ -358,6 +413,144 @@ class _SpectralBasis:
     chunk_phases: np.ndarray
     band_masks: Optional[Tuple[np.ndarray, ...]]
     scale: float
+    #: Window length to zero-pad chunks to before an rfft (float32 lane
+    #: only, else ``None``): a chunk's window-bin DFT coefficients are
+    #: exactly the first bins of the zero-padded chunk's ``n``-point
+    #: transform, and pocketfft runs each (device, axis) transform
+    #: independently — several times faster than the complex einsum in
+    #: single precision *and* bit-identical regardless of how devices
+    #: are grouped into batches (BLAS-backed spellings are not, which
+    #: would break shard invariance).
+    pad_samples: Optional[int] = None
+
+
+# ----------------------------------------------------------------------
+# Process-wide spectral plan cache
+# ----------------------------------------------------------------------
+#
+# A fleet re-runs the same handful of window geometries for every device
+# and every run; the DFT basis, tail basis and phase-rotation tables
+# only depend on the geometry, the extractor's band layout and the
+# compute dtype.  Caching the full ``_SpectralBasis`` at module level
+# (same idea as ``_spectral_layout``, but covering the tail-chunk layout
+# and phase tables too) lets freshly constructed extractors — a new
+# ``IncrementalFeatureExtractor`` per ``StepEngine``, one per shard
+# worker, one per reusable-runtime rebuild — skip the trigonometry
+# entirely after the first run in the process.  The hit/miss counters
+# feed the engine's ``plan_cache.hits`` / ``plan_cache.misses`` metrics.
+
+_PlanKey = Tuple[WindowGeometry, np.dtype, int, float, str]
+_PLAN_CACHE: Dict["_PlanKey", _SpectralBasis] = {}
+_PLAN_CACHE_HITS: int = 0
+_PLAN_CACHE_MISSES: int = 0
+
+
+def spectral_plan(
+    geometry: "WindowGeometry",
+    extractor: FeatureExtractor,
+    dtype=np.float64,
+) -> _SpectralBasis:
+    """The cached DFT basis and band layout for one window geometry.
+
+    Keyed by ``(geometry, dtype)`` plus the extractor parameters that
+    shape the spectral layout, so two extractors configured alike share
+    one set of tables.  Returned arrays are frozen; callers must never
+    mutate them.
+    """
+    global _PLAN_CACHE_HITS, _PLAN_CACHE_MISSES
+    lane = _lane_dtype(dtype)
+    key = (
+        geometry,
+        lane,
+        extractor.n_fourier_features,
+        float(extractor.max_frequency_hz),
+        extractor.fourier_mode,
+    )
+    basis = _PLAN_CACHE.get(key)
+    if basis is not None:
+        _PLAN_CACHE_HITS += 1
+        return basis
+    _PLAN_CACHE_MISSES += 1
+    basis = _build_basis(geometry, extractor, lane)
+    _PLAN_CACHE[key] = basis
+    return basis
+
+
+def plan_cache_stats() -> Tuple[int, int]:
+    """Process-wide ``(hits, misses)`` of the spectral plan cache."""
+    return _PLAN_CACHE_HITS, _PLAN_CACHE_MISSES
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan and zero the hit/miss counters.
+
+    Shard workers call this right after a process fork so inherited
+    parent-cache state can neither go stale nor pollute the worker's
+    own plan-cache metrics.
+    """
+    global _PLAN_CACHE_HITS, _PLAN_CACHE_MISSES
+    _PLAN_CACHE.clear()
+    _PLAN_CACHE_HITS = 0
+    _PLAN_CACHE_MISSES = 0
+
+
+def _build_basis(
+    geometry: "WindowGeometry", extractor: FeatureExtractor, dtype: np.dtype
+) -> _SpectralBasis:
+    """Build the spectral basis tables for one ``(geometry, dtype)``.
+
+    The tables are always constructed in float64 and only then cast for
+    the float32 lane, so single-precision runs use the correctly rounded
+    double-precision trigonometry rather than accumulating float32
+    phase error over long windows.
+    """
+    n = geometry.window_samples
+    max_bin = n // 2
+    band_masks: Optional[Tuple[np.ndarray, ...]] = None
+    if extractor.fourier_mode == "bins":
+        bins = min(extractor.n_fourier_features, max_bin)
+    else:
+        frequencies, masks = _spectral_layout(
+            n,
+            geometry.sampling_hz,
+            extractor.max_frequency_hz,
+            extractor.n_fourier_features,
+        )
+        in_band = np.flatnonzero(
+            (frequencies[: max_bin + 1] > 0.0)
+            & (frequencies[: max_bin + 1] <= extractor.max_frequency_hz)
+        )
+        bins = int(in_band[-1]) if in_band.size else 0
+        band_masks = tuple(mask[1 : bins + 1] for mask in masks)
+
+    k = np.arange(1, bins + 1)
+    j_chunk = np.arange(geometry.chunk_samples)
+    chunk_basis = np.exp(-2j * np.pi * np.outer(k, j_chunk) / n)
+    tail_basis = None
+    if geometry.tail_samples:
+        j_tail = np.arange(geometry.tail_samples)
+        tail_basis = np.exp(-2j * np.pi * np.outer(k, j_tail) / n)
+    offsets = geometry.tail_samples + geometry.chunk_samples * np.arange(
+        geometry.chunks_per_window
+    )
+    chunk_phases = np.exp(-2j * np.pi * np.outer(offsets, k) / n)
+    complex_dtype = _complex_dtype(dtype)
+    chunk_basis = chunk_basis.astype(complex_dtype, copy=False)
+    chunk_phases = chunk_phases.astype(complex_dtype, copy=False)
+    chunk_basis.setflags(write=False)
+    chunk_phases.setflags(write=False)
+    if tail_basis is not None:
+        tail_basis = tail_basis.astype(complex_dtype, copy=False)
+        tail_basis.setflags(write=False)
+    return _SpectralBasis(
+        bins=bins,
+        chunk_basis=chunk_basis,
+        tail_basis=tail_basis,
+        chunk_phases=chunk_phases,
+        band_masks=band_masks,
+        scale=2.0 / n,
+        pad_samples=n if dtype == np.float32 else None,
+    )
 
 
 class ChunkPartials:
@@ -435,18 +628,30 @@ class IncrementalFeatureExtractor:
     delegates to the wrapped extractor and is the exact-equivalence
     fallback used for warm-up windows and as the ``features="exact"``
     engine toggle.
+
+    ``dtype`` selects the compute lane: ``float64`` (default, the
+    bit-exact reference) or ``float32`` (single-precision sums/sumsq
+    with complex64 spectra).  Basis tables come from the process-wide
+    :func:`spectral_plan` cache keyed by ``(geometry, dtype)``.
     """
 
-    def __init__(self, extractor: Optional[FeatureExtractor] = None) -> None:
+    def __init__(
+        self, extractor: Optional[FeatureExtractor] = None, dtype=np.float64
+    ) -> None:
         self._extractor = (
             extractor if extractor is not None else default_feature_extractor()
         )
-        self._bases: Dict[WindowGeometry, _SpectralBasis] = {}
+        self._dtype = _lane_dtype(dtype)
 
     @property
     def extractor(self) -> FeatureExtractor:
         """The wrapped full-window extractor."""
         return self._extractor
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The compute-lane dtype of this extractor."""
+        return self._dtype
 
     @property
     def num_features(self) -> int:
@@ -458,59 +663,16 @@ class IncrementalFeatureExtractor:
     # ------------------------------------------------------------------
     def extract_stacked(self, samples: np.ndarray, sampling_hz: float) -> np.ndarray:
         """Exact full-window extraction (delegates to the wrapped extractor)."""
-        return self._extractor.extract_stacked(samples, sampling_hz)
+        return self._extractor.extract_stacked(
+            samples, sampling_hz, dtype=self._dtype
+        )
 
     # ------------------------------------------------------------------
     # Basis
     # ------------------------------------------------------------------
     def basis_for(self, geometry: WindowGeometry) -> _SpectralBasis:
         """The (cached) DFT basis and band layout for ``geometry``."""
-        basis = self._bases.get(geometry)
-        if basis is None:
-            basis = self._build_basis(geometry)
-            self._bases[geometry] = basis
-        return basis
-
-    def _build_basis(self, geometry: WindowGeometry) -> _SpectralBasis:
-        extractor = self._extractor
-        n = geometry.window_samples
-        max_bin = n // 2
-        band_masks: Optional[Tuple[np.ndarray, ...]] = None
-        if extractor.fourier_mode == "bins":
-            bins = min(extractor.n_fourier_features, max_bin)
-        else:
-            frequencies, masks = _spectral_layout(
-                n,
-                geometry.sampling_hz,
-                extractor.max_frequency_hz,
-                extractor.n_fourier_features,
-            )
-            in_band = np.flatnonzero(
-                (frequencies[: max_bin + 1] > 0.0)
-                & (frequencies[: max_bin + 1] <= extractor.max_frequency_hz)
-            )
-            bins = int(in_band[-1]) if in_band.size else 0
-            band_masks = tuple(mask[1 : bins + 1] for mask in masks)
-
-        k = np.arange(1, bins + 1)
-        j_chunk = np.arange(geometry.chunk_samples)
-        chunk_basis = np.exp(-2j * np.pi * np.outer(k, j_chunk) / n)
-        tail_basis = None
-        if geometry.tail_samples:
-            j_tail = np.arange(geometry.tail_samples)
-            tail_basis = np.exp(-2j * np.pi * np.outer(k, j_tail) / n)
-        offsets = geometry.tail_samples + geometry.chunk_samples * np.arange(
-            geometry.chunks_per_window
-        )
-        chunk_phases = np.exp(-2j * np.pi * np.outer(offsets, k) / n)
-        return _SpectralBasis(
-            bins=bins,
-            chunk_basis=chunk_basis,
-            tail_basis=tail_basis,
-            chunk_phases=chunk_phases,
-            band_masks=band_masks,
-            scale=2.0 / n,
-        )
+        return spectral_plan(geometry, self._extractor, self._dtype)
 
     # ------------------------------------------------------------------
     # Incremental path
@@ -539,7 +701,7 @@ class IncrementalFeatureExtractor:
         Array-of-devices spelling of :meth:`chunk_partials_stacked`
         (whose per-device objects are row views of this result).
         """
-        chunks = np.asarray(chunks, dtype=float)
+        chunks = _as_samples(chunks, self._dtype)
         if chunks.ndim != 3 or chunks.shape[1] != geometry.chunk_samples:
             raise ValueError(
                 f"chunks must have shape (batch, {geometry.chunk_samples}, 3), "
@@ -551,17 +713,41 @@ class IncrementalFeatureExtractor:
         # einsum contracts the sample axis with the same sequential
         # accumulation order as summing the broadcast product, so the
         # coefficients are bit-identical — without ever materialising
-        # the (batch, bins, samples, 3) intermediate.
-        dft = np.einsum("kj,dja->dka", basis.chunk_basis, chunks)
+        # the (batch, bins, samples, 3) intermediate.  The float32 lane
+        # instead zero-pads each chunk to the window length and rffts
+        # it (see _SpectralBasis.pad_samples) — same coefficients up to
+        # rounding, several times faster in single precision, and
+        # batch-size independent, so the lane stays bit-identical
+        # across engines, group compositions and shard counts.
+        dft = self._chunk_dft(chunks, basis.chunk_basis, basis)
         if not geometry.tail_samples:
             return StackedChunkPartials(sums, sumsq, dft)
         tail = chunks[:, geometry.chunk_samples - geometry.tail_samples :, :]
         tail_sums = tail.sum(axis=1)
         tail_sumsq = (tail * tail).sum(axis=1)
-        tail_dft = np.einsum("kj,dja->dka", basis.tail_basis, tail)
+        tail_dft = self._chunk_dft(tail, basis.tail_basis, basis)
         return StackedChunkPartials(
             sums, sumsq, dft, tail_sums, tail_sumsq, tail_dft
         )
+
+    @staticmethod
+    def _chunk_dft(
+        chunks: np.ndarray, chunk_basis: np.ndarray, basis: _SpectralBasis
+    ) -> np.ndarray:
+        """Project a chunk stack onto the window DFT bins.
+
+        The float64 lane keeps the bit-exact einsum contraction; the
+        float32 lane (``basis.pad_samples`` set) takes the zero-padded
+        rfft spelling of the same projection.
+        """
+        if basis.pad_samples is None:
+            return np.einsum("kj,dja->dka", chunk_basis, chunks)
+        padded = np.zeros(
+            (chunks.shape[0], basis.pad_samples, chunks.shape[2]),
+            dtype=np.float32,
+        )
+        padded[:, : chunks.shape[1], :] = chunks
+        return np.fft.rfft(padded, axis=1)[:, 1 : basis.bins + 1, :]
 
     def combine_stacked(
         self,
@@ -647,9 +833,11 @@ class IncrementalFeatureExtractor:
             sums, sumsq, spectrum_acc = slots[0]
             chunk_slots = slots[1:]
         else:
-            sums = np.zeros((batch, _NUM_AXES))
-            sumsq = np.zeros((batch, _NUM_AXES))
-            spectrum_acc = np.zeros((batch, basis.bins, _NUM_AXES), dtype=complex)
+            sums = np.zeros((batch, _NUM_AXES), dtype=self._dtype)
+            sumsq = np.zeros((batch, _NUM_AXES), dtype=self._dtype)
+            spectrum_acc = np.zeros(
+                (batch, basis.bins, _NUM_AXES), dtype=_complex_dtype(self._dtype)
+            )
             chunk_slots = slots
         for slot, (slot_sums, slot_sumsq, slot_dft) in enumerate(chunk_slots):
             sums = sums + slot_sums
@@ -670,7 +858,7 @@ class IncrementalFeatureExtractor:
     ) -> np.ndarray:
         batch = spectrum.shape[0]
         n_fourier = self._extractor.n_fourier_features
-        features = np.zeros((batch, n_fourier, _NUM_AXES))
+        features = np.zeros((batch, n_fourier, _NUM_AXES), dtype=spectrum.dtype)
         if self._extractor.fourier_mode == "bins":
             available = min(n_fourier, basis.bins)
             if available > 0:

@@ -404,10 +404,19 @@ class ActivityRealization:
 _MAX_FUSED_AXIS_COMPONENTS: int = 7
 
 
+def _resolve_dtype(dtype) -> np.dtype:
+    """Normalise and validate an evaluator compute-lane dtype."""
+    resolved = np.dtype(dtype)
+    if resolved not in (np.dtype(np.float64), np.dtype(np.float32)):
+        raise ValueError(f"dtype must be float64 or float32, got {dtype!r}")
+    return resolved
+
+
 def evaluate_realizations_windowed(
     realizations: Sequence[ActivityRealization],
     times_s: np.ndarray,
     window_s: float,
+    dtype=np.float64,
 ) -> np.ndarray:
     """Evaluate many realisations over one shared time grid in one pass.
 
@@ -427,12 +436,16 @@ def evaluate_realizations_windowed(
     or eight-plus components on one axis, where NumPy switches to
     pairwise summation) are evaluated individually.
 
+    ``dtype`` selects the compute lane: with ``float32`` the component
+    tables and the trigonometric pass run single-precision (the
+    bit-identity guarantee above applies to the default float64 lane).
+
     Returns
     -------
     numpy.ndarray
         Array of shape ``(len(realizations), len(times_s), 3)``.
     """
-    return _StackedTables(realizations, window_s).evaluate(times_s)
+    return _StackedTables(realizations, window_s, dtype=dtype).evaluate(times_s)
 
 
 class _StackedTables:
@@ -451,11 +464,15 @@ class _StackedTables:
     """
 
     def __init__(
-        self, realizations: Sequence[ActivityRealization], window_s: float
+        self,
+        realizations: Sequence[ActivityRealization],
+        window_s: float,
+        dtype=np.float64,
     ) -> None:
         check_non_negative(window_s, "window_s")
         self._realizations = tuple(realizations)
         self._window_s = float(window_s)
+        self._dtype = _resolve_dtype(dtype)
 
         fused: List[int] = []
         loose: List[int] = []
@@ -486,14 +503,19 @@ class _StackedTables:
 
         amplitudes = np.concatenate(amplitude_parts)
         frequencies = np.concatenate(frequency_parts)
-        self._phases = np.concatenate(phase_parts)
+        self._phases = np.concatenate(phase_parts).astype(self._dtype, copy=False)
         if self._window_s == 0.0:
-            self._effective_amplitudes = amplitudes
+            effective_amplitudes = amplitudes
         else:
-            self._effective_amplitudes = amplitudes * np.sinc(
+            effective_amplitudes = amplitudes * np.sinc(
                 frequencies * self._window_s
             )
-        self._angular = 2.0 * np.pi * frequencies
+        # Tables are built in float64 and cast once, so the float32 lane
+        # starts from correctly rounded double-precision constants.
+        self._effective_amplitudes = effective_amplitudes.astype(
+            self._dtype, copy=False
+        )
+        self._angular = (2.0 * np.pi * frequencies).astype(self._dtype, copy=False)
 
         # Gather plan for the per-(device, axis) sums: every group's
         # k-th component in one gather per round, so each group is
@@ -509,7 +531,7 @@ class _StackedTables:
             self._rounds.append((active, starts[active] + round_index))
         self._offsets = np.stack(
             [self._realizations[i].offset for i in fused]
-        )
+        ).astype(self._dtype, copy=False)
 
     def evaluate(self, times_s: np.ndarray) -> np.ndarray:
         """Stacked windowed evaluation over one shared time grid."""
@@ -518,7 +540,10 @@ class _StackedTables:
             raise ValueError(
                 f"times_s must be a 1-D array, got shape {times.shape}"
             )
-        output = np.empty((len(self._realizations), times.shape[0], NUM_AXES))
+        output = np.empty(
+            (len(self._realizations), times.shape[0], NUM_AXES),
+            dtype=self._dtype,
+        )
         for index in self._loose:
             output[index] = self._realizations[index].evaluate_windowed(
                 times, self._window_s
@@ -529,12 +554,12 @@ class _StackedTables:
         shifted = (
             times if self._window_s == 0.0 else times - self._window_s / 2.0
         )
-        effective_times = shifted[:, None]
+        effective_times = shifted.astype(self._dtype, copy=False)[:, None]
         angles = (
             self._angular[None, :] * effective_times + self._phases[None, :]
         )
         contributions = self._effective_amplitudes[None, :] * np.sin(angles)
-        sums = np.zeros((times.shape[0], self._num_groups))
+        sums = np.zeros((times.shape[0], self._num_groups), dtype=self._dtype)
         for round_index, (active, sources) in enumerate(self._rounds):
             if round_index == 0:
                 sums[:, active] = contributions[:, sources]
@@ -573,8 +598,12 @@ class StackedEvaluationCache:
     one-shot path does.
     """
 
-    def __init__(self, num_devices: int = 0) -> None:
+    def __init__(self, num_devices: int = 0, dtype=np.float64) -> None:
         self._num_devices = num_devices
+        #: Compute-lane dtype of the component tables, the trig pass and
+        #: the returned sample blocks (float64 default; float32 for the
+        #: single-precision lane).
+        self._dtype = _resolve_dtype(dtype)
         #: Padded slots per axis; grows to the widest realisation seen.
         self._slots = 0
         self._refs: List[Optional[ActivityRealization]] = [None] * num_devices
@@ -594,7 +623,7 @@ class StackedEvaluationCache:
         #: Reusable trig scratch, grown to the largest (group, width,
         #: times) evaluation seen; slicing it per tick keeps the hot
         #: path allocation-free.
-        self._scratch = np.empty(0)
+        self._scratch = np.empty(0, dtype=self._dtype)
         #: Observability counters: rows served straight from their
         #: cached validity interval, rows re-resolved and rewritten,
         #: and rows that fell back to per-realisation evaluation.
@@ -617,7 +646,7 @@ class StackedEvaluationCache:
         shape = (self._num_devices, width)
 
         def remap(old: Optional[np.ndarray]) -> np.ndarray:
-            grown = np.zeros(shape)
+            grown = np.zeros(shape, dtype=self._dtype)
             if old is not None and old_devices and old_slots:
                 for axis in range(NUM_AXES):
                     grown[
@@ -640,7 +669,7 @@ class StackedEvaluationCache:
         self._amplitudes = remap(self._amplitudes)
         self._frequencies = remap(self._frequencies)
         self._phases_padded = remap(self._phases_padded)
-        offsets = np.zeros((self._num_devices, NUM_AXES))
+        offsets = np.zeros((self._num_devices, NUM_AXES), dtype=self._dtype)
         if self._offsets_padded is not None and old_devices:
             offsets[:old_devices] = self._offsets_padded[:old_devices]
         self._offsets_padded = offsets
@@ -749,7 +778,9 @@ class StackedEvaluationCache:
             else:
                 self.revalidations += 1
 
-        output = np.empty((len(realizations), times.shape[0], NUM_AXES))
+        output = np.empty(
+            (len(realizations), times.shape[0], NUM_AXES), dtype=self._dtype
+        )
         fusable_mask = self._fusable[rows]
         for position in np.flatnonzero(~fusable_mask):
             output[position] = realizations[position].evaluate_windowed(
@@ -806,7 +837,9 @@ class StackedEvaluationCache:
                 f"rows must be parallel to signals, got {rows.shape[0]} rows "
                 f"for {len(signals)} signals"
             )
-        output = np.empty((rows.shape[0], times.shape[0], NUM_AXES))
+        output = np.empty(
+            (rows.shape[0], times.shape[0], NUM_AXES), dtype=self._dtype
+        )
         if not rows.size:
             return output
         if not times.size:
@@ -867,6 +900,7 @@ class StackedEvaluationCache:
     ) -> None:
         """Fill ``output[positions]`` from the padded component rows."""
         shifted = times if window == 0.0 else times - window / 2.0
+        shifted = shifted.astype(self._dtype, copy=False)
         angular = self._angular[fused_rows]
         phases = self._phases_padded[fused_rows]
         effective = self._effective_for(window)[fused_rows]
@@ -875,7 +909,7 @@ class StackedEvaluationCache:
         # evaluation allocates nothing proportional to the group size.
         needed = fused_rows.shape[0] * NUM_AXES * self._slots * times.shape[0]
         if self._scratch.size < needed:
-            self._scratch = np.empty(needed)
+            self._scratch = np.empty(needed, dtype=self._dtype)
         work = self._scratch[:needed].reshape(
             fused_rows.shape[0], NUM_AXES * self._slots, times.shape[0]
         )

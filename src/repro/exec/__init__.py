@@ -16,16 +16,19 @@ the engine sits below it — an eager import here would cycle.
 from repro.exec.controller_bank import ConfigTable, ControllerBank
 from repro.exec.engine import (
     CONTROLLER_MODES,
+    DTYPE_MODES,
     FEATURE_MODES,
     NOISE_MODES,
     SENSING_MODES,
     TRACE_MODES,
     DeviceRuntime,
+    EngineState,
     StepEngine,
 )
 
 __all__ = [
     "CONTROLLER_MODES",
+    "DTYPE_MODES",
     "FEATURE_MODES",
     "NOISE_MODES",
     "SENSING_MODES",
@@ -33,6 +36,7 @@ __all__ = [
     "ConfigTable",
     "ControllerBank",
     "DeviceRuntime",
+    "EngineState",
     "StepEngine",
     "ShardedFleetRun",
     "ShardedFleetSimulator",

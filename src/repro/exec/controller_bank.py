@@ -96,6 +96,9 @@ class _StaticBank:
     def write_back(self, controllers: Sequence) -> None:
         """Static controllers carry no mutable state."""
 
+    def reset(self) -> None:
+        """Static devices carry no mutable state."""
+
 
 class _SpotBank:
     """SPOT and SPOT-with-confidence machines as parallel arrays.
@@ -166,6 +169,19 @@ class _SpotBank:
             ],
             dtype=np.int64,
         )
+        # Construction-time snapshot of the mutable machine state, so a
+        # reusable runtime can rewind the bank without rebuilding it.
+        self._initial = (
+            self.state_index.copy(),
+            self.counter.copy(),
+            self.last_activity.copy(),
+        )
+
+    def reset(self) -> None:
+        state_index, counter, last_activity = self._initial
+        self.state_index = state_index.copy()
+        self.counter = counter.copy()
+        self.last_activity = last_activity.copy()
 
     def current_config_ids(self) -> np.ndarray:
         return self._state_table[self._rows, self.state_index]
@@ -260,6 +276,11 @@ class _IntensityBank:
             dtype=bool,
         )
         self._pending_low: Optional[np.ndarray] = None
+        self._initial_is_low = self.is_low.copy()
+
+    def reset(self) -> None:
+        self.is_low = self._initial_is_low.copy()
+        self._pending_low = None
 
     def current_config_ids(self) -> np.ndarray:
         return np.where(self.is_low, self._low_ids, self._high_ids)
@@ -421,3 +442,15 @@ class ControllerBank:
         """
         for bank in self._banks:
             bank.write_back(controllers)
+
+    def reset(self) -> None:
+        """Rewind every banked state machine to its construction state.
+
+        Reusable fleet runtimes call this between runs instead of
+        rebuilding the bank.  The snapshot restored here is the state
+        the controllers held when the bank was built — the caller must
+        reset any *loose* (unbanked) controllers itself, exactly as it
+        must when constructing a bank from scratch.
+        """
+        for bank in self._banks:
+            bank.reset()

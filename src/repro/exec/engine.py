@@ -74,6 +74,7 @@ from repro.core.features import (
     ChunkPartials,
     IncrementalFeatureExtractor,
     WindowGeometry,
+    plan_cache_stats,
 )
 from repro.core.pipeline import HarPipeline
 from repro.datasets.synthetic import ScheduledSignal, StackedEvaluationCache
@@ -109,6 +110,9 @@ TRACE_MODES: Tuple[str, ...] = ("full", "summary")
 
 #: Measurement-noise / acquisition-layer modes the engine supports.
 NOISE_MODES: Tuple[str, ...] = ("per_device", "batched")
+
+#: Compute-lane dtypes the engine supports.
+DTYPE_MODES: Tuple[str, ...] = ("float64", "float32")
 
 
 class DeviceRuntime:
@@ -292,6 +296,109 @@ class _StreamingSummary:
         return result
 
 
+class EngineState:
+    """Reusable per-fleet execution state of one :class:`StepEngine`.
+
+    Everything :meth:`StepEngine.run` used to build per call that
+    depends only on the runtimes and the engine modes — the controller
+    bank, the fleet-wide ring sample storage, the pooled noise streams,
+    the persistent signal-table cache and the stacked sensor/signal
+    object arrays — lives here, so repeated runs over the same fleet
+    can reuse one instance (via :meth:`StepEngine.make_state` +
+    :meth:`reset`) instead of reallocating it every run.
+
+    A state is bound to the engine that built it and to one fixed
+    runtime list; :meth:`StepEngine.run` rejects mismatches.  Between
+    runs, :meth:`reset` rewinds the mutable parts; the signal-table
+    cache is deliberately left warm — its rows depend only on the
+    immutable signal realisations, so a reused cache revalidates
+    instead of rebuilding (that is the point).
+    """
+
+    __slots__ = (
+        "engine",
+        "num_devices",
+        "controllers",
+        "bank",
+        "loose",
+        "raw_stacks",
+        "ring",
+        "chunks_in_config",
+        "noise_bank",
+        "statics",
+        "signal_tables",
+        "sensor_array",
+        "signal_array",
+    )
+
+    def __init__(self, engine: "StepEngine", runtimes: Sequence[DeviceRuntime]) -> None:
+        if not runtimes:
+            raise ValueError("an engine state needs at least one device runtime")
+        self.engine = engine
+        self.num_devices = len(runtimes)
+        self.controllers = [runtime.controller for runtime in runtimes]
+        self.bank: Optional[ControllerBank] = None
+        if engine.controllers == "bank":
+            candidate = ControllerBank(self.controllers)
+            if candidate.num_banked > 0:
+                self.bank = candidate
+        self.loose = (
+            self.bank.loose_indices
+            if self.bank is not None
+            else tuple(range(self.num_devices))
+        )
+        # With the bank active, stacked acquisitions stay one array per
+        # configuration group end to end (no per-device window objects).
+        self.raw_stacks = self.bank is not None and engine.sensing == "stacked"
+        self.ring: Optional[RingBufferBank] = None
+        self.chunks_in_config: Optional[np.ndarray] = None
+        if self.raw_stacks:
+            self.ring = RingBufferBank(
+                self.num_devices,
+                engine.window_duration_s,
+                dtype=engine._np_dtype,
+            )
+            self.chunks_in_config = np.zeros(self.num_devices, dtype=np.int64)
+        self.noise_bank: Optional[NoiseBank] = None
+        self.statics: Optional[SensorStatics] = None
+        self.signal_tables: Optional[StackedEvaluationCache] = None
+        self.sensor_array: Optional[np.ndarray] = None
+        self.signal_array: Optional[np.ndarray] = None
+        if engine.noise == "batched":
+            self.noise_bank = NoiseBank.from_rngs(
+                [runtime.rng for runtime in runtimes]
+            )
+            self.statics = SensorStatics([runtime.sensor for runtime in runtimes])
+            self.signal_tables = StackedEvaluationCache(
+                self.num_devices, dtype=engine._np_dtype
+            )
+            self.sensor_array = np.array(
+                [runtime.sensor for runtime in runtimes], dtype=object
+            )
+            self.signal_array = np.array(
+                [runtime.signal for runtime in runtimes], dtype=object
+            )
+
+    def reset(self) -> None:
+        """Rewind the mutable state for another run over the same fleet.
+
+        The controller bank snaps back to its construction snapshot (the
+        caller must have reset any loose controllers, exactly as fresh
+        construction requires), the ring empties without releasing its
+        arrays, and the noise streams rewind to their origin.  The
+        signal-table cache stays warm on purpose — see the class
+        docstring.
+        """
+        if self.bank is not None:
+            self.bank.reset()
+        if self.ring is not None:
+            self.ring.reset()
+        if self.chunks_in_config is not None:
+            self.chunks_in_config.fill(0)
+        if self.noise_bank is not None:
+            self.noise_bank.reset()
+
+
 class StepEngine:
     """Advances a set of :class:`DeviceRuntime` states in lock step.
 
@@ -337,6 +444,16 @@ class StepEngine:
         statistically equivalent, and runs are bit-identical across
         engines, sensing/controller modes and shard counts within the
         mode.
+    dtype:
+        Compute-lane precision.  ``"float64"`` (default) is the
+        bit-exact reference — identical to the pre-dtype engine in
+        every mode.  ``"float32"`` runs signal synthesis, acquisition
+        and feature extraction single-precision end to end (complex64
+        spectra), converting to float64 only at the classifier
+        boundary: features agree with the float64 lane to ~1e-4
+        relative, labels match away from decision boundaries, and runs
+        stay bit-identical across engines, sensing/controller modes and
+        shard counts *within* the lane.
     metrics:
         Optional :class:`repro.obs.metrics.MetricsRegistry` the engine
         records phase spans, counters and gauges into while running —
@@ -357,6 +474,7 @@ class StepEngine:
         sensing: str = "stacked",
         controllers: str = "bank",
         noise: str = "per_device",
+        dtype: str = "float64",
         metrics=None,
     ) -> None:
         check_positive(step_s, "step_s")
@@ -382,6 +500,10 @@ class StepEngine:
             raise ValueError(
                 f"noise must be one of {NOISE_MODES}, got {noise!r}"
             )
+        if dtype not in DTYPE_MODES:
+            raise ValueError(
+                f"dtype must be one of {DTYPE_MODES}, got {dtype!r}"
+            )
         self._pipeline = pipeline
         self._internal_rate_hz = float(internal_rate_hz)
         self._step_s = float(step_s)
@@ -390,7 +512,11 @@ class StepEngine:
         self._sensing = sensing
         self._controllers = controllers
         self._noise = noise
-        self._incremental = IncrementalFeatureExtractor(pipeline.extractor)
+        self._dtype = dtype
+        self._np_dtype = np.dtype(np.float32 if dtype == "float32" else np.float64)
+        self._incremental = IncrementalFeatureExtractor(
+            pipeline.extractor, dtype=self._np_dtype
+        )
         self._geometries: Dict[SensorConfig, Optional[WindowGeometry]] = {}
         self._metrics = metrics if metrics is not None else NULL_RECORDER
 
@@ -438,6 +564,11 @@ class StepEngine:
         return self._noise
 
     @property
+    def dtype(self) -> str:
+        """The active compute-lane precision (``"float64"``/``"float32"``)."""
+        return self._dtype
+
+    @property
     def metrics(self):
         """The metrics recorder (the no-op null recorder by default)."""
         return self._metrics
@@ -472,6 +603,17 @@ class StepEngine:
             window_duration_s=self._window_duration_s,
         )
 
+    def make_state(self, runtimes: Sequence[DeviceRuntime]) -> "EngineState":
+        """Build the reusable per-fleet execution state for ``runtimes``.
+
+        :meth:`run` builds one internally when none is passed; callers
+        that re-run the same fleet (the serving and DSE workloads, the
+        benchmark harness) build it once, pass it to every run and call
+        :meth:`EngineState.reset` between runs — skipping the ring,
+        noise-pool, signal-table and controller-array construction.
+        """
+        return EngineState(self, runtimes)
+
     # ------------------------------------------------------------------
     # Simulation
     # ------------------------------------------------------------------
@@ -480,6 +622,7 @@ class StepEngine:
         runtimes: Sequence[DeviceRuntime],
         num_steps: int,
         trace: str = "full",
+        state: Optional[EngineState] = None,
     ) -> Union[List[SimulationTrace], List[TraceSummary]]:
         """Advance every runtime ``num_steps`` ticks.
 
@@ -497,6 +640,12 @@ class StepEngine:
             returns one :class:`repro.sim.trace.TraceSummary` per
             device — same aggregate statistics, bit for bit, without
             ever storing per-step state.
+        state:
+            Optional reusable execution state from :meth:`make_state`
+            built over the *same* runtimes.  When omitted a fresh state
+            is constructed (the historical behaviour, bit for bit).
+            Callers reusing a state must :meth:`EngineState.reset` it
+            between runs.
         """
         if not runtimes:
             raise ValueError("run needs at least one device runtime")
@@ -504,9 +653,18 @@ class StepEngine:
             raise ValueError(f"num_steps must be non-negative, got {num_steps}")
         if trace not in TRACE_MODES:
             raise ValueError(f"trace must be one of {TRACE_MODES}, got {trace!r}")
+        if state is None:
+            state = EngineState(self, runtimes)
+        elif state.engine is not self:
+            raise ValueError("state was built by a different engine")
+        elif state.num_devices != len(runtimes):
+            raise ValueError(
+                f"state holds {state.num_devices} devices, got "
+                f"{len(runtimes)} runtimes"
+            )
         num_devices = len(runtimes)
         step_s = self._step_s
-        controllers = [runtime.controller for runtime in runtimes]
+        controllers = state.controllers
 
         # Ground truth is taken at the midpoint of each step's newest
         # second of data; one precomputed (devices, steps) label matrix
@@ -528,56 +686,25 @@ class StepEngine:
             for index, runtime in enumerate(runtimes):
                 truth_labels[index] = runtime.signal.activities_at(midpoints)
 
-        bank: Optional[ControllerBank] = None
-        if self._controllers == "bank":
-            candidate = ControllerBank(controllers)
-            if candidate.num_banked > 0:
-                bank = candidate
-        loose = bank.loose_indices if bank is not None else tuple(range(num_devices))
+        bank = state.bank
+        loose = state.loose
         # Array-returning classification feeds both the bank and the
         # streaming fold; the per-object full-trace path keeps the
         # result-object API.
         use_arrays = bank is not None or trace == "summary"
         summary = _StreamingSummary(num_devices) if trace == "summary" else None
-        # With the bank active, stacked acquisitions stay one array per
-        # configuration group end to end (no per-device window objects),
-        # and incremental partials live in a per-configuration stacked
-        # history instead of per-device deques.
-        raw_stacks = bank is not None and self._sensing == "stacked"
+        raw_stacks = state.raw_stacks
         partials_history: Dict[SensorConfig, Deque] = {}
-        # The batched acquisition layer: pooled per-device noise
-        # streams, cached clean-signal tables and — on the raw-stack
-        # path — fleet-wide ring sample storage with array-held chunk
-        # bookkeeping instead of per-device buffers.
-        noise_bank: Optional[NoiseBank] = None
-        statics: Optional[SensorStatics] = None
-        # One shared signal-table cache: its per-device rows and bout
-        # validity intervals are configuration-independent (only the
-        # sample times change), so a device keeps its cached tables
-        # across configuration switches.
-        signal_tables: Optional[StackedEvaluationCache] = None
-        ring: Optional[RingBufferBank] = None
-        chunks_in_config: Optional[np.ndarray] = None
-        sensor_array: Optional[np.ndarray] = None
-        signal_array: Optional[np.ndarray] = None
-        if raw_stacks:
-            # Ring storage is a pure layout change (bit-identical
-            # values), so every raw-stack run gets it regardless of the
-            # noise mode.
-            ring = RingBufferBank(num_devices, self._window_duration_s)
-            chunks_in_config = np.zeros(num_devices, dtype=np.int64)
-        if self._noise == "batched":
-            noise_bank = NoiseBank.from_rngs(
-                [runtime.rng for runtime in runtimes]
-            )
-            statics = SensorStatics([runtime.sensor for runtime in runtimes])
-            signal_tables = StackedEvaluationCache(num_devices)
-            sensor_array = np.array(
-                [runtime.sensor for runtime in runtimes], dtype=object
-            )
-            signal_array = np.array(
-                [runtime.signal for runtime in runtimes], dtype=object
-            )
+        # The batched acquisition layer (pooled noise streams, cached
+        # clean-signal tables, ring sample storage) now lives on the
+        # state so reusable runtimes keep it across runs.
+        noise_bank = state.noise_bank
+        statics = state.statics
+        signal_tables = state.signal_tables
+        ring = state.ring
+        chunks_in_config = state.chunks_in_config
+        sensor_array = state.sensor_array
+        signal_array = state.signal_array
         intensities = (
             np.full(num_devices, np.nan)
             if bank is not None and bank.has_intensity
@@ -596,6 +723,19 @@ class StepEngine:
             run_start_ns = mx.now_ns()
             mx.count("engine.runs")
             mx.gauge("engine.devices", float(num_devices))
+            # Reused states carry their counters across runs (the
+            # signal-table cache is deliberately never reset) and the
+            # plan cache is process-global, so every per-run figure is
+            # recorded as a delta from a start-of-run snapshot.
+            noise_refills_0 = noise_bank.refills if noise_bank is not None else 0
+            noise_bypasses_0 = (
+                noise_bank.pool_bypasses if noise_bank is not None else 0
+            )
+            if signal_tables is not None:
+                tables_revalidations_0 = signal_tables.revalidations
+                tables_rebuilds_0 = signal_tables.rebuilds
+                tables_fallbacks_0 = signal_tables.fallbacks
+            plan_hits_0, plan_misses_0 = plan_cache_stats()
 
         for step_index in range(1, num_steps + 1):
             step_end = step_index * step_s
@@ -877,14 +1017,27 @@ class StepEngine:
 
         if metered:
             if noise_bank is not None:
-                mx.count("noise.refills", noise_bank.refills)
-                mx.count("noise.pool_bypasses", noise_bank.pool_bypasses)
+                mx.count("noise.refills", noise_bank.refills - noise_refills_0)
+                mx.count(
+                    "noise.pool_bypasses",
+                    noise_bank.pool_bypasses - noise_bypasses_0,
+                )
             if signal_tables is not None:
                 mx.count(
-                    "signal_cache.revalidations", signal_tables.revalidations
+                    "signal_cache.revalidations",
+                    signal_tables.revalidations - tables_revalidations_0,
                 )
-                mx.count("signal_cache.rebuilds", signal_tables.rebuilds)
-                mx.count("signal_cache.fallbacks", signal_tables.fallbacks)
+                mx.count(
+                    "signal_cache.rebuilds",
+                    signal_tables.rebuilds - tables_rebuilds_0,
+                )
+                mx.count(
+                    "signal_cache.fallbacks",
+                    signal_tables.fallbacks - tables_fallbacks_0,
+                )
+            plan_hits_1, plan_misses_1 = plan_cache_stats()
+            mx.count("plan_cache.hits", plan_hits_1 - plan_hits_0)
+            mx.count("plan_cache.misses", plan_misses_1 - plan_misses_0)
             mx.span("engine.run", run_start_ns, mx.now_ns())
 
         if bank is not None:
@@ -1033,5 +1186,5 @@ class StepEngine:
                 for i in exact_indices
             ]
         features[exact_indices] = self._incremental.extractor.extract_batch(
-            windows
+            windows, dtype=self._np_dtype
         )

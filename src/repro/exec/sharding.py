@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import multiprocessing
 import time
 
-from repro.core.features import WINDOW_DURATION_S
+from repro.core.features import WINDOW_DURATION_S, clear_plan_cache
 from repro.core.pipeline import HarPipeline
 from repro.fleet.engine import FleetResult, FleetSimulator, resolve_fleet_duration
 from repro.fleet.population import DeviceProfile, DevicePopulation
@@ -49,6 +49,13 @@ def _run_shard(
         collect_metrics,
         trace_events,
     ) = payload
+    if multiprocessing.parent_process() is not None:
+        # Forked workers inherit the parent's process-wide spectral plan
+        # cache.  Drop it so a pre-warmed parent can neither leak stale
+        # tables into the worker nor pollute the worker's plan-cache
+        # metrics with hits it never earned.  The inline fallback (no
+        # parent process) must NOT clear — it runs in the coordinator.
+        clear_plan_cache()
     logger = shard_logger(shard_index)
     metrics = (
         MetricsRegistry(trace_events=trace_events, tid=shard_index)
@@ -144,7 +151,7 @@ class ShardedFleetSimulator:
     num_shards:
         Default shard count for :meth:`run`; ``None`` uses the machine's
         CPU count.
-    internal_rate_hz, step_s, window_duration_s, features, sensing, controllers, noise:
+    internal_rate_hz, step_s, window_duration_s, features, sensing, controllers, noise, dtype:
         Forwarded to the per-shard :class:`FleetSimulator` (and through
         it to the shared :class:`repro.exec.engine.StepEngine`).  The
         ``noise="batched"`` acquisition layer derives every device's
@@ -173,6 +180,7 @@ class ShardedFleetSimulator:
         sensing: str = "stacked",
         controllers: str = "bank",
         noise: str = "per_device",
+        dtype: str = "float64",
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if num_shards is not None:
@@ -188,6 +196,7 @@ class ShardedFleetSimulator:
             "sensing": sensing,
             "controllers": controllers,
             "noise": noise,
+            "dtype": dtype,
         }
         # Validate the engine settings eagerly (in the parent process)
         # instead of deep inside the first worker.

@@ -24,6 +24,7 @@ traces into fleet-level distributions with JSON export.
 
 from repro.fleet.engine import (
     FleetResult,
+    FleetRuntime,
     FleetSimulator,
     resolve_fleet_duration,
     traces_equal,
@@ -52,6 +53,7 @@ __all__ = [
     "DeviceProfile",
     "DeviceReport",
     "FleetResult",
+    "FleetRuntime",
     "FleetSimulator",
     "FleetTelemetry",
     "PopulationSpec",

@@ -29,7 +29,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.core.features import WINDOW_DURATION_S
 from repro.core.pipeline import HarPipeline
-from repro.exec.engine import StepEngine
+from repro.exec.engine import DeviceRuntime, EngineState, StepEngine
 from repro.fleet.population import DeviceProfile, DevicePopulation
 from repro.sensors.imu import DEFAULT_INTERNAL_RATE_HZ
 from repro.sim.runtime import ClosedLoopSimulator
@@ -111,6 +111,68 @@ def resolve_fleet_duration(
     return float(duration_s)
 
 
+class FleetRuntime:
+    """Reusable execution state for repeated runs over one population.
+
+    Built once by :meth:`FleetSimulator.build_runtime` and passed to
+    :meth:`FleetSimulator.run` any number of times: the per-device
+    runtimes (signal realisations, sensors, generators), the engine's
+    :class:`repro.exec.engine.EngineState` (controller bank, ring
+    storage, noise pools, warm signal-table cache) and the cached
+    spectral plans all survive across runs, so a repeated same-geometry
+    run skips every construction cost and rebuilds nothing.
+
+    :meth:`reset` rewinds all mutable state — generator positions,
+    controllers, buffers, traces, feature partials — to the
+    just-constructed snapshot, so every run over the runtime is
+    bit-identical to a fresh simulator run in the same mode.
+    """
+
+    def __init__(self, engine: StepEngine, profiles: Tuple[DeviceProfile, ...]) -> None:
+        if not profiles:
+            raise ValueError("population must contain at least one device")
+        self.engine = engine
+        self.profiles = profiles
+        self.runtimes: List[DeviceRuntime] = [
+            engine.runtime_from_profile(profile) for profile in profiles
+        ]
+        # Generator positions are captured after construction (signal
+        # realisation and sensor-bias draws already consumed), so a
+        # restore replays exactly the per-run draw sequence.  Spawned
+        # seed-sequence children are NOT part of this state — the noise
+        # bank keeps its own (see NoiseBank.reset).
+        self._rng_states = [
+            runtime.rng.bit_generator.state for runtime in self.runtimes
+        ]
+        self.state: EngineState = engine.make_state(self.runtimes)
+        self._dirty = False
+
+    @property
+    def num_devices(self) -> int:
+        """Number of devices in the reusable fleet."""
+        return len(self.profiles)
+
+    def reset(self) -> None:
+        """Rewind every runtime to its just-constructed snapshot."""
+        for runtime, rng_state in zip(self.runtimes, self._rng_states):
+            runtime.rng.bit_generator.state = rng_state
+            runtime.controller.reset()
+            runtime.buffer.clear()
+            runtime.trace = SimulationTrace()
+            runtime.active_config = None
+            runtime.partials.clear()
+            runtime.chunks_in_config = 0
+            runtime.previous_config = None
+        self.state.reset()
+        self._dirty = False
+
+    def begin_run(self) -> None:
+        """Reset if a previous run used this runtime, then mark it used."""
+        if self._dirty:
+            self.reset()
+        self._dirty = True
+
+
 class FleetSimulator:
     """Lock-step, batched simulation of a device population.
 
@@ -142,6 +204,12 @@ class FleetSimulator:
         v1.3.0 reference) or ``"batched"`` (pooled counter-based noise
         streams, ring sample storage and cached signal tables); see
         :class:`repro.exec.engine.StepEngine`.
+    dtype:
+        Compute-lane precision — ``"float64"`` (default, bit-exact with
+        every prior release) or ``"float32"`` (single-precision signal
+        synthesis, acquisition and feature extraction; features are
+        converted to float64 only at the classifier boundary); see
+        :class:`repro.exec.engine.StepEngine`.
     metrics:
         Optional :class:`repro.obs.metrics.MetricsRegistry` the engine
         records runtime telemetry into (phase spans, counters, cohort
@@ -160,6 +228,7 @@ class FleetSimulator:
         sensing: str = "stacked",
         controllers: str = "bank",
         noise: str = "per_device",
+        dtype: str = "float64",
         metrics=None,
     ) -> None:
         self._engine = StepEngine(
@@ -171,6 +240,7 @@ class FleetSimulator:
             sensing=sensing,
             controllers=controllers,
             noise=noise,
+            dtype=dtype,
             metrics=metrics,
         )
 
@@ -197,18 +267,30 @@ class FleetSimulator:
     # ------------------------------------------------------------------
     # Batched simulation
     # ------------------------------------------------------------------
+    def build_runtime(
+        self, population: "DevicePopulation | Sequence[DeviceProfile]"
+    ) -> FleetRuntime:
+        """Build a reusable :class:`FleetRuntime` for ``population``.
+
+        Pass the result to :meth:`run` (``runtime=``) to amortise device
+        and engine-state construction across repeated runs of the same
+        fleet; each run resets and replays the runtime bit-identically.
+        """
+        return FleetRuntime(self._engine, tuple(population))
+
     def run(
         self,
-        population: "DevicePopulation | Sequence[DeviceProfile]",
+        population: "DevicePopulation | Sequence[DeviceProfile] | None" = None,
         duration_s: Optional[float] = None,
         trace: str = "full",
+        runtime: Optional[FleetRuntime] = None,
     ) -> FleetResult:
         """Simulate every device in lock step with batched classification.
 
         Parameters
         ----------
         population:
-            The devices to simulate.
+            The devices to simulate.  Omit when passing ``runtime``.
         duration_s:
             Simulated seconds per device; defaults to the shortest
             schedule in the population so every device has signal for
@@ -220,6 +302,11 @@ class FleetSimulator:
             (:class:`repro.sim.trace.TraceSummary`), dropping fleet
             memory from O(devices × steps) to O(devices) while yielding
             bit-identical telemetry reports.
+        runtime:
+            Optional reusable state from :meth:`build_runtime`.  The
+            run resets it (when previously used) and replays it —
+            bit-identical to a fresh run over the same population,
+            minus every construction cost.
 
         Returns
         -------
@@ -227,15 +314,32 @@ class FleetSimulator:
             Per-device traces (or summaries) bit-identical to
             :meth:`run_sequential` for the same population.
         """
-        profiles = tuple(population)
+        if runtime is not None:
+            if runtime.engine is not self._engine:
+                raise ValueError("runtime was built by a different simulator")
+            if population is not None and tuple(population) != runtime.profiles:
+                raise ValueError("population does not match the runtime's profiles")
+            profiles = runtime.profiles
+        elif population is not None:
+            profiles = tuple(population)
+        else:
+            raise ValueError("run needs a population or a runtime")
         if not profiles:
             raise ValueError("population must contain at least one device")
         duration = resolve_fleet_duration(profiles, duration_s)
 
         start = time.perf_counter()
-        runtimes = [self._engine.runtime_from_profile(profile) for profile in profiles]
+        if runtime is not None:
+            runtime.begin_run()
+            runtimes = runtime.runtimes
+            state = runtime.state
+        else:
+            runtimes = [
+                self._engine.runtime_from_profile(profile) for profile in profiles
+            ]
+            state = None
         num_steps = int(round(duration / self._engine.step_s))
-        traces = self._engine.run(runtimes, num_steps, trace=trace)
+        traces = self._engine.run(runtimes, num_steps, trace=trace, state=state)
         elapsed = time.perf_counter() - start
         return FleetResult(
             profiles=profiles,
@@ -286,6 +390,7 @@ class FleetSimulator:
                 sensing="per_device",
                 controllers="per_object",
                 acquisition=self._engine.noise,
+                dtype=self._engine.dtype,
                 metrics=self._engine.metrics,
             )
             trace = simulator.run(list(profile.schedule), seed=profile.seed)

@@ -235,13 +235,22 @@ class RingBufferBank:
         Fleet size; device indices are ``0 .. num_devices - 1``.
     window_duration_s:
         Classification-window length shared by all devices.
+    dtype:
+        Sample storage dtype (float64 default; float32 stores the
+        single-precision lane's quantised samples without upcasting).
     """
 
-    def __init__(self, num_devices: int, window_duration_s: float = 2.0) -> None:
+    def __init__(
+        self,
+        num_devices: int,
+        window_duration_s: float = 2.0,
+        dtype=np.float64,
+    ) -> None:
         check_positive_int(num_devices, "num_devices")
         check_positive(window_duration_s, "window_duration_s")
         self._num_devices = num_devices
         self._window_duration_s = float(window_duration_s)
+        self._dtype = np.dtype(dtype)
         self._configs: Dict[SensorConfig, int] = {}
         self._config_list: List[SensorConfig] = []
         self._capacities = np.empty(0, dtype=np.int64)
@@ -255,6 +264,20 @@ class RingBufferBank:
     def num_devices(self) -> int:
         """Number of device rings in the bank."""
         return self._num_devices
+
+    def reset(self) -> None:
+        """Empty every ring while keeping the allocations and interning.
+
+        Reusable fleet runtimes call this between runs: the per-device
+        ring state (counts, write positions, active configuration ids)
+        is rewound, but the interned configuration table and the backing
+        sample/time arrays — the expensive part of construction — are
+        kept, since stale samples are unreachable once the counts are
+        zero.
+        """
+        self._counts.fill(0)
+        self._positions.fill(0)
+        self._config_ids.fill(-1)
 
     @property
     def counts(self) -> np.ndarray:
@@ -271,7 +294,7 @@ class RingBufferBank:
             self._capacities = np.append(self._capacities, capacity)
             width = 0 if self._data is None else self._data.shape[1]
             if capacity > width:
-                data = np.empty((self._num_devices, capacity, 3))
+                data = np.empty((self._num_devices, capacity, 3), dtype=self._dtype)
                 times = np.empty((self._num_devices, capacity))
                 if self._data is not None:
                     data[:, :width] = self._data

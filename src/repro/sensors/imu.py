@@ -558,6 +558,15 @@ def read_windows_stacked_raw(
             biases = statics.biases[rows]
             full_scales = statics.full_scales[rows][:, None, None]
             lsbs = statics.lsbs[rows][:, None, None]
+            if clean.dtype == np.float32:
+                # Single-precision lane: casting the output-stage
+                # constants keeps the noise scaling and the digitisation
+                # chain in float32 loops end to end (float64 operands
+                # would silently promote every ufunc pass).
+                stds = stds.astype(np.float32)
+                biases = biases.astype(np.float32)
+                full_scales = full_scales.astype(np.float32)
+                lsbs = lsbs.astype(np.float32)
         else:
             stds = np.array(
                 [

@@ -79,9 +79,14 @@ class NoiseBank:
         pool_values: int = POOL_VALUES,
     ) -> None:
         check_positive_int(pool_values, "pool_values")
+        # The sequences are kept so :meth:`reset` can rewind every
+        # stream to its origin without re-spawning children (spawning
+        # advances the parent's child counter, which would silently
+        # change the streams of a reused runtime).
+        self._seed_sequences: List[np.random.SeedSequence] = list(seed_sequences)
         self._generators: List[np.random.Generator] = [
             np.random.Generator(np.random.Philox(seed_seq))
-            for seed_seq in seed_sequences
+            for seed_seq in self._seed_sequences
         ]
         self._pool_values = int(pool_values)
         self._pool = np.empty(
@@ -118,6 +123,25 @@ class NoiseBank:
         """Standard normals materialised per device per refill."""
         return self._pool_values
 
+    def reset(self) -> None:
+        """Rewind every device stream to its origin.
+
+        Reusable fleet runtimes call this between runs: the Philox
+        generators are recreated from the stored seed sequences (a
+        counter-based stream restarts exactly), the cursors are marked
+        exhausted so the first acquisition refills from the rewound
+        streams, and the observability counters start over.  The pool
+        array itself is reused — its stale contents are never consumed
+        before a refill overwrites them.
+        """
+        self._generators = [
+            np.random.Generator(np.random.Philox(seed_seq))
+            for seed_seq in self._seed_sequences
+        ]
+        self._cursors.fill(self._pool_values)
+        self.refills = 0
+        self.pool_bypasses = 0
+
     def normal(
         self,
         rows: np.ndarray,
@@ -151,7 +175,12 @@ class NoiseBank:
         """
         rows = np.asarray(rows)
         count = int(num_samples) * 3
-        stds = np.asarray(stds, dtype=float)
+        # float32 stds (the single-precision lane) are kept as given so
+        # the scaling below runs a float32 loop; everything else takes
+        # the historical float64 spelling.
+        stds = np.asarray(stds)
+        if stds.dtype != np.float32:
+            stds = stds.astype(np.float64, copy=False)
         if stds.shape != (rows.shape[0],):
             raise ValueError(
                 f"stds must be parallel to rows, got {stds.shape} for "

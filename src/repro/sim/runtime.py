@@ -83,6 +83,11 @@ class ClosedLoopSimulator:
         equivalent noise, bit-identical across engines within the
         mode).  Named ``acquisition`` here because this facade already
         uses ``noise`` for the sensor's :class:`NoiseModel`.
+    dtype:
+        Compute-lane precision of the engine — ``"float64"`` (default,
+        bit-exact with every prior release) or ``"float32"``
+        (single-precision lane; see
+        :class:`repro.exec.engine.StepEngine`).
     metrics:
         Optional :class:`repro.obs.metrics.MetricsRegistry` the engine
         records runtime telemetry into; ``None`` (default) runs
@@ -103,6 +108,7 @@ class ClosedLoopSimulator:
         sensing: str = "stacked",
         controllers: str = "bank",
         acquisition: str = "per_device",
+        dtype: str = "float64",
         metrics=None,
     ) -> None:
         self._engine = StepEngine(
@@ -114,6 +120,7 @@ class ClosedLoopSimulator:
             sensing=sensing,
             controllers=controllers,
             noise=acquisition,
+            dtype=dtype,
             metrics=metrics,
         )
         self._controller = controller
