@@ -134,6 +134,13 @@ MAX_METRICS_OVERHEAD = float(
     os.environ.get("REPRO_MAX_METRICS_OVERHEAD", "0.03")
 )
 
+#: Maximum relative slowdown the fault-tolerance layer (shard
+#: supervisor + segmented round execution, no faults injected) may show
+#: over a plain single-process run of the same recipe (default 3 %).
+MAX_RESILIENCE_OVERHEAD = float(
+    os.environ.get("REPRO_MAX_RESILIENCE_OVERHEAD", "0.03")
+)
+
 
 def _make_engine(pipeline, recipe_name, **extra):
     """A FleetSimulator configured from a named bench recipe."""
@@ -558,4 +565,123 @@ def test_fleet_metrics_overhead(fleet_setup):
     assert SMOKE or overhead <= MAX_METRICS_OVERHEAD, (
         f"metered run is {100.0 * overhead:.2f}% slower than unmetered "
         f"(allowed: {100.0 * MAX_METRICS_OVERHEAD:.0f}%) at {count} devices"
+    )
+
+
+def test_fleet_resilience_overhead(fleet_setup):
+    """Fault tolerance must be near-free when nothing fails: racing a
+    supervised single-shard run (retries enabled, no faults injected)
+    against a plain single-process run of the same recipe, the
+    supervised run may be at most ``REPRO_MAX_RESILIENCE_OVERHEAD``
+    (default 3 %) slower.  A round-segmented variant (four supervised
+    segments, as a checkpointed campaign would run them, minus the
+    checkpoint I/O) rides along ungated for the report: each segment
+    boundary re-materialises the per-device summaries, which is part
+    of the price of opting into checkpoints, not of the supervisor."""
+    pipeline, _ = fleet_setup
+    count = max(SWEEP_DEVICES)
+    population = DevicePopulation.generate(
+        count, duration_s=SWEEP_DURATION_S, master_seed=BENCH_SEED
+    )
+    kwargs, trace = recipe_settings("batched_noise")
+    plain_engine = FleetSimulator(pipeline, **kwargs)
+    control_engine = FleetSimulator(pipeline, **kwargs)
+    # One shard keeps the comparison apples-to-apples: no fork wins or
+    # losses, just the supervisor wrapped around the same inline run.
+    resilient_engine = ShardedFleetSimulator(
+        pipeline, num_shards=1, fault_plan="", **kwargs
+    )
+    segmented_engine = ShardedFleetSimulator(
+        pipeline,
+        num_shards=1,
+        round_s=SWEEP_DURATION_S / 4.0,
+        fault_plan="",
+        **kwargs,
+    )
+
+    # Four interleaved contestants; the second is an A/A control (the
+    # identical plain recipe again), which turns this into a
+    # self-calibrating gate: loaded shared hosts swing wall clocks by
+    # more than the 3 % being measured, and whatever apparent
+    # "overhead" the control shows against the baseline is pure
+    # measurement noise, added to the allowance below.
+    rounds = 2 if SMOKE else 7
+    plain_runs, control_runs, resilient_runs, segmented_runs = _race(
+        lambda: plain_engine.run(population, trace=trace),
+        lambda: control_engine.run(population, trace=trace),
+        lambda: resilient_engine.run(population, trace=trace).result,
+        lambda: segmented_engine.run(population, trace=trace).result,
+        rounds=rounds,
+        keep="all",
+    )
+
+    # Median of the per-round paired ratios, not a ratio of totals, so
+    # a single scheduling blip poisoning one round's wall clock cannot
+    # dominate the statistic.
+    def _median_overhead(contestant_runs):
+        ratios = sorted(
+            contestant.elapsed_s / base.elapsed_s
+            for contestant, base in zip(contestant_runs, plain_runs)
+        )
+        middle = len(ratios) // 2
+        if len(ratios) % 2:
+            return ratios[middle] - 1.0
+        return (ratios[middle - 1] + ratios[middle]) / 2.0 - 1.0
+
+    noise_floor = abs(_median_overhead(control_runs))
+    overhead = _median_overhead(resilient_runs)
+    segmented_overhead = _median_overhead(segmented_runs)
+    allowed = MAX_RESILIENCE_OVERHEAD + noise_floor
+    plain = min(plain_runs, key=lambda result: result.elapsed_s)
+    resilient = min(resilient_runs, key=lambda result: result.elapsed_s)
+    segmented = min(segmented_runs, key=lambda result: result.elapsed_s)
+
+    # Fidelity first: supervised and segmented runs are bit-identical
+    # (summary-mode recipe, so equality is checked on the telemetry).
+    reference = FleetTelemetry.from_result(plain).to_dict()
+    assert FleetTelemetry.from_result(resilient).to_dict() == reference
+    assert FleetTelemetry.from_result(segmented).to_dict() == reference
+
+    if not SMOKE:
+        _write_bench_json(
+            {
+                "resilience_overhead": {
+                    "num_devices": count,
+                    "duration_s": SWEEP_DURATION_S,
+                    "recipe": "batched_noise",
+                    "plain": _mode_entry(plain),
+                    "supervised": _mode_entry(resilient),
+                    "segmented": _mode_entry(segmented),
+                    "overhead": overhead,
+                    "segmented_overhead": segmented_overhead,
+                    "noise_floor": noise_floor,
+                    "max_overhead": MAX_RESILIENCE_OVERHEAD,
+                }
+            }
+        )
+
+    print_report(
+        "Fleet resilience overhead — supervised (and segmented) vs plain",
+        "\n".join(
+            [
+                f"devices                : {count}",
+                f"plain                  : {plain.elapsed_s:8.3f} s wall "
+                f"({plain.throughput_device_seconds_per_s:8.0f} device-s/s)",
+                f"supervised             : {resilient.elapsed_s:8.3f} s wall "
+                f"({resilient.throughput_device_seconds_per_s:8.0f} device-s/s)",
+                f"segmented (4 rounds)   : {segmented.elapsed_s:8.3f} s wall "
+                f"({segmented.throughput_device_seconds_per_s:8.0f} device-s/s)",
+                f"overhead               : {100.0 * overhead:8.2f} % "
+                f"(gate: {100.0 * MAX_RESILIENCE_OVERHEAD:.0f} % + "
+                f"{100.0 * noise_floor:.2f} % A/A noise floor)",
+                f"segmented overhead     : {100.0 * segmented_overhead:8.2f} % "
+                f"(ungated)",
+            ]
+        ),
+    )
+
+    assert SMOKE or overhead <= allowed, (
+        f"supervised run is {100.0 * overhead:.2f}% slower than plain "
+        f"(allowed: {100.0 * MAX_RESILIENCE_OVERHEAD:.0f}% + "
+        f"{100.0 * noise_floor:.2f}% measured A/A noise) at {count} devices"
     )

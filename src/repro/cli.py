@@ -214,6 +214,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for --engine sharded (default: CPU count)",
     )
     fleet_parser.add_argument(
+        "--max-retries", type=int, default=2, dest="max_retries",
+        help="worker re-attempts per shard before the run fails "
+             "(--engine sharded; default: 2, plus one inline last-resort "
+             "attempt)",
+    )
+    fleet_parser.add_argument(
+        "--shard-timeout", type=float, default=None, dest="shard_timeout",
+        metavar="SECONDS",
+        help="wall-clock budget per shard attempt; hung workers are "
+             "terminated and retried (--engine sharded; default: no "
+             "timeout)",
+    )
+    fleet_parser.add_argument(
+        "--checkpoint", default=None, metavar="DIR",
+        help="checkpoint directory for --engine sharded: shards simulate "
+             "in rounds (see --round) and serialise their engine state "
+             "after each one, so retries and resumed campaigns continue "
+             "from the last complete round bit-identically",
+    )
+    fleet_parser.add_argument(
+        "--round", type=float, default=None, dest="round_s",
+        metavar="SECONDS",
+        help="simulated seconds per checkpoint round (default: 60 when "
+             "--checkpoint is given)",
+    )
+    fleet_parser.add_argument(
+        "--resume", action="store_true",
+        help="resume the campaign in --checkpoint DIR from its last "
+             "complete rounds (bit-identical to an uninterrupted run)",
+    )
+    fleet_parser.add_argument(
         "--controllers", choices=("bank", "per_object"), default="bank",
         help="advance adaptive controllers with the vectorized "
              "array-of-states bank (default) or one object at a time",
@@ -376,6 +407,11 @@ def _command_fleet(args: argparse.Namespace, out) -> int:
             noise=args.noise,
             dtype=args.dtype,
             metrics=registry,
+            max_retries=args.max_retries,
+            shard_timeout_s=args.shard_timeout,
+            checkpoint_dir=args.checkpoint,
+            round_s=args.round_s,
+            resume=args.resume,
         )
         run = sharded.run(population, num_shards=args.shards, trace=args.trace)
         result = run.result
@@ -388,9 +424,28 @@ def _command_fleet(args: argparse.Namespace, out) -> int:
         for index, (size, shard_elapsed) in enumerate(
             zip(run.shard_sizes, run.shard_elapsed_s)
         ):
+            attempts = (
+                run.shard_attempts[index]
+                if index < len(run.shard_attempts)
+                else 1
+            )
+            retry_note = (
+                f", {attempts} attempts" if attempts > 1 else ""
+            )
             out.write(
                 f"  shard {index}        : {size} devices, "
-                f"{shard_elapsed:.2f} s\n"
+                f"{shard_elapsed:.2f} s{retry_note}\n"
+            )
+        if run.retries or run.failures or run.timeouts:
+            out.write(
+                f"  recovery         : {run.retries} retries, "
+                f"{run.failures} failed attempts, "
+                f"{run.timeouts} timeouts\n"
+            )
+        if args.checkpoint is not None:
+            out.write(
+                f"  checkpoints      : {args.checkpoint} "
+                f"({'resumed' if args.resume else 'fresh'} campaign)\n"
             )
         stats = run.straggler_stats()
         if stats:

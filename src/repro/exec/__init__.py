@@ -25,6 +25,17 @@ from repro.exec.engine import (
     EngineState,
     StepEngine,
 )
+from repro.exec.resilience import (
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    PayloadCorruptionError,
+    RetryPolicy,
+    ShardExecutionError,
+    ShardSupervisor,
+    SupervisorStats,
+)
 
 __all__ = [
     "CONTROLLER_MODES",
@@ -37,7 +48,16 @@ __all__ = [
     "ControllerBank",
     "DeviceRuntime",
     "EngineState",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "PayloadCorruptionError",
+    "RetryPolicy",
+    "ShardExecutionError",
+    "ShardSupervisor",
     "StepEngine",
+    "SupervisorStats",
     "ShardedFleetRun",
     "ShardedFleetSimulator",
 ]

@@ -313,6 +313,15 @@ class EngineState:
     cache is deliberately left warm — its rows depend only on the
     immutable signal realisations, so a reused cache revalidates
     instead of rebuilding (that is the point).
+
+    The state also carries the *mid-simulation* accumulators a
+    continued run needs — the per-configuration stacked-partials
+    history of the ring path and the streaming telemetry fold of
+    ``trace="summary"`` runs — so one simulation can be advanced in
+    several :meth:`StepEngine.run` segments (``start_step=``) and stay
+    bit-identical to a single uninterrupted run.  That is what makes a
+    checkpointed shard resumable: serialise the state between rounds,
+    restore it, keep stepping.
     """
 
     __slots__ = (
@@ -329,6 +338,8 @@ class EngineState:
         "signal_tables",
         "sensor_array",
         "signal_array",
+        "partials_history",
+        "summary",
     )
 
     def __init__(self, engine: "StepEngine", runtimes: Sequence[DeviceRuntime]) -> None:
@@ -378,6 +389,13 @@ class EngineState:
             self.signal_array = np.array(
                 [runtime.signal for runtime in runtimes], dtype=object
             )
+        #: Ring-path per-configuration stacked-partials history (the
+        #: last ``cached_chunks`` tick reductions); lives on the state
+        #: so a segmented run keeps its incremental-feature warm-up.
+        self.partials_history: Dict[SensorConfig, Deque] = {}
+        #: Streaming telemetry fold of ``trace="summary"`` runs,
+        #: created lazily on the first summary segment.
+        self.summary: Optional["_StreamingSummary"] = None
 
     def reset(self) -> None:
         """Rewind the mutable state for another run over the same fleet.
@@ -397,6 +415,8 @@ class EngineState:
             self.chunks_in_config.fill(0)
         if self.noise_bank is not None:
             self.noise_bank.reset()
+        self.partials_history.clear()
+        self.summary = None
 
 
 class StepEngine:
@@ -623,6 +643,7 @@ class StepEngine:
         num_steps: int,
         trace: str = "full",
         state: Optional[EngineState] = None,
+        start_step: int = 0,
     ) -> Union[List[SimulationTrace], List[TraceSummary]]:
         """Advance every runtime ``num_steps`` ticks.
 
@@ -646,11 +667,23 @@ class StepEngine:
             is constructed (the historical behaviour, bit for bit).
             Callers reusing a state must :meth:`EngineState.reset` it
             between runs.
+        start_step:
+            Ticks already simulated on ``state`` by earlier segments.
+            Simulated time continues at ``start_step * step_s``, so a
+            run split into consecutive segments over one state (the
+            fault-tolerant round loop) is bit-identical to a single
+            ``run(..., num_steps=total)`` call.  Continuing requires
+            ``state`` to carry the earlier segments' accumulators —
+            pass the same state, unreset.
         """
         if not runtimes:
             raise ValueError("run needs at least one device runtime")
         if num_steps < 0:
             raise ValueError(f"num_steps must be non-negative, got {num_steps}")
+        if start_step < 0:
+            raise ValueError(
+                f"start_step must be non-negative, got {start_step}"
+            )
         if trace not in TRACE_MODES:
             raise ValueError(f"trace must be one of {TRACE_MODES}, got {trace!r}")
         if state is None:
@@ -672,7 +705,10 @@ class StepEngine:
         # per-device Activity lists are only kept for full-trace record
         # building — summary mode fills the matrix row by row and holds
         # nothing else per step.
-        midpoints = step_s * np.arange(1, num_steps + 1) - 0.5 * step_s
+        midpoints = (
+            step_s * np.arange(start_step + 1, start_step + num_steps + 1)
+            - 0.5 * step_s
+        )
         truth_labels = np.empty((num_devices, num_steps), dtype=np.int64)
         truths: Optional[List] = None
         if trace == "full":
@@ -692,9 +728,16 @@ class StepEngine:
         # streaming fold; the per-object full-trace path keeps the
         # result-object API.
         use_arrays = bank is not None or trace == "summary"
-        summary = _StreamingSummary(num_devices) if trace == "summary" else None
+        # Continuation accumulators live on the state so a segmented
+        # run (fault-tolerant round loop) resumes mid-stream exactly.
+        if trace == "summary":
+            if state.summary is None:
+                state.summary = _StreamingSummary(num_devices)
+            summary = state.summary
+        else:
+            summary = None
         raw_stacks = state.raw_stacks
-        partials_history: Dict[SensorConfig, Deque] = {}
+        partials_history = state.partials_history
         # The batched acquisition layer (pooled noise streams, cached
         # clean-signal tables, ring sample storage) now lives on the
         # state so reusable runtimes keep it across runs.
@@ -738,7 +781,7 @@ class StepEngine:
             plan_hits_0, plan_misses_0 = plan_cache_stats()
 
         for step_index in range(1, num_steps + 1):
-            step_end = step_index * step_s
+            step_end = (start_step + step_index) * step_s
             if metered:
                 tick_start_ns = mx.now_ns()
             switched = 0
@@ -918,9 +961,10 @@ class StepEngine:
                 mx.count("engine.config_groups", len(groups))
                 for group_indices in groups.values():
                     mx.observe("engine.cohort_devices", len(group_indices))
-                # The first tick assigns every device its initial
-                # configuration; only later ticks count as switches.
-                if step_index > 1:
+                # The first tick of the whole run assigns every device
+                # its initial configuration; only later ticks (counted
+                # globally across segments) count as switches.
+                if start_step + step_index > 1:
                     mx.count("engine.config_switches", switched)
                 if ring is not None:
                     mx.gauge("ring.buffered_samples", float(ring.counts.sum()))

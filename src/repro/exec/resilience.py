@@ -1,0 +1,809 @@
+"""Fault-tolerant shard execution: supervision, retry and fault injection.
+
+The sharded fleet coordinator used to submit every shard to one
+:class:`~concurrent.futures.ProcessPoolExecutor` and hope — a single
+dead worker raised ``BrokenProcessPool`` out of the pool and lost the
+whole campaign.  This module replaces that with an explicit supervisor
+built on raw :class:`multiprocessing.Process` workers:
+
+* each shard **attempt** runs in its own process with its own result
+  pipe, so a hung or dead worker can be timed out and terminated
+  without disturbing the other shards;
+* failed attempts (worker death, raised exceptions, timeouts, corrupt
+  payloads) are retried with exponential backoff up to a configurable
+  budget, with an optional in-process last-resort attempt;
+* a shard that exhausts every attempt raises a clean
+  :class:`ShardExecutionError` naming the shard and the attempt count;
+* failures are observable: the supervisor counts ``shard.retries`` /
+  ``shard.failures`` / ``shard.timeouts`` / ``shard.corrupt_payloads``
+  on the coordinator's :class:`repro.obs.metrics.MetricsRegistry`.
+
+Because every recovery path must be testable in CI, the module also
+provides a deterministic :class:`FaultInjector` driven by a parsed
+:class:`FaultPlan` (constructor argument or the ``REPRO_FAULT_PLAN``
+environment variable): kill shard *k* at round *r*, delay shard *k* by
+*d* seconds, or corrupt one result payload.  Injection is a pure
+function of ``(kind, shard, round, attempt)``, so a fault schedule
+replays identically on every run.
+
+The supervisor is deliberately agnostic of what a "shard" computes: it
+runs ``worker(payload, attempt)`` callables and hands back their return
+values in task order.  Round-based checkpointing lives in the worker
+(see :mod:`repro.exec.sharding`); the attempt index threaded through
+here is what lets a retried worker resume from its checkpoint.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import multiprocessing.connection
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "PayloadCorruptionError",
+    "RetryPolicy",
+    "ShardExecutionError",
+    "ShardSupervisor",
+    "SupervisorStats",
+]
+
+_LOGGER = logging.getLogger("repro.exec.resilience")
+
+#: Exit code used by injected worker kills, chosen to be recognisable
+#: in process tables and test assertions.
+FAULT_EXIT_CODE = 23
+
+#: Environment variable holding a fault-plan spec (see
+#: :meth:`FaultPlan.parse`).
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+
+class InjectedFault(RuntimeError):
+    """Raised by :class:`FaultInjector` for kills in in-process runs.
+
+    Worker processes die via ``os._exit`` (simulating a hard crash);
+    inline attempts cannot take the whole coordinator down, so the
+    injector raises this instead and the retry machinery treats it
+    like any other attempt failure.
+    """
+
+
+class PayloadCorruptionError(RuntimeError):
+    """A shard returned a structurally invalid result payload."""
+
+
+class ShardExecutionError(RuntimeError):
+    """A shard failed every attempt the retry policy allowed.
+
+    Attributes
+    ----------
+    shard_index:
+        The shard that could not be completed.
+    attempts:
+        Total attempts made (first try plus retries).
+    last_error:
+        Human-readable description of the final attempt's failure.
+    """
+
+    def __init__(self, shard_index: int, attempts: int, last_error: str) -> None:
+        super().__init__(
+            f"shard {shard_index} failed after {attempts} attempt"
+            f"{'s' if attempts != 1 else ''} (last error: {last_error})"
+        )
+        self.shard_index = shard_index
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard the supervisor tries before giving up on a shard.
+
+    Attributes
+    ----------
+    max_retries:
+        Process re-attempts after the first try (so a shard gets
+        ``1 + max_retries`` process attempts).
+    backoff_base_s, backoff_factor, backoff_max_s:
+        Exponential backoff between attempts: retry *n* (0-based) waits
+        ``min(backoff_base_s * backoff_factor ** n, backoff_max_s)``
+        seconds before resubmitting.
+    shard_timeout_s:
+        Wall-clock budget per attempt; a worker still running at the
+        deadline is terminated and the attempt counts as a timeout
+        failure.  ``None`` (default) never times out.
+    inline_last_resort:
+        After every process attempt fails, run one final attempt in the
+        coordinator process itself (no timeout enforcement there).  The
+        last line of defence for environments where process spawning is
+        broken entirely.
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    shard_timeout_s: Optional[float] = None
+    inline_last_resort: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be non-negative, got {self.max_retries}"
+            )
+        if self.backoff_base_s < 0.0:
+            raise ValueError(
+                f"backoff_base_s must be non-negative, got {self.backoff_base_s}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.backoff_max_s < 0.0:
+            raise ValueError(
+                f"backoff_max_s must be non-negative, got {self.backoff_max_s}"
+            )
+        if self.shard_timeout_s is not None and self.shard_timeout_s <= 0.0:
+            raise ValueError(
+                f"shard_timeout_s must be positive, got {self.shard_timeout_s}"
+            )
+
+    def backoff_s(self, retry_index: int) -> float:
+        """Delay before the ``retry_index``-th retry (0-based)."""
+        return min(
+            self.backoff_base_s * self.backoff_factor**retry_index,
+            self.backoff_max_s,
+        )
+
+
+# ----------------------------------------------------------------------
+# Fault plans
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultRule:
+    """One deterministic fault: ``kind`` at a (shard, round, attempt) site.
+
+    ``None`` fields are wildcards.  ``attempt_range`` is an inclusive
+    ``(lo, hi)`` pair; ``None`` matches every attempt.
+    """
+
+    kind: str
+    shard: Optional[int] = None
+    round_index: Optional[int] = 0
+    attempt_range: Optional[Tuple[int, int]] = (0, 0)
+    seconds: float = 0.25
+
+    KINDS = ("kill", "delay", "corrupt")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ValueError(
+                f"fault kind must be one of {self.KINDS}, got {self.kind!r}"
+            )
+        if self.seconds < 0.0:
+            raise ValueError(f"seconds must be non-negative, got {self.seconds}")
+        if self.attempt_range is not None:
+            lo, hi = self.attempt_range
+            if lo < 0 or hi < lo:
+                raise ValueError(
+                    f"attempt range must satisfy 0 <= lo <= hi, got {lo}-{hi}"
+                )
+
+    def matches(
+        self, shard: int, round_index: Optional[int], attempt: int
+    ) -> bool:
+        """Does this rule fire at the given site?
+
+        ``round_index=None`` (used for result-time faults like
+        ``corrupt``) only matches rules whose round is a wildcard or 0
+        — corruption is a property of the attempt, not of a round.
+        """
+        if self.shard is not None and self.shard != shard:
+            return False
+        if self.round_index is not None:
+            site_round = 0 if round_index is None else round_index
+            if self.round_index != site_round:
+                return False
+        if self.attempt_range is not None:
+            lo, hi = self.attempt_range
+            if not lo <= attempt <= hi:
+                return False
+        return True
+
+
+def _parse_site(value: str, key: str) -> Optional[int]:
+    if value == "*":
+        return None
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise ValueError(f"fault plan {key} must be an int or '*', got {value!r}")
+    if parsed < 0:
+        raise ValueError(f"fault plan {key} must be non-negative, got {parsed}")
+    return parsed
+
+
+def _parse_attempts(value: str) -> Optional[Tuple[int, int]]:
+    if value == "*":
+        return None
+    if "-" in value:
+        lo_text, _, hi_text = value.partition("-")
+        lo, hi = int(lo_text), int(hi_text)
+    else:
+        lo = hi = int(value)
+    if lo < 0 or hi < lo:
+        raise ValueError(
+            f"fault plan attempts must satisfy 0 <= lo <= hi, got {value!r}"
+        )
+    return (lo, hi)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered collection of :class:`FaultRule` entries.
+
+    Specs are ``;``-separated rules of the form
+    ``KIND:key=value,key=value`` where ``KIND`` is ``kill`` / ``delay``
+    / ``corrupt`` and the keys are:
+
+    ``shard``
+        Shard index or ``*`` (any shard).  Default ``*``.
+    ``round``
+        Round index or ``*`` (any round).  Default ``0``.
+    ``attempts``
+        Attempt index, inclusive range ``lo-hi``, or ``*``.
+        Default ``0`` — by default a fault hits only the first attempt,
+        so the retry succeeds.
+    ``seconds``
+        Delay duration (``delay`` rules only).  Default ``0.25``.
+
+    Examples: ``kill:shard=1,round=0`` (kill shard 1's first attempt in
+    round 0), ``delay:shard=*,seconds=0.5,attempts=*`` (slow every
+    attempt of every shard), ``kill:shard=2,attempts=0-3`` (keep
+    killing shard 2 until its fourth attempt).
+    """
+
+    rules: Tuple[FaultRule, ...] = ()
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a spec string (see class docstring for the grammar)."""
+        rules: List[FaultRule] = []
+        for chunk in spec.split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            kind, _, arg_text = chunk.partition(":")
+            kind = kind.strip()
+            kwargs: Dict[str, Any] = {
+                "shard": None,
+                "round_index": 0,
+                "attempt_range": (0, 0),
+            }
+            for item in arg_text.split(","):
+                item = item.strip()
+                if not item:
+                    continue
+                key, sep, value = item.partition("=")
+                key, value = key.strip(), value.strip()
+                if not sep or not value:
+                    raise ValueError(
+                        f"fault plan entry {item!r} is not key=value"
+                    )
+                if key == "shard":
+                    kwargs["shard"] = _parse_site(value, "shard")
+                elif key == "round":
+                    kwargs["round_index"] = _parse_site(value, "round")
+                elif key == "attempts":
+                    kwargs["attempt_range"] = _parse_attempts(value)
+                elif key == "seconds":
+                    kwargs["seconds"] = float(value)
+                else:
+                    raise ValueError(f"unknown fault plan key {key!r}")
+            rules.append(FaultRule(kind=kind, **kwargs))
+        return cls(rules=tuple(rules))
+
+    @classmethod
+    def from_env(
+        cls, environ: Optional[Mapping[str, str]] = None
+    ) -> Optional["FaultPlan"]:
+        """Build a plan from ``REPRO_FAULT_PLAN``; ``None`` when unset."""
+        env = os.environ if environ is None else environ
+        spec = env.get(FAULT_PLAN_ENV, "").strip()
+        if not spec:
+            return None
+        return cls.parse(spec)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.rules
+
+    def first_match(
+        self, kind: str, shard: int, round_index: Optional[int], attempt: int
+    ) -> Optional[FaultRule]:
+        """First rule of ``kind`` firing at the site, or ``None``."""
+        for rule in self.rules:
+            if rule.kind == kind and rule.matches(shard, round_index, attempt):
+                return rule
+        return None
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` inside shard workers.
+
+    The injector travels to the worker in the shard payload and is
+    consulted at deterministic points: :meth:`on_round` before each
+    simulated round (delays sleep, kills die) and :meth:`corrupts`
+    when the result payload is assembled.  A worker-process kill uses
+    ``os._exit`` — no cleanup, no exception propagation — to model a
+    hard crash; inline attempts raise :class:`InjectedFault` instead.
+    """
+
+    def __init__(self, plan: FaultPlan, exit_code: int = FAULT_EXIT_CODE) -> None:
+        self._plan = plan
+        self._exit_code = exit_code
+
+    @property
+    def plan(self) -> FaultPlan:
+        return self._plan
+
+    def on_round(self, shard: int, round_index: int, attempt: int) -> None:
+        """Apply round-start faults for the site (delay, then kill)."""
+        delay = self._plan.first_match("delay", shard, round_index, attempt)
+        if delay is not None and delay.seconds > 0.0:
+            time.sleep(delay.seconds)
+        kill = self._plan.first_match("kill", shard, round_index, attempt)
+        if kill is not None:
+            if multiprocessing.parent_process() is not None:
+                os._exit(self._exit_code)
+            raise InjectedFault(
+                f"injected kill: shard {shard}, round {round_index}, "
+                f"attempt {attempt}"
+            )
+
+    def corrupts(self, shard: int, attempt: int) -> bool:
+        """Should this attempt's result payload be corrupted?"""
+        return self._plan.first_match("corrupt", shard, None, attempt) is not None
+
+
+# ----------------------------------------------------------------------
+# Supervision
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SupervisorStats:
+    """Aggregate outcome bookkeeping of one supervised run.
+
+    Attributes
+    ----------
+    attempts:
+        Attempts consumed per task (1 = first try succeeded), in task
+        order.
+    retries:
+        Re-attempts scheduled across all tasks (including inline
+        last-resort attempts).
+    failures:
+        Failed attempts across all tasks (worker deaths, raised
+        exceptions, timeouts and corrupt payloads all count).
+    timeouts:
+        Attempts terminated for exceeding the per-shard timeout.
+    corrupt_payloads:
+        Results rejected by the validation hook.
+    used_processes:
+        Whether any attempt ran in a worker process.
+    """
+
+    attempts: Tuple[int, ...]
+    retries: int
+    failures: int
+    timeouts: int
+    corrupt_payloads: int
+    used_processes: bool
+
+
+def _supervised_entry(
+    worker: Callable[[Any, int], Any],
+    payload: Any,
+    attempt: int,
+    conn: multiprocessing.connection.Connection,
+) -> None:
+    """Process entry point: run the worker, ship outcome over the pipe."""
+    try:
+        result = worker(payload, attempt)
+    except BaseException as exc:  # noqa: BLE001 - forwarded to supervisor
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+        finally:
+            conn.close()
+        return
+    try:
+        conn.send(("ok", result))
+    except Exception as exc:  # result not picklable / pipe gone
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+class _Attempt:
+    """One in-flight or queued shard attempt."""
+
+    __slots__ = ("task_index", "attempt", "ready_at", "inline", "process",
+                 "conn", "deadline")
+
+    def __init__(
+        self,
+        task_index: int,
+        attempt: int,
+        ready_at: float = 0.0,
+        inline: bool = False,
+    ) -> None:
+        self.task_index = task_index
+        self.attempt = attempt
+        self.ready_at = ready_at
+        self.inline = inline
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self.conn: Optional[multiprocessing.connection.Connection] = None
+        self.deadline: Optional[float] = None
+
+
+class ShardSupervisor:
+    """Runs shard payloads under retry/timeout/fault supervision.
+
+    Parameters
+    ----------
+    worker:
+        ``worker(payload, attempt) -> result`` callable.  Must be
+        picklable (a module-level function) so spawn-based contexts can
+        ship it to worker processes.
+    policy:
+        The :class:`RetryPolicy`; defaults to ``RetryPolicy()``.
+    validate:
+        Optional hook called with every successful result; raise
+        :class:`PayloadCorruptionError` to reject it and trigger a
+        retry.
+    metrics:
+        Optional coordinator :class:`MetricsRegistry` receiving the
+        ``shard.retries`` / ``shard.failures`` / ``shard.timeouts`` /
+        ``shard.corrupt_payloads`` counters.
+    inline_only:
+        Run every attempt in the current process (no workers, no
+        timeout enforcement).  Used for single-shard runs, which never
+        paid process overhead historically, and as the global fallback
+        when the platform cannot spawn processes at all.
+    """
+
+    def __init__(
+        self,
+        worker: Callable[[Any, int], Any],
+        policy: Optional[RetryPolicy] = None,
+        validate: Optional[Callable[[Any], None]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        inline_only: bool = False,
+    ) -> None:
+        self._worker = worker
+        self._policy = policy if policy is not None else RetryPolicy()
+        self._validate = validate
+        self._metrics = metrics
+        self._inline_only = inline_only
+        self._retries = 0
+        self._failures = 0
+        self._timeouts = 0
+        self._corrupt = 0
+
+    # -- counter helpers ------------------------------------------------
+    def _count(self, name: str) -> None:
+        if self._metrics is not None and self._metrics.enabled:
+            self._metrics.count(name)
+
+    def _note_failure(self, task_index: int, attempt: int, reason: str) -> None:
+        self._failures += 1
+        self._count("shard.failures")
+        _LOGGER.warning(
+            "shard %d attempt %d failed: %s", task_index, attempt, reason
+        )
+
+    # -- public API -----------------------------------------------------
+    def run(self, payloads: Sequence[Any]) -> Tuple[List[Any], SupervisorStats]:
+        """Run every payload to completion (or raise).
+
+        Returns results in task order plus the run's
+        :class:`SupervisorStats`.  Raises :class:`ShardExecutionError`
+        as soon as any shard exhausts its attempt budget; remaining
+        workers are terminated first.
+        """
+        self._retries = self._failures = self._timeouts = self._corrupt = 0
+        tasks = list(payloads)
+        results: List[Any] = [None] * len(tasks)
+        attempts_used = [0] * len(tasks)
+        if not tasks:
+            return results, self._stats(attempts_used, used_processes=False)
+        if self._inline_only:
+            for index, payload in enumerate(tasks):
+                results[index], attempts_used[index] = self._run_task_inline(
+                    index, payload
+                )
+            return results, self._stats(attempts_used, used_processes=False)
+        used = self._run_supervised(tasks, results, attempts_used)
+        return results, self._stats(attempts_used, used_processes=used)
+
+    def _stats(
+        self, attempts_used: List[int], used_processes: bool
+    ) -> SupervisorStats:
+        return SupervisorStats(
+            attempts=tuple(attempts_used),
+            retries=self._retries,
+            failures=self._failures,
+            timeouts=self._timeouts,
+            corrupt_payloads=self._corrupt,
+            used_processes=used_processes,
+        )
+
+    # -- inline path ----------------------------------------------------
+    def _attempt_inline(self, task_index: int, payload: Any, attempt: int):
+        """One inline attempt.  Returns ``(ok, result_or_reason)``."""
+        try:
+            result = self._worker(payload, attempt)
+            if self._validate is not None:
+                self._validate(result)
+        except PayloadCorruptionError as exc:
+            self._corrupt += 1
+            self._count("shard.corrupt_payloads")
+            return False, f"{type(exc).__name__}: {exc}"
+        except Exception as exc:  # noqa: BLE001 - retried below
+            return False, f"{type(exc).__name__}: {exc}"
+        return True, result
+
+    def _run_task_inline(self, task_index: int, payload: Any) -> Tuple[Any, int]:
+        """Run one task fully inline with the policy's retry budget."""
+        total_attempts = 1 + self._policy.max_retries
+        last_reason = "unknown"
+        for attempt in range(total_attempts):
+            if attempt > 0:
+                self._retries += 1
+                self._count("shard.retries")
+                backoff = self._policy.backoff_s(attempt - 1)
+                if backoff > 0.0:
+                    time.sleep(backoff)
+            ok, outcome = self._attempt_inline(task_index, payload, attempt)
+            if ok:
+                return outcome, attempt + 1
+            last_reason = outcome
+            self._note_failure(task_index, attempt, outcome)
+        raise ShardExecutionError(task_index, total_attempts, last_reason)
+
+    # -- supervised (process) path --------------------------------------
+    def _context(self):
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+
+    def _launch(
+        self, context, entry: _Attempt, payload: Any
+    ) -> None:
+        """Start a worker process for an attempt (raises OSError on
+        platforms that cannot spawn)."""
+        receiver, sender = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_supervised_entry,
+            args=(self._worker, payload, entry.attempt, sender),
+            daemon=True,
+        )
+        try:
+            process.start()
+        except BaseException:
+            receiver.close()
+            sender.close()
+            raise
+        sender.close()
+        entry.process = process
+        entry.conn = receiver
+        if self._policy.shard_timeout_s is not None:
+            entry.deadline = time.monotonic() + self._policy.shard_timeout_s
+
+    def _reap(self, entry: _Attempt) -> None:
+        """Terminate and clean up an attempt's process, if any."""
+        if entry.process is not None:
+            if entry.process.is_alive():
+                entry.process.terminate()
+            entry.process.join()
+        if entry.conn is not None:
+            entry.conn.close()
+
+    def _schedule_retry(
+        self,
+        entry: _Attempt,
+        pending: List[_Attempt],
+        now: float,
+        reason: str,
+    ) -> Optional[Tuple[int, int, str]]:
+        """Queue the next attempt for a failed one.
+
+        Returns ``None`` when a retry (or the inline last resort) was
+        scheduled, otherwise ``(task_index, attempts, reason)`` meaning
+        the shard is out of budget.
+        """
+        next_attempt = entry.attempt + 1
+        if entry.attempt < self._policy.max_retries:
+            self._retries += 1
+            self._count("shard.retries")
+            pending.append(
+                _Attempt(
+                    entry.task_index,
+                    next_attempt,
+                    ready_at=now + self._policy.backoff_s(entry.attempt),
+                )
+            )
+            return None
+        if not entry.inline and self._policy.inline_last_resort:
+            self._retries += 1
+            self._count("shard.retries")
+            _LOGGER.warning(
+                "shard %d: process attempts exhausted, falling back inline",
+                entry.task_index,
+            )
+            pending.append(
+                _Attempt(entry.task_index, next_attempt, inline=True)
+            )
+            return None
+        return entry.task_index, next_attempt, reason
+
+    def _run_supervised(
+        self,
+        tasks: List[Any],
+        results: List[Any],
+        attempts_used: List[int],
+    ) -> bool:
+        policy = self._policy
+        context = self._context()
+        max_workers = min(len(tasks), os.cpu_count() or 1)
+        pending: List[_Attempt] = [
+            _Attempt(index, 0) for index in range(len(tasks))
+        ]
+        running: Dict[Any, _Attempt] = {}
+        used_processes = False
+        inline_mode = False
+        fatal: Optional[Tuple[int, int, str]] = None
+
+        def fail_attempt(entry: _Attempt, reason: str, now: float) -> None:
+            nonlocal fatal
+            self._note_failure(entry.task_index, entry.attempt, reason)
+            exhausted = self._schedule_retry(entry, pending, now, reason)
+            if exhausted is not None and fatal is None:
+                fatal = exhausted
+
+        def finish_attempt(entry: _Attempt, result: Any, now: float) -> None:
+            try:
+                if self._validate is not None:
+                    self._validate(result)
+            except PayloadCorruptionError as exc:
+                self._corrupt += 1
+                self._count("shard.corrupt_payloads")
+                fail_attempt(entry, f"{type(exc).__name__}: {exc}", now)
+                return
+            results[entry.task_index] = result
+            attempts_used[entry.task_index] = entry.attempt + 1
+
+        try:
+            while (pending or running) and fatal is None:
+                now = time.monotonic()
+                # Launch every due attempt the worker budget allows.
+                # Inline attempts (last resort or global fallback) run
+                # synchronously right here.
+                for entry in list(pending):
+                    if fatal is not None:
+                        break
+                    if entry.ready_at > now:
+                        continue
+                    if entry.inline or inline_mode:
+                        pending.remove(entry)
+                        ok, outcome = self._attempt_inline(
+                            entry.task_index, tasks[entry.task_index],
+                            entry.attempt,
+                        )
+                        now = time.monotonic()
+                        if ok:
+                            results[entry.task_index] = outcome
+                            attempts_used[entry.task_index] = entry.attempt + 1
+                        else:
+                            entry.inline = True
+                            fail_attempt(entry, outcome, now)
+                        continue
+                    if len(running) >= max_workers:
+                        continue
+                    pending.remove(entry)
+                    try:
+                        self._launch(context, entry, tasks[entry.task_index])
+                    except OSError as exc:
+                        # Restricted environment: no process spawning at
+                        # all.  Finish everything inline (the historical
+                        # fallback), starting with this attempt.
+                        _LOGGER.warning(
+                            "cannot spawn shard workers (%s); running inline",
+                            exc,
+                        )
+                        inline_mode = True
+                        pending.append(entry)
+                        continue
+                    used_processes = True
+                    running[entry.conn] = entry
+                if fatal is not None or (not pending and not running):
+                    break
+                if not running:
+                    # Everything queued is backing off; sleep to the
+                    # earliest ready time.
+                    wake = min(entry.ready_at for entry in pending)
+                    delay = wake - time.monotonic()
+                    if delay > 0.0:
+                        time.sleep(delay)
+                    continue
+                # Wait for a result, a worker death, a deadline or a
+                # backoff expiry — whichever comes first.
+                timeout: Optional[float] = None
+                bounds = [
+                    entry.deadline
+                    for entry in running.values()
+                    if entry.deadline is not None
+                ]
+                bounds.extend(
+                    entry.ready_at for entry in pending if entry.ready_at > now
+                )
+                if bounds:
+                    timeout = max(0.0, min(bounds) - time.monotonic())
+                ready = multiprocessing.connection.wait(
+                    list(running.keys()), timeout=timeout
+                )
+                now = time.monotonic()
+                for conn in ready:
+                    entry = running.pop(conn)
+                    try:
+                        kind, value = conn.recv()
+                    except (EOFError, OSError):
+                        kind, value = "died", None
+                    self._reap(entry)
+                    if kind == "died":
+                        kind, value = (
+                            "error",
+                            "worker died before reporting "
+                            f"(exit code {entry.process.exitcode})",
+                        )
+                    if kind == "ok":
+                        finish_attempt(entry, value, now)
+                    else:
+                        fail_attempt(entry, str(value), now)
+                # Deadline sweep.
+                for conn, entry in list(running.items()):
+                    if entry.deadline is not None and now >= entry.deadline:
+                        del running[conn]
+                        self._reap(entry)
+                        self._timeouts += 1
+                        self._count("shard.timeouts")
+                        fail_attempt(
+                            entry,
+                            f"timed out after {policy.shard_timeout_s} s",
+                            now,
+                        )
+        finally:
+            for entry in running.values():
+                self._reap(entry)
+        if fatal is not None:
+            task_index, attempts, reason = fatal
+            raise ShardExecutionError(task_index, attempts, reason)
+        return used_processes

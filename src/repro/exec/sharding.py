@@ -1,4 +1,4 @@
-"""Process-sharded fleet simulation.
+"""Process-sharded fleet simulation with fault-tolerant supervision.
 
 A :class:`repro.fleet.population.DevicePopulation` is embarrassingly
 parallel: every device owns a private random stream derived from the
@@ -6,70 +6,262 @@ population's master seed, so a device's trace depends only on its own
 profile — never on which other devices happen to share its batch.  The
 execution core is additionally batch-size invariant, which makes
 sharding a pure partitioning concern: split the population into
-contiguous shards, simulate each shard with a full
-:class:`repro.fleet.engine.FleetSimulator` in its own worker process,
-and merge the per-shard traces and :class:`repro.fleet.telemetry.FleetTelemetry`
-reports back in device-id order.  The merged result is bit-identical to
-a single-process run — and to the per-device sequential reference —
-for any shard count, which the shard-invariance tests pin down.
+contiguous shards, simulate each shard with the shared
+:class:`repro.exec.engine.StepEngine` in its own worker process, and
+merge the per-shard traces and
+:class:`repro.fleet.telemetry.FleetTelemetry` reports back in
+device-id order.  The merged result is bit-identical to a
+single-process run — and to the per-device sequential reference — for
+any shard count, which the shard-invariance tests pin down.
+
+Execution is supervised (see :mod:`repro.exec.resilience`): every
+shard attempt runs in its own worker process, dead or hung workers are
+retried with exponential backoff (falling back to an in-process
+attempt as a last resort), and shards optionally simulate in fixed
+**rounds** of simulated seconds, checkpointing their engine state via
+:mod:`repro.ml.persistence` after every round.  A retried — or
+resumed — shard reloads the last complete round and continues
+mid-stream; because the engine's segmented runs are bit-identical to
+unsegmented ones, recovery never changes a single trace bit.  The
+deterministic failure modes themselves are injectable
+(:class:`repro.exec.resilience.FaultInjector`), so every recovery path
+stays testable in CI.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import multiprocessing
-import time
 
 from repro.core.features import WINDOW_DURATION_S, clear_plan_cache
 from repro.core.pipeline import HarPipeline
+from repro.exec.engine import StepEngine
+from repro.exec.resilience import (
+    FaultInjector,
+    FaultPlan,
+    PayloadCorruptionError,
+    RetryPolicy,
+    ShardSupervisor,
+)
 from repro.fleet.engine import FleetResult, FleetSimulator, resolve_fleet_duration
 from repro.fleet.population import DeviceProfile, DevicePopulation
 from repro.fleet.telemetry import FleetTelemetry
+from repro.ml.persistence import load_checkpoint, save_checkpoint
 from repro.obs.logsetup import shard_logger
-from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.metrics import NULL_RECORDER, MetricsRegistry, MetricsSnapshot
 from repro.sensors.imu import DEFAULT_INTERNAL_RATE_HZ
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import check_positive, check_positive_int
+
+#: Schema version of the checkpoint-directory manifest.
+MANIFEST_VERSION = 1
+
+#: Checkpoint files kept per shard (the latest plus one fallback, so a
+#: crash mid-write of the newest round never strands the campaign).
+KEPT_CHECKPOINTS = 2
 
 
-def _run_shard(
-    payload,
+@dataclass(frozen=True)
+class _ShardTask:
+    """Everything one shard worker needs for one (re-)attempt."""
+
+    shard_index: int
+    pipeline: HarPipeline
+    profiles: Tuple[DeviceProfile, ...]
+    duration_s: float
+    settings: Dict[str, object]
+    trace: str
+    collect_metrics: bool
+    trace_events: bool
+    round_steps: Optional[int] = None
+    checkpoint_dir: Optional[str] = None
+    resume: bool = False
+    injector: Optional[FaultInjector] = None
+
+
+def _shard_checkpoint_dir(root: str, shard_index: int) -> Path:
+    return Path(root) / f"shard_{shard_index:04d}"
+
+
+def _checkpoint_path(directory: Path, rounds_done: int) -> Path:
+    return directory / f"round_{rounds_done:06d}.ckpt"
+
+
+def _load_latest_checkpoint(directory: Path, logger) -> Optional[dict]:
+    """Newest loadable checkpoint bundle in ``directory`` (or ``None``).
+
+    Corrupt or truncated files fall back to the next-newest; a shard
+    with no loadable checkpoint starts from scratch, which is exactly
+    the resume semantics for a shard killed before its first round
+    completed.
+    """
+    candidates = sorted(directory.glob("round_*.ckpt"), reverse=True)
+    for path in candidates:
+        try:
+            return load_checkpoint(path)
+        except Exception as exc:  # noqa: BLE001 - any bad file falls back
+            logger.warning("skipping unreadable checkpoint %s: %s", path, exc)
+    return None
+
+
+def _run_shard_attempt(
+    task: _ShardTask, attempt: int
 ) -> Tuple[int, FleetResult, FleetTelemetry, Optional[MetricsSnapshot]]:
-    """Simulate one shard (executed inside a worker process)."""
-    (
-        shard_index,
-        pipeline,
-        profiles,
-        duration_s,
-        settings,
-        trace,
-        collect_metrics,
-        trace_events,
-    ) = payload
-    if multiprocessing.parent_process() is not None:
+    """Simulate one shard attempt (worker process or inline).
+
+    The shard advances in rounds of ``task.round_steps`` engine ticks.
+    With a checkpoint directory the engine state is serialised after
+    every completed round, and a retry (``attempt > 0``) or an explicit
+    resume reloads the newest complete round and continues mid-stream —
+    bit-identical to an uninterrupted run because the engine's
+    segmented runs are (pinned by the resilience tests).
+    """
+    in_worker = multiprocessing.parent_process() is not None
+    if in_worker:
         # Forked workers inherit the parent's process-wide spectral plan
         # cache.  Drop it so a pre-warmed parent can neither leak stale
         # tables into the worker nor pollute the worker's plan-cache
-        # metrics with hits it never earned.  The inline fallback (no
-        # parent process) must NOT clear — it runs in the coordinator.
+        # metrics with hits it never earned.  Inline attempts (no
+        # parent process) must NOT clear — they run in the coordinator.
         clear_plan_cache()
-    logger = shard_logger(shard_index)
+    logger = shard_logger(task.shard_index)
     metrics = (
-        MetricsRegistry(trace_events=trace_events, tid=shard_index)
-        if collect_metrics
+        MetricsRegistry(trace_events=task.trace_events, tid=task.shard_index)
+        if task.collect_metrics
         else None
     )
-    simulator = FleetSimulator(pipeline, metrics=metrics, **settings)
-    logger.debug("simulating %d devices", len(profiles))
-    result = simulator.run(profiles, duration_s=duration_s, trace=trace)
+    recorder = metrics if metrics is not None else NULL_RECORDER
+
+    ckpt_dir: Optional[Path] = None
+    if task.checkpoint_dir is not None:
+        ckpt_dir = _shard_checkpoint_dir(task.checkpoint_dir, task.shard_index)
+
+    bundle: Optional[dict] = None
+    if ckpt_dir is not None and (attempt > 0 or task.resume):
+        bundle = _load_latest_checkpoint(ckpt_dir, logger)
+
+    start = time.perf_counter()
+    if bundle is None:
+        engine = StepEngine(
+            pipeline=task.pipeline, metrics=metrics, **task.settings
+        )
+        runtimes = [
+            engine.runtime_from_profile(profile) for profile in task.profiles
+        ]
+        state = engine.make_state(runtimes)
+        steps_done = 0
+    else:
+        # The single-dump checkpoint preserves the aliasing between the
+        # engine state, its runtimes and the engine itself, so resuming
+        # means picking up the unpickled engine — only its metrics
+        # recorder is rebound to this attempt's fresh registry.
+        runtimes = bundle["runtimes"]
+        state = bundle["engine_state"]
+        steps_done = bundle["steps_done"]
+        engine = state.engine
+        engine._metrics = recorder
+        if metrics is not None:
+            metrics.count("checkpoint.loads")
+        logger.info(
+            "resumed %d devices from step %d", len(runtimes), steps_done
+        )
+
+    num_steps = int(round(task.duration_s / engine.step_s))
+    round_steps = task.round_steps if task.round_steps else num_steps
+    round_steps = max(1, round_steps)
+    if steps_done > num_steps:
+        raise ValueError(
+            f"checkpoint is ahead of the requested run: {steps_done} steps "
+            f"done, {num_steps} requested"
+        )
+    injector = task.injector
+
     logger.debug(
-        "finished %d devices in %.3f s", len(profiles), result.elapsed_s
+        "simulating %d devices (%d/%d steps done, attempt %d)",
+        len(task.profiles), steps_done, num_steps, attempt,
+    )
+    traces = None
+    while steps_done < num_steps:
+        round_index = steps_done // round_steps
+        if injector is not None:
+            injector.on_round(task.shard_index, round_index, attempt)
+        segment = min(round_steps, num_steps - steps_done)
+        traces = engine.run(
+            runtimes,
+            segment,
+            trace=task.trace,
+            state=state,
+            start_step=steps_done,
+        )
+        steps_done += segment
+        recorder.count("shard.rounds")
+        if ckpt_dir is not None:
+            rounds_done = (steps_done + round_steps - 1) // round_steps
+            engine_metrics = engine._metrics
+            engine._metrics = NULL_RECORDER
+            try:
+                written = save_checkpoint(
+                    _checkpoint_path(ckpt_dir, rounds_done),
+                    {
+                        "shard_index": task.shard_index,
+                        "steps_done": steps_done,
+                        "runtimes": runtimes,
+                        "engine_state": state,
+                    },
+                )
+            finally:
+                engine._metrics = engine_metrics
+            recorder.count("checkpoint.saves")
+            recorder.count("checkpoint.bytes", written)
+            stale = sorted(ckpt_dir.glob("round_*.ckpt"))[:-KEPT_CHECKPOINTS]
+            for path in stale:
+                path.unlink(missing_ok=True)
+    if traces is None:
+        # Nothing left to simulate (fully-resumed shard or zero-length
+        # run): a zero-step engine call still yields the trace/summary
+        # objects from the state, so this path merges like any other.
+        traces = engine.run(
+            runtimes, 0, trace=task.trace, state=state, start_step=steps_done
+        )
+    elapsed = time.perf_counter() - start
+
+    result = FleetResult(
+        profiles=task.profiles,
+        traces=tuple(traces),
+        elapsed_s=elapsed,
+        mode="batched",
+        trace_mode=task.trace,
+    )
+    if injector is not None and injector.corrupts(task.shard_index, attempt):
+        # Deterministic payload corruption: drop the last device so the
+        # coordinator's validation hook has something real to catch.
+        result = FleetResult(
+            profiles=result.profiles[:-1],
+            traces=result.traces[:-1],
+            elapsed_s=result.elapsed_s,
+            mode=result.mode,
+            trace_mode=result.trace_mode,
+        )
+    logger.debug(
+        "finished %d devices in %.3f s", len(result.profiles), elapsed
     )
     snapshot = metrics.snapshot() if metrics is not None else None
-    return shard_index, result, FleetTelemetry.from_result(result), snapshot
+    return (
+        task.shard_index,
+        result,
+        FleetTelemetry.from_result(result),
+        snapshot,
+    )
+
+
+def _run_shard(payload):
+    """Single-attempt worker entry kept for API compatibility."""
+    return _run_shard_attempt(payload, 0)
 
 
 @dataclass(frozen=True)
@@ -87,7 +279,7 @@ class ShardedFleetRun:
         Devices per shard, in shard order.
     used_processes:
         Whether worker processes were actually used (single shards and
-        pool-creation failures run inline).
+        platforms without process spawning run inline).
     shard_elapsed_s:
         Per-shard simulation wall-clock, in shard order.  With worker
         processes the shards run concurrently, so the spread between
@@ -99,6 +291,16 @@ class ShardedFleetRun:
         The coordinator's merged snapshot (worker snapshots folded with
         the coordinator's own shard heartbeat metrics), ``None`` when
         the run was unmetered.
+    shard_attempts:
+        Attempts each shard consumed, in shard order (all ``1`` on a
+        fault-free run).
+    retries:
+        Shard re-attempts across the whole run.
+    failures:
+        Failed shard attempts across the whole run (worker deaths,
+        raised exceptions, timeouts and corrupt payloads).
+    timeouts:
+        Attempts terminated for exceeding the per-shard timeout.
     """
 
     result: FleetResult
@@ -108,6 +310,10 @@ class ShardedFleetRun:
     shard_elapsed_s: Tuple[float, ...] = ()
     shard_metrics: Tuple[MetricsSnapshot, ...] = ()
     metrics: Optional[MetricsSnapshot] = None
+    shard_attempts: Tuple[int, ...] = ()
+    retries: int = 0
+    failures: int = 0
+    timeouts: int = 0
 
     @property
     def num_shards(self) -> int:
@@ -125,6 +331,8 @@ class ShardedFleetRun:
         ``skew`` is max/mean shard elapsed — 1.0 means perfectly
         balanced shards; the merge barrier waits on the ``straggler``
         shard for ``spread_s`` seconds longer than the fastest one.
+        Degenerate all-zero timings (clock resolution on trivial
+        shards) report the balanced value 1.0 rather than NaN.
         """
         if not self.shard_elapsed_s:
             return {}
@@ -136,13 +344,13 @@ class ShardedFleetRun:
             "max_s": slowest,
             "mean_s": mean,
             "spread_s": slowest - min(elapsed),
-            "skew": slowest / mean if mean > 0.0 else float("nan"),
+            "skew": slowest / mean if mean > 0.0 else 1.0,
             "straggler": float(elapsed.index(slowest)),
         }
 
 
 class ShardedFleetSimulator:
-    """Splits a device population across worker processes.
+    """Splits a device population across supervised worker processes.
 
     Parameters
     ----------
@@ -152,9 +360,8 @@ class ShardedFleetSimulator:
         Default shard count for :meth:`run`; ``None`` uses the machine's
         CPU count.
     internal_rate_hz, step_s, window_duration_s, features, sensing, controllers, noise, dtype:
-        Forwarded to the per-shard :class:`FleetSimulator` (and through
-        it to the shared :class:`repro.exec.engine.StepEngine`).  The
-        ``noise="batched"`` acquisition layer derives every device's
+        Forwarded to the per-shard :class:`repro.exec.engine.StepEngine`.
+        The ``noise="batched"`` acquisition layer derives every device's
         stream from the device's own seed, so sharded results stay
         invariant to the shard count in either mode.
     metrics:
@@ -163,10 +370,47 @@ class ShardedFleetSimulator:
         own registry with ``tid`` set to its shard index (inheriting
         the coordinator's ``trace_events`` setting), the coordinator
         records shard heartbeats (``shard.elapsed_s`` /
-        ``shard.devices`` histograms, ``shard.count`` gauge) and
+        ``shard.devices`` histograms, ``shard.count`` gauge) plus the
+        failure counters (``shard.retries`` / ``shard.failures`` /
+        ``shard.timeouts`` / ``shard.corrupt_payloads``), and
         :attr:`ShardedFleetRun.metrics` carries the merged snapshot.
         Merging is associative and shard-count invariant for every
-        device-attributable metric.
+        device-attributable metric on fault-free runs; runs that
+        recovered from faults may repeat or resume engine work, so
+        engine-side *effort* counters can legitimately differ from a
+        fault-free run even though traces and telemetry never do.
+    max_retries:
+        Worker re-attempts per shard after its first try (default 2).
+    shard_timeout_s:
+        Wall-clock budget per shard attempt; ``None`` (default) never
+        times out.  Timeouts require worker processes, so a
+        single-shard run with a timeout leaves the historical inline
+        path.
+    backoff_base_s, backoff_factor, backoff_max_s:
+        Exponential backoff between attempts (see
+        :class:`repro.exec.resilience.RetryPolicy`).
+    inline_last_resort:
+        Run one final in-coordinator attempt after every process
+        attempt failed (default ``True``).
+    checkpoint_dir:
+        Directory for round checkpoints and the campaign manifest.
+        Enables round-based execution: shards checkpoint after every
+        round, retries resume from the last complete round, and a
+        killed campaign can be resumed with ``resume=True``.
+    round_s:
+        Simulated seconds per round (default 60 when checkpointing is
+        enabled, otherwise the whole run is one round).
+    resume:
+        Resume a previous campaign from ``checkpoint_dir``.  The
+        directory's manifest must match this run's geometry exactly;
+        shards restart from their newest complete round (or from
+        scratch if they never finished one).  Bit-identical to an
+        uninterrupted run.
+    fault_plan:
+        A :class:`repro.exec.resilience.FaultPlan`, a spec string for
+        :meth:`FaultPlan.parse`, or ``None`` (default) to read the
+        ``REPRO_FAULT_PLAN`` environment variable.  Injected faults are
+        deterministic, so chaos runs replay identically.
     """
 
     def __init__(
@@ -182,6 +426,16 @@ class ShardedFleetSimulator:
         noise: str = "per_device",
         dtype: str = "float64",
         metrics: Optional[MetricsRegistry] = None,
+        max_retries: int = 2,
+        shard_timeout_s: Optional[float] = None,
+        backoff_base_s: float = 0.05,
+        backoff_factor: float = 2.0,
+        backoff_max_s: float = 2.0,
+        inline_last_resort: bool = True,
+        checkpoint_dir: "Optional[str | os.PathLike]" = None,
+        round_s: Optional[float] = None,
+        resume: bool = False,
+        fault_plan: "FaultPlan | str | None" = None,
     ) -> None:
         if num_shards is not None:
             check_positive_int(num_shards, "num_shards")
@@ -201,11 +455,50 @@ class ShardedFleetSimulator:
         # Validate the engine settings eagerly (in the parent process)
         # instead of deep inside the first worker.
         FleetSimulator(pipeline, **self._settings)
+        self._policy = RetryPolicy(
+            max_retries=max_retries,
+            backoff_base_s=backoff_base_s,
+            backoff_factor=backoff_factor,
+            backoff_max_s=backoff_max_s,
+            shard_timeout_s=shard_timeout_s,
+            inline_last_resort=inline_last_resort,
+        )
+        self._checkpoint_dir = (
+            os.fspath(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        if resume and self._checkpoint_dir is None:
+            raise ValueError("resume=True requires checkpoint_dir")
+        self._resume = bool(resume)
+        if round_s is not None:
+            check_positive(round_s, "round_s")
+        elif self._checkpoint_dir is not None:
+            round_s = 60.0
+        self._round_s = round_s
+        if fault_plan is None:
+            fault_plan = FaultPlan.from_env()
+        elif isinstance(fault_plan, str):
+            fault_plan = FaultPlan.parse(fault_plan)
+        self._fault_plan: Optional[FaultPlan] = fault_plan
+        self._injector = (
+            FaultInjector(fault_plan)
+            if fault_plan is not None and not fault_plan.is_empty
+            else None
+        )
 
     @property
     def pipeline(self) -> HarPipeline:
         """The shared HAR pipeline."""
         return self._pipeline
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The supervision policy shard attempts run under."""
+        return self._policy
+
+    @property
+    def fault_plan(self) -> Optional[FaultPlan]:
+        """The active fault-injection plan (``None`` when faultless)."""
+        return self._fault_plan
 
     # ------------------------------------------------------------------
     # Planning
@@ -239,6 +532,61 @@ class ShardedFleetSimulator:
         return shards
 
     # ------------------------------------------------------------------
+    # Checkpoint campaign manifest
+    # ------------------------------------------------------------------
+    def _round_steps(self, num_steps: int) -> Optional[int]:
+        if self._round_s is None:
+            return None
+        step_s = float(self._settings["step_s"])
+        return max(1, int(round(self._round_s / step_s)))
+
+    def _manifest(
+        self, num_devices: int, duration: float, num_shards: int, trace: str
+    ) -> Dict[str, object]:
+        return {
+            "version": MANIFEST_VERSION,
+            "num_devices": num_devices,
+            "duration_s": duration,
+            "num_shards": num_shards,
+            "trace": trace,
+            "round_s": self._round_s,
+            "settings": {
+                key: value for key, value in self._settings.items()
+            },
+        }
+
+    def _prepare_campaign(
+        self, num_devices: int, duration: float, num_shards: int, trace: str
+    ) -> None:
+        """Create or validate the checkpoint directory's manifest."""
+        assert self._checkpoint_dir is not None
+        root = Path(self._checkpoint_dir)
+        manifest_path = root / "manifest.json"
+        manifest = self._manifest(num_devices, duration, num_shards, trace)
+        if self._resume:
+            if not manifest_path.is_file():
+                raise ValueError(
+                    f"cannot resume: no campaign manifest at {manifest_path}"
+                )
+            stored = json.loads(manifest_path.read_text())
+            if stored != manifest:
+                raise ValueError(
+                    "cannot resume: checkpoint directory holds a different "
+                    f"campaign ({manifest_path}); population, duration, "
+                    "shard count, trace mode, round length and engine "
+                    "settings must all match"
+                )
+            return
+        if manifest_path.is_file():
+            raise ValueError(
+                f"checkpoint directory {root} already holds a campaign; "
+                "pass resume=True to continue it or point at a fresh "
+                "directory"
+            )
+        root.mkdir(parents=True, exist_ok=True)
+        manifest_path.write_text(json.dumps(manifest, sort_keys=True))
+
+    # ------------------------------------------------------------------
     # Simulation
     # ------------------------------------------------------------------
     def run(
@@ -248,7 +596,7 @@ class ShardedFleetSimulator:
         num_shards: Optional[int] = None,
         trace: str = "full",
     ) -> ShardedFleetRun:
-        """Simulate the population across worker processes and merge.
+        """Simulate the population across supervised workers and merge.
 
         Parameters
         ----------
@@ -267,7 +615,14 @@ class ShardedFleetSimulator:
         Returns
         -------
         ShardedFleetRun
-            Merged traces and telemetry, invariant to the shard count.
+            Merged traces and telemetry, invariant to the shard count,
+            the fault pattern, the retry schedule and fresh-vs-resumed
+            execution.
+
+        Raises
+        ------
+        repro.exec.resilience.ShardExecutionError
+            When a shard fails every attempt the retry policy allows.
         """
         profiles = tuple(population)
         if not profiles:
@@ -275,23 +630,64 @@ class ShardedFleetSimulator:
         duration = resolve_fleet_duration(profiles, duration_s)
         shards = self.plan(profiles, num_shards)
 
+        step_s = float(self._settings["step_s"])
+        num_steps = int(round(duration / step_s))
+        round_steps = self._round_steps(num_steps)
+        if self._checkpoint_dir is not None:
+            self._prepare_campaign(len(profiles), duration, len(shards), trace)
+
         collect_metrics = self._metrics is not None and self._metrics.enabled
         trace_events = bool(self._metrics.trace_events) if collect_metrics else False
         start = time.perf_counter()
-        payloads = [
-            (
-                index,
-                self._pipeline,
-                shard,
-                duration,
-                self._settings,
-                trace,
-                collect_metrics,
-                trace_events,
+        tasks = [
+            _ShardTask(
+                shard_index=index,
+                pipeline=self._pipeline,
+                profiles=shard,
+                duration_s=duration,
+                settings=self._settings,
+                trace=trace,
+                collect_metrics=collect_metrics,
+                trace_events=trace_events,
+                round_steps=round_steps,
+                checkpoint_dir=self._checkpoint_dir,
+                resume=self._resume,
+                injector=self._injector,
             )
             for index, shard in enumerate(shards)
         ]
-        outcomes, used_processes = self._execute(payloads)
+
+        expected_ids = [
+            tuple(profile.device_id for profile in shard) for shard in shards
+        ]
+
+        def validate(outcome) -> None:
+            shard_index, result, telemetry, _ = outcome
+            ids = tuple(profile.device_id for profile in result.profiles)
+            if ids != expected_ids[shard_index]:
+                raise PayloadCorruptionError(
+                    f"shard {shard_index} returned {len(ids)} devices, "
+                    f"expected {len(expected_ids[shard_index])}"
+                )
+            if len(result.traces) != len(ids):
+                raise PayloadCorruptionError(
+                    f"shard {shard_index} returned {len(result.traces)} "
+                    f"traces for {len(ids)} devices"
+                )
+
+        # Single shards never paid process overhead historically; keep
+        # that unless a timeout demands a killable worker.
+        inline_only = (
+            len(tasks) == 1 and self._policy.shard_timeout_s is None
+        )
+        supervisor = ShardSupervisor(
+            _run_shard_attempt,
+            policy=self._policy,
+            validate=validate,
+            metrics=self._metrics if collect_metrics else None,
+            inline_only=inline_only,
+        )
+        outcomes, stats = supervisor.run(tasks)
         outcomes.sort(key=lambda outcome: outcome[0])
         traces = tuple(
             trace for _, result, _, _ in outcomes for trace in result.traces
@@ -328,27 +724,12 @@ class ShardedFleetSimulator:
             result=merged,
             telemetry=telemetry,
             shard_sizes=tuple(len(shard) for shard in shards),
-            used_processes=used_processes,
+            used_processes=stats.used_processes,
             shard_elapsed_s=shard_elapsed,
             shard_metrics=shard_metrics,
             metrics=merged_metrics,
+            shard_attempts=stats.attempts,
+            retries=stats.retries,
+            failures=stats.failures,
+            timeouts=stats.timeouts,
         )
-
-    def _execute(self, payloads) -> Tuple[List, bool]:
-        """Run shard payloads, in worker processes when it makes sense."""
-        if len(payloads) == 1:
-            return [_run_shard(payloads[0])], False
-        try:
-            context = multiprocessing.get_context(
-                "fork" if "fork" in multiprocessing.get_all_start_methods()
-                else None
-            )
-            max_workers = min(len(payloads), os.cpu_count() or 1)
-            with ProcessPoolExecutor(
-                max_workers=max_workers, mp_context=context
-            ) as executor:
-                return list(executor.map(_run_shard, payloads)), True
-        except OSError:
-            # Restricted environments (no process spawning) still get
-            # correct results — shards are independent either way.
-            return [_run_shard(payload) for payload in payloads], False

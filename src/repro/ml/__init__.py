@@ -16,8 +16,9 @@ pipeline needs on top of NumPy:
   and label utilities;
 * :mod:`repro.ml.metrics` — accuracy, confusion matrices and per-class
   precision/recall/F1;
-* :mod:`repro.ml.persistence` — saving/loading trained models and
-  computing their memory footprint.
+* :mod:`repro.ml.persistence` — saving/loading trained models,
+  computing their memory footprint, and atomic checkpoint files for
+  the fault-tolerant execution layer.
 """
 
 from repro.ml.linear import LogisticRegressionClassifier
@@ -25,7 +26,13 @@ from repro.ml.metrics import accuracy_score, classification_report, confusion_ma
 from repro.ml.mlp import MLPClassifier, TrainingHistory
 from repro.ml.neighbors import KNeighborsClassifier
 from repro.ml.preprocessing import StandardScaler, one_hot, train_test_split
-from repro.ml.persistence import load_model, model_memory_bytes, save_model
+from repro.ml.persistence import (
+    load_checkpoint,
+    load_model,
+    model_memory_bytes,
+    save_checkpoint,
+    save_model,
+)
 
 __all__ = [
     "MLPClassifier",
@@ -40,5 +47,7 @@ __all__ = [
     "classification_report",
     "save_model",
     "load_model",
+    "save_checkpoint",
+    "load_checkpoint",
     "model_memory_bytes",
 ]

@@ -1,17 +1,29 @@
-"""Saving, loading and sizing trained models.
+"""Saving, loading and sizing trained models and execution checkpoints.
 
 The memory-requirements comparison in Section V-D hinges on how many
 bytes of classifier weights the device must store, so the persistence
 layer exposes :func:`model_memory_bytes` alongside plain JSON-based
 save/load helpers.  JSON (rather than ``numpy.savez``) keeps the stored
-artefacts human-inspectable and avoids pickle entirely.
+artefacts human-inspectable and avoids pickle entirely for *model*
+artefacts, which may travel between machines and trust domains.
+
+Execution checkpoints (:func:`save_checkpoint` / :func:`load_checkpoint`)
+are different: they snapshot live simulation state — numpy generators,
+ring buffers, controller banks — mid-run so a killed shard can resume
+bit-identically.  That state is written and read by the same trusted
+process tree on the same host within one campaign, so pickle is the
+appropriate format there: it round-trips arbitrary object graphs
+(including shared references, which the engine state relies on)
+exactly.  Never load a checkpoint from an untrusted source.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import pickle
 from pathlib import Path
-from typing import Optional, Union
+from typing import Any, Optional, Union
 
 from repro.ml.linear import LogisticRegressionClassifier
 from repro.ml.mlp import MLPClassifier
@@ -87,6 +99,74 @@ def load_model(
         else None
     )
     return model, scaler, payload.get("metadata", {})
+
+
+#: Format marker stored in every checkpoint so stale or foreign files
+#: fail loudly instead of resuming from garbage.
+CHECKPOINT_MAGIC = "repro-checkpoint"
+
+#: Bumped whenever the checkpoint payload layout changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+
+def save_checkpoint(path: Union[str, Path], payload: Any) -> int:
+    """Atomically serialise one execution checkpoint to ``path``.
+
+    The payload is pickled in a **single** dump so shared references
+    inside it (e.g. the engine state's device arrays aliasing runtime
+    attributes) survive the round trip — restoring from two separate
+    dumps would silently sever that aliasing and break bit-identical
+    resume.  The file is written to a sibling temp path and moved into
+    place with :func:`os.replace`, so a crash mid-write never leaves a
+    truncated checkpoint under the final name.
+
+    Returns
+    -------
+    int
+        Bytes written (the checkpoint file size).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    blob = pickle.dumps(
+        {
+            "magic": CHECKPOINT_MAGIC,
+            "version": CHECKPOINT_VERSION,
+            "payload": payload,
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(blob)
+    os.replace(tmp, path)
+    return len(blob)
+
+
+def load_checkpoint(path: Union[str, Path]) -> Any:
+    """Load a checkpoint written by :func:`save_checkpoint`.
+
+    Only load files produced by a trusted local run — this unpickles.
+
+    Raises
+    ------
+    ValueError
+        If the file is not a repro checkpoint or was written by an
+        incompatible version of the format.
+    """
+    path = Path(path)
+    with open(path, "rb") as handle:
+        record = pickle.load(handle)
+    if (
+        not isinstance(record, dict)
+        or record.get("magic") != CHECKPOINT_MAGIC
+    ):
+        raise ValueError(f"{path} is not a repro checkpoint")
+    version = record.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"{path} uses checkpoint format version {version!r}; "
+            f"this build reads version {CHECKPOINT_VERSION}"
+        )
+    return record["payload"]
 
 
 def model_memory_bytes(model: SupportedModel, bytes_per_weight: int = 4) -> int:

@@ -17,6 +17,7 @@ engine mode.
 """
 
 from repro.obs.export import (
+    COUNTER_GLOSSARY,
     snapshot_to_dict,
     to_chrome_trace,
     to_prometheus_text,
@@ -36,6 +37,7 @@ from repro.obs.metrics import (
 )
 
 __all__ = [
+    "COUNTER_GLOSSARY",
     "DEFAULT_BUCKET_RATIO",
     "HistogramSnapshot",
     "LOG_LEVELS",

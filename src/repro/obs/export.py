@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 from repro.obs.metrics import MetricsSnapshot
 
 __all__ = [
+    "COUNTER_GLOSSARY",
     "snapshot_to_dict",
     "to_chrome_trace",
     "to_prometheus_text",
@@ -30,6 +31,32 @@ __all__ = [
 ]
 
 _METRIC_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: One-line meanings of the well-known metric names, mirrored by the
+#: README's counter glossary and emitted as ``# HELP`` lines by
+#: :func:`to_prometheus_text`.
+COUNTER_GLOSSARY: Dict[str, str] = {
+    "engine.runs": "engine.run invocations (one per shard attempt segment)",
+    "engine.ticks": "simulated classification ticks across all devices",
+    "engine.config_groups": "per-tick sensor-configuration cohorts formed",
+    "engine.config_switches": "devices that changed configuration on a tick",
+    "features.incremental_windows": "windows served by the incremental path",
+    "noise.refills": "pooled noise-stream block refills",
+    "noise.pool_bypasses": "acquisitions too large for the noise pool",
+    "signal_cache.revalidations": "signal-table cache validity re-checks",
+    "signal_cache.rebuilds": "signal-table cache rebuilds",
+    "signal_cache.fallbacks": "acquisitions outside the table cache",
+    "plan_cache.hits": "spectral plan cache hits",
+    "plan_cache.misses": "spectral plan cache misses",
+    "shard.rounds": "checkpoint rounds simulated across shard attempts",
+    "shard.retries": "shard attempts re-scheduled after a failure",
+    "shard.failures": "failed shard attempts (death, error, timeout, corruption)",
+    "shard.timeouts": "shard attempts terminated at the per-shard timeout",
+    "shard.corrupt_payloads": "shard results rejected by payload validation",
+    "checkpoint.saves": "round checkpoints written by shard workers",
+    "checkpoint.loads": "checkpoints loaded by resumed or retried shards",
+    "checkpoint.bytes": "total checkpoint bytes written",
+}
 
 
 def snapshot_to_dict(
@@ -117,10 +144,14 @@ def to_prometheus_text(
     Counters and gauges map directly; histograms are exposed as
     summaries (``quantile`` labels plus ``_sum``/``_count`` series) so
     p50/p95/p99 are scrapeable without bucket math on the server.
+    Metrics listed in :data:`COUNTER_GLOSSARY` get a ``# HELP`` line.
     """
     lines: List[str] = []
     for name in sorted(snapshot.counters):
         metric = _prometheus_name(name, prefix)
+        help_text = COUNTER_GLOSSARY.get(name)
+        if help_text is not None:
+            lines.append(f"# HELP {metric} {help_text}")
         lines.append(f"# TYPE {metric} counter")
         lines.append(f"{metric} {snapshot.counters[name]:g}")
     for name in sorted(snapshot.gauges):

@@ -326,6 +326,111 @@ class TestObservabilityFlags:
         assert metrics["gauges"]["shard.count"] == 2.0
 
 
+class TestFleetFaultTolerance:
+    def test_resilience_flags_parsed(self):
+        args = build_parser().parse_args(
+            [
+                "fleet",
+                "--engine", "sharded",
+                "--max-retries", "5",
+                "--shard-timeout", "30",
+                "--checkpoint", "ckpts",
+                "--round", "120",
+                "--resume",
+            ]
+        )
+        assert args.max_retries == 5
+        assert args.shard_timeout == 30.0
+        assert args.checkpoint == "ckpts"
+        assert args.round_s == 120.0
+        assert args.resume is True
+        defaults = build_parser().parse_args(["fleet"])
+        assert defaults.max_retries == 2
+        assert defaults.shard_timeout is None
+        assert defaults.checkpoint is None
+        assert defaults.resume is False
+
+    def test_injected_kill_recovers_and_reports(self, tmp_path, monkeypatch):
+        """REPRO_FAULT_PLAN-driven worker kill: the CLI run retries,
+        prints the recovery line and exports the failure counters."""
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "kill:shard=1,round=0")
+        metrics_path = tmp_path / "metrics.json"
+        faulty = io.StringIO()
+        code = main(
+            [
+                "fleet",
+                "--devices", "4",
+                "--duration", "10",
+                "--windows", "6",
+                "--seed", "5",
+                "--engine", "sharded",
+                "--shards", "2",
+                "--out", str(tmp_path / "faulty.json"),
+                "--metrics", str(metrics_path),
+            ],
+            out=faulty,
+        )
+        assert code == 0
+        assert "recovery         : 1 retries" in faulty.getvalue()
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"]["shard.retries"] == 1.0
+        assert metrics["counters"]["shard.failures"] == 1.0
+
+        monkeypatch.delenv("REPRO_FAULT_PLAN")
+        clean = io.StringIO()
+        code = main(
+            [
+                "fleet",
+                "--devices", "4",
+                "--duration", "10",
+                "--windows", "6",
+                "--seed", "5",
+                "--engine", "sharded",
+                "--shards", "2",
+                "--out", str(tmp_path / "clean.json"),
+            ],
+            out=clean,
+        )
+        assert code == 0
+        assert "recovery" not in clean.getvalue()
+        faulty_report = json.loads((tmp_path / "faulty.json").read_text())
+        clean_report = json.loads((tmp_path / "clean.json").read_text())
+        assert faulty_report == clean_report
+
+    def test_checkpoint_and_resume_round_trip(self, tmp_path):
+        """A fresh checkpointed campaign and its resume produce the
+        same telemetry report."""
+        directory = tmp_path / "campaign"
+        reports = {}
+        for name, extra in (
+            ("fresh", []),
+            ("resumed", ["--resume"]),
+        ):
+            path = tmp_path / f"{name}.json"
+            out = io.StringIO()
+            code = main(
+                [
+                    "fleet",
+                    "--devices", "4",
+                    "--duration", "10",
+                    "--windows", "6",
+                    "--seed", "5",
+                    "--engine", "sharded",
+                    "--shards", "2",
+                    "--checkpoint", str(directory),
+                    "--round", "4",
+                    "--out", str(path),
+                ]
+                + extra,
+                out=out,
+            )
+            assert code == 0
+            assert "checkpoints      :" in out.getvalue()
+            reports[name] = json.loads(path.read_text())
+        assert reports["fresh"] == reports["resumed"]
+        assert (directory / "manifest.json").is_file()
+
+
 class TestFleetNoiseMode:
     def test_noise_flag_parsed(self):
         args = build_parser().parse_args(["fleet", "--noise", "batched"])

@@ -7,6 +7,8 @@ engine equivalence, to the per-device sequential reference).
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import pytest
 
 from repro.fleet import (
@@ -89,6 +91,39 @@ class TestShardCountInvariance:
             ShardedFleetSimulator(trained_pipeline).run(
                 population, duration_s=60.0, num_shards=2
             )
+
+
+class TestStragglerStats:
+    def test_skew_is_one_for_degenerate_all_zero_timings(
+        self, trained_pipeline, population
+    ):
+        """All-zero shard timings (clock resolution on trivial shards)
+        must report the balanced skew 1.0, not NaN."""
+        run = ShardedFleetSimulator(trained_pipeline).run(
+            population, num_shards=2
+        )
+        degenerate = replace(run, shard_elapsed_s=(0.0, 0.0))
+        stats = degenerate.straggler_stats()
+        assert stats["skew"] == 1.0
+        assert stats["mean_s"] == 0.0
+        assert stats["spread_s"] == 0.0
+
+    def test_skew_still_real_for_nonzero_timings(
+        self, trained_pipeline, population
+    ):
+        run = ShardedFleetSimulator(trained_pipeline).run(
+            population, num_shards=2
+        )
+        patched = replace(run, shard_elapsed_s=(1.0, 3.0))
+        assert patched.straggler_stats()["skew"] == pytest.approx(1.5)
+
+    def test_empty_without_per_shard_times(
+        self, trained_pipeline, population
+    ):
+        run = ShardedFleetSimulator(trained_pipeline).run(
+            population, num_shards=2
+        )
+        assert replace(run, shard_elapsed_s=()).straggler_stats() == {}
 
 
 class TestTelemetryMerge:

@@ -1,13 +1,22 @@
-"""Tests for model persistence and memory sizing."""
+"""Tests for model persistence, checkpoints and memory sizing."""
 
 from __future__ import annotations
+
+import pickle
 
 import numpy as np
 import pytest
 
 from repro.ml.linear import LogisticRegressionClassifier
 from repro.ml.mlp import MLPClassifier
-from repro.ml.persistence import load_model, model_memory_bytes, save_model
+from repro.ml.persistence import (
+    CHECKPOINT_VERSION,
+    load_checkpoint,
+    load_model,
+    model_memory_bytes,
+    save_checkpoint,
+    save_model,
+)
 from repro.ml.preprocessing import StandardScaler
 
 
@@ -63,6 +72,50 @@ class TestSaveLoad:
         path.write_text('{"model": {"kind": "svm"}, "scaler": null, "metadata": {}}')
         with pytest.raises(ValueError):
             load_model(path)
+
+
+class TestCheckpoints:
+    def test_round_trip_preserves_aliasing(self, tmp_path, rng):
+        shared = rng.normal(size=(4, 3))
+        payload = {"a": shared, "b": shared, "step": 7}
+        written = save_checkpoint(tmp_path / "ck" / "round.ckpt", payload)
+        assert written == (tmp_path / "ck" / "round.ckpt").stat().st_size
+        loaded = load_checkpoint(tmp_path / "ck" / "round.ckpt")
+        assert loaded["step"] == 7
+        np.testing.assert_array_equal(loaded["a"], shared)
+        # The single-dump format keeps shared references shared.
+        assert loaded["a"] is loaded["b"]
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        save_checkpoint(tmp_path / "round.ckpt", {"x": 1})
+        assert [p.name for p in tmp_path.iterdir()] == ["round.ckpt"]
+
+    def test_foreign_pickle_rejected(self, tmp_path):
+        path = tmp_path / "alien.ckpt"
+        path.write_bytes(pickle.dumps({"whatever": 1}))
+        with pytest.raises(ValueError, match="not a repro checkpoint"):
+            load_checkpoint(path)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "old.ckpt"
+        path.write_bytes(
+            pickle.dumps(
+                {
+                    "magic": "repro-checkpoint",
+                    "version": CHECKPOINT_VERSION + 1,
+                    "payload": {},
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_checkpoint(path)
+
+    def test_truncated_file_raises(self, tmp_path):
+        path = tmp_path / "short.ckpt"
+        save_checkpoint(path, {"x": list(range(100))})
+        path.write_bytes(path.read_bytes()[:10])
+        with pytest.raises(Exception):
+            load_checkpoint(path)
 
 
 class TestModelMemoryBytes:

@@ -226,6 +226,10 @@ class TestExporters:
     def test_prometheus_text_format(self):
         text = to_prometheus_text(self._snapshot())
         assert "# TYPE repro_engine_ticks counter" in text
+        assert (
+            "# HELP repro_engine_ticks "
+            "simulated classification ticks across all devices" in text
+        )
         assert "repro_engine_ticks 40" in text
         assert "# TYPE repro_shard_count gauge" in text
         assert "# TYPE repro_tick_sense summary" in text
