@@ -49,14 +49,31 @@ RECIPES: Dict[str, Dict[str, str]] = {
         features="incremental", sensing="stacked", controllers="bank",
         noise="batched", dtype="float32", trace="summary",
     ),
+    "campaign": dict(
+        features="incremental", sensing="stacked", controllers="bank",
+        noise="batched", trace="summary", campaign_variants="16",
+    ),
 }
+
+#: RECIPES keys that configure the campaign layer rather than the
+#: fleet simulator; :func:`recipe_settings` strips them so every
+#: recipe's kwargs can be splatted straight into ``FleetSimulator`` /
+#: ``CampaignRunner``.
+CAMPAIGN_KEYS: Tuple[str, ...] = ("campaign_variants",)
 
 
 def recipe_settings(name: str) -> Tuple[Dict[str, str], str]:
     """Split a named recipe into (simulator kwargs, trace mode)."""
     recipe = dict(RECIPES[name])
     trace = recipe.pop("trace")
+    for key in CAMPAIGN_KEYS:
+        recipe.pop(key, None)
     return recipe, trace
+
+
+def campaign_variant_count(name: str = "campaign") -> int:
+    """Grid size of a campaign recipe (1 for plain fleet recipes)."""
+    return int(RECIPES[name].get("campaign_variants", "1"))
 
 
 def run_metadata(**knobs) -> Dict[str, object]:

@@ -65,6 +65,7 @@ import pytest
 
 from _bench_utils import (
     BENCH_SEED,
+    campaign_variant_count,
     print_report,
     recipe_settings,
     run_metadata,
@@ -127,6 +128,19 @@ MIN_NOISE_SPEEDUP = 0.0 if SMOKE else float(
 MIN_FLOAT32_SPEEDUP = 0.0 if SMOKE else float(
     os.environ.get("REPRO_MIN_FLOAT32_SPEEDUP", "1.25")
 )
+
+#: Required speedup of the fused campaign over the naive
+#: run-variants-sequentially baseline at 16 variants x 1000 devices.
+MIN_CAMPAIGN_SPEEDUP = 0.0 if SMOKE else float(
+    os.environ.get("REPRO_MIN_CAMPAIGN_SPEEDUP", "2.0")
+)
+
+#: Campaign bench geometry: the issue's 16 variants x 1000 devices
+#: (tiny grid in smoke mode).
+CAMPAIGN_DEVICES = 8 if SMOKE else 1000
+CAMPAIGN_DURATION_S = 10.0
+CAMPAIGN_THRESHOLDS = (10, 30) if SMOKE else (10, 20, 30, 40)
+CAMPAIGN_CONFIDENCES = (0.75, 0.85) if SMOKE else (0.75, 0.8, 0.85, 0.9)
 
 #: Maximum relative slowdown a metered run may show over an unmetered
 #: run of the same recipe at the largest sweep count (default 3 %).
@@ -494,6 +508,121 @@ def test_fleet_fast_paths_match_sequential_reference(fleet_setup):
         noise_engine.run_sequential(population).traces,
     ):
         assert traces_equal(left, right)
+
+
+#: Where the machine-readable campaign report lands.
+CAMPAIGN_JSON_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
+)
+
+
+def test_campaign_fused_vs_naive(fleet_setup):
+    """The fused campaign must beat running its variants sequentially.
+
+    A 16-variant controller grid (SPOT thresholds x confidence cutoffs)
+    over one 1000-device population is executed twice through the
+    ``campaign`` recipe: fused (one stacked fleet of 16 000 virtual
+    devices, shared signals / tables / plans / classify batches) and
+    naive (16 independent fleet runs).  The fused run must deliver at
+    least ``REPRO_MIN_CAMPAIGN_SPEEDUP``x (default 2x) the naive wall
+    clock, while producing bit-identical per-variant telemetry — the
+    speedup is pure redundancy elimination, not approximation.
+    """
+    from repro.campaign import CampaignRunner, variant_grid
+
+    pipeline, _ = fleet_setup
+    kwargs, trace = recipe_settings("campaign")
+    variants = variant_grid(
+        stability_thresholds=CAMPAIGN_THRESHOLDS,
+        confidence_thresholds=CAMPAIGN_CONFIDENCES,
+    )
+    assert SMOKE or len(variants) == campaign_variant_count()
+    population = DevicePopulation.generate(
+        CAMPAIGN_DEVICES, duration_s=CAMPAIGN_DURATION_S, master_seed=BENCH_SEED
+    )
+
+    # Warm the process-wide spectral plan cache and every lazy import so
+    # neither contestant pays one-time process costs.
+    warm_pop = DevicePopulation.generate(
+        4, duration_s=CAMPAIGN_DURATION_S, master_seed=BENCH_SEED
+    )
+    warm_runner = CampaignRunner(pipeline, variants[:2], **kwargs)
+    warm_runner.run(warm_pop, trace=trace)
+    warm_runner.run_naive(warm_pop, trace=trace)
+
+    registry = MetricsRegistry()
+    metered_runner = CampaignRunner(
+        pipeline, variants, metrics=registry, **kwargs
+    )
+    gc.collect()
+    fused = metered_runner.run(population, trace=trace)
+    plain_runner = CampaignRunner(pipeline, variants, **kwargs)
+    gc.collect()
+    naive = plain_runner.run_naive(population, trace=trace)
+
+    # Fidelity: the fused campaign's per-variant telemetry equals the
+    # naive (independent-runs) telemetry, variant by variant.
+    for fused_t, naive_t in zip(fused.telemetries, naive.telemetries):
+        assert fused_t.to_dict() == naive_t.to_dict()
+
+    ratio = naive.elapsed_s / fused.elapsed_s
+    shared_hits = registry.counter_value("campaign.shared_group_hits")
+    report = {
+        "num_devices": CAMPAIGN_DEVICES,
+        "num_variants": len(variants),
+        "duration_s": CAMPAIGN_DURATION_S,
+        "seed": BENCH_SEED,
+        "recipe": "campaign",
+        "fused": {
+            **_mode_entry(fused),
+            "virtual_devices": fused.virtual_devices,
+            "simulated_devices": fused.simulated_devices,
+            "shared_group_hits": shared_hits,
+            "metered": True,
+        },
+        "naive": _mode_entry(naive),
+        "speedup_fused_vs_naive": ratio,
+        "min_campaign_speedup": MIN_CAMPAIGN_SPEEDUP,
+        "pareto_scenarios": sorted(fused.fronts),
+        "meta": run_metadata(
+            smoke=SMOKE,
+            variants=len(variants),
+            naive_vs_fused_ratio=ratio,
+        ),
+    }
+    if not SMOKE:
+        CAMPAIGN_JSON_PATH.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+
+    print_report(
+        "Campaign throughput — fused stacked fleet vs sequential variants",
+        "\n".join(
+            [
+                f"variants               : {len(variants)}",
+                f"devices                : {CAMPAIGN_DEVICES} physical, "
+                f"{fused.virtual_devices} virtual",
+                f"fused                  : {fused.elapsed_s:8.3f} s wall "
+                f"({fused.throughput_device_seconds_per_s:8.0f} device-s/s)",
+                f"naive (sequential)     : {naive.elapsed_s:8.3f} s wall "
+                f"({naive.throughput_device_seconds_per_s:8.0f} device-s/s)",
+                f"fused vs naive         : {ratio:8.2f}x "
+                f"(gate: {MIN_CAMPAIGN_SPEEDUP}x)",
+                f"shared signal rows     : {shared_hits:8.0f}",
+                f"report                 -> {CAMPAIGN_JSON_PATH.name}",
+            ]
+        ),
+    )
+
+    assert shared_hits > 0.0, (
+        "the fused campaign never shared a signal-table row across "
+        "variants — cross-variant compute sharing is not engaged"
+    )
+    assert ratio >= MIN_CAMPAIGN_SPEEDUP, (
+        f"fused campaign throughput is only {ratio:.2f}x the naive "
+        f"sequential-variants baseline (required: {MIN_CAMPAIGN_SPEEDUP}x) "
+        f"at {len(variants)} variants x {CAMPAIGN_DEVICES} devices"
+    )
 
 
 def test_fleet_metrics_overhead(fleet_setup):

@@ -33,7 +33,19 @@ from pathlib import Path
 # The named execution recipes live with the benchmarks so the profiler
 # and BENCH_fleet.json can never disagree about what a recipe means.
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
-from _bench_utils import RECIPES, recipe_settings  # noqa: E402
+from _bench_utils import (  # noqa: E402
+    RECIPES,
+    campaign_variant_count,
+    recipe_settings,
+)
+
+#: Counters whose per-run deltas are printed for every compared recipe
+#: (cache effectiveness and cross-variant sharing at a glance).
+SHARING_COUNTERS = (
+    "plan_cache.hits",
+    "plan_cache.misses",
+    "campaign.shared_group_hits",
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -157,10 +169,13 @@ def main(argv=None) -> int:
     )
 
     if args.compare is not None:
+        from repro.obs import MetricsRegistry
+
         name_a, name_b = args.compare
         outcomes = []
         for name in (name_a, name_b):
             recipe, trace = recipe_settings(name)
+            registry = MetricsRegistry()
             if name == "sequential":
                 simulator = FleetSimulator(system.pipeline, **recipe)
                 simulator.run_sequential(population)
@@ -170,19 +185,36 @@ def main(argv=None) -> int:
                 profile.disable()
                 outcomes.append((result, pstats.Stats(profile)))
             else:
-                outcomes.append(
-                    _profile_run(
-                        FleetSimulator(system.pipeline, **recipe),
-                        population,
-                        trace,
+                variants = campaign_variant_count(name)
+                if variants > 1:
+                    from repro.campaign import CampaignRunner, variant_grid
+
+                    grid = variant_grid(
+                        stability_thresholds=(10, 20, 30, 40),
+                        confidence_thresholds=(0.75, 0.8, 0.85, 0.9),
+                    )[:variants]
+                    runner = CampaignRunner(
+                        system.pipeline, grid, metrics=registry, **recipe
                     )
-                )
+                else:
+                    runner = FleetSimulator(
+                        system.pipeline, metrics=registry, **recipe
+                    )
+                outcomes.append(_profile_run(runner, population, trace))
             print(
                 f"{name}: {outcomes[-1][0].elapsed_s:.2f} s wall, "
                 f"{outcomes[-1][0].throughput_device_seconds_per_s:.0f} "
                 f"device-seconds/s",
                 file=sys.stderr,
             )
+            counters = registry.snapshot().counters
+            deltas = ", ".join(
+                f"{key}={counters[key]:.0f}"
+                for key in SHARING_COUNTERS
+                if key in counters
+            )
+            if deltas:
+                print(f"{name}: {deltas}", file=sys.stderr)
         _print_comparison(
             name_a, *outcomes[0], name_b, *outcomes[1], top=args.top
         )

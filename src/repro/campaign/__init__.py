@@ -1,0 +1,58 @@
+"""Fused multi-variant campaign execution: a DSE grid as one fleet.
+
+A *campaign* grids controller hyperparameters — SPOT stability
+thresholds, confidence cutoffs, config tables, forced controller kinds
+— over one shared device population and executes every grid point at
+once as a single fused stacked fleet of ``V x D`` virtual devices
+(:class:`CampaignRunner`).  Signal realisations, signal-table
+evaluations, truth labels, stacked sensing cohorts, the batched
+classifier call and the spectral plan cache are all shared across
+variants within each tick, while every virtual device keeps the private
+noise stream its physical seed implies — so each variant's traces are
+bit-identical to an independent run, at a fraction of the cost.
+
+>>> from repro import AdaSense
+>>> from repro.campaign import CampaignRunner, variant_grid
+>>> from repro.fleet import DevicePopulation
+>>> system = AdaSense.train(windows_per_activity_per_config=16, seed=0)
+>>> population = DevicePopulation.generate(8, duration_s=60.0, master_seed=1)
+>>> variants = variant_grid(stability_thresholds=(10, 30))
+>>> campaign = CampaignRunner(system.pipeline, variants)
+>>> result = campaign.run(population, trace="summary")
+>>> result.num_variants
+2
+"""
+
+from repro.campaign.grid import (
+    CampaignVariant,
+    OVERRIDABLE_FIELDS,
+    fused_layout,
+    variant_grid,
+    virtual_profiles,
+)
+from repro.campaign.pareto import (
+    ParetoPoint,
+    pareto_front_3d,
+    pareto_fronts,
+    variant_points,
+)
+from repro.campaign.runner import (
+    CAMPAIGN_SCHEMA,
+    CampaignResult,
+    CampaignRunner,
+)
+
+__all__ = [
+    "CAMPAIGN_SCHEMA",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignVariant",
+    "OVERRIDABLE_FIELDS",
+    "ParetoPoint",
+    "fused_layout",
+    "pareto_front_3d",
+    "pareto_fronts",
+    "variant_grid",
+    "variant_points",
+    "virtual_profiles",
+]

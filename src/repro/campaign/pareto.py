@@ -1,0 +1,150 @@
+"""Per-archetype Pareto fronts over campaign variants.
+
+The paper's design-space exploration (Fig. 2) extracts a 2-D
+accuracy/current Pareto front over *sensor configurations* for one
+device.  A campaign asks the fleet-scale version of that question: over
+*controller variants*, which grid points are non-dominated in the
+3-objective space of recognition accuracy (higher is better), sensor
+energy (lower is better) and battery life (higher is better) — and how
+does the answer differ per behaviour archetype?  Each
+:class:`ParetoPoint` is one variant's mean operating point for one
+scenario, computed from the fleet telemetry's per-device reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.fleet.telemetry import FleetTelemetry
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One variant's mean operating point for one scenario.
+
+    Attributes
+    ----------
+    variant:
+        Name of the campaign variant.
+    scenario:
+        Behaviour scenario (archetype or activity setting) the devices
+        follow, or ``"fleet"`` for the all-scenario aggregate.
+    num_devices:
+        Devices behind the aggregate.
+    accuracy:
+        Mean per-device classification accuracy (maximised).
+    energy_uc:
+        Mean per-device sensor charge drawn, in microcoulombs
+        (minimised).
+    battery_life_days:
+        Mean per-device estimated battery life (maximised).
+    """
+
+    variant: str
+    scenario: str
+    num_devices: int
+    accuracy: float
+    energy_uc: float
+    battery_life_days: float
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable view of the point."""
+        return {
+            "variant": self.variant,
+            "scenario": self.scenario,
+            "num_devices": self.num_devices,
+            "accuracy": self.accuracy,
+            "energy_uc": self.energy_uc,
+            "battery_life_days": self.battery_life_days,
+        }
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """Whether this point Pareto-dominates ``other``.
+
+        Better-or-equal on all three objectives and strictly better on
+        at least one.
+        """
+        better_or_equal = (
+            self.accuracy >= other.accuracy
+            and self.energy_uc <= other.energy_uc
+            and self.battery_life_days >= other.battery_life_days
+        )
+        strictly_better = (
+            self.accuracy > other.accuracy
+            or self.energy_uc < other.energy_uc
+            or self.battery_life_days > other.battery_life_days
+        )
+        return better_or_equal and strictly_better
+
+
+def variant_points(
+    variant_name: str, telemetry: FleetTelemetry
+) -> List[ParetoPoint]:
+    """One point per scenario (plus the ``"fleet"`` aggregate) for a variant."""
+    groups: Dict[str, List] = {}
+    for report in telemetry.reports:
+        groups.setdefault(report.scenario, []).append(report)
+        groups.setdefault("fleet", []).append(report)
+    points: List[ParetoPoint] = []
+    for scenario in sorted(groups):
+        members = groups[scenario]
+        points.append(
+            ParetoPoint(
+                variant=variant_name,
+                scenario=scenario,
+                num_devices=len(members),
+                accuracy=float(np.mean([m.accuracy for m in members])),
+                energy_uc=float(np.mean([m.energy_uc for m in members])),
+                battery_life_days=float(
+                    np.mean([m.battery_life_days for m in members])
+                ),
+            )
+        )
+    return points
+
+
+def pareto_front_3d(points: Iterable[ParetoPoint]) -> List[ParetoPoint]:
+    """Non-dominated subset of ``points`` in the 3-objective space.
+
+    The front is sorted by decreasing accuracy, then increasing energy,
+    so the first entry is the most accurate surviving variant.
+    """
+    candidates = list(points)
+    front = [
+        point
+        for point in candidates
+        if not any(
+            other.dominates(point) for other in candidates if other is not point
+        )
+    ]
+    front.sort(key=lambda p: (-p.accuracy, p.energy_uc, -p.battery_life_days))
+    return front
+
+
+def pareto_fronts(
+    per_variant: Sequence[List[ParetoPoint]],
+) -> Dict[str, List[ParetoPoint]]:
+    """Per-scenario fronts over all variants' points.
+
+    Parameters
+    ----------
+    per_variant:
+        One :func:`variant_points` list per campaign variant.
+
+    Returns
+    -------
+    dict
+        Scenario name -> Pareto front across variants (including the
+        ``"fleet"`` aggregate scenario).
+    """
+    by_scenario: Dict[str, List[ParetoPoint]] = {}
+    for points in per_variant:
+        for point in points:
+            by_scenario.setdefault(point.scenario, []).append(point)
+    return {
+        scenario: pareto_front_3d(points)
+        for scenario, points in sorted(by_scenario.items())
+    }

@@ -17,6 +17,10 @@ Python:
 ``adasense-repro fleet``
     Simulate a heterogeneous population of devices with the vectorized
     fleet engine and print (or export as JSON) fleet-level telemetry.
+``adasense-repro campaign``
+    Grid controller hyperparameters over one population and run every
+    variant as a single fused stacked fleet, emitting per-archetype
+    Pareto fronts (accuracy vs energy vs battery).
 
 Every command accepts ``--seed`` so results are reproducible.  The
 ``repro`` console script and ``python -m repro`` invoke the same
@@ -295,6 +299,91 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_parser.add_argument("--seed", type=int, default=2020,
                               help="master seed for the population, the training "
                                    "data and every device's random stream")
+
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="run a controller hyperparameter grid as one fused stacked fleet",
+        parents=[common],
+    )
+    campaign_parser.add_argument("--devices", type=int, default=100,
+                                 help="physical devices in the shared population "
+                                      "(default: 100)")
+    campaign_parser.add_argument("--duration", type=float, default=600.0,
+                                 help="simulated seconds per device (default: 600)")
+    campaign_parser.add_argument(
+        "--thresholds", default=None, metavar="T1,T2,...",
+        help="SPOT stability thresholds to grid (comma-separated seconds)",
+    )
+    campaign_parser.add_argument(
+        "--confidences", default=None, metavar="C1,C2,...",
+        help="confidence cutoffs to grid (comma-separated probabilities)",
+    )
+    campaign_parser.add_argument(
+        "--kinds", default=None, metavar="K1,K2,...",
+        help="controller kinds to force fleet-wide "
+             "(comma-separated, e.g. spot,spot_confidence)",
+    )
+    campaign_parser.add_argument(
+        "--tables", default=None, metavar="N1+N2,...",
+        help="SPOT config tables to grid: comma-separated tables, each a "
+             "'+'-joined list of config names, e.g. "
+             "F100_A128+F50_A16+F12.5_A8",
+    )
+    campaign_parser.add_argument(
+        "--out", default=None,
+        help="write the campaign JSON report (variants, Pareto fronts) here",
+    )
+    campaign_parser.add_argument(
+        "--shards", type=int, default=None,
+        help="split the fused fleet across worker processes on the "
+             "variant axis (default: in-process)",
+    )
+    campaign_parser.add_argument(
+        "--checkpoint", default=None, metavar="DIR",
+        help="checkpoint directory: the fused fleet simulates in rounds "
+             "and can be resumed bit-identically with --resume",
+    )
+    campaign_parser.add_argument(
+        "--round", type=float, default=None, dest="round_s", metavar="SECONDS",
+        help="simulated seconds per checkpoint round (default: 60 when "
+             "--checkpoint is given)",
+    )
+    campaign_parser.add_argument(
+        "--resume", action="store_true",
+        help="resume the campaign in --checkpoint DIR from its last "
+             "complete rounds",
+    )
+    campaign_parser.add_argument(
+        "--features", choices=("incremental", "exact"), default="incremental",
+        help="feature extraction mode (default: incremental)",
+    )
+    campaign_parser.add_argument(
+        "--noise", choices=("per_device", "batched"), default="batched",
+        help="acquisition layer (default: batched — the lane whose signal "
+             "tables share evaluations across variants)",
+    )
+    campaign_parser.add_argument(
+        "--dtype", choices=("float64", "float32"), default="float64",
+        help="compute-lane precision (default: float64)",
+    )
+    campaign_parser.add_argument(
+        "--trace", choices=("summary", "full"), default="summary",
+        help="streaming summary accumulators (default) or full traces",
+    )
+    campaign_parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="meter the run and write the metrics snapshot as JSON "
+             "(includes campaign.variants / campaign.shared_group_hits)",
+    )
+    campaign_parser.add_argument("--model", default=None,
+                                 help="JSON model saved by 'train' "
+                                      "(otherwise trains a fresh one)")
+    campaign_parser.add_argument("--windows", type=int, default=40,
+                                 help="training windows per activity per "
+                                      "configuration when no saved model is given")
+    campaign_parser.add_argument("--seed", type=int, default=2020,
+                                 help="master seed for the population, the "
+                                      "training data and every device's stream")
     return parser
 
 
@@ -509,11 +598,86 @@ def _command_fleet(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _split_csv(text: Optional[str], convert) -> Optional[list]:
+    if text is None:
+        return None
+    return [convert(part) for part in text.split(",") if part]
+
+
+def _command_campaign(args: argparse.Namespace, out) -> int:
+    from repro.campaign import CampaignRunner, variant_grid
+
+    system = _load_or_train_system(args)
+    population = DevicePopulation.generate(
+        num_devices=args.devices,
+        duration_s=args.duration,
+        master_seed=args.seed,
+    )
+    variants = variant_grid(
+        stability_thresholds=_split_csv(args.thresholds, int),
+        confidence_thresholds=_split_csv(args.confidences, float),
+        controller_kinds=_split_csv(args.kinds, str),
+        config_tables=(
+            None
+            if args.tables is None
+            else [tuple(table.split("+")) for table in args.tables.split(",")]
+        ),
+    )
+    registry = MetricsRegistry() if args.metrics is not None else None
+    runner = CampaignRunner(
+        system.pipeline,
+        variants,
+        features=args.features,
+        noise=args.noise,
+        dtype=args.dtype,
+        metrics=registry,
+        num_shards=args.shards,
+        checkpoint_dir=args.checkpoint,
+        round_s=args.round_s,
+        resume=args.resume,
+    )
+    result = runner.run(population, trace=args.trace)
+    out.write(f"features           : {args.features}\n")
+    out.write(f"noise              : {args.noise}\n")
+    out.write(f"dtype              : {args.dtype}\n")
+    out.write(f"trace              : {result.trace_mode}\n")
+    out.write(result.format_table() + "\n")
+    if args.out is not None:
+        import json as _json
+
+        with open(args.out, "w", encoding="utf-8") as handle:
+            _json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        out.write(f"campaign report    -> {args.out}\n")
+    if registry is not None and result.metrics is not None:
+        write_metrics_json(
+            result.metrics,
+            args.metrics,
+            extra={
+                "engine": "campaign",
+                "devices": args.devices,
+                "variants": result.num_variants,
+                "duration_s": args.duration,
+                "noise": args.noise,
+                "dtype": args.dtype,
+                "trace": args.trace,
+                "seed": args.seed,
+            },
+        )
+        out.write(f"metrics            -> {args.metrics}\n")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """Entry point for ``repro`` / ``adasense-repro`` / ``python -m repro``."""
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    if (
+        getattr(args, "resume", False)
+        and getattr(args, "checkpoint", None) is None
+    ):
+        parser.error(f"{args.command}: --resume requires --checkpoint DIR")
     configure_logging(getattr(args, "log_level", None))
     commands = {
         "experiments": _command_experiments,
@@ -521,6 +685,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "train": _command_train,
         "simulate": _command_simulate,
         "fleet": _command_fleet,
+        "campaign": _command_campaign,
     }
     return commands[args.command](args, out)
 

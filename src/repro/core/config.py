@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from functools import lru_cache
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.utils.validation import check_positive, check_positive_int
@@ -161,6 +162,28 @@ def get_config(name_or_config: "SensorConfig | str") -> SensorConfig:
     raise TypeError(
         f"expected SensorConfig or name string, got {type(name_or_config).__name__}"
     )
+
+
+@lru_cache(maxsize=None)
+def intern_config_table(names: Tuple[str, ...]) -> Tuple[SensorConfig, ...]:
+    """Resolve a tuple of configuration names to one shared config tuple.
+
+    Campaign grids spawn many controller variants over the same SPOT
+    state table; interning by name guarantees every variant (and every
+    device within a variant) holds the *same* tuple object, so the
+    fleet engine's controller banks — which group devices by their
+    ``states`` table — fuse devices from different variants into one
+    vectorized bank instead of building one bank per variant.
+
+    Raises
+    ------
+    ValueError
+        If ``names`` is empty or contains a malformed configuration
+        name.
+    """
+    if not names:
+        raise ValueError("a config table needs at least one configuration")
+    return tuple(get_config(name) for name in names)
 
 
 @dataclass(frozen=True)

@@ -630,6 +630,13 @@ class StackedEvaluationCache:
         self.revalidations = 0
         self.rebuilds = 0
         self.fallbacks = 0
+        #: Group members whose clean-signal evaluation was served from
+        #: another member sharing the same row this call (fused
+        #: multi-variant campaigns map every variant of one physical
+        #: device to a single table row, so a configuration group that
+        #: holds several variants of a device computes that device's
+        #: clean signal once and gathers it).
+        self.shared_hits = 0
 
     def _grow(self, num_devices: int, slots: int) -> None:
         """Widen the row arrays, remapping existing rows in place.
@@ -718,6 +725,28 @@ class StackedEvaluationCache:
                     self._frequencies[row] * span
                 )
 
+    def _dedupe_rows(self, rows: np.ndarray):
+        """Detect duplicate rows in one group's evaluation request.
+
+        Rows are the cache's unit of sharing: two group members with
+        the same row index describe the *same* clean signal (the fleet
+        engine derives rows from signal-object identity), so evaluating
+        the unique rows once and gathering is bit-identical to
+        evaluating every member — the per-row trig pass is elementwise
+        and group-shape invariant.  Returns ``None`` for the common
+        duplicate-free case (one extra ``np.unique`` over a small index
+        vector), otherwise ``(unique_rows, first_positions, inverse)``.
+        """
+        if rows.shape[0] < 2:
+            return None
+        unique_rows, first_positions, inverse = np.unique(
+            rows, return_index=True, return_inverse=True
+        )
+        if unique_rows.shape[0] == rows.shape[0]:
+            return None
+        self.shared_hits += int(rows.shape[0] - unique_rows.shape[0])
+        return unique_rows, first_positions, inverse
+
     def _effective_for(self, span: float) -> np.ndarray:
         effective = self._effective.get(span)
         if effective is None:
@@ -766,6 +795,16 @@ class StackedEvaluationCache:
                 f"rows must be parallel to realizations, got {rows.shape[0]} "
                 f"rows for {len(realizations)} realizations"
             )
+        shared = self._dedupe_rows(rows)
+        if shared is not None:
+            unique_rows, first_positions, inverse = shared
+            evaluated = self.evaluate(
+                [realizations[position] for position in first_positions],
+                times,
+                window,
+                rows=unique_rows,
+            )
+            return evaluated[inverse]
         if rows.size and int(rows.max()) >= self._num_devices:
             self._grow(int(rows.max()) + 1, max(self._slots, 1))
         for position, realization in enumerate(realizations):
@@ -837,6 +876,16 @@ class StackedEvaluationCache:
                 f"rows must be parallel to signals, got {rows.shape[0]} rows "
                 f"for {len(signals)} signals"
             )
+        shared = self._dedupe_rows(rows)
+        if shared is not None:
+            unique_rows, first_positions, inverse = shared
+            evaluated = self.evaluate_signals(
+                [signals[position] for position in first_positions],
+                unique_rows,
+                times,
+                window,
+            )
+            return evaluated[inverse]
         output = np.empty(
             (rows.shape[0], times.shape[0], NUM_AXES), dtype=self._dtype
         )

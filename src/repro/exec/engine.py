@@ -338,6 +338,7 @@ class EngineState:
         "signal_tables",
         "sensor_array",
         "signal_array",
+        "table_rows",
         "partials_history",
         "summary",
     )
@@ -375,6 +376,7 @@ class EngineState:
         self.signal_tables: Optional[StackedEvaluationCache] = None
         self.sensor_array: Optional[np.ndarray] = None
         self.signal_array: Optional[np.ndarray] = None
+        self.table_rows: Optional[np.ndarray] = None
         if engine.noise == "batched":
             self.noise_bank = NoiseBank.from_rngs(
                 [runtime.rng for runtime in runtimes]
@@ -389,6 +391,22 @@ class EngineState:
             self.signal_array = np.array(
                 [runtime.signal for runtime in runtimes], dtype=object
             )
+            # Signal-table rows are keyed by signal *identity*: fused
+            # multi-variant campaigns run several virtual devices that
+            # share one physical device's signal object, and mapping
+            # them to one row lets the cache rebuild each bout once and
+            # serve every variant by gathering.  Ordinary fleets have
+            # one signal per device, so the mapping is the identity and
+            # is dropped (``None`` keeps the historical call signature
+            # on the hot path).
+            first_rows: Dict[int, int] = {}
+            table_rows = np.empty(self.num_devices, dtype=np.intp)
+            for index, runtime in enumerate(runtimes):
+                table_rows[index] = first_rows.setdefault(
+                    id(runtime.signal), index
+                )
+            if len(first_rows) < self.num_devices:
+                self.table_rows = table_rows
         #: Ring-path per-configuration stacked-partials history (the
         #: last ``cached_chunks`` tick reductions); lives on the state
         #: so a segmented run keeps its incremental-feature warm-up.
@@ -623,6 +641,58 @@ class StepEngine:
             window_duration_s=self._window_duration_s,
         )
 
+    def runtimes_from_profiles(self, profiles) -> List[DeviceRuntime]:
+        """Build one runtime per profile, sharing synthesis where possible.
+
+        Profiles with the same integer seed and the same schedule draw
+        the *same* signal realisation (signal synthesis consumes the
+        seed's stream first, before the sensor bias) — the defining
+        property of a fused multi-variant campaign, where every variant
+        of one physical device differs only in its controller.  Those
+        profiles share one :class:`ScheduledSignal` object; each
+        runtime after the first gets a fresh generator restored to the
+        post-synthesis stream position, so its sensor-bias and
+        noise-stream draws replay bit-identically to an independent
+        :meth:`DeviceRuntime.from_profile` construction.
+
+        Ordinary fleets (per-device seeds) see exactly the historical
+        per-profile construction, object for object.
+        """
+        runtimes: List[DeviceRuntime] = []
+        shared: Dict[Tuple, Tuple[ScheduledSignal, dict]] = {}
+        for profile in profiles:
+            seed = profile.seed
+            key = (
+                (int(seed), profile.schedule)
+                if isinstance(seed, (int, np.integer))
+                else None
+            )
+            entry = shared.get(key) if key is not None else None
+            if entry is None:
+                rng = as_rng(seed)
+                signal = ScheduledSignal(list(profile.schedule), seed=rng)
+                if key is not None:
+                    # ``state`` snapshots the generator right after the
+                    # signal draws — the position every sibling runtime
+                    # must restart its own stream from.
+                    shared[key] = (signal, rng.bit_generator.state)
+            else:
+                signal, state = entry
+                rng = as_rng(int(seed))
+                rng.bit_generator.state = state
+            runtimes.append(
+                DeviceRuntime(
+                    signal=signal,
+                    controller=profile.make_controller(),
+                    power_model=profile.power_model,
+                    noise=profile.noise,
+                    rng=rng,
+                    internal_rate_hz=self._internal_rate_hz,
+                    window_duration_s=self._window_duration_s,
+                )
+            )
+        return runtimes
+
     def make_state(self, runtimes: Sequence[DeviceRuntime]) -> "EngineState":
         """Build the reusable per-fleet execution state for ``runtimes``.
 
@@ -711,16 +781,29 @@ class StepEngine:
         )
         truth_labels = np.empty((num_devices, num_steps), dtype=np.int64)
         truths: Optional[List] = None
+        # Ground-truth lookups are cached by signal identity: a fused
+        # campaign's variant runtimes share one signal per physical
+        # device, so its activity schedule is resolved once, not once
+        # per variant.  Ordinary fleets pay one dict probe per device.
+        activity_cache: Dict[int, List[Activity]] = {}
         if trace == "full":
-            truths = [
-                runtime.signal.activities_at(midpoints) for runtime in runtimes
-            ]
+            truths = []
+            for runtime in runtimes:
+                activities = activity_cache.get(id(runtime.signal))
+                if activities is None:
+                    activities = runtime.signal.activities_at(midpoints)
+                    activity_cache[id(runtime.signal)] = activities
+                truths.append(activities)
             truth_labels[:] = np.array(truths, dtype=np.int64).reshape(
                 num_devices, num_steps
             )
         else:
             for index, runtime in enumerate(runtimes):
-                truth_labels[index] = runtime.signal.activities_at(midpoints)
+                activities = activity_cache.get(id(runtime.signal))
+                if activities is None:
+                    activities = runtime.signal.activities_at(midpoints)
+                    activity_cache[id(runtime.signal)] = activities
+                truth_labels[index] = activities
 
         bank = state.bank
         loose = state.loose
@@ -748,6 +831,7 @@ class StepEngine:
         chunks_in_config = state.chunks_in_config
         sensor_array = state.sensor_array
         signal_array = state.signal_array
+        table_rows = state.table_rows
         intensities = (
             np.full(num_devices, np.nan)
             if bank is not None and bank.has_intensity
@@ -778,6 +862,7 @@ class StepEngine:
                 tables_revalidations_0 = signal_tables.revalidations
                 tables_rebuilds_0 = signal_tables.rebuilds
                 tables_fallbacks_0 = signal_tables.fallbacks
+                tables_shared_0 = signal_tables.shared_hits
             plan_hits_0, plan_misses_0 = plan_cache_stats()
 
         for step_index in range(1, num_steps + 1):
@@ -827,6 +912,11 @@ class StepEngine:
                             statics=statics,
                             tables=signal_tables,
                             signals=signal_array[indices],
+                            table_rows=(
+                                table_rows[indices]
+                                if table_rows is not None
+                                else None
+                            ),
                         )
                     else:
                         stacks[config] = read_windows_stacked_raw(
@@ -852,6 +942,11 @@ class StepEngine:
                                 statics=statics,
                                 tables=signal_tables,
                                 signals=signal_array[group_rows],
+                                table_rows=(
+                                    table_rows[group_rows]
+                                    if table_rows is not None
+                                    else None
+                                ),
                             )
                             windows = [
                                 SensorWindow(
@@ -1078,6 +1173,10 @@ class StepEngine:
                 mx.count(
                     "signal_cache.fallbacks",
                     signal_tables.fallbacks - tables_fallbacks_0,
+                )
+                mx.count(
+                    "campaign.shared_group_hits",
+                    signal_tables.shared_hits - tables_shared_0,
                 )
             plan_hits_1, plan_misses_1 = plan_cache_stats()
             mx.count("plan_cache.hits", plan_hits_1 - plan_hits_0)

@@ -150,9 +150,7 @@ def _run_shard_attempt(
         engine = StepEngine(
             pipeline=task.pipeline, metrics=metrics, **task.settings
         )
-        runtimes = [
-            engine.runtime_from_profile(profile) for profile in task.profiles
-        ]
+        runtimes = engine.runtimes_from_profiles(task.profiles)
         state = engine.make_state(runtimes)
         steps_done = 0
     else:

@@ -133,9 +133,9 @@ class FleetRuntime:
             raise ValueError("population must contain at least one device")
         self.engine = engine
         self.profiles = profiles
-        self.runtimes: List[DeviceRuntime] = [
-            engine.runtime_from_profile(profile) for profile in profiles
-        ]
+        self.runtimes: List[DeviceRuntime] = engine.runtimes_from_profiles(
+            profiles
+        )
         # Generator positions are captured after construction (signal
         # realisation and sensor-bias draws already consumed), so a
         # restore replays exactly the per-run draw sequence.  Spawned
@@ -334,9 +334,7 @@ class FleetSimulator:
             runtimes = runtime.runtimes
             state = runtime.state
         else:
-            runtimes = [
-                self._engine.runtime_from_profile(profile) for profile in profiles
-            ]
+            runtimes = self._engine.runtimes_from_profiles(profiles)
             state = None
         num_steps = int(round(duration / self._engine.step_s))
         traces = self._engine.run(runtimes, num_steps, trace=trace, state=state)

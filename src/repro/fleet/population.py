@@ -30,7 +30,7 @@ from repro.baselines.intensity_based import (
     calibrate_intensity_thresholds,
 )
 from repro.core.activities import Activity
-from repro.core.config import HIGH_POWER_CONFIG, get_config
+from repro.core.config import HIGH_POWER_CONFIG, get_config, intern_config_table
 from repro.core.controller import (
     AdaptiveController,
     SpotController,
@@ -94,6 +94,12 @@ class ControllerSpec:
     confidence_threshold: float = 0.85
     static_config_name: str = HIGH_POWER_CONFIG.name
     intensity_thresholds: Optional[IntensityThresholds] = None
+    #: Optional SPOT state table, as a tuple of paper-style config names
+    #: (highest to lowest power).  ``None`` keeps the paper's default
+    #: Pareto states.  Tables are interned by name, so every variant of
+    #: a campaign grid that names the same table shares one tuple and
+    #: banks together in the fleet engine.
+    config_table: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         if self.kind not in CONTROLLER_KINDS:
@@ -104,26 +110,81 @@ class ControllerSpec:
             raise ValueError(
                 "intensity controllers need calibrated intensity_thresholds"
             )
+        if self.config_table is not None:
+            if self.kind not in ("spot", "spot_confidence"):
+                raise ValueError(
+                    "config_table only applies to SPOT controllers, "
+                    f"got kind {self.kind!r}"
+                )
+            object.__setattr__(
+                self,
+                "config_table",
+                tuple(str(name) for name in self.config_table),
+            )
+            # Validate the names eagerly (and warm the interned tuple).
+            intern_config_table(self.config_table)
 
     @property
     def label(self) -> str:
         """Human-readable summary used by telemetry breakdowns."""
+        table = (
+            "" if self.config_table is None
+            else f", table={'|'.join(self.config_table)}"
+        )
         if self.kind == "spot":
-            return f"spot(t={self.stability_threshold})"
+            return f"spot(t={self.stability_threshold}{table})"
         if self.kind == "spot_confidence":
             return (
                 f"spot_confidence(t={self.stability_threshold}, "
-                f"c={self.confidence_threshold:g})"
+                f"c={self.confidence_threshold:g}{table})"
             )
         if self.kind == "static":
             return f"static({self.static_config_name})"
         return "intensity"
 
+    def behavior_key(self) -> Tuple[object, ...]:
+        """Hashable key over the fields this controller's behaviour reads.
+
+        :meth:`build` ignores every field outside the returned key (a
+        plain ``spot`` controller never looks at ``confidence_threshold``,
+        a ``static`` one at neither threshold), so two specs with equal
+        keys drive bit-identical simulations of the same device.  The
+        campaign layer uses this to simulate one representative per
+        behaviour class and reuse its trace for every duplicate variant.
+        """
+        if self.kind == "spot":
+            return ("spot", self.stability_threshold, self.config_table)
+        if self.kind == "spot_confidence":
+            return (
+                "spot_confidence",
+                self.stability_threshold,
+                self.confidence_threshold,
+                self.config_table,
+            )
+        if self.kind == "static":
+            return ("static", self.static_config_name)
+        assert self.intensity_thresholds is not None
+        return (
+            "intensity",
+            tuple(sorted(self.intensity_thresholds.thresholds.items())),
+        )
+
     def build(self) -> AdaptiveController:
         """Instantiate a fresh controller from this specification."""
         if self.kind == "spot":
+            if self.config_table is not None:
+                return SpotController(
+                    states=intern_config_table(self.config_table),
+                    stability_threshold=self.stability_threshold,
+                )
             return SpotController(stability_threshold=self.stability_threshold)
         if self.kind == "spot_confidence":
+            if self.config_table is not None:
+                return SpotWithConfidenceController(
+                    states=intern_config_table(self.config_table),
+                    stability_threshold=self.stability_threshold,
+                    confidence_threshold=self.confidence_threshold,
+                )
             return SpotWithConfidenceController(
                 stability_threshold=self.stability_threshold,
                 confidence_threshold=self.confidence_threshold,

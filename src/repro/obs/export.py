@@ -56,6 +56,10 @@ COUNTER_GLOSSARY: Dict[str, str] = {
     "checkpoint.saves": "round checkpoints written by shard workers",
     "checkpoint.loads": "checkpoints loaded by resumed or retried shards",
     "checkpoint.bytes": "total checkpoint bytes written",
+    "campaign.variants": "controller variants fused into the campaign fleet",
+    "campaign.devices": "physical devices the campaign grid spans",
+    "campaign.unique_devices": "virtual devices simulated after behaviour dedupe",
+    "campaign.shared_group_hits": "signal-table rows gathered from a shared variant's evaluation",
 }
 
 

@@ -443,6 +443,7 @@ def read_windows_stacked_raw(
     statics: Optional[SensorStatics] = None,
     tables=None,
     signals: Optional[Sequence] = None,
+    table_rows: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """The raw spelling of :func:`read_windows_stacked`.
 
@@ -468,6 +469,14 @@ def read_windows_stacked_raw(
       the clean-signal component tables across ticks (``signals``
       optionally hands the cache the group's signal objects directly,
       sparing one attribute walk per device).
+
+    ``table_rows`` optionally splits the signal-table keying from the
+    noise-stream keying: fused multi-variant campaigns run several
+    *virtual* devices per physical device, each with its own noise
+    stream (``bank_rows``) but one shared clean signal — passing the
+    physical row per group member here lets the cache keep one row per
+    physical device and serve duplicated members by gathering.
+    Defaults to ``bank_rows`` (one row per device, the fleet case).
     """
     from repro.datasets.synthetic import evaluate_realizations_windowed
 
@@ -499,7 +508,7 @@ def read_windows_stacked_raw(
         span = sensors[0].averaging_window_duration(config)
         clean = tables.evaluate_signals(
             [sensor._signal for sensor in sensors] if signals is None else signals,
-            np.asarray(bank_rows),
+            np.asarray(bank_rows if table_rows is None else table_rows),
             times,
             span,
         )
@@ -536,13 +545,14 @@ def read_windows_stacked_raw(
                     realizations.append(realization)
             if stacked_indices:
                 if tables is not None:
+                    keyed_rows = bank_rows if table_rows is None else table_rows
                     clean[stacked_indices] = tables.evaluate(
                         realizations,
                         times,
                         span,
                         rows=(
-                            np.asarray(bank_rows)[stacked_indices]
-                            if bank_rows is not None
+                            np.asarray(keyed_rows)[stacked_indices]
+                            if keyed_rows is not None
                             else None
                         ),
                     )

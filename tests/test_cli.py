@@ -466,3 +466,100 @@ class TestFleetNoiseMode:
             assert "noise              : batched" in out.getvalue()
             outputs[engine] = json.loads(path.read_text())
         assert outputs["batched"]["devices"] == outputs["sharded"]["devices"]
+
+
+class TestResumeRequiresCheckpoint:
+    @pytest.mark.parametrize("command", ["fleet", "campaign"])
+    def test_resume_without_checkpoint_fails_fast(self, command, capsys):
+        """--resume without --checkpoint DIR is an argparse error (exit
+        code 2) before any training or simulation starts."""
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--resume"])
+        assert excinfo.value.code == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["fleet", "campaign"])
+    def test_resume_with_checkpoint_parses(self, command):
+        args = build_parser().parse_args(
+            [command, "--resume", "--checkpoint", "ckpts"]
+        )
+        assert args.resume is True
+        assert args.checkpoint == "ckpts"
+
+
+class TestCampaignCommand:
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.devices == 100
+        assert args.duration == 600.0
+        assert args.noise == "batched"
+        assert args.trace == "summary"
+        assert args.shards is None
+        assert args.thresholds is None
+
+    def test_campaign_runs_and_exports_report(self, tmp_path):
+        out = io.StringIO()
+        report_path = tmp_path / "campaign.json"
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "campaign",
+                "--devices", "4",
+                "--duration", "15",
+                "--windows", "6",
+                "--seed", "5",
+                "--thresholds", "10,30",
+                "--confidences", "0.75,0.9",
+                "--out", str(report_path),
+                "--metrics", str(metrics_path),
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "variants           : 4" in text
+        assert "pareto fronts" in text
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == "repro.campaign/v1"
+        assert report["meta"]["num_variants"] == 4
+        assert report["meta"]["virtual_devices"] == 16
+        assert "fleet" in report["pareto_fronts"]
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["gauges"]["campaign.variants"] == 4.0
+        assert metrics["counters"]["campaign.shared_group_hits"] > 0.0
+
+    def test_campaign_sharded_matches_in_process(self, tmp_path):
+        reports = {}
+        for label, extra in (
+            ("inline", []),
+            ("sharded", ["--shards", "2"]),
+        ):
+            path = tmp_path / f"{label}.json"
+            code = main(
+                [
+                    "campaign",
+                    "--devices", "4",
+                    "--duration", "10",
+                    "--windows", "6",
+                    "--seed", "5",
+                    "--thresholds", "10,30",
+                    "--out", str(path),
+                ]
+                + extra,
+                out=io.StringIO(),
+            )
+            assert code == 0
+            reports[label] = json.loads(path.read_text())
+        inline = dict(reports["inline"])
+        sharded = dict(reports["sharded"])
+        # Wall-clock and shard count legitimately differ; everything
+        # else (variant telemetry, Pareto fronts) must be identical.
+        for report in (inline, sharded):
+            report["meta"] = {
+                key: value
+                for key, value in report["meta"].items()
+                if key
+                not in ("elapsed_s", "throughput_device_seconds_per_s",
+                        "num_shards")
+            }
+        assert inline == sharded
