@@ -9,9 +9,13 @@ never disagree about what a named execution recipe means.
 
 from __future__ import annotations
 
+import json
 import os
 import platform
-from typing import Dict, Tuple
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -107,6 +111,53 @@ def bench_scale() -> Scale:
             f"REPRO_BENCH_SCALE must be 'quick' or 'paper', got {value!r}"
         )
     return value  # type: ignore[return-value]
+
+
+#: Append-only ledger of benchmark outcomes across PRs, one JSON
+#: object per line (read back by ``scripts/bench_report.py``).
+BENCH_HISTORY_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_history.jsonl"
+)
+
+
+def git_sha() -> Optional[str]:
+    """The short commit hash of HEAD, or ``None`` outside a checkout."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.strip() or None
+
+
+def append_bench_history(
+    kind: str,
+    record: Dict[str, object],
+    path: "Path | str" = BENCH_HISTORY_PATH,
+) -> Dict[str, object]:
+    """Append one timestamped benchmark record to the history ledger.
+
+    Each line carries its own provenance (UTC timestamp, git sha, the
+    record ``kind``) so the devices/s trend and the gate ratios can be
+    tracked across commits without diffing ``BENCH_fleet.json``
+    snapshots.  Returns the entry that was written.
+    """
+    entry: Dict[str, object] = {
+        "ts": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git_sha": git_sha(),
+        "kind": str(kind),
+    }
+    entry.update(record)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
 
 
 def print_report(title: str, body: str) -> None:

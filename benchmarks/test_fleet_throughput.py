@@ -65,6 +65,7 @@ import pytest
 
 from _bench_utils import (
     BENCH_SEED,
+    append_bench_history,
     campaign_variant_count,
     print_report,
     recipe_settings,
@@ -153,6 +154,12 @@ MAX_METRICS_OVERHEAD = float(
 #: over a plain single-process run of the same recipe (default 3 %).
 MAX_RESILIENCE_OVERHEAD = float(
     os.environ.get("REPRO_MAX_RESILIENCE_OVERHEAD", "0.03")
+)
+
+#: Maximum relative slowdown a heartbeat-monitored supervised run may
+#: show over the same supervised run without a monitor (default 3 %).
+MAX_HEARTBEAT_OVERHEAD = float(
+    os.environ.get("REPRO_MAX_HEARTBEAT_OVERHEAD", "0.03")
 )
 
 
@@ -299,6 +306,22 @@ def test_fleet_throughput_modes(benchmark, fleet_setup):
     }
     if not SMOKE:
         _write_bench_json(report)
+        append_bench_history(
+            "fleet_modes",
+            {
+                "num_devices": NUM_DEVICES,
+                "devices_per_s": {
+                    name: entry["devices_per_s"]
+                    for name, entry in report["modes"].items()
+                },
+                "gates": {
+                    "incremental_vs_batched": report[
+                        "speedup_incremental_vs_batched"
+                    ],
+                    "min_incremental_speedup": MIN_INCREMENTAL_SPEEDUP,
+                },
+            },
+        )
 
     print_report(
         "Fleet throughput — execution paths over one 50-device population",
@@ -420,6 +443,7 @@ def test_fleet_throughput_scaling_sweep(fleet_setup):
             / float32.elapsed_s,
         }
 
+    top = str(max(SWEEP_DEVICES))
     if not SMOKE:
         _write_bench_json(
             {
@@ -430,8 +454,31 @@ def test_fleet_throughput_scaling_sweep(fleet_setup):
                 }
             }
         )
-
-    top = str(max(SWEEP_DEVICES))
+        append_bench_history(
+            "fleet_scaling",
+            {
+                "num_devices": int(top),
+                "devices_per_s": {
+                    name: sweep[top][name]["devices_per_s"]
+                    for name in (
+                        "incremental", "controller_bank",
+                        "batched_noise", "float32",
+                    )
+                },
+                "gates": {
+                    "bank_vs_incremental": sweep[top][
+                        "speedup_bank_vs_incremental"
+                    ],
+                    "noise_vs_bank": sweep[top]["speedup_noise_vs_bank"],
+                    "float32_vs_noise": sweep[top][
+                        "speedup_float32_vs_noise"
+                    ],
+                    "min_bank_speedup": MIN_BANK_SPEEDUP,
+                    "min_noise_speedup": MIN_NOISE_SPEEDUP,
+                    "min_float32_speedup": MIN_FLOAT32_SPEEDUP,
+                },
+            },
+        )
     print_report(
         "Fleet throughput — device-count scaling sweep",
         "\n".join(
@@ -594,6 +641,21 @@ def test_campaign_fused_vs_naive(fleet_setup):
         CAMPAIGN_JSON_PATH.write_text(
             json.dumps(report, indent=2, sort_keys=True) + "\n"
         )
+        append_bench_history(
+            "campaign",
+            {
+                "num_devices": CAMPAIGN_DEVICES,
+                "num_variants": len(variants),
+                "devices_per_s": {
+                    "fused": report["fused"]["devices_per_s"],
+                    "naive": report["naive"]["devices_per_s"],
+                },
+                "gates": {
+                    "fused_vs_naive": ratio,
+                    "min_campaign_speedup": MIN_CAMPAIGN_SPEEDUP,
+                },
+            },
+        )
 
     print_report(
         "Campaign throughput — fused stacked fleet vs sequential variants",
@@ -674,6 +736,20 @@ def test_fleet_metrics_overhead(fleet_setup):
                     "max_overhead": MAX_METRICS_OVERHEAD,
                 }
             }
+        )
+        append_bench_history(
+            "metrics_overhead",
+            {
+                "num_devices": count,
+                "devices_per_s": {
+                    "unmetered": count / plain.elapsed_s,
+                    "metered": count / metered.elapsed_s,
+                },
+                "gates": {
+                    "overhead": overhead,
+                    "max_overhead": MAX_METRICS_OVERHEAD,
+                },
+            },
         )
 
     print_report(
@@ -788,6 +864,22 @@ def test_fleet_resilience_overhead(fleet_setup):
                 }
             }
         )
+        append_bench_history(
+            "resilience_overhead",
+            {
+                "num_devices": count,
+                "devices_per_s": {
+                    "plain": count / plain.elapsed_s,
+                    "supervised": count / resilient.elapsed_s,
+                    "segmented": count / segmented.elapsed_s,
+                },
+                "gates": {
+                    "overhead": overhead,
+                    "noise_floor": noise_floor,
+                    "max_overhead": MAX_RESILIENCE_OVERHEAD,
+                },
+            },
+        )
 
     print_report(
         "Fleet resilience overhead — supervised (and segmented) vs plain",
@@ -812,5 +904,123 @@ def test_fleet_resilience_overhead(fleet_setup):
     assert SMOKE or overhead <= allowed, (
         f"supervised run is {100.0 * overhead:.2f}% slower than plain "
         f"(allowed: {100.0 * MAX_RESILIENCE_OVERHEAD:.0f}% + "
+        f"{100.0 * noise_floor:.2f}% measured A/A noise) at {count} devices"
+    )
+
+
+def test_fleet_heartbeat_overhead(fleet_setup):
+    """Live telemetry must be near-free: racing a heartbeat-monitored
+    supervised run against the same supervised run without a monitor
+    at the largest sweep count, the monitored run may be at most
+    ``REPRO_MAX_HEARTBEAT_OVERHEAD`` (default 3 %) slower.  The
+    baseline is the *supervised* single-shard run, so the gate
+    isolates the cost of heartbeats (segment sub-division, phase-delta
+    reads, event folding) from the already-gated supervisor cost; the
+    same A/A-control noise floor and median-of-paired-ratios statistic
+    as the resilience gate keep it meaningful on shared hosts."""
+    from repro.obs import RunMonitor
+
+    pipeline, _ = fleet_setup
+    count = max(SWEEP_DEVICES)
+    population = DevicePopulation.generate(
+        count, duration_s=SWEEP_DURATION_S, master_seed=BENCH_SEED
+    )
+    kwargs, trace = recipe_settings("batched_noise")
+    plain_engine = ShardedFleetSimulator(
+        pipeline, num_shards=1, fault_plan="", **kwargs
+    )
+    control_engine = ShardedFleetSimulator(
+        pipeline, num_shards=1, fault_plan="", **kwargs
+    )
+    monitor = RunMonitor()  # default heartbeat cadence, no sinks
+    monitored_engine = ShardedFleetSimulator(
+        pipeline, num_shards=1, fault_plan="", monitor=monitor, **kwargs
+    )
+
+    rounds = 2 if SMOKE else 7
+    plain_runs, control_runs, monitored_runs = _race(
+        lambda: plain_engine.run(population, trace=trace).result,
+        lambda: control_engine.run(population, trace=trace).result,
+        lambda: monitored_engine.run(population, trace=trace).result,
+        rounds=rounds,
+        keep="all",
+    )
+
+    def _median_overhead(contestant_runs):
+        ratios = sorted(
+            contestant.elapsed_s / base.elapsed_s
+            for contestant, base in zip(contestant_runs, plain_runs)
+        )
+        middle = len(ratios) // 2
+        if len(ratios) % 2:
+            return ratios[middle] - 1.0
+        return (ratios[middle - 1] + ratios[middle]) / 2.0 - 1.0
+
+    noise_floor = abs(_median_overhead(control_runs))
+    overhead = _median_overhead(monitored_runs)
+    allowed = MAX_HEARTBEAT_OVERHEAD + noise_floor
+    plain = min(plain_runs, key=lambda result: result.elapsed_s)
+    monitored = min(monitored_runs, key=lambda result: result.elapsed_s)
+
+    # Fidelity first: the monitored run is bit-identical (summary-mode
+    # recipe, so equality is checked on the telemetry), and the monitor
+    # really heard heartbeats.
+    reference = FleetTelemetry.from_result(plain).to_dict()
+    assert FleetTelemetry.from_result(monitored).to_dict() == reference
+    assert monitor.counters.get("heartbeat.received", 0.0) > 0.0
+
+    if not SMOKE:
+        _write_bench_json(
+            {
+                "heartbeat_overhead": {
+                    "num_devices": count,
+                    "duration_s": SWEEP_DURATION_S,
+                    "recipe": "batched_noise",
+                    "supervised": _mode_entry(plain),
+                    "monitored": _mode_entry(monitored),
+                    "overhead": overhead,
+                    "noise_floor": noise_floor,
+                    "max_overhead": MAX_HEARTBEAT_OVERHEAD,
+                }
+            }
+        )
+        append_bench_history(
+            "heartbeat_overhead",
+            {
+                "num_devices": count,
+                "devices_per_s": {
+                    "supervised": count / plain.elapsed_s,
+                    "monitored": count / monitored.elapsed_s,
+                },
+                "gates": {
+                    "overhead": overhead,
+                    "noise_floor": noise_floor,
+                    "max_overhead": MAX_HEARTBEAT_OVERHEAD,
+                },
+            },
+        )
+
+    print_report(
+        "Fleet heartbeat overhead — monitored vs unmonitored supervised",
+        "\n".join(
+            [
+                f"devices                : {count}",
+                f"supervised             : {plain.elapsed_s:8.3f} s wall "
+                f"({plain.throughput_device_seconds_per_s:8.0f} device-s/s)",
+                f"monitored              : {monitored.elapsed_s:8.3f} s wall "
+                f"({monitored.throughput_device_seconds_per_s:8.0f} device-s/s)",
+                f"heartbeats received    : "
+                f"{monitor.counters.get('heartbeat.received', 0.0):8.0f}",
+                f"overhead               : {100.0 * overhead:8.2f} % "
+                f"(gate: {100.0 * MAX_HEARTBEAT_OVERHEAD:.0f} % + "
+                f"{100.0 * noise_floor:.2f} % A/A noise floor)",
+            ]
+        ),
+    )
+
+    assert SMOKE or overhead <= allowed, (
+        f"heartbeat-monitored run is {100.0 * overhead:.2f}% slower than "
+        f"the unmonitored supervised run (allowed: "
+        f"{100.0 * MAX_HEARTBEAT_OVERHEAD:.0f}% + "
         f"{100.0 * noise_floor:.2f}% measured A/A noise) at {count} devices"
     )

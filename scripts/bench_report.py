@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Print the benchmark trend recorded in ``BENCH_history.jsonl``.
+
+Benchmark runs (``pytest benchmarks/test_fleet_throughput.py`` outside
+smoke mode) append one timestamped record per suite — git sha, mode →
+devices/s, gate ratios — to the ledger via
+``_bench_utils.append_bench_history``.  This script folds the ledger
+into a per-kind trend table so a regression shows up as a signed delta
+against the previous run of the same suite, without diffing
+``BENCH_fleet.json`` snapshots by hand.
+
+Usage::
+
+    python scripts/bench_report.py [--history PATH] [--last N] [--kind K]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_HISTORY = REPO_ROOT / "BENCH_history.jsonl"
+
+
+def load_history(path: Path) -> List[Dict[str, object]]:
+    """Parse the ledger, skipping blank lines; bad JSON is an error."""
+    records: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON ({exc})") from exc
+            if not isinstance(record, dict) or "kind" not in record:
+                raise ValueError(
+                    f"{path}:{lineno}: record must be an object with a 'kind'"
+                )
+            records.append(record)
+    return records
+
+
+def _delta(current: float, previous: float) -> str:
+    if previous == 0:
+        return "     new"
+    change = 100.0 * (current / previous - 1.0)
+    return f"{change:+7.1f}%"
+
+
+def format_trend(
+    records: List[Dict[str, object]], last: int, kind_filter: str = ""
+) -> str:
+    """The per-kind trend tables, newest runs last."""
+    by_kind: Dict[str, List[Dict[str, object]]] = {}
+    for record in records:
+        by_kind.setdefault(str(record["kind"]), []).append(record)
+    lines: List[str] = []
+    for kind in sorted(by_kind):
+        if kind_filter and kind != kind_filter:
+            continue
+        history = by_kind[kind]
+        shown = history[-last:] if last > 0 else history
+        lines.append(f"{kind} ({len(history)} runs recorded)")
+        lines.append("-" * 72)
+        previous: Dict[str, float] = {}
+        for record in shown:
+            stamp = str(record.get("ts", "?"))
+            sha = str(record.get("git_sha") or "-------")
+            devices = record.get("num_devices", "?")
+            lines.append(f"  {stamp}  {sha:<9} {devices:>6} devices")
+            rates = record.get("devices_per_s")
+            if isinstance(rates, dict):
+                for mode in sorted(rates):
+                    rate = float(rates[mode])
+                    delta = (
+                        _delta(rate, previous[mode])
+                        if mode in previous
+                        else "        "
+                    )
+                    lines.append(
+                        f"      {mode:<18} {rate:12.1f} dev/s  {delta}"
+                    )
+                previous = {
+                    mode: float(rate) for mode, rate in rates.items()
+                }
+            gates = record.get("gates")
+            if isinstance(gates, dict):
+                rendered = ", ".join(
+                    f"{name}={float(value):.3f}"
+                    for name, value in sorted(gates.items())
+                )
+                lines.append(f"      gates: {rendered}")
+        lines.append("")
+    if not lines:
+        lines.append("no matching records")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Print the benchmark history trend."
+    )
+    parser.add_argument(
+        "--history", default=str(DEFAULT_HISTORY),
+        help=f"ledger path (default: {DEFAULT_HISTORY.name})",
+    )
+    parser.add_argument(
+        "--last", type=int, default=10,
+        help="show the most recent N runs per suite (default: 10; 0 = all)",
+    )
+    parser.add_argument(
+        "--kind", default="",
+        help="only show one suite (e.g. fleet_scaling, heartbeat_overhead)",
+    )
+    args = parser.parse_args(argv)
+    path = Path(args.history)
+    if not path.exists():
+        print(
+            f"no benchmark history at {path} — run "
+            "'pytest benchmarks/test_fleet_throughput.py' (non-smoke) first"
+        )
+        return 1
+    records = load_history(path)
+    sys.stdout.write(format_trend(records, args.last, args.kind))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

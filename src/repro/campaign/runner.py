@@ -235,6 +235,14 @@ class CampaignRunner:
         Supervision and checkpoint/resume options forwarded to
         :class:`repro.exec.sharding.ShardedFleetSimulator`; campaigns
         checkpoint at round boundaries and resume bit-identically.
+    monitor, heartbeat_s, flight_dir:
+        Live-telemetry options forwarded to
+        :class:`repro.exec.sharding.ShardedFleetSimulator`: a
+        :class:`repro.obs.live.RunMonitor` turns the fused run into a
+        watchable one (heartbeats, progress/ETA, stragglers, NDJSON
+        events, flight-recorder crash dumps) without changing a single
+        trace bit.  Passing a monitor forces sharded execution, since
+        heartbeats ride the supervisor's worker pipes.
     """
 
     def __init__(
@@ -257,6 +265,9 @@ class CampaignRunner:
         max_retries: int = 2,
         shard_timeout_s: Optional[float] = None,
         fault_plan=None,
+        monitor=None,
+        heartbeat_s: Optional[float] = None,
+        flight_dir=None,
     ) -> None:
         self._variants: Tuple[CampaignVariant, ...] = tuple(variants)
         if not self._variants:
@@ -284,9 +295,15 @@ class CampaignRunner:
             "max_retries": max_retries,
             "shard_timeout_s": shard_timeout_s,
             "fault_plan": fault_plan,
+            "monitor": monitor,
+            "heartbeat_s": heartbeat_s,
+            "flight_dir": flight_dir,
         }
         self._sharded = (
-            num_shards is not None or checkpoint_dir is not None or resume
+            num_shards is not None
+            or checkpoint_dir is not None
+            or resume
+            or monitor is not None
         )
         # Validate engine settings eagerly.
         FleetSimulator(pipeline, **self._settings)

@@ -50,8 +50,10 @@ from repro.fleet import (
 )
 from repro.ml.persistence import load_model, save_model
 from repro.obs import (
+    DEFAULT_HEARTBEAT_S,
     LOG_LEVELS,
     MetricsRegistry,
+    RunMonitor,
     configure_logging,
     to_prometheus_text,
     write_chrome_trace,
@@ -291,6 +293,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="meter the run and write the snapshot in the Prometheus "
              "text exposition format",
     )
+    fleet_parser.add_argument(
+        "--watch", action="store_true",
+        help="render a live progress/ETA status line on stderr, fed by "
+             "in-flight shard heartbeats (--engine sharded; traces stay "
+             "bit-identical)",
+    )
+    fleet_parser.add_argument(
+        "--events", default=None, metavar="PATH",
+        help="append the live telemetry event stream (heartbeats, "
+             "attempts, checkpoints, stragglers) as NDJSON to PATH "
+             "(--engine sharded)",
+    )
+    fleet_parser.add_argument(
+        "--heartbeat", type=float, default=None, dest="heartbeat_s",
+        metavar="SECONDS",
+        help="simulated seconds between shard heartbeats (--engine "
+             f"sharded; default: {DEFAULT_HEARTBEAT_S:g} when live "
+             "telemetry is enabled)",
+    )
+    fleet_parser.add_argument(
+        "--flight", default=None, metavar="DIR",
+        help="flight-recorder directory: on a worker death, timeout or "
+             "corrupt payload the recent event ring for that shard is "
+             "dumped here (--engine sharded; defaults to --checkpoint "
+             "DIR when set)",
+    )
     fleet_parser.add_argument("--model", default=None,
                               help="JSON model saved by 'train' (otherwise trains a fresh one)")
     fleet_parser.add_argument("--windows", type=int, default=40,
@@ -374,6 +402,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", default=None, metavar="PATH",
         help="meter the run and write the metrics snapshot as JSON "
              "(includes campaign.variants / campaign.shared_group_hits)",
+    )
+    campaign_parser.add_argument(
+        "--watch", action="store_true",
+        help="render a live progress/ETA status line on stderr, fed by "
+             "in-flight shard heartbeats (forces the supervised sharded "
+             "path; results stay bit-identical)",
+    )
+    campaign_parser.add_argument(
+        "--events", default=None, metavar="PATH",
+        help="append the live telemetry event stream (heartbeats, "
+             "attempts, checkpoints, stragglers) as NDJSON to PATH "
+             "(forces the supervised sharded path)",
+    )
+    campaign_parser.add_argument(
+        "--heartbeat", type=float, default=None, dest="heartbeat_s",
+        metavar="SECONDS",
+        help="simulated seconds between shard heartbeats (default: "
+             f"{DEFAULT_HEARTBEAT_S:g} when live telemetry is enabled)",
+    )
+    campaign_parser.add_argument(
+        "--flight", default=None, metavar="DIR",
+        help="flight-recorder directory for crash dumps (defaults to "
+             "--checkpoint DIR when set)",
     )
     campaign_parser.add_argument("--model", default=None,
                                  help="JSON model saved by 'train' "
@@ -470,6 +521,27 @@ def _command_simulate(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _monitor_from_args(args: argparse.Namespace) -> Optional[RunMonitor]:
+    """A :class:`RunMonitor` when any live-telemetry flag was given."""
+    if not (
+        args.watch
+        or args.events is not None
+        or args.heartbeat_s is not None
+        or args.flight is not None
+    ):
+        return None
+    return RunMonitor(
+        watch=sys.stderr if args.watch else None,
+        events=args.events,
+        flight_dir=args.flight,
+        heartbeat_s=(
+            args.heartbeat_s
+            if args.heartbeat_s is not None
+            else DEFAULT_HEARTBEAT_S
+        ),
+    )
+
+
 def _command_fleet(args: argparse.Namespace, out) -> int:
     system = _load_or_train_system(args)
     population = DevicePopulation.generate(
@@ -489,6 +561,7 @@ def _command_fleet(args: argparse.Namespace, out) -> int:
     )
     snapshot = None
     if args.engine == "sharded":
+        monitor = _monitor_from_args(args)
         sharded = ShardedFleetSimulator(
             system.pipeline,
             features=args.features,
@@ -501,6 +574,7 @@ def _command_fleet(args: argparse.Namespace, out) -> int:
             checkpoint_dir=args.checkpoint,
             round_s=args.round_s,
             resume=args.resume,
+            monitor=monitor,
         )
         run = sharded.run(population, num_shards=args.shards, trace=args.trace)
         result = run.result
@@ -543,6 +617,14 @@ def _command_fleet(args: argparse.Namespace, out) -> int:
                 f"(straggler shard {int(stats['straggler'])}, "
                 f"spread {stats['spread_s']:.2f} s)\n"
             )
+        if run.stragglers:
+            out.write(
+                "  live stragglers  : "
+                + ", ".join(f"shard {index}" for index in run.stragglers)
+                + "\n"
+            )
+        if args.events is not None:
+            out.write(f"  event stream     -> {args.events}\n")
     else:
         simulator = FleetSimulator(
             system.pipeline,
@@ -624,6 +706,7 @@ def _command_campaign(args: argparse.Namespace, out) -> int:
         ),
     )
     registry = MetricsRegistry() if args.metrics is not None else None
+    monitor = _monitor_from_args(args)
     runner = CampaignRunner(
         system.pipeline,
         variants,
@@ -635,8 +718,11 @@ def _command_campaign(args: argparse.Namespace, out) -> int:
         checkpoint_dir=args.checkpoint,
         round_s=args.round_s,
         resume=args.resume,
+        monitor=monitor,
     )
     result = runner.run(population, trace=args.trace)
+    if args.events is not None:
+        out.write(f"event stream       -> {args.events}\n")
     out.write(f"features           : {args.features}\n")
     out.write(f"noise              : {args.noise}\n")
     out.write(f"dtype              : {args.dtype}\n")
@@ -678,6 +764,21 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         and getattr(args, "checkpoint", None) is None
     ):
         parser.error(f"{args.command}: --resume requires --checkpoint DIR")
+    if args.command == "fleet" and args.engine != "sharded":
+        live_flags = [
+            flag
+            for flag, given in (
+                ("--watch", args.watch),
+                ("--events", args.events is not None),
+                ("--heartbeat", args.heartbeat_s is not None),
+                ("--flight", args.flight is not None),
+            )
+            if given
+        ]
+        if live_flags:
+            parser.error(
+                f"fleet: {'/'.join(live_flags)} requires --engine sharded"
+            )
     configure_logging(getattr(args, "log_level", None))
     commands = {
         "experiments": _command_experiments,

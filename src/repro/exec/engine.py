@@ -1182,6 +1182,10 @@ class StepEngine:
             mx.count("plan_cache.hits", plan_hits_1 - plan_hits_0)
             mx.count("plan_cache.misses", plan_misses_1 - plan_misses_0)
             mx.span("engine.run", run_start_ns, mx.now_ns())
+            # Progress tap for the live-telemetry plane: the absolute
+            # step cursor after this segment, readable between segments
+            # by the heartbeat emitter without touching engine state.
+            mx.gauge("engine.steps_done", float(start_step + num_steps))
 
         if bank is not None:
             bank.write_back(controllers)

@@ -13,7 +13,13 @@ built on raw :class:`multiprocessing.Process` workers:
   payloads) are retried with exponential backoff up to a configurable
   budget, with an optional in-process last-resort attempt;
 * a shard that exhausts every attempt raises a clean
-  :class:`ShardExecutionError` naming the shard and the attempt count;
+  :class:`ShardExecutionError` naming the shard, the attempt count and
+  (when a monitor with a flight recorder is attached) the crash dump;
+* workers can interleave in-flight ``("event", payload)`` messages —
+  heartbeats, round starts, checkpoints — with the terminal
+  ``("ok", ...)`` / ``("error", ...)`` result protocol on the same
+  pipe; the supervisor forwards them to an optional run monitor
+  (:class:`repro.obs.live.RunMonitor`) without disturbing supervision;
 * failures are observable: the supervisor counts ``shard.retries`` /
   ``shard.failures`` / ``shard.timeouts`` / ``shard.corrupt_payloads``
   on the coordinator's :class:`repro.obs.metrics.MetricsRegistry`.
@@ -93,16 +99,30 @@ class ShardExecutionError(RuntimeError):
         Total attempts made (first try plus retries).
     last_error:
         Human-readable description of the final attempt's failure.
+    flight_path:
+        Path of the shard's newest flight-recorder dump, when a run
+        monitor with a flight directory was attached (``None``
+        otherwise) — the artifact to open first when debugging.
     """
 
-    def __init__(self, shard_index: int, attempts: int, last_error: str) -> None:
-        super().__init__(
+    def __init__(
+        self,
+        shard_index: int,
+        attempts: int,
+        last_error: str,
+        flight_path: Optional[str] = None,
+    ) -> None:
+        message = (
             f"shard {shard_index} failed after {attempts} attempt"
             f"{'s' if attempts != 1 else ''} (last error: {last_error})"
         )
+        if flight_path is not None:
+            message += f"; flight recording: {flight_path}"
+        super().__init__(message)
         self.shard_index = shard_index
         self.attempts = attempts
         self.last_error = last_error
+        self.flight_path = flight_path
 
 
 # ----------------------------------------------------------------------
@@ -414,14 +434,33 @@ class SupervisorStats:
 
 
 def _supervised_entry(
-    worker: Callable[[Any, int], Any],
+    worker: Callable[..., Any],
     payload: Any,
     attempt: int,
     conn: multiprocessing.connection.Connection,
+    send_events: bool = False,
 ) -> None:
-    """Process entry point: run the worker, ship outcome over the pipe."""
+    """Process entry point: run the worker, ship outcome over the pipe.
+
+    With ``send_events`` the worker receives an ``emit`` callable that
+    ships ``("event", payload)`` messages over the same pipe, ahead of
+    the terminal ``("ok", ...)`` / ``("error", ...)`` message — the
+    in-flight heartbeat channel the supervisor's event loop folds into
+    its run monitor.  Emission is best-effort: a closed pipe must never
+    take the simulation down.
+    """
     try:
-        result = worker(payload, attempt)
+        if send_events:
+
+            def emit(event: Any) -> None:
+                try:
+                    conn.send(("event", event))
+                except Exception:  # noqa: BLE001 - monitoring only
+                    pass
+
+            result = worker(payload, attempt, emit)
+        else:
+            result = worker(payload, attempt)
     except BaseException as exc:  # noqa: BLE001 - forwarded to supervisor
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
@@ -487,21 +526,33 @@ class ShardSupervisor:
         timeout enforcement).  Used for single-shard runs, which never
         paid process overhead historically, and as the global fallback
         when the platform cannot spawn processes at all.
+    monitor:
+        Optional live-run monitor (duck-typed after
+        :class:`repro.obs.live.RunMonitor`).  When set, workers are
+        invoked as ``worker(payload, attempt, emit)`` and their emitted
+        events are interleaved with the result protocol and forwarded
+        to ``monitor.handle_event``; the supervisor additionally calls
+        ``on_attempt_start`` / ``on_attempt_failure`` /
+        ``on_task_complete`` and consults ``flight_path`` when raising
+        :class:`ShardExecutionError`.  Every monitor call is
+        exception-guarded: monitoring may degrade, execution may not.
     """
 
     def __init__(
         self,
-        worker: Callable[[Any, int], Any],
+        worker: Callable[..., Any],
         policy: Optional[RetryPolicy] = None,
         validate: Optional[Callable[[Any], None]] = None,
         metrics: Optional[MetricsRegistry] = None,
         inline_only: bool = False,
+        monitor: Optional[Any] = None,
     ) -> None:
         self._worker = worker
         self._policy = policy if policy is not None else RetryPolicy()
         self._validate = validate
         self._metrics = metrics
         self._inline_only = inline_only
+        self._monitor = monitor
         self._retries = 0
         self._failures = 0
         self._timeouts = 0
@@ -512,12 +563,54 @@ class ShardSupervisor:
         if self._metrics is not None and self._metrics.enabled:
             self._metrics.count(name)
 
-    def _note_failure(self, task_index: int, attempt: int, reason: str) -> None:
+    def _note_failure(
+        self, task_index: int, attempt: int, reason: str, kind: str = "error"
+    ) -> None:
         self._failures += 1
         self._count("shard.failures")
         _LOGGER.warning(
             "shard %d attempt %d failed: %s", task_index, attempt, reason
         )
+        self._notify("on_attempt_failure", task_index, attempt, kind, reason)
+
+    # -- monitor plumbing ------------------------------------------------
+    def _notify(self, hook: str, *args: Any) -> None:
+        """Call a monitor hook, swallowing (but logging) its failures."""
+        if self._monitor is None:
+            return
+        method = getattr(self._monitor, hook, None)
+        if method is None:
+            return
+        try:
+            method(*args)
+        except Exception:  # noqa: BLE001 - monitoring must not fail runs
+            _LOGGER.exception("run monitor hook %s failed", hook)
+
+    def _dispatch_event(self, task_index: int, attempt: int, event: Any) -> None:
+        """Forward one in-flight worker event to the monitor."""
+        self._notify("handle_event", task_index, attempt, event)
+
+    def _inline_emit(self, task_index: int, attempt: int):
+        """The ``emit`` callable handed to inline worker attempts."""
+        if self._monitor is None:
+            return None
+
+        def emit(event: Any) -> None:
+            self._dispatch_event(task_index, attempt, event)
+
+        return emit
+
+    def _flight_path(self, task_index: int) -> Optional[str]:
+        if self._monitor is None:
+            return None
+        method = getattr(self._monitor, "flight_path", None)
+        if method is None:
+            return None
+        try:
+            return method(task_index)
+        except Exception:  # noqa: BLE001 - monitoring must not fail runs
+            _LOGGER.exception("run monitor flight_path failed")
+            return None
 
     # -- public API -----------------------------------------------------
     def run(self, payloads: Sequence[Any]) -> Tuple[List[Any], SupervisorStats]:
@@ -557,18 +650,23 @@ class ShardSupervisor:
 
     # -- inline path ----------------------------------------------------
     def _attempt_inline(self, task_index: int, payload: Any, attempt: int):
-        """One inline attempt.  Returns ``(ok, result_or_reason)``."""
+        """One inline attempt.  Returns ``(ok, result_or_reason, kind)``."""
+        self._notify("on_attempt_start", task_index, attempt, True)
+        emit = self._inline_emit(task_index, attempt)
         try:
-            result = self._worker(payload, attempt)
+            if emit is not None:
+                result = self._worker(payload, attempt, emit)
+            else:
+                result = self._worker(payload, attempt)
             if self._validate is not None:
                 self._validate(result)
         except PayloadCorruptionError as exc:
             self._corrupt += 1
             self._count("shard.corrupt_payloads")
-            return False, f"{type(exc).__name__}: {exc}"
+            return False, f"{type(exc).__name__}: {exc}", "corrupt"
         except Exception as exc:  # noqa: BLE001 - retried below
-            return False, f"{type(exc).__name__}: {exc}"
-        return True, result
+            return False, f"{type(exc).__name__}: {exc}", "error"
+        return True, result, "ok"
 
     def _run_task_inline(self, task_index: int, payload: Any) -> Tuple[Any, int]:
         """Run one task fully inline with the policy's retry budget."""
@@ -581,12 +679,16 @@ class ShardSupervisor:
                 backoff = self._policy.backoff_s(attempt - 1)
                 if backoff > 0.0:
                     time.sleep(backoff)
-            ok, outcome = self._attempt_inline(task_index, payload, attempt)
+            ok, outcome, kind = self._attempt_inline(task_index, payload, attempt)
             if ok:
+                self._notify("on_task_complete", task_index, attempt + 1)
                 return outcome, attempt + 1
             last_reason = outcome
-            self._note_failure(task_index, attempt, outcome)
-        raise ShardExecutionError(task_index, total_attempts, last_reason)
+            self._note_failure(task_index, attempt, outcome, kind)
+        raise ShardExecutionError(
+            task_index, total_attempts, last_reason,
+            flight_path=self._flight_path(task_index),
+        )
 
     # -- supervised (process) path --------------------------------------
     def _context(self):
@@ -603,7 +705,10 @@ class ShardSupervisor:
         receiver, sender = context.Pipe(duplex=False)
         process = context.Process(
             target=_supervised_entry,
-            args=(self._worker, payload, entry.attempt, sender),
+            args=(
+                self._worker, payload, entry.attempt, sender,
+                self._monitor is not None,
+            ),
             daemon=True,
         )
         try:
@@ -617,6 +722,7 @@ class ShardSupervisor:
         entry.conn = receiver
         if self._policy.shard_timeout_s is not None:
             entry.deadline = time.monotonic() + self._policy.shard_timeout_s
+        self._notify("on_attempt_start", entry.task_index, entry.attempt, False)
 
     def _reap(self, entry: _Attempt) -> None:
         """Terminate and clean up an attempt's process, if any."""
@@ -682,9 +788,11 @@ class ShardSupervisor:
         inline_mode = False
         fatal: Optional[Tuple[int, int, str]] = None
 
-        def fail_attempt(entry: _Attempt, reason: str, now: float) -> None:
+        def fail_attempt(
+            entry: _Attempt, reason: str, now: float, kind: str = "error"
+        ) -> None:
             nonlocal fatal
-            self._note_failure(entry.task_index, entry.attempt, reason)
+            self._note_failure(entry.task_index, entry.attempt, reason, kind)
             exhausted = self._schedule_retry(entry, pending, now, reason)
             if exhausted is not None and fatal is None:
                 fatal = exhausted
@@ -696,10 +804,14 @@ class ShardSupervisor:
             except PayloadCorruptionError as exc:
                 self._corrupt += 1
                 self._count("shard.corrupt_payloads")
-                fail_attempt(entry, f"{type(exc).__name__}: {exc}", now)
+                fail_attempt(entry, f"{type(exc).__name__}: {exc}", now,
+                             kind="corrupt")
                 return
             results[entry.task_index] = result
             attempts_used[entry.task_index] = entry.attempt + 1
+            self._notify(
+                "on_task_complete", entry.task_index, entry.attempt + 1
+            )
 
         try:
             while (pending or running) and fatal is None:
@@ -714,7 +826,7 @@ class ShardSupervisor:
                         continue
                     if entry.inline or inline_mode:
                         pending.remove(entry)
-                        ok, outcome = self._attempt_inline(
+                        ok, outcome, kind = self._attempt_inline(
                             entry.task_index, tasks[entry.task_index],
                             entry.attempt,
                         )
@@ -722,9 +834,13 @@ class ShardSupervisor:
                         if ok:
                             results[entry.task_index] = outcome
                             attempts_used[entry.task_index] = entry.attempt + 1
+                            self._notify(
+                                "on_task_complete",
+                                entry.task_index, entry.attempt + 1,
+                            )
                         else:
                             entry.inline = True
-                            fail_attempt(entry, outcome, now)
+                            fail_attempt(entry, outcome, now, kind)
                         continue
                     if len(running) >= max_workers:
                         continue
@@ -772,19 +888,30 @@ class ShardSupervisor:
                 )
                 now = time.monotonic()
                 for conn in ready:
-                    entry = running.pop(conn)
+                    entry = running[conn]
                     try:
                         kind, value = conn.recv()
                     except (EOFError, OSError):
                         kind, value = "died", None
+                    if kind == "event":
+                        # In-flight heartbeat/progress message: fold it
+                        # and keep the attempt registered — only the
+                        # terminal ok/error/death messages retire it.
+                        self._dispatch_event(
+                            entry.task_index, entry.attempt, value
+                        )
+                        continue
+                    del running[conn]
                     self._reap(entry)
                     if kind == "died":
-                        kind, value = (
-                            "error",
+                        fail_attempt(
+                            entry,
                             "worker died before reporting "
                             f"(exit code {entry.process.exitcode})",
+                            now,
+                            kind="died",
                         )
-                    if kind == "ok":
+                    elif kind == "ok":
                         finish_attempt(entry, value, now)
                     else:
                         fail_attempt(entry, str(value), now)
@@ -799,11 +926,15 @@ class ShardSupervisor:
                             entry,
                             f"timed out after {policy.shard_timeout_s} s",
                             now,
+                            kind="timeout",
                         )
         finally:
             for entry in running.values():
                 self._reap(entry)
         if fatal is not None:
             task_index, attempts, reason = fatal
-            raise ShardExecutionError(task_index, attempts, reason)
+            raise ShardExecutionError(
+                task_index, attempts, reason,
+                flight_path=self._flight_path(task_index),
+            )
         return used_processes

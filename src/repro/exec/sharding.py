@@ -53,6 +53,7 @@ from repro.fleet.engine import FleetResult, FleetSimulator, resolve_fleet_durati
 from repro.fleet.population import DeviceProfile, DevicePopulation
 from repro.fleet.telemetry import FleetTelemetry
 from repro.ml.persistence import load_checkpoint, save_checkpoint
+from repro.obs.live import RunMonitor, build_heartbeat, current_rss_bytes
 from repro.obs.logsetup import shard_logger
 from repro.obs.metrics import NULL_RECORDER, MetricsRegistry, MetricsSnapshot
 from repro.sensors.imu import DEFAULT_INTERNAL_RATE_HZ
@@ -82,6 +83,7 @@ class _ShardTask:
     checkpoint_dir: Optional[str] = None
     resume: bool = False
     injector: Optional[FaultInjector] = None
+    heartbeat_steps: Optional[int] = None
 
 
 def _shard_checkpoint_dir(root: str, shard_index: int) -> Path:
@@ -110,7 +112,7 @@ def _load_latest_checkpoint(directory: Path, logger) -> Optional[dict]:
 
 
 def _run_shard_attempt(
-    task: _ShardTask, attempt: int
+    task: _ShardTask, attempt: int, emit=None
 ) -> Tuple[int, FleetResult, FleetTelemetry, Optional[MetricsSnapshot]]:
     """Simulate one shard attempt (worker process or inline).
 
@@ -120,6 +122,15 @@ def _run_shard_attempt(
     resume reloads the newest complete round and continues mid-stream —
     bit-identical to an uninterrupted run because the engine's
     segmented runs are (pinned by the resilience tests).
+
+    ``emit`` (injected by the supervisor when a run monitor is
+    attached) ships in-flight events back over the result pipe: attempt
+    and round starts, checkpoints, and — when ``task.heartbeat_steps``
+    is set — periodic heartbeats, for which rounds are sub-segmented at
+    the heartbeat cadence.  Sub-segmentation reuses the engine's
+    segmented-run path, so a monitored run's traces stay bit-identical;
+    fault injection and checkpointing still happen only at round
+    boundaries, so recovery semantics are unchanged too.
     """
     in_worker = multiprocessing.parent_process() is not None
     if in_worker:
@@ -136,6 +147,17 @@ def _run_shard_attempt(
         else None
     )
     recorder = metrics if metrics is not None else NULL_RECORDER
+    beat_steps = task.heartbeat_steps if emit is not None else None
+    # Heartbeats carry per-phase span deltas.  An unmetered monitored
+    # run taps them through a private registry that feeds the engine's
+    # spans but is never returned in the outcome, so the reported
+    # metrics (none) match an unmonitored run exactly.
+    tap = (
+        MetricsRegistry()
+        if beat_steps is not None and metrics is None
+        else None
+    )
+    engine_metrics = metrics if metrics is not None else tap
 
     ckpt_dir: Optional[Path] = None
     if task.checkpoint_dir is not None:
@@ -148,7 +170,7 @@ def _run_shard_attempt(
     start = time.perf_counter()
     if bundle is None:
         engine = StepEngine(
-            pipeline=task.pipeline, metrics=metrics, **task.settings
+            pipeline=task.pipeline, metrics=engine_metrics, **task.settings
         )
         runtimes = engine.runtimes_from_profiles(task.profiles)
         state = engine.make_state(runtimes)
@@ -157,12 +179,15 @@ def _run_shard_attempt(
         # The single-dump checkpoint preserves the aliasing between the
         # engine state, its runtimes and the engine itself, so resuming
         # means picking up the unpickled engine — only its metrics
-        # recorder is rebound to this attempt's fresh registry.
+        # recorder is rebound to this attempt's fresh registry (or the
+        # heartbeat tap when the run is monitored but unmetered).
         runtimes = bundle["runtimes"]
         state = bundle["engine_state"]
         steps_done = bundle["steps_done"]
         engine = state.engine
-        engine._metrics = recorder
+        engine._metrics = (
+            engine_metrics if engine_metrics is not None else NULL_RECORDER
+        )
         if metrics is not None:
             metrics.count("checkpoint.loads")
         logger.info(
@@ -178,17 +203,58 @@ def _run_shard_attempt(
             f"done, {num_steps} requested"
         )
     injector = task.injector
+    if beat_steps is not None:
+        beat_steps = max(1, min(int(beat_steps), round_steps))
 
     logger.debug(
         "simulating %d devices (%d/%d steps done, attempt %d)",
         len(task.profiles), steps_done, num_steps, attempt,
     )
+    if emit is not None:
+        emit(
+            {
+                "event": "attempt_start",
+                "shard": task.shard_index,
+                "attempt": attempt,
+                "steps_done": steps_done,
+                "num_steps": num_steps,
+                "devices": len(task.profiles),
+                "round_steps": round_steps,
+            }
+        )
+    phase_prev: Dict[str, float] = (
+        engine_metrics.phase_totals()
+        if beat_steps is not None and engine_metrics is not None
+        else {}
+    )
+    beat_wall = start
+    beat_cursor = steps_done
     traces = None
     while steps_done < num_steps:
-        round_index = steps_done // round_steps
-        if injector is not None:
-            injector.on_round(task.shard_index, round_index, attempt)
-        segment = min(round_steps, num_steps - steps_done)
+        # Checkpoints only land on round boundaries (or at the end of
+        # the run), so a loop entry — fresh or resumed — always sits on
+        # one; the first segment of a round emits its round_start and
+        # consults the fault injector exactly once, heartbeats or not.
+        if steps_done % round_steps == 0:
+            round_index = steps_done // round_steps
+            if emit is not None:
+                emit(
+                    {
+                        "event": "round_start",
+                        "shard": task.shard_index,
+                        "attempt": attempt,
+                        "round": round_index,
+                        "steps_done": steps_done,
+                    }
+                )
+            if injector is not None:
+                injector.on_round(task.shard_index, round_index, attempt)
+        round_end = min(
+            ((steps_done // round_steps) + 1) * round_steps, num_steps
+        )
+        segment = round_end - steps_done
+        if beat_steps is not None:
+            segment = min(segment, beat_steps)
         traces = engine.run(
             runtimes,
             segment,
@@ -197,10 +263,38 @@ def _run_shard_attempt(
             start_step=steps_done,
         )
         steps_done += segment
+        if beat_steps is not None:
+            beat_now = time.perf_counter()
+            totals = engine_metrics.phase_totals()
+            emit(
+                build_heartbeat(
+                    shard=task.shard_index,
+                    attempt=attempt,
+                    round_index=(steps_done - 1) // round_steps,
+                    steps_done=steps_done,
+                    num_steps=num_steps,
+                    devices=len(task.profiles),
+                    elapsed_s=beat_now - start,
+                    interval_s=beat_now - beat_wall,
+                    steps_delta=steps_done - beat_cursor,
+                    phase_s={
+                        name: totals[name] - phase_prev.get(name, 0.0)
+                        for name in totals
+                    },
+                    rss_bytes=current_rss_bytes(),
+                )
+            )
+            recorder.count("heartbeat.emitted")
+            phase_prev = totals
+            beat_wall = beat_now
+            beat_cursor = steps_done
+        if steps_done % round_steps != 0 and steps_done < num_steps:
+            # Mid-round heartbeat segment: no round accounting yet.
+            continue
         recorder.count("shard.rounds")
         if ckpt_dir is not None:
             rounds_done = (steps_done + round_steps - 1) // round_steps
-            engine_metrics = engine._metrics
+            saved_metrics = engine._metrics
             engine._metrics = NULL_RECORDER
             try:
                 written = save_checkpoint(
@@ -213,9 +307,20 @@ def _run_shard_attempt(
                     },
                 )
             finally:
-                engine._metrics = engine_metrics
+                engine._metrics = saved_metrics
             recorder.count("checkpoint.saves")
             recorder.count("checkpoint.bytes", written)
+            if emit is not None:
+                emit(
+                    {
+                        "event": "checkpoint",
+                        "shard": task.shard_index,
+                        "attempt": attempt,
+                        "rounds_done": rounds_done,
+                        "steps_done": steps_done,
+                        "bytes": written,
+                    }
+                )
             stale = sorted(ckpt_dir.glob("round_*.ckpt"))[:-KEPT_CHECKPOINTS]
             for path in stale:
                 path.unlink(missing_ok=True)
@@ -299,6 +404,11 @@ class ShardedFleetRun:
         raised exceptions, timeouts and corrupt payloads).
     timeouts:
         Attempts terminated for exceeding the per-shard timeout.
+    stragglers:
+        Shards still flagged by the run monitor's online straggler
+        detector when the run finished (``()`` when unmonitored or
+        when every shard kept pace) — the hook a future elastic
+        rebalancer consumes.
     """
 
     result: FleetResult
@@ -312,6 +422,7 @@ class ShardedFleetRun:
     retries: int = 0
     failures: int = 0
     timeouts: int = 0
+    stragglers: Tuple[int, ...] = ()
 
     @property
     def num_shards(self) -> int:
@@ -409,6 +520,23 @@ class ShardedFleetSimulator:
         :meth:`FaultPlan.parse`, or ``None`` (default) to read the
         ``REPRO_FAULT_PLAN`` environment variable.  Injected faults are
         deterministic, so chaos runs replay identically.
+    monitor:
+        Optional :class:`repro.obs.live.RunMonitor`.  When given, shard
+        workers emit in-flight heartbeats (progress, device-steps/s,
+        per-phase span deltas, RSS) at the monitor's cadence and the
+        coordinator folds them into live progress/ETA, straggler flags
+        (:attr:`ShardedFleetRun.stragglers`) and the monitor's
+        ``--watch`` / NDJSON outputs.  Monitored runs stay bit-identical
+        to unmonitored ones: heartbeat pacing only re-segments the
+        engine loop, and monitoring reads clocks and counters only.
+    heartbeat_s:
+        Override the monitor's heartbeat interval (simulated seconds)
+        for runs through this simulator.
+    flight_dir:
+        Directory for flight-recorder crash dumps.  Defaults to
+        ``checkpoint_dir`` when one is set; checkpointed runs therefore
+        get crash dumps even without an explicit monitor, via an
+        internal flight-only monitor (no heartbeats, no watch line).
     """
 
     def __init__(
@@ -434,6 +562,9 @@ class ShardedFleetSimulator:
         round_s: Optional[float] = None,
         resume: bool = False,
         fault_plan: "FaultPlan | str | None" = None,
+        monitor: Optional[RunMonitor] = None,
+        heartbeat_s: Optional[float] = None,
+        flight_dir: "Optional[str | os.PathLike]" = None,
     ) -> None:
         if num_shards is not None:
             check_positive_int(num_shards, "num_shards")
@@ -481,6 +612,13 @@ class ShardedFleetSimulator:
             FaultInjector(fault_plan)
             if fault_plan is not None and not fault_plan.is_empty
             else None
+        )
+        self._monitor = monitor
+        if heartbeat_s is not None:
+            check_positive(heartbeat_s, "heartbeat_s")
+        self._heartbeat_s = heartbeat_s
+        self._flight_dir = (
+            os.fspath(flight_dir) if flight_dir is not None else None
         )
 
     @property
@@ -636,6 +774,26 @@ class ShardedFleetSimulator:
 
         collect_metrics = self._metrics is not None and self._metrics.enabled
         trace_events = bool(self._metrics.trace_events) if collect_metrics else False
+        # Resolve the live-telemetry plane.  An explicit monitor gets
+        # heartbeats at its (or the simulator's) cadence; checkpointed
+        # runs without one still get a silent flight-only monitor, so
+        # chaos failures always leave crash dumps next to the
+        # checkpoints.
+        monitor = self._monitor
+        flight_root = self._flight_dir or self._checkpoint_dir
+        if monitor is None and flight_root is not None:
+            monitor = RunMonitor(heartbeat_s=None, flight_dir=flight_root)
+        elif monitor is not None and flight_root is not None:
+            monitor.ensure_flight_dir(flight_root)
+        heartbeat_steps: Optional[int] = None
+        if monitor is not None:
+            beat_s = (
+                self._heartbeat_s
+                if self._heartbeat_s is not None
+                else monitor.heartbeat_s
+            )
+            if beat_s is not None:
+                heartbeat_steps = max(1, int(round(float(beat_s) / step_s)))
         start = time.perf_counter()
         tasks = [
             _ShardTask(
@@ -651,6 +809,7 @@ class ShardedFleetSimulator:
                 checkpoint_dir=self._checkpoint_dir,
                 resume=self._resume,
                 injector=self._injector,
+                heartbeat_steps=heartbeat_steps,
             )
             for index, shard in enumerate(shards)
         ]
@@ -684,8 +843,19 @@ class ShardedFleetSimulator:
             validate=validate,
             metrics=self._metrics if collect_metrics else None,
             inline_only=inline_only,
+            monitor=monitor,
         )
-        outcomes, stats = supervisor.run(tasks)
+        if monitor is not None:
+            monitor.begin_run(
+                [len(shard) for shard in shards], num_steps, step_s
+            )
+        run_ok = False
+        try:
+            outcomes, stats = supervisor.run(tasks)
+            run_ok = True
+        finally:
+            if monitor is not None:
+                monitor.end_run(run_ok)
         outcomes.sort(key=lambda outcome: outcome[0])
         traces = tuple(
             trace for _, result, _, _ in outcomes for trace in result.traces
@@ -715,6 +885,13 @@ class ShardedFleetSimulator:
             for (_, result, _, _), shard in zip(outcomes, shards):
                 self._metrics.observe("shard.elapsed_s", result.elapsed_s)
                 self._metrics.observe("shard.devices", float(len(shard)))
+            if monitor is not None:
+                # Fold the monitor-side live-telemetry counters
+                # (heartbeat.received, straggler.flags, flight.*) into
+                # the coordinator registry so they reach the merged
+                # snapshot and every exporter.
+                for name, value in sorted(monitor.counters.items()):
+                    self._metrics.count(name, value)
             merged_metrics = MetricsSnapshot.merge_all(
                 (self._metrics.snapshot(),) + shard_metrics
             )
@@ -730,4 +907,5 @@ class ShardedFleetSimulator:
             retries=stats.retries,
             failures=stats.failures,
             timeouts=stats.timeouts,
+            stragglers=monitor.stragglers() if monitor is not None else (),
         )

@@ -56,6 +56,12 @@ COUNTER_GLOSSARY: Dict[str, str] = {
     "checkpoint.saves": "round checkpoints written by shard workers",
     "checkpoint.loads": "checkpoints loaded by resumed or retried shards",
     "checkpoint.bytes": "total checkpoint bytes written",
+    "heartbeat.emitted": "in-flight heartbeat events emitted by shard workers",
+    "heartbeat.received": "heartbeat events folded by the run monitor",
+    "heartbeat.malformed": "in-flight events the run monitor could not parse",
+    "straggler.flags": "shards flagged by the online straggler detector",
+    "flight.events": "events folded into flight-recorder rings",
+    "flight.dumps": "flight-recorder crash dumps written on attempt failures",
     "campaign.variants": "controller variants fused into the campaign fleet",
     "campaign.devices": "physical devices the campaign grid spans",
     "campaign.unique_devices": "virtual devices simulated after behaviour dedupe",

@@ -396,6 +396,20 @@ class MetricsRegistry:
         """Current value of a counter (zero when never incremented)."""
         return self._counters.get(name, 0.0)
 
+    def phase_totals(self, prefix: str = "tick.") -> Dict[str, float]:
+        """Cumulative histogram sums for metrics named ``prefix*``.
+
+        Span durations always feed their histogram (:meth:`span`), so
+        for the ``tick.*`` phase spans this is the total seconds spent
+        per engine phase so far — the cheap cumulative read the live
+        heartbeats difference into per-interval phase deltas.
+        """
+        return {
+            name: histogram.total
+            for name, histogram in self._histograms.items()
+            if name.startswith(prefix)
+        }
+
     def snapshot(self) -> MetricsSnapshot:
         """Freeze the current state into a mergeable snapshot."""
         return MetricsSnapshot(
@@ -439,6 +453,9 @@ class NullRecorder:
 
     def counter_value(self, name: str) -> float:
         return 0.0
+
+    def phase_totals(self, prefix: str = "tick.") -> Dict[str, float]:
+        return {}
 
     def snapshot(self) -> MetricsSnapshot:
         return MetricsSnapshot.empty()

@@ -563,3 +563,96 @@ class TestCampaignCommand:
                         "num_shards")
             }
         assert inline == sharded
+
+
+class TestLiveTelemetry:
+    def test_live_flags_parsed(self):
+        args = build_parser().parse_args(
+            [
+                "fleet",
+                "--engine", "sharded",
+                "--watch",
+                "--events", "events.ndjson",
+                "--heartbeat", "5",
+                "--flight", "flightdir",
+            ]
+        )
+        assert args.watch is True
+        assert args.events == "events.ndjson"
+        assert args.heartbeat_s == 5.0
+        assert args.flight == "flightdir"
+        defaults = build_parser().parse_args(["fleet"])
+        assert defaults.watch is False
+        assert defaults.events is None
+        assert defaults.heartbeat_s is None
+        assert defaults.flight is None
+
+    @pytest.mark.parametrize(
+        "flag", [["--watch"], ["--events", "e"], ["--heartbeat", "5"],
+                 ["--flight", "f"]]
+    )
+    def test_fleet_live_flags_require_sharded_engine(self, flag, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fleet", "--devices", "4"] + flag, out=io.StringIO())
+        assert excinfo.value.code == 2
+        assert "requires --engine sharded" in capsys.readouterr().err
+
+    def test_monitored_fleet_matches_unmonitored(self, tmp_path):
+        """--events/--heartbeat leave the exported telemetry report
+        bit-identical and write a schema-valid NDJSON stream."""
+        from repro.obs import validate_events_file
+
+        events_path = tmp_path / "events.ndjson"
+        reports = {}
+        for label, extra in (
+            ("plain", []),
+            (
+                "monitored",
+                ["--events", str(events_path), "--heartbeat", "2"],
+            ),
+        ):
+            path = tmp_path / f"{label}.json"
+            out = io.StringIO()
+            code = main(
+                [
+                    "fleet",
+                    "--devices", "4",
+                    "--duration", "10",
+                    "--windows", "6",
+                    "--seed", "5",
+                    "--engine", "sharded",
+                    "--shards", "2",
+                    "--out", str(path),
+                ]
+                + extra,
+                out=out,
+            )
+            assert code == 0
+            reports[label] = json.loads(path.read_text())
+        assert reports["plain"] == reports["monitored"]
+        counts = validate_events_file(events_path)
+        assert counts["run_start"] == 1
+        assert counts["run_complete"] == 1
+        assert counts["heartbeat"] >= 2
+
+    def test_campaign_events_stream(self, tmp_path):
+        from repro.obs import validate_events_file
+
+        events_path = tmp_path / "campaign.ndjson"
+        out = io.StringIO()
+        code = main(
+            [
+                "campaign",
+                "--devices", "4",
+                "--duration", "10",
+                "--windows", "6",
+                "--seed", "5",
+                "--thresholds", "10,30",
+                "--events", str(events_path),
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "event stream" in out.getvalue()
+        counts = validate_events_file(events_path)
+        assert counts["run_start"] == 1 and counts["run_complete"] == 1

@@ -189,6 +189,22 @@ class TestRegistry:
         NULL_RECORDER.span("s", NULL_RECORDER.now_ns(), NULL_RECORDER.now_ns())
         assert NULL_RECORDER.snapshot() == MetricsSnapshot.empty()
 
+    def test_phase_totals_sums_matching_histograms(self):
+        """The heartbeat emitter's per-phase read: totals of the
+        ``tick.*`` histograms, cheap enough to poll every segment."""
+        registry = MetricsRegistry()
+        registry.observe("tick.sense", 0.5)
+        registry.observe("tick.sense", 0.25)
+        registry.observe("tick.extract", 1.0)
+        registry.observe("shard.elapsed_s", 9.0)  # wrong prefix, excluded
+        assert registry.phase_totals() == {
+            "tick.sense": 0.75, "tick.extract": 1.0,
+        }
+        assert registry.phase_totals(prefix="shard.") == {
+            "shard.elapsed_s": 9.0,
+        }
+        assert NULL_RECORDER.phase_totals() == {}
+
 
 class TestExporters:
     def _snapshot(self) -> MetricsSnapshot:
@@ -240,6 +256,54 @@ class TestExporters:
             if not line.startswith("#"):
                 assert "." not in line.split(" ")[0].split("{")[0]
 
+    def test_prometheus_help_covers_live_telemetry_counters(self):
+        """Every counter the run monitor can fold into the registry has
+        a glossary entry, so the exposition carries HELP lines."""
+        from repro.obs import COUNTER_GLOSSARY
+
+        live_counters = (
+            "heartbeat.emitted", "heartbeat.received",
+            "heartbeat.malformed", "straggler.flags",
+            "flight.events", "flight.dumps",
+        )
+        registry = MetricsRegistry()
+        for name in live_counters:
+            assert name in COUNTER_GLOSSARY, f"{name} missing from glossary"
+            registry.count(name, 2.0)
+        text = to_prometheus_text(registry.snapshot())
+        for name in live_counters:
+            metric = "repro_" + name.replace(".", "_")
+            assert f"# HELP {metric} {COUNTER_GLOSSARY[name]}" in text
+            assert f"{metric} 2" in text
+
+    def test_chrome_trace_one_lane_per_shard(self, tmp_path):
+        """Spans recorded under different tids land in distinct named
+        lanes — the shard-timeline contract Perfetto relies on."""
+        snapshots = []
+        for tid in (0, 3):
+            registry = MetricsRegistry(trace_events=True, tid=tid)
+            registry.span("tick.sense", 1_000 * (tid + 1), 2_000 * (tid + 1))
+            snapshots.append(registry.snapshot())
+        merged = MetricsSnapshot.merge_all(snapshots)
+        document = to_chrome_trace(merged)
+        events = document["traceEvents"]
+        lanes = sorted(
+            event["tid"] for event in events if event["ph"] == "M"
+        )
+        assert lanes == [0, 3]
+        names = {
+            event["tid"]: event["args"]["name"]
+            for event in events
+            if event["ph"] == "M"
+        }
+        assert names == {0: "shard-0", 3: "shard-3"}
+        spans_by_tid = {
+            event["tid"]
+            for event in events
+            if event["ph"] == "X"
+        }
+        assert spans_by_tid == {0, 3}
+
 
 class TestLogging:
     def test_configure_logging_none_is_a_noop(self):
@@ -275,3 +339,22 @@ class TestLogging:
             assert isinstance(
                 logging.getLevelName(level.upper()), int
             ), f"unknown level {level}"
+
+    @pytest.mark.parametrize("bad", ["verbose", "LOUD", "", "tracing"])
+    def test_invalid_level_raises_a_clear_valueerror(self, bad):
+        """Regression: an unknown --log-level used to surface as an
+        AttributeError from ``getattr(logging, ...)``; it must be a
+        ValueError naming the accepted levels."""
+        with pytest.raises(ValueError, match="log level must be one of"):
+            configure_logging(bad)
+
+    def test_level_is_case_insensitive(self):
+        import io
+
+        stream = io.StringIO()
+        configure_logging("  INFO ", stream=stream)
+        try:
+            logging.getLogger("repro.test").info("mixed case ok")
+        finally:
+            configure_logging("warning", stream=io.StringIO())
+        assert "mixed case ok" in stream.getvalue()
